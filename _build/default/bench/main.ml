@@ -1,0 +1,404 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+   Each [fig*] / [table*] function prints the series the paper plots, and
+   the [micro] section runs Bechamel wall-clock benchmarks of the real
+   pipeline stages (code generation, driver JIT, VM execution, CPU
+   reference).  Run everything with [dune exec bench/main.exe], or a single
+   section with e.g. [dune exec bench/main.exe -- fig4]. *)
+
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+
+let section name = Printf.printf "\n===== %s =====\n%!" name
+
+(* ------------------------------------------------------------------ *)
+(* Table I: the QDP++ type system *)
+
+let table1 () =
+  section "Table I: QDP++ data types (incl. clover types)";
+  let show name shape alias =
+    Printf.printf "  %-8s %-14s dof/site=%3d bytes/site(DP)=%4d  %s\n" name
+      (Shape.to_string shape) (Shape.dof shape) (Shape.bytes_per_site shape) alias
+  in
+  show "psi" (Shape.lattice_fermion Shape.F64) "LatticeFermion";
+  show "U" (Shape.lattice_color_matrix Shape.F64) "LatticeColorMatrix";
+  show "Gamma" (Shape.lattice_spin_matrix Shape.F64) "LatticeSpinMatrix";
+  show "Adiag" (Shape.clover_diag Shape.F64) "(clover diagonal)";
+  show "Atria" (Shape.clover_tri Shape.F64) "(clover triangular)"
+
+(* ------------------------------------------------------------------ *)
+(* Table II: test functions and their flop/byte *)
+
+let test_functions geom prec =
+  let cm = Shape.lattice_color_matrix prec in
+  let fm = Shape.lattice_fermion prec in
+  let sm = Shape.lattice_spin_matrix prec in
+  let u1 = Field.create cm geom
+  and u2 = Field.create cm geom
+  and u3 = Field.create cm geom in
+  let p0 = Field.create fm geom and p1 = Field.create fm geom and p2 = Field.create fm geom in
+  let g1 = Field.create sm geom and g2 = Field.create sm geom and g3 = Field.create sm geom in
+  let ad = Field.create (Shape.clover_diag prec) geom in
+  let at = Field.create (Shape.clover_tri prec) geom in
+  let f = Expr.field in
+  [
+    ("lcm", Expr.mul (f u2) (f u3), u1);
+    ("upsi", Expr.mul (f u1) (f p2), p1);
+    ("spmat", Expr.mul (f g2) (f g3), g1);
+    ("matvec", Expr.add (Expr.mul (f u1) (f p1)) (Expr.mul (f u1) (f p2)), p0);
+    ("clover", Expr.clover ~diag:(f ad) ~tri:(f at) (f p1), p0);
+  ]
+
+let table2 () =
+  section "Table II: test functions, flop/byte (DP), from generated kernels";
+  let geom = Geometry.create [| 4; 4; 4; 4 |] in
+  let paper = [ ("lcm", 0.458); ("upsi", 0.5); ("spmat", 0.62); ("matvec", 0.64); ("clover", 0.525) ] in
+  Printf.printf "  %-8s %8s %8s %10s %10s\n" "test" "flops" "bytes" "flop/byte" "paper";
+  List.iter
+    (fun (name, expr, dest) ->
+      let b =
+        Qdpjit.Codegen.build ~kname:("t2_" ^ name) ~dest_shape:dest.Field.shape ~expr
+          ~nsites:(Geometry.volume geom) ~use_sitelist:false
+      in
+      let a = Ptx.Analysis.kernel b.Qdpjit.Codegen.kernel in
+      Printf.printf "  %-8s %8d %8d %10.3f %10.3f\n" name a.Ptx.Analysis.flops
+        (a.Ptx.Analysis.load_bytes + a.Ptx.Analysis.store_bytes)
+        (Ptx.Analysis.flop_per_byte a) (List.assoc name paper))
+    (test_functions geom Shape.F64)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 4 and 5: sustained bandwidth vs volume (model-mode sweeps) *)
+
+let bandwidth_sweep prec =
+  let name = match prec with Shape.F32 -> "single" | Shape.F64 -> "double" in
+  section
+    (Printf.sprintf "Fig %s: K20x (ECC off) sustained GB/s vs V=L^4, %s precision"
+       (match prec with Shape.F32 -> "4" | _ -> "5")
+       name);
+  let ls = [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20; 22; 24; 26; 28 ] in
+  Printf.printf "  %-4s" "L";
+  List.iter
+    (fun (n, _, _) -> Printf.printf " %8s" n)
+    (test_functions (Geometry.create [| 2; 2; 2; 2 |]) prec);
+  Printf.printf "\n";
+  List.iter
+    (fun l ->
+      let geom = Geometry.create [| l; l; l; l |] in
+      let eng = Qdpjit.Engine.create ~mode:Gpusim.Device.Model_only () in
+      Printf.printf "  %-4d" l;
+      List.iter
+        (fun (name, expr, dest) ->
+          for _ = 1 to 12 do
+            Qdpjit.Engine.eval eng dest expr
+          done;
+          let dev = Qdpjit.Engine.device eng in
+          let before = Gpusim.Device.clock_ns dev in
+          Qdpjit.Engine.eval eng dest expr;
+          let ns = Gpusim.Device.clock_ns dev -. before in
+          (* Bytes the kernel actually moves (matvec re-reads U, which the
+             paper's sustained-bandwidth metric counts). *)
+          let built =
+            Qdpjit.Codegen.build ~kname:("bw_" ^ name) ~dest_shape:dest.Field.shape ~expr
+              ~nsites:(Geometry.volume geom) ~use_sitelist:false
+          in
+          let a = Ptx.Analysis.kernel built.Qdpjit.Codegen.kernel in
+          let bytes =
+            Geometry.volume geom * (a.Ptx.Analysis.load_bytes + a.Ptx.Analysis.store_bytes)
+          in
+          Printf.printf " %8.1f" (float_of_int bytes /. ns))
+        (test_functions geom prec);
+      Printf.printf "\n%!")
+    ls;
+  Printf.printf "  (paper: rise to a shoulder near L=16 (SP) / L=12 (DP), plateau ~197 GB/s = 79%% of peak)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: Dslash with/without communication overlap, 2 GPUs *)
+
+let fig6 () =
+  section "Fig 6: Wilson Dslash GFLOPS vs V, 2x K20m (ECC on), IB, overlap on/off";
+  Printf.printf "  %-4s %12s %12s %12s %12s\n" "L" "SP-overlap" "SP-nonovl" "DP-overlap" "DP-nonovl";
+  List.iter
+    (fun l ->
+      let global_dims = [| l; l; l; l |] in
+      let gflops prec overlap =
+        let m =
+          Qdpjit.Multi.create ~machine:Gpusim.Machine.k20m_ecc_on ~mode:Gpusim.Device.Model_only
+            ~network:Comms.Network.infiniband_qdr ~global_dims ~rank_dims:[| 1; 1; 1; 2 |] ()
+        in
+        Qdpjit.Multi.set_overlap m overlap;
+        let u =
+          Array.init 4 (fun _ -> Qdpjit.Multi.create_field m (Shape.lattice_color_matrix prec))
+        in
+        let psi = Qdpjit.Multi.create_field m (Shape.lattice_fermion prec) in
+        let out = Qdpjit.Multi.create_field m (Shape.lattice_fermion prec) in
+        let mk rank =
+          let ul = Array.map (fun (df : Qdpjit.Multi.dfield) -> df.Qdpjit.Multi.locals.(rank)) u in
+          Lqcd.Wilson.hopping_expr ul psi.Qdpjit.Multi.locals.(rank)
+        in
+        (* Warm the tuner, then time one application. *)
+        for _ = 1 to 8 do
+          ignore (Qdpjit.Multi.eval m out mk)
+        done;
+        Qdpjit.Multi.reset_clocks m;
+        let t = Qdpjit.Multi.eval m out mk in
+        let v = Array.fold_left ( * ) 1 global_dims in
+        let gf = float_of_int (Lqcd.Wilson.dslash_flops_per_site * v) /. t.Qdpjit.Multi.total_ns in
+        (* Release this configuration's Bigarray-backed fields before the
+           next one: the GC's heuristics underestimate Bigarray memory. *)
+        Gc.compact ();
+        gf
+      in
+      Printf.printf "  %-4d %12.1f %12.1f %12.1f %12.1f\n%!" l (gflops Shape.F32 true)
+        (gflops Shape.F32 false) (gflops Shape.F64 true) (gflops Shape.F64 false))
+    [ 8; 12; 16; 20; 24; 28; 32; 36; 40 ];
+  Printf.printf "  (paper: overlap gains ~11%% SP / ~7%% DP at the largest volume)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Sec VIII-C: QUDA comparison *)
+
+let quda_compare () =
+  section "Sec VIII-C: QUDA vs generated Dslash (same work, overlapping comms)";
+  let row prec vol ours =
+    Printf.printf "  %-3s V=%d^4: QUDA %.0f GFLOPS, generated %.0f GFLOPS (headroom %.2fx)\n"
+      (match prec with Solvers.Quda_like.Sp -> "SP" | Solvers.Quda_like.Dp -> "DP")
+      vol
+      (Solvers.Quda_like.dslash_gflops_measured prec)
+      ours
+      (Solvers.Quda_like.dslash_gflops_measured prec /. ours)
+  in
+  row Solvers.Quda_like.Sp 40 (Solvers.Quda_like.generated_dslash_gflops Solvers.Quda_like.Sp);
+  row Solvers.Quda_like.Dp 32 (Solvers.Quda_like.generated_dslash_gflops Solvers.Quda_like.Dp);
+  Printf.printf "  (paper: 346 vs 197 = 1.76x SP; 171 vs 90 = 1.9x DP)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7 and 8: HMC strong scaling *)
+
+let fig7 () =
+  section "Fig 7: HMC strong scaling on Blue Waters (V=40^3x256, 2+1 aniso clover)";
+  let w = Perfmodel.Workload.production () in
+  let bw = Perfmodel.Nodes.blue_waters_xk in
+  let t c n = Perfmodel.Scaling.trajectory_time ~machine:bw ~config:c w ~nodes:n in
+  Printf.printf "  %-6s %12s %12s %12s %10s %10s\n" "N" "CPU-only" "CPU+QUDA" "JIT+QUDA" "spd(CQ)"
+    "spd(JQ)";
+  List.iter
+    (fun n ->
+      Printf.printf "  %-6d %12.0f %12.0f %12.0f %10.2f %10.2f\n" n
+        (t Perfmodel.Scaling.Cpu_only n) (t Perfmodel.Scaling.Cpu_quda n)
+        (t Perfmodel.Scaling.Qdpjit_quda n)
+        (Perfmodel.Scaling.speedup ~machine:bw w ~config:Perfmodel.Scaling.Cpu_quda ~nodes:n)
+        (Perfmodel.Scaling.speedup ~machine:bw w ~config:Perfmodel.Scaling.Qdpjit_quda ~nodes:n))
+    [ 128; 256; 400; 512; 800; 1600 ];
+  Printf.printf "  node-hours at 128: CPU+QUDA %.0f vs QDP-JIT+QUDA %.0f (paper: 258 vs 52, ~5x)\n"
+    (Perfmodel.Scaling.node_hours ~machine:bw ~config:Perfmodel.Scaling.Cpu_quda w ~nodes:128)
+    (Perfmodel.Scaling.node_hours ~machine:bw ~config:Perfmodel.Scaling.Qdpjit_quda w ~nodes:128);
+  Printf.printf "  (paper: speedups ~2.2x/1.8x CPU+QUDA, ~11.0x/3.7x QDP-JIT+QUDA at 128/800)\n"
+
+let fig8 () =
+  section "Fig 8: Blue Waters vs Titan (QDP-JIT+QUDA)";
+  let w = Perfmodel.Workload.production () in
+  Printf.printf "  %-6s %14s %14s\n" "GPUs" "Blue Waters" "Titan";
+  List.iter
+    (fun n ->
+      Printf.printf "  %-6d %14.0f %14.0f\n" n
+        (Perfmodel.Scaling.trajectory_time ~machine:Perfmodel.Nodes.blue_waters_xk
+           ~config:Perfmodel.Scaling.Qdpjit_quda w ~nodes:n)
+        (Perfmodel.Scaling.trajectory_time ~machine:Perfmodel.Nodes.titan
+           ~config:Perfmodel.Scaling.Qdpjit_quda w ~nodes:n))
+    [ 128; 256; 400; 512; 800 ];
+  Printf.printf "  (paper: the two systems are hardly distinguishable)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Sec III-D: JIT compilation overhead *)
+
+let jit_overhead () =
+  section "Sec III-D: driver JIT compile overhead per kernel";
+  let geom = Geometry.create [| 4; 4; 4; 4 |] in
+  let kernels =
+    List.map
+      (fun (name, expr, dest) ->
+        ( name,
+          Qdpjit.Codegen.build ~kname:("jo_" ^ name) ~dest_shape:dest.Field.shape ~expr
+            ~nsites:(Geometry.volume geom) ~use_sitelist:false ))
+      (test_functions geom Shape.F64)
+  in
+  (* Add a dslash kernel, the largest in a trajectory. *)
+  let u = Lqcd.Gauge.create_links geom in
+  let psi = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  let dslash =
+    Qdpjit.Codegen.build ~kname:"jo_dslash" ~dest_shape:psi.Field.shape
+      ~expr:(Lqcd.Wilson.hopping_expr u psi) ~nsites:(Geometry.volume geom) ~use_sitelist:false
+  in
+  let all = kernels @ [ ("dslash", dslash) ] in
+  Printf.printf "  %-8s %8s %14s %16s\n" "kernel" "instrs" "model compile" "measured (this)";
+  let total = ref 0.0 in
+  List.iter
+    (fun (name, built) ->
+      let t0 = Unix.gettimeofday () in
+      let compiled = Gpusim.Jit.compile built.Qdpjit.Codegen.text in
+      let wall = Unix.gettimeofday () -. t0 in
+      total := !total +. compiled.Gpusim.Jit.compile_time;
+      Printf.printf "  %-8s %8d %12.3f s %14.6f s\n" name compiled.Gpusim.Jit.instructions
+        compiled.Gpusim.Jit.compile_time wall)
+    all;
+  Printf.printf "  (paper: 0.05-0.22 s per kernel; ~200 kernels/trajectory => 10-30 s total)\n";
+  Printf.printf "  modeled total for 200 kernels of this mix: %.0f s\n"
+    (!total /. float_of_int (List.length all) *. 200.0)
+
+(* ------------------------------------------------------------------ *)
+(* Sec VII: auto-tuning trace *)
+
+let autotune () =
+  section "Sec VII: block-size auto-tuning on payload launches";
+  let geom = Geometry.create [| 16; 16; 16; 16 |] in
+  let eng = Qdpjit.Engine.create ~mode:Gpusim.Device.Model_only () in
+  let cases = test_functions geom Shape.F32 in
+  let name, expr, dest = List.nth cases 1 in
+  Printf.printf "  tuning kernel %s at V=16^4:\n" name;
+  for i = 1 to 10 do
+    let dev = Qdpjit.Engine.device eng in
+    let before = Gpusim.Device.clock_ns dev in
+    Qdpjit.Engine.eval eng dest expr;
+    let ns = Gpusim.Device.clock_ns dev -. before in
+    Printf.printf "    launch %2d: %8.1f us\n" i (ns /. 1000.0)
+  done;
+  Printf.printf "  (failed launches halve the block; probes stop on a 33%% slowdown)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices the paper discusses *)
+
+let ablation () =
+  section "Ablations: gauge compression (Sec VIII-C) and auto-tuning (Sec VII)";
+  (* 1. Gauge compression: dslash bandwidth saved by 12-real links. *)
+  let l = 24 in
+  let geom = Geometry.create [| l; l; l; l |] in
+  let psi = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  let links = Array.init 4 (fun _ -> Field.create (Shape.lattice_color_matrix Shape.F64) geom) in
+  let packed =
+    Array.map (fun _ -> Field.create (Shape.compressed_color_matrix Shape.F64) geom) links
+  in
+  let time expr =
+    let eng = Qdpjit.Engine.create ~mode:Gpusim.Device.Model_only () in
+    let out = Field.create (Shape.lattice_fermion Shape.F64) geom in
+    for _ = 1 to 10 do
+      Qdpjit.Engine.eval eng out expr
+    done;
+    let dev = Qdpjit.Engine.device eng in
+    let before = Gpusim.Device.clock_ns dev in
+    Qdpjit.Engine.eval eng out expr;
+    Gpusim.Device.clock_ns dev -. before
+  in
+  let t_full = time (Lqcd.Wilson.hopping_expr links psi) in
+  let t_comp = time (Lqcd.Wilson.hopping_expr_compressed packed psi) in
+  let v = float_of_int (Geometry.volume geom) in
+  Printf.printf "  dslash %d^4 DP: full gauge %.0f GFLOPS, 12-real %.0f GFLOPS (%.2fx)
+" l
+    (1320.0 *. v /. t_full) (1320.0 *. v /. t_comp) (t_full /. t_comp);
+  Printf.printf "  (the flops-for-bandwidth trade behind part of QUDA's headroom)
+";
+  (* 2. Auto-tuning vs a fixed maximal block: pick a register-heavy kernel
+     at a mid volume and compare the settled time against block = 1024. *)
+  let geom16 = Geometry.create [| 16; 16; 16; 16 |] in
+  let u1 = Field.create (Shape.lattice_color_matrix Shape.F64) geom16 in
+  let u2 = Field.create (Shape.lattice_color_matrix Shape.F64) geom16 in
+  let expr = Expr.mul (Expr.field u1) (Expr.field u2) in
+  let built =
+    Qdpjit.Codegen.build ~kname:"abl_tune" ~dest_shape:u1.Field.shape ~expr
+      ~nsites:(Geometry.volume geom16) ~use_sitelist:false
+  in
+  let compiled = Gpusim.Jit.compile built.Qdpjit.Codegen.text in
+  let machine = Gpusim.Machine.k20x_ecc_off in
+  let nthreads = Geometry.volume geom16 in
+  let t_at block =
+    Gpusim.Timing.kernel_time_ns machine ~analysis:compiled.Gpusim.Jit.analysis
+      ~regs_per_thread:compiled.Gpusim.Jit.regs_per_thread ~prec:compiled.Gpusim.Jit.prec
+      ~nthreads ~block
+  in
+  let best_block =
+    List.fold_left
+      (fun acc b -> if t_at b < t_at acc then b else acc)
+      1024 [ 512; 256; 128; 64; 32 ]
+  in
+  Printf.printf "  lcm at 16^4: fixed block 1024 -> %.1f us; tuned block %d -> %.1f us (%.2fx)
+"
+    (t_at 1024 /. 1e3) best_block (t_at best_block /. 1e3)
+    (t_at 1024 /. t_at best_block);
+  Printf.printf "  (weak block dependence above ~64 threads, as the paper observes)
+"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the real pipeline *)
+
+let micro () =
+  section "Bechamel: wall-clock of the pipeline stages (this machine)";
+  let open Bechamel in
+  let geom = Geometry.create [| 4; 4; 4; 4 |] in
+  let cases = test_functions geom Shape.F64 in
+  let _, lcm_expr, lcm_dest = List.hd cases in
+  let built () =
+    Qdpjit.Codegen.build ~kname:"bench_lcm" ~dest_shape:lcm_dest.Field.shape ~expr:lcm_expr
+      ~nsites:(Geometry.volume geom) ~use_sitelist:false
+  in
+  let b = built () in
+  let eng = Qdpjit.Engine.create () in
+  let cpu_dest = Field.create lcm_dest.Field.shape geom in
+  let tests =
+    [
+      Test.make ~name:"codegen(lcm)" (Staged.stage (fun () -> ignore (built ())));
+      Test.make ~name:"driver-jit(lcm)"
+        (Staged.stage (fun () -> ignore (Gpusim.Jit.compile b.Qdpjit.Codegen.text)));
+      Test.make ~name:"jit-eval(lcm,4^4)"
+        (Staged.stage (fun () -> Qdpjit.Engine.eval eng lcm_dest lcm_expr));
+      Test.make ~name:"cpu-eval(lcm,4^4)"
+        (Staged.stage (fun () -> Qdp.Eval_cpu.eval cpu_dest lcm_expr));
+      Test.make ~name:"zolotarev(deg10)"
+        (Staged.stage (fun () -> ignore (Numerics.Zolotarev.inv_sqrt ~degree:10 ~lo:1e-4 ~hi:10.0)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+      let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-24s %14.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-24s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("fig4", fun () -> bandwidth_sweep Shape.F32);
+    ("fig5", fun () -> bandwidth_sweep Shape.F64);
+    ("fig6", fig6);
+    ("quda", quda_compare);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("jit", jit_overhead);
+    ("autotune", autotune);
+    ("ablation", ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let to_run =
+    match args with
+    | [] -> sections
+    | names -> List.filter (fun (n, _) -> List.mem n names) sections
+  in
+  if to_run = [] then begin
+    Printf.printf "unknown section; available: %s\n" (String.concat " " (List.map fst sections));
+    exit 1
+  end;
+  List.iter (fun (_, f) -> f ()) to_run;
+  Printf.printf "\nAll requested benchmark sections completed.\n"

@@ -1,0 +1,1 @@
+examples/clover_term.ml: Layout Lqcd Printf Prng Ptx Qdp Qdpjit

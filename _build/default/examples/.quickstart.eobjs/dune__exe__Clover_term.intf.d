@@ -1,0 +1,1 @@
+examples/clover_term.mli:

@@ -1,0 +1,1 @@
+examples/dslash_overlap.ml: Array Comms Gpusim Layout Lqcd Printf Prng Qdp Qdpjit

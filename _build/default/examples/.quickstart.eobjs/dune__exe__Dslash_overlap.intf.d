@@ -1,0 +1,1 @@
+examples/dslash_overlap.mli:

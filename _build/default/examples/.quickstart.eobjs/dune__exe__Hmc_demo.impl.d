@@ -1,0 +1,1 @@
+examples/hmc_demo.ml: Array Hmc Layout Lqcd Numerics Printf Prng Qdpjit Sys Unix

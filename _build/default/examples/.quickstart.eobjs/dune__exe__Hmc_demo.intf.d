@@ -1,0 +1,1 @@
+examples/hmc_demo.mli:

@@ -1,0 +1,1 @@
+examples/pion_correlator.ml: Array Filename Layout Lqcd Printf Prng Qdp Qdpjit Solvers Sys Unix

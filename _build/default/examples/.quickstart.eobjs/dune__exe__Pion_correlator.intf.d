@@ -1,0 +1,1 @@
+examples/pion_correlator.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gpusim Layout Linalg List Memcache Printf Prng Ptx Qdp Qdpjit String

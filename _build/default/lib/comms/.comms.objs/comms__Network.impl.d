@@ -1,0 +1,1 @@
+lib/comms/network.ml:

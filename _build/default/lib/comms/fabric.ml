@@ -1,0 +1,35 @@
+(** Simulated MPI point-to-point timing and traffic accounting.
+
+    The SPMD ranks of this reproduction run in one process and exchange
+    data through shared memory, so the fabric's job is the *clock*: given
+    the sender's post time it returns the receiver-visible arrival time,
+    and it accumulates per-link statistics.  Non-CUDA-aware fabrics make
+    the caller stage through host memory (the caller adds the PCIe legs —
+    it owns the device clocks). *)
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable busy_ns : float;  (** total wire time, for utilisation reports *)
+}
+
+type t = { network : Network.t; nranks : int; stats : stats }
+
+let create ~network ~nranks =
+  if nranks <= 0 then invalid_arg "Fabric.create: nranks must be positive";
+  { network; nranks; stats = { messages = 0; bytes = 0; busy_ns = 0.0 } }
+
+let cuda_aware t = t.network.Network.cuda_aware
+
+(* Completion time of a message posted at [post_ns]. *)
+let transfer t ~src ~dst ~bytes ~post_ns =
+  if src < 0 || src >= t.nranks || dst < 0 || dst >= t.nranks then
+    invalid_arg "Fabric.transfer: rank out of range";
+  if bytes < 0 then invalid_arg "Fabric.transfer: negative size";
+  let wire = Network.message_time_ns t.network ~bytes in
+  t.stats.messages <- t.stats.messages + 1;
+  t.stats.bytes <- t.stats.bytes + bytes;
+  t.stats.busy_ns <- t.stats.busy_ns +. wire;
+  post_ns +. wire
+
+let stats t = t.stats

@@ -1,0 +1,22 @@
+(** Simulated MPI point-to-point timing and traffic accounting.
+
+    The SPMD ranks run in one process and exchange data through shared
+    memory, so the fabric's job is the *clock*: given the sender's post
+    time it returns the receiver-visible arrival time, and it accumulates
+    per-link statistics. *)
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable busy_ns : float;  (** total wire time *)
+}
+
+type t
+
+val create : network:Network.t -> nranks:int -> t
+val cuda_aware : t -> bool
+
+val transfer : t -> src:int -> dst:int -> bytes:int -> post_ns:float -> float
+(** Completion time of a message posted at [post_ns]. *)
+
+val stats : t -> stats

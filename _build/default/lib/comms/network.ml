@@ -1,0 +1,23 @@
+(** Interconnect models for the simulated MPI fabric.
+
+    A message of [b] bytes posted at time [t] arrives at
+    [t + latency + b/bandwidth] (LogP-style).  [cuda_aware] fabrics move
+    device buffers directly; otherwise each message pays the PCIe staging
+    legs on both ends (Sec. V). *)
+
+type t = {
+  name : string;
+  latency_ns : float;
+  bandwidth : float;  (** bytes/s per link direction *)
+  cuda_aware : bool;
+}
+
+(* JLab 12k cluster: QDR InfiniBand with MVAPICH2 1.9 (CUDA-aware, the
+   Fig. 6 testbed). *)
+let infiniband_qdr = { name = "IB-QDR"; latency_ns = 1_300.0; bandwidth = 4.0e9; cuda_aware = true }
+
+(* Cray XK7 Gemini (Titan / Blue Waters): higher latency, ~6 GB/s per
+   direction, not CUDA-aware in the production stack of the paper. *)
+let cray_gemini = { name = "Gemini"; latency_ns = 1_500.0; bandwidth = 6.0e9; cuda_aware = false }
+
+let message_time_ns t ~bytes = t.latency_ns +. (float_of_int bytes /. t.bandwidth *. 1e9)

@@ -1,0 +1,22 @@
+(** Interconnect models for the simulated MPI fabric.
+
+    A message of [b] bytes posted at time [t] arrives at
+    [t + latency + b/bandwidth] (LogP-style).  [cuda_aware] fabrics move
+    device buffers directly; otherwise each message pays the PCIe staging
+    legs on both ends (the paper's Sec. V distinction). *)
+
+type t = {
+  name : string;
+  latency_ns : float;
+  bandwidth : float;  (** bytes/s per link direction *)
+  cuda_aware : bool;
+}
+
+val infiniband_qdr : t
+(** The JLab 12k cluster fabric of Fig. 6 (MVAPICH2 1.9, CUDA-aware). *)
+
+val cray_gemini : t
+(** Titan / Blue Waters XK7 interconnect (not CUDA-aware in the paper's
+    production stack). *)
+
+val message_time_ns : t -> bytes:int -> float

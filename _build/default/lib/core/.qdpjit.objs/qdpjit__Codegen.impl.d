@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Emitter Hashtbl Jit_scalar Layout Linalg List Printf Ptx Qdp

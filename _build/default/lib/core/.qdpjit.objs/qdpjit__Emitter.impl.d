@@ -1,0 +1,1 @@
+lib/core/emitter.ml: Array Hashtbl List Option Printf Ptx

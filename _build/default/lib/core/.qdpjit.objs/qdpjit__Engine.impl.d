@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Autotune Bigarray Bytes Codegen Digest Emitter Gpusim Hashtbl Int32 Int64 Layout List Memcache Printf Ptx Qdp String

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Autotune Codegen Gpusim Layout Memcache Qdp

@@ -1,0 +1,1 @@
+lib/core/jit_scalar.ml: Emitter Fun List Printf Ptx

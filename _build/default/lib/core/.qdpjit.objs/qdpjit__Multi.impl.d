@@ -1,0 +1,1 @@
+lib/core/multi.ml: Array Comms Engine Float Gpusim Hashtbl Layout List Printf Qdp

@@ -1,0 +1,1 @@
+lib/core/multi.mli: Comms Gpusim Layout Qdp

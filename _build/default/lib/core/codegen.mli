@@ -1,0 +1,43 @@
+(** Expression → PTX kernel code generation (the paper's Sec. III).
+
+    The AST unparser walks the tree exactly like the CPU evaluator, but
+    the site algebra is instantiated at {!Jit_scalar}, so visiting a node
+    emits PTX instead of computing.  Leaves become "JIT data views"
+    (Sec. III-B): the base pointer plus the coalesced SoA offsets
+
+      I(iV,iS,iC,iR) = ((iR*IC + iC)*IS + iS)*IV + iV
+
+    with the site index iV the CUDA thread index (or a value loaded from
+    the site-list buffer on subsets).  Shifts load the displaced site
+    index from a neighbour table.  Dead code (unused component loads,
+    folded constants) is eliminated before printing. *)
+
+module Shape = Layout.Shape
+
+(** Launch-time parameter binding order. *)
+type param_plan =
+  | Dest  (** destination field pointer *)
+  | Leaf_ptr of int  (** nth distinct field of the expression *)
+  | Ntable of int * int  (** neighbour table for (dim, dir) *)
+  | Sitelist  (** site-list buffer (subset kernels) *)
+  | N_work  (** number of threads doing real work *)
+  | Scalar_param of int * int
+      (** component [comp] of the nth runtime scalar leaf *)
+
+type built = {
+  kernel : Ptx.Types.kernel;  (** validated IR *)
+  text : string;  (** the PTX text handed to the driver JIT *)
+  plan : param_plan list;
+  dest_shape : Shape.t;
+}
+
+val build :
+  kname:string ->
+  dest_shape:Shape.t ->
+  expr:Qdp.Expr.t ->
+  nsites:int ->
+  use_sitelist:bool ->
+  built
+(** Generate the kernel for [dest = expr] over a local volume of [nsites]
+    sites.  [use_sitelist] selects the subset variant (site index loaded
+    from a buffer instead of the thread index). *)

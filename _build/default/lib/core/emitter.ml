@@ -1,0 +1,114 @@
+(** PTX emission context: fresh registers, parameters and an instruction
+    stream, accumulated while the code generators walk an expression. *)
+
+open Ptx.Types
+
+type t = {
+  kname : string;
+  mutable body_rev : instr list;
+  mutable params_rev : param list;
+  mutable nparams : int;
+  counters : (dtype, int ref) Hashtbl.t;
+  mutable nlabels : int;
+}
+
+let create ~kname =
+  { kname; body_rev = []; params_rev = []; nparams = 0; counters = Hashtbl.create 8; nlabels = 0 }
+
+let fresh t dtype =
+  let c =
+    match Hashtbl.find_opt t.counters dtype with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.replace t.counters dtype c;
+        c
+  in
+  let id = !c in
+  incr c;
+  { rtype = dtype; id }
+
+let emit t i = t.body_rev <- i :: t.body_rev
+
+let add_param t dtype name =
+  let index = t.nparams in
+  t.nparams <- index + 1;
+  t.params_rev <- { pname = name; ptype = dtype } :: t.params_rev;
+  index
+
+let fresh_label t prefix =
+  let n = t.nlabels in
+  t.nlabels <- n + 1;
+  Printf.sprintf "%s_%d" prefix n
+
+let finish t = { kname = t.kname; params = List.rev t.params_rev; body = List.rev t.body_rev }
+
+(* Dead-code elimination: drop instructions whose destination is never
+   consumed.  The generators load every component of a referenced element;
+   operations like traceColor use only some of them, and constant folding
+   orphans more.  One backward sweep suffices on the forward-branching
+   straight-line code they emit. *)
+let eliminate_dead_code (k : kernel) =
+  let used = Hashtbl.create 64 in
+  let use r = Hashtbl.replace used (r.rtype, r.id) () in
+  let use_op = function Reg r -> use r | Imm_float _ | Imm_int _ -> () in
+  let is_used r = Hashtbl.mem used (r.rtype, r.id) in
+  let body = Array.of_list k.body in
+  let keep = Array.make (Array.length body) false in
+  for i = Array.length body - 1 downto 0 do
+    let instr = body.(i) in
+    let side_effect =
+      match instr with
+      | St_global _ | Bra _ | Label _ | Ret -> true
+      | Ld_param _ | Ld_global _ | Mov _ | Mov_sreg _ | Add _ | Sub _ | Mul _ | Div _ | Fma _
+      | Neg _ | Cvt _ | Setp _ | Call _ ->
+          false
+    in
+    let defines =
+      match instr with
+      | Ld_param { dst; _ }
+      | Ld_global { dst; _ }
+      | Mov { dst; _ }
+      | Mov_sreg { dst; _ }
+      | Add { dst; _ }
+      | Sub { dst; _ }
+      | Mul { dst; _ }
+      | Div { dst; _ }
+      | Fma { dst; _ }
+      | Neg { dst; _ }
+      | Cvt { dst; _ }
+      | Setp { dst; _ }
+      | Call { ret = dst; _ } ->
+          Some dst
+      | St_global _ | Bra _ | Label _ | Ret -> None
+    in
+    if side_effect || match defines with Some d -> is_used d | None -> false then begin
+      keep.(i) <- true;
+      match instr with
+      | Ld_param _ | Mov_sreg _ | Label _ | Ret -> ()
+      | Ld_global { addr; _ } -> use addr
+      | St_global { addr; src; _ } ->
+          use addr;
+          use_op src
+      | Mov { src; _ } -> use_op src
+      | Add { a; b; _ } | Sub { a; b; _ } | Mul { a; b; _ } | Div { a; b; _ } ->
+          use_op a;
+          use_op b
+      | Fma { a; b; c; _ } ->
+          use_op a;
+          use_op b;
+          use_op c
+      | Neg { a; _ } -> use_op a
+      | Cvt { src; _ } -> use src
+      | Setp { a; b; _ } ->
+          use_op a;
+          use_op b
+      | Bra { pred; _ } -> Option.iter use pred
+      | Call { arg; _ } -> use arg
+    end
+  done;
+  let filtered = ref [] in
+  for i = Array.length body - 1 downto 0 do
+    if keep.(i) then filtered := body.(i) :: !filtered
+  done;
+  { k with body = !filtered }

@@ -1,0 +1,367 @@
+(** The QDP-JIT runtime for one rank: expression evaluation on the
+    simulated GPU.
+
+    [eval] is the whole paper in one function: look the expression's
+    structure up in the kernel cache (generate + driver-JIT-compile PTX on
+    a miss), make every referenced field device-resident through the
+    memory cache, bind parameters, and launch through the per-kernel
+    auto-tuner.  Reductions evaluate a per-site kernel into a temporary
+    and fold it with cached pairwise-reduction kernels, keeping results
+    deterministic. *)
+
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+module Subset = Qdp.Subset
+module Device = Gpusim.Device
+module Jit = Gpusim.Jit
+module Buffer_ = Gpusim.Buffer
+open Ptx.Types
+
+type kernel_entry = {
+  built : Codegen.built;
+  compiled : Jit.compiled;
+  tuner : Autotune.t;
+}
+
+type t = {
+  device : Device.t;
+  cache : Memcache.t;
+  kernels : (string, kernel_entry) Hashtbl.t;
+  ntables : (string, Buffer_.t) Hashtbl.t;
+  sitelists : (string, Buffer_.t) Hashtbl.t;
+  mutable kernels_built : int;
+  mutable jit_seconds : float;  (** accumulated modeled driver-JIT time *)
+  mutable kernel_serial : int;
+  mutable reduce_kernel : kernel_entry option;
+}
+
+let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional) () =
+  let device = Device.create ~mode machine in
+  {
+    device;
+    cache = Memcache.create device;
+    kernels = Hashtbl.create 64;
+    ntables = Hashtbl.create 16;
+    sitelists = Hashtbl.create 8;
+    kernels_built = 0;
+    jit_seconds = 0.0;
+    kernel_serial = 0;
+    reduce_kernel = None;
+  }
+
+let device t = t.device
+let memcache t = t.cache
+let kernels_built t = t.kernels_built
+let jit_seconds t = t.jit_seconds
+
+let geom_tag geom =
+  Geometry.dims geom |> Array.to_list |> List.map string_of_int |> String.concat "x"
+
+(* Neighbour tables (Sec. V's stencil machinery): table[x] = index of the
+   site shift(.,dim,dir) reads at x, i.e. the periodic neighbour. *)
+let ntable t geom ~dim ~dir =
+  let key = Printf.sprintf "%s:%d:%+d" (geom_tag geom) dim dir in
+  match Hashtbl.find_opt t.ntables key with
+  | Some buf -> buf
+  | None ->
+      let n = Geometry.volume geom in
+      let buf = Device.alloc_i32 t.device n in
+      (match buf.Buffer_.data with
+      | Buffer_.I32 a ->
+          for site = 0 to n - 1 do
+            a.{site} <- Int32.of_int (Geometry.neighbor geom site ~dim ~dir)
+          done
+      | _ -> assert false);
+      Device.account_transfer t.device ~bytes:buf.Buffer_.bytes ~to_device:true;
+      Hashtbl.replace t.ntables key buf;
+      buf
+
+let upload_sitelist t sites =
+  let buf = Device.alloc_i32 t.device (Array.length sites) in
+  (match buf.Buffer_.data with
+  | Buffer_.I32 a -> Array.iteri (fun i s -> a.{i} <- Int32.of_int s) sites
+  | _ -> assert false);
+  Device.account_transfer t.device ~bytes:buf.Buffer_.bytes ~to_device:true;
+  buf
+
+let sitelist t geom subset =
+  match subset with
+  | Subset.All -> invalid_arg "Engine.sitelist: All has no site list"
+  | Subset.Even | Subset.Odd ->
+      let key =
+        Printf.sprintf "%s:%s" (geom_tag geom)
+          (match subset with Subset.Even -> "even" | _ -> "odd")
+      in
+      (match Hashtbl.find_opt t.sitelists key with
+      | Some buf -> (buf, false)
+      | None ->
+          let buf = upload_sitelist t (Subset.sites geom subset) in
+          Hashtbl.replace t.sitelists key buf;
+          (buf, false))
+  | Subset.Custom sites ->
+      (* Repeated subsets (inner/face partitions of the overlap engine) are
+         cached by content digest. *)
+      let digest =
+        let buf = Bytes.create (8 * Array.length sites) in
+        Array.iteri (fun i s -> Bytes.set_int64_le buf (8 * i) (Int64.of_int s)) sites;
+        Digest.to_hex (Digest.bytes buf)
+      in
+      let key = Printf.sprintf "%s:custom:%s" (geom_tag geom) digest in
+      (match Hashtbl.find_opt t.sitelists key with
+      | Some buf -> (buf, false)
+      | None ->
+          let buf = upload_sitelist t sites in
+          Hashtbl.replace t.sitelists key buf;
+          (buf, false))
+
+let compile_entry t ~dest_shape ~expr ~nsites ~use_sitelist =
+  t.kernel_serial <- t.kernel_serial + 1;
+  let kname = Printf.sprintf "qdpjit_kernel_%d" t.kernel_serial in
+  let built = Codegen.build ~kname ~dest_shape ~expr ~nsites ~use_sitelist in
+  let compiled = Jit.compile built.Codegen.text in
+  t.kernels_built <- t.kernels_built + 1;
+  t.jit_seconds <- t.jit_seconds +. compiled.Jit.compile_time;
+  {
+    built;
+    compiled;
+    tuner = Autotune.create ~max_block:t.device.Device.machine.Gpusim.Machine.max_threads_per_block ();
+  }
+
+let lookup_kernel t ~dest_shape ~expr ~nsites ~use_sitelist =
+  let key =
+    Printf.sprintf "%s|v%d|%s"
+      (Expr.structure_key ~dest_shape expr)
+      nsites
+      (if use_sitelist then "list" else "all")
+  in
+  match Hashtbl.find_opt t.kernels key with
+  | Some e -> e
+  | None ->
+      let entry = compile_entry t ~dest_shape ~expr ~nsites ~use_sitelist in
+      Hashtbl.replace t.kernels key entry;
+      entry
+
+(* Launch through the auto-tuner: resource failures shrink the block; the
+   modeled time of successful payload launches drives the probe. *)
+let tuned_launch t entry ~nthreads ~params =
+  let rec attempt () =
+    let block = Autotune.next_block entry.tuner in
+    match Device.launch t.device entry.compiled ~nthreads ~block ~params with
+    | ns -> Autotune.report entry.tuner ~block ~ns
+    | exception Device.Launch_failure _ ->
+        Autotune.on_failure entry.tuner ~block;
+        attempt ()
+  in
+  if nthreads > 0 then attempt ()
+
+let eval ?(subset = Subset.All) t dest expr =
+  Qdp.Eval_cpu.check_dest dest expr;
+  let geom = dest.Field.geom in
+  let nsites = Geometry.volume geom in
+  let use_sitelist = not (Subset.is_all subset) in
+  let entry = lookup_kernel t ~dest_shape:dest.Field.shape ~expr ~nsites ~use_sitelist in
+  let leaves = Expr.leaves expr in
+  (* Make everything resident before binding addresses (Sec. IV). *)
+  let leaf_bufs = List.map (fun f -> Memcache.ensure_resident ~pin:true t.cache f) leaves in
+  let dest_is_leaf = List.exists (fun (f : Field.t) -> f.Field.id = dest.Field.id) leaves in
+  let dest_buf =
+    Memcache.ensure_resident ~pin:true
+      ~for_write:(Subset.is_all subset && not dest_is_leaf)
+      t.cache dest
+  in
+  let slist =
+    if use_sitelist then Some (sitelist t geom subset) else None
+  in
+  let n_work = if use_sitelist then Subset.count geom subset else nsites in
+  let scalar_values = Expr.params expr |> List.map snd |> Array.of_list in
+  let params =
+    List.map
+      (fun plan ->
+        match plan with
+        | Codegen.Dest -> Gpusim.Vm.Ptr dest_buf
+        | Codegen.Leaf_ptr i -> Gpusim.Vm.Ptr (List.nth leaf_bufs i)
+        | Codegen.Ntable (dim, dir) -> Gpusim.Vm.Ptr (ntable t geom ~dim ~dir)
+        | Codegen.Sitelist -> (
+            match slist with
+            | Some (buf, _) -> Gpusim.Vm.Ptr buf
+            | None -> assert false)
+        | Codegen.N_work -> Gpusim.Vm.Int n_work
+        | Codegen.Scalar_param (slot, comp) -> Gpusim.Vm.Float scalar_values.(slot).(comp))
+      entry.built.Codegen.plan
+    |> Array.of_list
+  in
+  tuned_launch t entry ~nthreads:n_work ~params;
+  Memcache.mark_device_dirty t.cache dest;
+  Memcache.unpin_all t.cache;
+  ignore slist
+
+(* ------------------------------------------------------------------ *)
+(* Reductions                                                          *)
+
+(* Hand-assembled pairwise reduction kernel: out[i] = in[2i] + in[2i+1]
+   (the odd tail reads a zero).  Operating on raw f64 buffers with dynamic
+   strides, one compiled kernel serves every reduction pass. *)
+let build_reduce_kernel () =
+  let e = Emitter.create ~kname:"qdpjit_reduce_f64" in
+  let p_src = Emitter.add_param e U64 "src" in
+  let p_dst = Emitter.add_param e U64 "dst" in
+  let p_srcoff = Emitter.add_param e S32 "src_byte_off" in
+  let p_nin = Emitter.add_param e S32 "n_in" in
+  let p_nout = Emitter.add_param e S32 "n_out" in
+  let src = Emitter.fresh e U64 and dst = Emitter.fresh e U64 in
+  let srcoff = Emitter.fresh e S32 and nin = Emitter.fresh e S32 and nout = Emitter.fresh e S32 in
+  Emitter.emit e (Ld_param { dst = src; param_index = p_src });
+  Emitter.emit e (Ld_param { dst; param_index = p_dst });
+  Emitter.emit e (Ld_param { dst = srcoff; param_index = p_srcoff });
+  Emitter.emit e (Ld_param { dst = nin; param_index = p_nin });
+  Emitter.emit e (Ld_param { dst = nout; param_index = p_nout });
+  let tid = Emitter.fresh e S32 and ntid = Emitter.fresh e S32 and ctaid = Emitter.fresh e S32 in
+  Emitter.emit e (Mov_sreg { dst = tid; src = Tid_x });
+  Emitter.emit e (Mov_sreg { dst = ntid; src = Ntid_x });
+  Emitter.emit e (Mov_sreg { dst = ctaid; src = Ctaid_x });
+  let idx = Emitter.fresh e S32 in
+  Emitter.emit e (Fma { dtype = S32; dst = idx; a = Reg ctaid; b = Reg ntid; c = Reg tid });
+  let guard = Emitter.fresh e Pred in
+  Emitter.emit e (Setp { cmp = Ge; dtype = S32; dst = guard; a = Reg idx; b = Reg nout });
+  Emitter.emit e (Bra { label = "EXIT"; pred = Some guard });
+  (* j = 2*idx; address = src + srcoff + j*8 *)
+  let j = Emitter.fresh e S32 in
+  Emitter.emit e (Add { dtype = S32; dst = j; a = Reg idx; b = Reg idx });
+  let joff = Emitter.fresh e S32 in
+  Emitter.emit e (Fma { dtype = S32; dst = joff; a = Reg j; b = Imm_int 8; c = Reg srcoff });
+  let joff64 = Emitter.fresh e S64 in
+  Emitter.emit e (Cvt { dst = joff64; src = joff });
+  let joffu = Emitter.fresh e U64 in
+  Emitter.emit e (Cvt { dst = joffu; src = joff64 });
+  let a_addr = Emitter.fresh e U64 in
+  Emitter.emit e (Add { dtype = U64; dst = a_addr; a = Reg src; b = Reg joffu });
+  let a = Emitter.fresh e F64 in
+  Emitter.emit e (Ld_global { dtype = F64; dst = a; addr = a_addr; offset = 0 });
+  (* b = (2*idx+1 < n_in) ? in[2*idx+1] : 0 *)
+  let b = Emitter.fresh e F64 in
+  Emitter.emit e (Mov { dst = b; src = Imm_float 0.0 });
+  let j1 = Emitter.fresh e S32 in
+  Emitter.emit e (Add { dtype = S32; dst = j1; a = Reg j; b = Imm_int 1 });
+  let skip = Emitter.fresh e Pred in
+  Emitter.emit e (Setp { cmp = Ge; dtype = S32; dst = skip; a = Reg j1; b = Reg nin });
+  Emitter.emit e (Bra { label = "SKIP"; pred = Some skip });
+  Emitter.emit e (Ld_global { dtype = F64; dst = b; addr = a_addr; offset = 8 });
+  Emitter.emit e (Label "SKIP");
+  let sum = Emitter.fresh e F64 in
+  Emitter.emit e (Add { dtype = F64; dst = sum; a = Reg a; b = Reg b });
+  (* dst + idx*8 *)
+  let doff = Emitter.fresh e S32 in
+  Emitter.emit e (Mul { dtype = S32; dst = doff; a = Reg idx; b = Imm_int 8 });
+  let doff64 = Emitter.fresh e S64 in
+  Emitter.emit e (Cvt { dst = doff64; src = doff });
+  let doffu = Emitter.fresh e U64 in
+  Emitter.emit e (Cvt { dst = doffu; src = doff64 });
+  let d_addr = Emitter.fresh e U64 in
+  Emitter.emit e (Add { dtype = U64; dst = d_addr; a = Reg dst; b = Reg doffu });
+  Emitter.emit e (St_global { dtype = F64; addr = d_addr; offset = 0; src = Reg sum });
+  Emitter.emit e (Label "EXIT");
+  Emitter.emit e Ret;
+  Emitter.finish e
+
+let reduce_entry t =
+  match t.reduce_kernel with
+  | Some entry -> entry
+  | None ->
+      let kernel = build_reduce_kernel () in
+      Ptx.Validate.kernel kernel;
+      let compiled = Jit.compile (Ptx.Print.kernel kernel) in
+      t.kernels_built <- t.kernels_built + 1;
+      t.jit_seconds <- t.jit_seconds +. compiled.Jit.compile_time;
+      let entry =
+        {
+          built =
+            {
+              Codegen.kernel;
+              text = Ptx.Print.kernel kernel;
+              plan = [];
+              dest_shape = Shape.real_scalar Shape.F64;
+            };
+          compiled;
+          tuner =
+            Autotune.create
+              ~max_block:t.device.Device.machine.Gpusim.Machine.max_threads_per_block ();
+        }
+      in
+      t.reduce_kernel <- Some entry;
+      entry
+
+(* Fold one SoA component plane of a device-resident f64 field buffer. *)
+let reduce_plane t ~(field_buf : Buffer_.t) ~plane_word ~nsites =
+  if nsites = 1 then begin
+    Device.account_transfer t.device ~bytes:8 ~to_device:false;
+    match field_buf.Buffer_.data with
+    | Buffer_.F64 a -> a.{plane_word}
+    | _ -> invalid_arg "Engine.reduce_plane: f64 buffer expected"
+  end
+  else begin
+    let entry = reduce_entry t in
+    let cap = (nsites + 1) / 2 in
+    let ping = Device.alloc_f64 t.device cap in
+    let pong = Device.alloc_f64 t.device ((cap + 1) / 2) in
+    let rec go ~src ~src_off ~n_in ~dst ~other =
+      let n_out = (n_in + 1) / 2 in
+      let params =
+        [| Gpusim.Vm.Ptr src; Gpusim.Vm.Ptr dst; Gpusim.Vm.Int src_off; Gpusim.Vm.Int n_in;
+           Gpusim.Vm.Int n_out |]
+      in
+      tuned_launch t entry ~nthreads:n_out ~params;
+      if n_out = 1 then dst else go ~src:dst ~src_off:0 ~n_in:n_out ~dst:other ~other:dst
+    in
+    let final = go ~src:field_buf ~src_off:(plane_word * 8) ~n_in:nsites ~dst:ping ~other:pong in
+    Device.account_transfer t.device ~bytes:8 ~to_device:false;
+    let result =
+      match final.Buffer_.data with
+      | Buffer_.F64 a -> a.{0}
+      | _ -> assert false
+    in
+    Device.free t.device ping;
+    Device.free t.device pong;
+    result
+  end
+
+(* Evaluate [expr] (any shape, promoted to f64 storage) into a temporary and
+   sum each component over the subset.  Returns the canonical component
+   array, like {!Qdp.Eval_cpu.sum_components}. *)
+let sum_components ?(subset = Subset.All) t expr =
+  let shape = { (Expr.shape expr) with Shape.prec = Shape.F64 } in
+  let geom =
+    match Expr.leaves expr with
+    | f :: _ -> f.Field.geom
+    | [] -> invalid_arg "Engine.sum_components: expression has no fields"
+  in
+  let nsites = Geometry.volume geom in
+  let tmp = Field.create ~name:"reduce_tmp" shape geom in
+  (* Outside the subset the temporary must be zero, which Field.create
+     guarantees; evaluate only on the subset. *)
+  eval ~subset t tmp expr;
+  let buf = Memcache.ensure_resident t.cache tmp in
+  let dof = Shape.dof shape in
+  let is_ = Shape.spin_extent shape.Shape.spin in
+  let ic = Shape.color_extent shape.Shape.color in
+  ignore is_;
+  let out =
+    Array.init dof (fun lin ->
+        let s, c, r = Layout.Index.component_of_linear shape lin in
+        let plane_word = ((((r * ic) + c) * Shape.spin_extent shape.Shape.spin) + s) * nsites in
+        reduce_plane t ~field_buf:buf ~plane_word ~nsites)
+  in
+  Memcache.drop t.cache tmp;
+  out
+
+let norm2 ?(subset = Subset.All) t expr = (sum_components ~subset t (Expr.norm2_local expr)).(0)
+
+let inner ?(subset = Subset.All) t a b =
+  let s = sum_components ~subset t (Expr.inner_local a b) in
+  (s.(0), s.(1))
+
+let sum_real ?(subset = Subset.All) t expr =
+  let shape = Expr.shape expr in
+  if Shape.dof shape <> 1 then invalid_arg "Engine.sum_real: expression is not a real scalar";
+  (sum_components ~subset t expr).(0)

@@ -1,0 +1,49 @@
+(** The QDP-JIT runtime for one rank: expression evaluation on the
+    simulated GPU.
+
+    {!eval} is the whole paper in one function: look the expression's
+    structure up in the kernel cache (generate + driver-JIT-compile PTX on
+    a miss), make every referenced field device-resident through the
+    memory cache (Sec. IV), bind parameters, and launch through the
+    per-kernel block-size auto-tuner (Sec. VII).  Reductions evaluate a
+    per-site kernel into a temporary and fold it with cached pairwise
+    reduction kernels, keeping results deterministic. *)
+
+type kernel_entry = {
+  built : Codegen.built;
+  compiled : Gpusim.Jit.compiled;
+  tuner : Autotune.t;
+}
+
+type t
+
+val create : ?machine:Gpusim.Machine.t -> ?mode:Gpusim.Device.mode -> unit -> t
+(** A fresh engine with its own simulated device, memory cache and kernel
+    cache.  [mode = Model_only] skips functional execution (used by the
+    paper-scale benchmark sweeps). *)
+
+val device : t -> Gpusim.Device.t
+val memcache : t -> Memcache.t
+
+val kernels_built : t -> int
+(** Number of distinct kernels generated and driver-compiled so far (the
+    paper reports ~200 for a production HMC trajectory). *)
+
+val jit_seconds : t -> float
+(** Accumulated modeled driver-JIT time (Sec. III-D: 0.05–0.22 s/kernel). *)
+
+val eval : ?subset:Qdp.Subset.t -> t -> Qdp.Field.t -> Qdp.Expr.t -> unit
+(** [eval t dest expr]: dest = expr on the simulated device.  Functionally
+    identical to {!Qdp.Eval_cpu.eval} (bit-exact; the test suite checks
+    this for every operation). *)
+
+val norm2 : ?subset:Qdp.Subset.t -> t -> Qdp.Expr.t -> float
+(** Deterministic pairwise-tree reduction of the per-site |.|^2 kernel. *)
+
+val inner : ?subset:Qdp.Subset.t -> t -> Qdp.Expr.t -> Qdp.Expr.t -> float * float
+val sum_real : ?subset:Qdp.Subset.t -> t -> Qdp.Expr.t -> float
+val sum_components : ?subset:Qdp.Subset.t -> t -> Qdp.Expr.t -> float array
+
+val ntable : t -> Layout.Geometry.t -> dim:int -> dir:int -> Gpusim.Buffer.t
+(** The device neighbour table for a shift direction (built and uploaded
+    once per geometry/direction). *)

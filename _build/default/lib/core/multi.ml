@@ -1,0 +1,357 @@
+(** Multi-rank SPMD execution with communication/computation overlap
+    (Sec. V).
+
+    Every MPI rank of the paper becomes a simulated rank here: its own
+    device, memory cache and kernel cache, with the local sub-grid of the
+    domain decomposition.  Expressions are lowered bottom-up: each [Shift]
+    subtree is materialised by a local kernel (the "gather" compute), its
+    face data crosses the fabric, inner sites are rebuilt from the local
+    neighbour table, and face sites are filled from the received buffer.
+    The final shift-free kernel is then launched in two pieces — inner
+    sites while messages are in flight, face sites after arrival — when
+    overlap is enabled, or in one piece after arrival when it is not.
+    Shifts of shifts work but their inner exchanges do not overlap,
+    matching the paper's stated limitation.
+
+    Functional results are identical with overlap on or off; what changes
+    is the simulated per-rank timeline, which is what Fig. 6 plots. *)
+
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+module Subset = Qdp.Subset
+
+type t = {
+  grid : Comms.Grid.t;
+  fabric : Comms.Fabric.t;
+  engines : Engine.t array;
+  mutable overlap : bool;
+  rank_clock : float array;  (** modeled per-rank timeline, ns *)
+  mutable comm_bytes : int;
+  shift_pool : (string, dfield * dfield) Hashtbl.t;
+      (** reused (tmp, shifted) temporaries per (dim, dir, shape,
+          occurrence) — the communication buffers of a real implementation
+          are persistent too, and per-eval allocation would thrash memory
+          at Fig. 6 volumes *)
+  mutable shift_seq : int;  (** occurrence counter within one [eval] *)
+}
+
+and dfield = { shape : Layout.Shape.t; locals : Qdp.Field.t array }
+
+let create ?(machine = Gpusim.Machine.k20m_ecc_on) ?(mode = Gpusim.Device.Functional)
+    ?(network = Comms.Network.infiniband_qdr) ~global_dims ~rank_dims () =
+  let grid = Comms.Grid.create ~global_dims ~rank_dims in
+  let nranks = Comms.Grid.nranks grid in
+  {
+    grid;
+    fabric = Comms.Fabric.create ~network ~nranks;
+    engines = Array.init nranks (fun _ -> Engine.create ~machine ~mode ());
+    overlap = true;
+    rank_clock = Array.make nranks 0.0;
+    comm_bytes = 0;
+    shift_pool = Hashtbl.create 16;
+    shift_seq = 0;
+  }
+
+let nranks t = Comms.Grid.nranks t.grid
+let local_geom t = t.grid.Comms.Grid.local
+let set_overlap t flag = t.overlap <- flag
+let max_clock t = Array.fold_left max 0.0 t.rank_clock
+let reset_clocks t = Array.fill t.rank_clock 0 (Array.length t.rank_clock) 0.0
+
+let create_field ?name t shape =
+  { shape; locals = Array.init (nranks t) (fun _ -> Field.create ?name shape (local_geom t)) }
+
+(* Distribute a global-lattice field over the ranks and back. *)
+let scatter t ~(global : Field.t) (df : dfield) =
+  let local = local_geom t in
+  for rank = 0 to nranks t - 1 do
+    for ls = 0 to Geometry.volume local - 1 do
+      let gs = Comms.Grid.global_site t.grid ~rank ~local_site:ls in
+      Field.set_site df.locals.(rank) ~site:ls (Field.get_site global ~site:gs)
+    done
+  done
+
+let gather t (df : dfield) ~(global : Field.t) =
+  let local = local_geom t in
+  for rank = 0 to nranks t - 1 do
+    for ls = 0 to Geometry.volume local - 1 do
+      let gs = Comms.Grid.global_site t.grid ~rank ~local_site:ls in
+      Field.set_site global ~site:gs (Field.get_site df.locals.(rank) ~site:ls)
+    done
+  done
+
+(* Is the rank grid split along [dim]?  If not, a shift is purely local. *)
+let split_along t dim = (Geometry.dims t.grid.Comms.Grid.rank_geom).(dim) > 1
+
+(* ---------------------------------------------------------------- *)
+(* Shift materialisation                                             *)
+
+(* One exchanged shift: the per-rank result fields plus timing facts. *)
+let shift_temps t ~dim ~dir shape =
+  (* Distinct shift occurrences within one statement need distinct buffers
+     (two nodes may share (dim, dir, shape)); across statements the same
+     occurrence sequence reuses them. *)
+  t.shift_seq <- t.shift_seq + 1;
+  let key = Printf.sprintf "%d:%+d:%s:%d" dim dir (Shape.to_string shape) t.shift_seq in
+  match Hashtbl.find_opt t.shift_pool key with
+  | Some pair -> pair
+  | None ->
+      let pair = (create_field t shape, create_field t shape) in
+      Hashtbl.replace t.shift_pool key pair;
+      pair
+
+let materialize_shift t (subs : Expr.t array) ~dim ~dir =
+  let local = local_geom t in
+  let n = nranks t in
+  let shape = Expr.shape subs.(0) in
+  let pooled_tmp, shifted = shift_temps t ~dim ~dir shape in
+  let gather_ns = Array.make n 0.0 in
+  let inner_ns = Array.make n 0.0 in
+  let face_ns = Array.make n 0.0 in
+  (* 1. Local "gather" kernel: materialise the subtree everywhere — unless
+     it is already a plain field, in which case the faces can be sent
+     directly (no copy, no kernel). *)
+  let tmp =
+    match subs.(0) with
+    | Expr.Leaf _ ->
+        {
+          shape;
+          locals =
+            Array.map (function Expr.Leaf f -> f | _ -> assert false) subs;
+        }
+    | _ ->
+        let tmp = pooled_tmp in
+        for rank = 0 to n - 1 do
+          let eng = t.engines.(rank) in
+          let before = Gpusim.Device.clock_ns (Engine.device eng) in
+          Engine.eval eng tmp.locals.(rank) subs.(rank);
+          gather_ns.(rank) <- Gpusim.Device.clock_ns (Engine.device eng) -. before
+        done;
+        tmp
+  in
+  if not (split_along t dim) then begin
+    (* Whole direction lives on-rank: a single local kernel suffices. *)
+    for rank = 0 to n - 1 do
+      let eng = t.engines.(rank) in
+      let before = Gpusim.Device.clock_ns (Engine.device eng) in
+      Engine.eval eng shifted.locals.(rank) (Expr.shift (Expr.field tmp.locals.(rank)) ~dim ~dir);
+      inner_ns.(rank) <- Gpusim.Device.clock_ns (Engine.device eng) -. before
+    done;
+    (tmp, shifted, gather_ns, inner_ns, face_ns, None)
+  end
+  else begin
+    let face = Geometry.face_sites local ~dim ~dir in
+    let inner = Geometry.inner_sites local ~dim ~dir in
+    let face_bytes = Array.length face * Shape.bytes_per_site shape in
+    t.comm_bytes <- t.comm_bytes + (face_bytes * n);
+    (* 2. Inner sites from the local (periodic) neighbour table. *)
+    for rank = 0 to n - 1 do
+      let eng = t.engines.(rank) in
+      let before = Gpusim.Device.clock_ns (Engine.device eng) in
+      Engine.eval ~subset:(Subset.Custom inner) eng shifted.locals.(rank)
+        (Expr.shift (Expr.field tmp.locals.(rank)) ~dim ~dir);
+      inner_ns.(rank) <- Gpusim.Device.clock_ns (Engine.device eng) -. before
+    done;
+    (* 3. Face sites from the partner rank (the wrapped local neighbour
+       index *is* the partner's local site index).  Model-only devices
+       skip the data movement. *)
+    for rank = 0 to n - 1 do
+      let partner = Comms.Grid.neighbor_rank t.grid rank ~dim ~dir in
+      if (Engine.device t.engines.(rank)).Gpusim.Device.mode = Gpusim.Device.Functional then
+        Array.iter
+          (fun x ->
+            let src_site = Geometry.neighbor local x ~dim ~dir in
+            Field.set_site shifted.locals.(rank) ~site:x
+              (Field.get_site tmp.locals.(partner) ~site:src_site))
+          face;
+      (* Account a small scatter kernel for the received face. *)
+      let eng = t.engines.(rank) in
+      let mach = (Engine.device eng).Gpusim.Device.machine in
+      face_ns.(rank) <- mach.Gpusim.Machine.base_overhead_ns
+    done;
+    (tmp, shifted, gather_ns, inner_ns, face_ns, Some face_bytes)
+  end
+
+(* Message completion time for each rank given per-rank post times. *)
+let arrival_times t ~dim ~dir ~face_bytes ~(post : float array) =
+  let n = nranks t in
+  let pcie rank =
+    let mach = (Engine.device t.engines.(rank)).Gpusim.Device.machine in
+    Gpusim.Timing.transfer_time_ns mach ~bytes:face_bytes
+  in
+  Array.init n (fun rank ->
+      (* Receiver's message comes from the rank on the *opposite* side. *)
+      let sender = Comms.Grid.neighbor_rank t.grid rank ~dim ~dir in
+      let post_ns =
+        if Comms.Fabric.cuda_aware t.fabric then post.(sender)
+        else post.(sender) +. pcie sender
+      in
+      let arrive = Comms.Fabric.transfer t.fabric ~src:sender ~dst:rank ~bytes:face_bytes ~post_ns in
+      if Comms.Fabric.cuda_aware t.fabric then arrive else arrive +. pcie rank)
+
+(* ---------------------------------------------------------------- *)
+(* Expression lowering                                               *)
+
+(* Rewrite per-rank expressions bottom-up, materialising every Shift whose
+   direction crosses ranks; returns the rewritten expressions, the
+   off-node face-site set contributed by top-level shifts, and accumulated
+   per-rank (gather, inner, face, arrival) times for the exchanges. *)
+type lowering = {
+  mutable gather : float array;
+  mutable inner_build : float array;
+  mutable face_fill : float array;
+  mutable arrival : float array;  (** latest message arrival per rank *)
+  mutable face_sets : (int * int) list;  (** exchanged (dim,dir) at top level *)
+  mutable nested : bool;  (** saw an exchanged shift below another shift *)
+}
+
+let rec lower t (low : lowering) ~depth (es : Expr.t array) : Expr.t array =
+  let n = nranks t in
+  let sub1 f = Array.map (fun e -> f e) es in
+  match es.(0) with
+  | Expr.Leaf _ | Expr.Const _ | Expr.Param _ -> es
+  | Expr.Unary (op, _) ->
+      let subs = lower t low ~depth (sub1 (function Expr.Unary (_, s) -> s | _ -> assert false)) in
+      Array.map (fun s -> Expr.Unary (op, s)) subs
+  | Expr.Binary (op, _, _) ->
+      let lefts = lower t low ~depth (sub1 (function Expr.Binary (_, a, _) -> a | _ -> assert false)) in
+      let rights = lower t low ~depth (sub1 (function Expr.Binary (_, _, b) -> b | _ -> assert false)) in
+      Array.init n (fun r -> Expr.Binary (op, lefts.(r), rights.(r)))
+  | Expr.Clover (_, _, _) ->
+      let d = lower t low ~depth (sub1 (function Expr.Clover (a, _, _) -> a | _ -> assert false)) in
+      let tr = lower t low ~depth (sub1 (function Expr.Clover (_, b, _) -> b | _ -> assert false)) in
+      let p = lower t low ~depth (sub1 (function Expr.Clover (_, _, c) -> c | _ -> assert false)) in
+      Array.init n (fun r -> Expr.Clover (d.(r), tr.(r), p.(r)))
+  | Expr.Shift (_, dim, dir) ->
+      let subs = lower t low ~depth:(depth + 1) (sub1 (function Expr.Shift (s, _, _) -> s | _ -> assert false)) in
+      if not (split_along t dim) then
+        (* Purely local: keep the shift in the kernel. *)
+        Array.map (fun s -> Expr.Shift (s, dim, dir)) subs
+      else begin
+        let _tmp, shifted, g_ns, i_ns, f_ns, face_bytes = materialize_shift t subs ~dim ~dir in
+        (match face_bytes with
+        | Some fb ->
+            let post = Array.mapi (fun r g -> t.rank_clock.(r) +. low.gather.(r) +. g) g_ns in
+            let arr = arrival_times t ~dim ~dir ~face_bytes:fb ~post in
+            Array.iteri
+              (fun r a -> low.arrival.(r) <- Float.max low.arrival.(r) a)
+              arr
+        | None -> ());
+        Array.iteri
+          (fun r g ->
+            low.gather.(r) <- low.gather.(r) +. g;
+            low.inner_build.(r) <- low.inner_build.(r) +. i_ns.(r);
+            low.face_fill.(r) <- low.face_fill.(r) +. f_ns.(r))
+          g_ns;
+        if depth = 0 then low.face_sets <- (dim, dir) :: low.face_sets else low.nested <- true;
+        Array.map (fun f -> Expr.field f) shifted.locals
+      end
+
+(* ---------------------------------------------------------------- *)
+(* Evaluation                                                        *)
+
+type eval_timing = {
+  total_ns : float;  (** max over ranks for this statement *)
+  comm_overlapped : bool;
+}
+
+let eval ?(subset = Subset.All) t (dest : dfield) (mk : int -> Expr.t) =
+  let n = nranks t in
+  t.shift_seq <- 0;
+  let exprs = Array.init n mk in
+  let low =
+    {
+      gather = Array.make n 0.0;
+      inner_build = Array.make n 0.0;
+      face_fill = Array.make n 0.0;
+      arrival = Array.make n 0.0;
+      face_sets = [];
+      nested = false;
+    }
+  in
+  let lowered = lower t low ~depth:0 exprs in
+  let local = local_geom t in
+  let had_exchange = low.face_sets <> [] || low.nested in
+  if not had_exchange then begin
+    (* No off-node data: single launch per rank. *)
+    for rank = 0 to n - 1 do
+      let eng = t.engines.(rank) in
+      let before = Gpusim.Device.clock_ns (Engine.device eng) in
+      Engine.eval ~subset eng dest.locals.(rank) lowered.(rank);
+      let ns = Gpusim.Device.clock_ns (Engine.device eng) -. before in
+      t.rank_clock.(rank) <- t.rank_clock.(rank) +. ns
+    done;
+    { total_ns = max_clock t; comm_overlapped = false }
+  end
+  else begin
+    (* Split the final kernel: sites whose top-level shifts were all local
+       vs sites that consumed received data. *)
+    let face_set = Hashtbl.create 64 in
+    List.iter
+      (fun (dim, dir) ->
+        Array.iter (fun s -> Hashtbl.replace face_set s ()) (Geometry.face_sites local ~dim ~dir))
+      low.face_sets;
+    let requested = Subset.sites local subset in
+    let inner_sites =
+      Array.of_list (List.filter (fun s -> not (Hashtbl.mem face_set s)) (Array.to_list requested))
+    in
+    let face_sites =
+      Array.of_list (List.filter (fun s -> Hashtbl.mem face_set s) (Array.to_list requested))
+    in
+    let inner_kernel_ns = Array.make n 0.0 in
+    let face_kernel_ns = Array.make n 0.0 in
+    for rank = 0 to n - 1 do
+      let eng = t.engines.(rank) in
+      let before = Gpusim.Device.clock_ns (Engine.device eng) in
+      if Array.length inner_sites > 0 then
+        Engine.eval ~subset:(Subset.Custom inner_sites) eng dest.locals.(rank) lowered.(rank);
+      let mid = Gpusim.Device.clock_ns (Engine.device eng) in
+      if Array.length face_sites > 0 then
+        Engine.eval ~subset:(Subset.Custom face_sites) eng dest.locals.(rank) lowered.(rank);
+      inner_kernel_ns.(rank) <- mid -. before;
+      face_kernel_ns.(rank) <- Gpusim.Device.clock_ns (Engine.device eng) -. mid
+    done;
+    (* Timeline (Sec. V): gathers post the sends; with overlap the inner
+       work hides the messages, otherwise everything waits for arrival. *)
+    for rank = 0 to n - 1 do
+      let t0 = t.rank_clock.(rank) in
+      let after_gather = t0 +. low.gather.(rank) in
+      let local_work = low.inner_build.(rank) +. inner_kernel_ns.(rank) in
+      let tail = low.face_fill.(rank) +. face_kernel_ns.(rank) in
+      let finish =
+        if t.overlap then Float.max (after_gather +. local_work) low.arrival.(rank) +. tail
+        else Float.max after_gather low.arrival.(rank) +. local_work +. tail
+      in
+      t.rank_clock.(rank) <- finish
+    done;
+    { total_ns = max_clock t; comm_overlapped = t.overlap }
+  end
+
+(* Reductions: per-rank engine reductions, summed over ranks (the MPI
+   all-reduce of the real implementation). *)
+let norm2 t (mk : int -> Expr.t) =
+  let acc = ref 0.0 in
+  for rank = 0 to nranks t - 1 do
+    acc := !acc +. Engine.norm2 t.engines.(rank) (mk rank)
+  done;
+  !acc
+
+let sum_real t (mk : int -> Expr.t) =
+  let acc = ref 0.0 in
+  for rank = 0 to nranks t - 1 do
+    acc := !acc +. Engine.sum_real t.engines.(rank) (mk rank)
+  done;
+  !acc
+
+let inner t (mka : int -> Expr.t) (mkb : int -> Expr.t) =
+  let re = ref 0.0 and im = ref 0.0 in
+  for rank = 0 to nranks t - 1 do
+    let r, i = Engine.inner t.engines.(rank) (mka rank) (mkb rank) in
+    re := !re +. r;
+    im := !im +. i
+  done;
+  (!re, !im)
+
+let fabric_stats t = Comms.Fabric.stats t.fabric

@@ -1,0 +1,1 @@
+lib/gpusim/buffer.mli: Bigarray

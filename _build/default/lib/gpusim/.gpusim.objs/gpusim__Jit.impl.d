@@ -1,0 +1,1 @@
+lib/gpusim/jit.ml: Array Hashtbl List Option Ptx Timing Vm

@@ -1,0 +1,1 @@
+lib/gpusim/jit.mli: Ptx Timing Vm

@@ -1,0 +1,1 @@
+lib/gpusim/timing.ml: Float Machine Ptx

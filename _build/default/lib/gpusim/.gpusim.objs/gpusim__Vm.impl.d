@@ -1,0 +1,1 @@
+lib/gpusim/vm.ml: Array Bigarray Buffer Hashtbl Int32 List Option Printf Ptx

@@ -1,0 +1,28 @@
+(** Device memory buffers.
+
+    A buffer is typed storage in simulated device memory.  Addresses handed
+    to kernels encode [(buffer id, byte offset)] in one integer so that PTX
+    pointer arithmetic works unchanged while stray pointers into foreign
+    buffers fault instead of corrupting memory. *)
+
+type data =
+  | F32 of (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+  | F64 of (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  | I32 of (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { id : int; data : data; bytes : int }
+
+val address : t -> int
+(** The base "device pointer" handed to kernels. *)
+
+val decode_address : int -> int * int
+(** [(buffer id, byte offset)]. *)
+
+val elem_bytes : data -> int
+val length : t -> int
+
+val create_f32 : int -> int -> t
+(** [create_f32 id n]: used by {!Device}; allocate through the device. *)
+
+val create_f64 : int -> int -> t
+val create_i32 : int -> int -> t

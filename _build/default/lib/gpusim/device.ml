@@ -1,0 +1,133 @@
+(** The simulated CUDA device: memory, launches, and a simulated clock.
+
+    Functional mode executes every kernel on real buffers through the VM
+    while also advancing the simulated clock by the modeled time;
+    model-only mode skips execution (used by the paper-scale benchmark
+    sweeps, where only the clock matters). *)
+
+type mode = Functional | Model_only
+
+exception Out_of_device_memory
+exception Launch_failure of string
+
+type stats = {
+  mutable launches : int;
+  mutable launch_failures : int;
+  mutable kernel_ns : float;
+  mutable h2d_bytes : int;
+  mutable d2h_bytes : int;
+  mutable transfers : int;
+  mutable transfer_ns : float;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+type t = {
+  machine : Machine.t;
+  mutable mode : mode;
+  mutable clock_ns : float;
+  mutable used_bytes : int;
+  mutable buffers : Buffer.t option array;
+  mutable next_id : int;
+  stats : stats;
+}
+
+let create ?(mode = Functional) machine =
+  {
+    machine;
+    mode;
+    clock_ns = 0.0;
+    used_bytes = 0;
+    buffers = Array.make 64 None;
+    next_id = 0;
+    stats =
+      {
+        launches = 0;
+        launch_failures = 0;
+        kernel_ns = 0.0;
+        h2d_bytes = 0;
+        d2h_bytes = 0;
+        transfers = 0;
+        transfer_ns = 0.0;
+        allocs = 0;
+        frees = 0;
+      };
+  }
+
+let set_mode t mode = t.mode <- mode
+let clock_ns t = t.clock_ns
+let used_bytes t = t.used_bytes
+let free_bytes t = t.machine.Machine.memory_bytes - t.used_bytes
+let stats t = t.stats
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.buffers) None in
+  Array.blit t.buffers 0 bigger 0 (Array.length t.buffers);
+  t.buffers <- bigger
+
+let register t make bytes =
+  if t.used_bytes + bytes > t.machine.Machine.memory_bytes then raise Out_of_device_memory;
+  if t.next_id >= Array.length t.buffers then grow t;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let buf = make id in
+  t.buffers.(id) <- Some buf;
+  t.used_bytes <- t.used_bytes + bytes;
+  t.stats.allocs <- t.stats.allocs + 1;
+  buf
+
+let alloc_f32 t n = register t (fun id -> Buffer.create_f32 id n) (4 * n)
+let alloc_f64 t n = register t (fun id -> Buffer.create_f64 id n) (8 * n)
+let alloc_i32 t n = register t (fun id -> Buffer.create_i32 id n) (4 * n)
+
+let free t (buf : Buffer.t) =
+  match t.buffers.(buf.Buffer.id) with
+  | Some b when b == buf ->
+      t.buffers.(buf.Buffer.id) <- None;
+      t.used_bytes <- t.used_bytes - buf.Buffer.bytes;
+      t.stats.frees <- t.stats.frees + 1
+  | Some _ | None -> invalid_arg "Device.free: stale buffer"
+
+let lookup t id =
+  if id < 0 || id >= t.next_id then raise (Vm.Fault "buffer id out of range")
+  else
+    match t.buffers.(id) with
+    | Some b -> b.Buffer.data
+    | None -> raise (Vm.Fault "use of freed device buffer")
+
+(* Host<->device transfers: account PCIe time; the data movement itself is a
+   host-side blit performed by the caller (host and device memory are both
+   process memory here). *)
+let account_transfer t ~bytes ~to_device =
+  let ns = Timing.transfer_time_ns t.machine ~bytes in
+  t.clock_ns <- t.clock_ns +. ns;
+  t.stats.transfers <- t.stats.transfers + 1;
+  t.stats.transfer_ns <- t.stats.transfer_ns +. ns;
+  if to_device then t.stats.h2d_bytes <- t.stats.h2d_bytes + bytes
+  else t.stats.d2h_bytes <- t.stats.d2h_bytes + bytes
+
+let advance_clock t ns = t.clock_ns <- t.clock_ns +. ns
+
+(* Launch a compiled kernel over [nthreads] logical threads.  Raises
+   [Launch_failure] when the block geometry or register pressure does not
+   fit the machine — the condition the auto-tuner (Sec. VII) probes for. *)
+let launch t (c : Jit.compiled) ~nthreads ~block ~params =
+  if not (Timing.launch_fits t.machine ~regs_per_thread:c.Jit.regs_per_thread ~block) then begin
+    t.stats.launch_failures <- t.stats.launch_failures + 1;
+    raise
+      (Launch_failure
+         (Printf.sprintf "block %d with %d regs/thread does not fit %s" block
+            c.Jit.regs_per_thread t.machine.Machine.name))
+  end;
+  let grid = (nthreads + block - 1) / block in
+  (match t.mode with
+  | Functional -> Vm.run_grid c.Jit.program ~grid ~block ~params ~lookup:(lookup t)
+  | Model_only -> ());
+  let ns =
+    Timing.kernel_time_ns t.machine ~analysis:c.Jit.analysis
+      ~regs_per_thread:c.Jit.regs_per_thread ~prec:c.Jit.prec ~nthreads ~block
+  in
+  t.clock_ns <- t.clock_ns +. ns;
+  t.stats.launches <- t.stats.launches + 1;
+  t.stats.kernel_ns <- t.stats.kernel_ns +. ns;
+  ns

@@ -1,0 +1,66 @@
+(** The simulated CUDA device: memory, launches, and a simulated clock.
+
+    Functional mode executes every kernel on real buffers through the VM
+    while also advancing the simulated clock by the modeled time;
+    model-only mode skips execution (used by paper-scale benchmark sweeps,
+    where only the clock matters). *)
+
+type mode = Functional | Model_only
+
+exception Out_of_device_memory
+exception Launch_failure of string
+(** Raised when the block geometry / register pressure does not fit the
+    machine — the signal the Sec. VII auto-tuner probes for. *)
+
+type stats = {
+  mutable launches : int;
+  mutable launch_failures : int;
+  mutable kernel_ns : float;
+  mutable h2d_bytes : int;
+  mutable d2h_bytes : int;
+  mutable transfers : int;
+  mutable transfer_ns : float;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+type t = {
+  machine : Machine.t;
+  mutable mode : mode;
+  mutable clock_ns : float;
+  mutable used_bytes : int;
+  mutable buffers : Buffer.t option array;
+  mutable next_id : int;
+  stats : stats;
+}
+
+val create : ?mode:mode -> Machine.t -> t
+val set_mode : t -> mode -> unit
+val clock_ns : t -> float
+val used_bytes : t -> int
+val free_bytes : t -> int
+val stats : t -> stats
+
+val alloc_f32 : t -> int -> Buffer.t
+(** [alloc_f32 t n]: n-element f32 buffer; raises {!Out_of_device_memory}
+    when the capacity is exhausted (the memory cache spills and retries). *)
+
+val alloc_f64 : t -> int -> Buffer.t
+val alloc_i32 : t -> int -> Buffer.t
+
+val free : t -> Buffer.t -> unit
+(** Raises [Invalid_argument] on double free / stale buffers. *)
+
+val lookup : t -> int -> Buffer.data
+(** Buffer id -> storage, for the VM; faults on freed buffers. *)
+
+val account_transfer : t -> bytes:int -> to_device:bool -> unit
+(** Advance the clock by the PCIe model for a host<->device copy. *)
+
+val advance_clock : t -> float -> unit
+
+val launch : t -> Jit.compiled -> nthreads:int -> block:int -> params:Vm.param_value array -> float
+(** Launch over [nthreads] logical threads in blocks of [block]: executes
+    functionally (unless model-only), advances the clock by the modeled
+    kernel time, and returns that time in ns.  Raises {!Launch_failure}
+    if the configuration does not fit. *)

@@ -1,0 +1,86 @@
+(** Analytic kernel timing.
+
+    The generated kernels are memory-bandwidth bound (Sec. VIII-B), so the
+    model is a latency + throughput law:
+
+      time = base_overhead + max(bytes / achieved_bw, flops / peak_flops)
+
+    Achieved bandwidth depends on how much memory-level parallelism the
+    launch exposes: the resident warps (limited by registers and block
+    geometry — occupancy) each keep a few load transactions in flight, and
+    the DRAM latency is hidden only once enough 128-byte lines are
+    outstanding.  Small blocks additionally starve instruction issue.
+    This reproduces the behaviours of Figs. 4-7: rise-shoulder-plateau
+    bandwidth curves saturating at 79 % of peak, weak block-size
+    dependence above ~64-128 threads, degradation below, and launch
+    failures for resource-exhausted configurations (the auto-tuner's
+    probe signals, Sec. VII). *)
+
+type prec = Sp | Dp
+
+let blocks_per_sm (m : Machine.t) ~regs_per_thread ~block =
+  if block <= 0 || block > m.max_threads_per_block then 0
+  else begin
+    let by_regs = m.regs_per_sm / max 1 (regs_per_thread * block) in
+    let by_threads = m.max_threads_per_sm / block in
+    min m.max_blocks_per_sm (min by_regs by_threads)
+  end
+
+let resident_threads (m : Machine.t) ~regs_per_thread ~block =
+  blocks_per_sm m ~regs_per_thread ~block * block * m.sm_count
+
+let launch_fits (m : Machine.t) ~regs_per_thread ~block =
+  block >= 1 && block <= m.max_threads_per_block
+  && regs_per_thread <= m.max_regs_per_thread
+  && blocks_per_sm m ~regs_per_thread ~block >= 1
+
+(* Fraction of peak bandwidth a launch can draw. *)
+let bandwidth_factor (m : Machine.t) ~(analysis : Ptx.Analysis.t) ~regs_per_thread ~nthreads
+    ~block =
+  let resident = resident_threads m ~regs_per_thread ~block in
+  let in_flight_threads = min resident nthreads in
+  let resident_per_sm = blocks_per_sm m ~regs_per_thread ~block * block in
+  let issue_eff =
+    min 1.0 (float_of_int resident_per_sm /. float_of_int m.issue_threads)
+  in
+  (* Count loads as 128-byte transactions: a fully coalesced warp access is
+     one line per 4-byte word, two per 8-byte word.  Each warp keeps a
+     handful of loads in flight (limited by its scoreboard). *)
+  let loads = max 1 analysis.Ptx.Analysis.instructions in
+  let load_count =
+    (* loads per thread: bytes / average element size *)
+    let b = analysis.Ptx.Analysis.load_bytes in
+    if b = 0 then 1 else max 1 (b / 8)
+  in
+  ignore loads;
+  let lines_per_load = if analysis.Ptx.Analysis.load_bytes >= 8 * load_count then 2.0 else 1.0 in
+  let warps = float_of_int in_flight_threads /. 32.0 in
+  let outstanding = float_of_int (min load_count 6) in
+  let lines_in_flight = warps *. outstanding *. lines_per_load in
+  let mlp = min 1.0 (lines_in_flight /. float_of_int m.saturation_lines) in
+  issue_eff *. mlp
+
+let kernel_time_ns (m : Machine.t) ~(analysis : Ptx.Analysis.t) ~regs_per_thread ~prec ~nthreads
+    ~block =
+  if nthreads <= 0 then m.base_overhead_ns
+  else begin
+    let factor = bandwidth_factor m ~analysis ~regs_per_thread ~nthreads ~block in
+    let achieved_bw = m.bw_efficiency *. m.peak_bw *. Float.max factor 1e-6 in
+    let bytes = float_of_int (nthreads * (analysis.load_bytes + analysis.store_bytes)) in
+    (* Math subroutine calls cost tens of flops each. *)
+    let flops = float_of_int (nthreads * (analysis.flops + (32 * analysis.calls))) in
+    let peak_flops = match prec with Sp -> m.peak_flops_sp | Dp -> m.peak_flops_dp in
+    let bw_time = bytes /. achieved_bw *. 1e9 in
+    let flop_time = flops /. peak_flops *. 1e9 in
+    m.base_overhead_ns +. Float.max bw_time flop_time
+  end
+
+let sustained_bandwidth (m : Machine.t) ~analysis ~regs_per_thread ~prec ~nthreads ~block =
+  let t = kernel_time_ns m ~analysis ~regs_per_thread ~prec ~nthreads ~block in
+  let bytes =
+    float_of_int (nthreads * (analysis.Ptx.Analysis.load_bytes + analysis.Ptx.Analysis.store_bytes))
+  in
+  bytes /. t *. 1e9
+
+let transfer_time_ns (m : Machine.t) ~bytes =
+  m.pcie_latency_ns +. (float_of_int bytes /. m.pcie_bw *. 1e9)

@@ -1,0 +1,1 @@
+lib/hmc/context.ml: Array Layout Linalg Lqcd Printf Prng Qdp Qdpjit Solvers

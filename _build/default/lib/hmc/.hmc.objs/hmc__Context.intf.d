@@ -1,0 +1,1 @@
+lib/hmc/context.mli: Layout Lqcd Prng Qdp Qdpjit Solvers

@@ -1,0 +1,1 @@
+lib/hmc/driver.ml: Array Context Integrator Layout List Lqcd Monomial Prng Qdp

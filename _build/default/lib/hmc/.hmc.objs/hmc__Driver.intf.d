@@ -1,0 +1,1 @@
+lib/hmc/driver.mli: Context Integrator Monomial

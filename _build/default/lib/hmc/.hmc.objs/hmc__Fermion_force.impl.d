@@ -1,0 +1,1 @@
+lib/hmc/fermion_force.ml: Array Context Lqcd Qdp

@@ -1,0 +1,1 @@
+lib/hmc/gauge_monomial.ml: Array Context List Lqcd Monomial Qdp

@@ -1,0 +1,1 @@
+lib/hmc/monomial.ml: Qdp

@@ -1,0 +1,1 @@
+lib/hmc/monomial.mli: Qdp

@@ -1,0 +1,1 @@
+lib/hmc/rhmc_monomial.ml: Array Context Fermion_force Lqcd Monomial Numerics Printf Qdp Solvers Two_flavor

@@ -1,0 +1,1 @@
+lib/hmc/rhmc_monomial.mli: Context Monomial Numerics Qdp

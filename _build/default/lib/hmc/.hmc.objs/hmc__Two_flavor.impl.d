@@ -1,0 +1,1 @@
+lib/hmc/two_flavor.ml: Context Fermion_force Lqcd Monomial Printf Qdp Solvers

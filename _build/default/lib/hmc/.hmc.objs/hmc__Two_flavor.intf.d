@@ -1,0 +1,1 @@
+lib/hmc/two_flavor.mli: Context Monomial Qdp Solvers

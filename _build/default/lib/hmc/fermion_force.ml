@@ -1,0 +1,41 @@
+(** Derivative of the Wilson hopping term with respect to the links.
+
+    For S-terms of the form Re[Y^dag dD X] the link-mu contribution at x is
+    the traceless Hermitian projection of
+
+      C = U_mu(x) X(x+mu) (x) [(1-gamma_mu) Y(x)]^dag
+        - X(x) (x) [U_mu(x) (1+gamma_mu) Y(x+mu)]^dag
+
+    (color outer products with a spin trace).  The overall sign and the
+    kappa factors are supplied by the monomials; finite-difference tests
+    pin them down. *)
+
+module Expr = Qdp.Expr
+module Field = Qdp.Field
+
+(* Per-direction color-matrix expression G_mu = TA_H(C1 - C2) for given
+   solution/adjoint-solution fields X and Y. *)
+let dslash_deriv (ctx : Context.t) ~(x : Field.t) ~(y : Field.t) ~mu =
+  let u = ctx.Context.u in
+  let prec = ctx.Context.prec in
+  let f = Expr.field in
+  let c1 =
+    Expr.outer_color
+      (Expr.mul (f u.(mu)) (Expr.shift (f x) ~dim:mu ~dir:1))
+      (Expr.mul (Lqcd.Gamma.proj_minus ~prec mu) (f y))
+  in
+  let c2 =
+    Expr.outer_color (f x)
+      (Expr.mul (f u.(mu)) (Expr.mul (Lqcd.Gamma.proj_plus ~prec mu) (Expr.shift (f y) ~dim:mu ~dir:1)))
+  in
+  Context.hermitian_traceless ~prec (Expr.sub c1 c2)
+
+(* forces.(mu) += coeff * G_mu(X, Y) for all directions. *)
+let accumulate (ctx : Context.t) ~coeff ~(x : Field.t) ~(y : Field.t) (forces : Field.t array) =
+  let prec = ctx.Context.prec in
+  Array.iteri
+    (fun mu force ->
+      let g = dslash_deriv ctx ~x ~y ~mu in
+      ctx.Context.backend.Context.eval force
+        (Expr.add (Expr.field force) (Expr.mul (Expr.const_real ~prec coeff) g)))
+    forces

@@ -1,0 +1,57 @@
+(** Wilson (optionally anisotropic) gauge action monomial.
+
+    Force: with W_mu(x) = U_mu(x) staple_mu(x),
+      F_mu = (beta / 2 Nc) TA_H(W)
+    which the finite-difference tests in the suite check against the
+    directional derivative of the action. *)
+
+module Expr = Qdp.Expr
+module Field = Qdp.Field
+
+let create (ctx : Context.t) ~beta ?(aniso = 1.0) () =
+  let u = ctx.Context.u in
+  let prec = ctx.Context.prec in
+  let action () = Lqcd.Gauge.action ~sum_real:ctx.Context.backend.Context.sum_real ~aniso ~beta u in
+  let add_force (forces : Field.t array) =
+    let nd = Array.length u in
+    Array.iteri
+      (fun mu force ->
+        (* Anisotropy weights the staples per plane; build the weighted
+           staple sum explicitly. *)
+        let staple =
+          let terms = ref [] in
+          let f = Expr.field in
+          for nu = 0 to nd - 1 do
+            if nu <> mu then begin
+              let w = Lqcd.Gauge.pair_weight ~aniso ~nd ~mu ~nu in
+              let up =
+                Expr.mul
+                  (Expr.shift (f u.(nu)) ~dim:mu ~dir:1)
+                  (Expr.mul
+                     (Expr.adj (Expr.shift (f u.(mu)) ~dim:nu ~dir:1))
+                     (Expr.adj (f u.(nu))))
+              in
+              let down_inner =
+                Expr.mul
+                  (Expr.adj (Expr.shift (f u.(nu)) ~dim:mu ~dir:1))
+                  (Expr.mul (Expr.adj (f u.(mu))) (f u.(nu)))
+              in
+              let down = Expr.shift down_inner ~dim:nu ~dir:(-1) in
+              let weighted e =
+                if w = 1.0 then e else Expr.mul (Expr.const_real ~prec w) e
+              in
+              terms := weighted down :: weighted up :: !terms
+            end
+          done;
+          match !terms with t :: rest -> List.fold_left Expr.add t rest | [] -> assert false
+        in
+        let w_expr = Expr.mul (Expr.field u.(mu)) staple in
+        let f_expr =
+          Expr.mul
+            (Expr.const_real ~prec (beta /. (2.0 *. 3.0)))
+            (Context.hermitian_traceless ~prec w_expr)
+        in
+        ctx.Context.backend.Context.eval force (Expr.add (Expr.field force) f_expr))
+      forces
+  in
+  { Monomial.name = "gauge"; refresh = (fun () -> ()); action; add_force }

@@ -1,0 +1,64 @@
+(** Symplectic molecular-dynamics integrators.
+
+    Both are area-preserving and reversible; Omelyan's second-order
+    minimum-norm scheme (lambda = 0.1931833...) roughly halves the energy
+    error per force evaluation compared to leapfrog, which is why
+    production HMC (including the paper's) prefers it. *)
+
+type scheme = Leapfrog | Omelyan
+
+type system = {
+  update_p : eps:float -> unit;  (** P -= eps * F(U) *)
+  update_u : eps:float -> unit;  (** U <- exp(i eps P) U *)
+}
+
+let omelyan_lambda = 0.1931833275037836
+
+let run scheme sys ~steps ~dt =
+  if steps <= 0 then invalid_arg "Integrator.run: steps must be positive";
+  match scheme with
+  | Leapfrog ->
+      sys.update_p ~eps:(dt /. 2.0);
+      for i = 1 to steps do
+        sys.update_u ~eps:dt;
+        if i < steps then sys.update_p ~eps:dt
+      done;
+      sys.update_p ~eps:(dt /. 2.0)
+  | Omelyan ->
+      let l = omelyan_lambda in
+      for i = 1 to steps do
+        let first = i = 1 in
+        (* Consecutive P-updates of adjacent steps merge. *)
+        sys.update_p ~eps:(if first then l *. dt else 2.0 *. l *. dt);
+        sys.update_u ~eps:(dt /. 2.0);
+        sys.update_p ~eps:((1.0 -. (2.0 *. l)) *. dt);
+        sys.update_u ~eps:(dt /. 2.0)
+      done;
+      sys.update_p ~eps:(omelyan_lambda *. dt)
+
+(* ------------------------------------------------------------------ *)
+(* Multiple time scales (Sexton-Weingarten).
+
+   Production HMC integrates cheap-but-stiff forces (gauge action) on a
+   finer time grid than expensive-but-smooth ones (preconditioned fermion
+   determinants): level k performs [steps] outer steps per step of level
+   k-1, with the "position update" of a level being a full sub-trajectory
+   of the next.  Combined with Hasenbusch splitting this is what makes the
+   paper's production trajectory affordable. *)
+
+type level = {
+  update_p_level : eps:float -> unit;  (** momentum kick from this level's forces *)
+  steps_per_parent : int;  (** sub-steps per parent position update *)
+  level_scheme : scheme;
+}
+
+let rec run_multiscale ~update_u levels ~tau =
+  match levels with
+  | [] -> update_u ~eps:tau
+  | level :: finer ->
+      let n = level.steps_per_parent in
+      if n <= 0 then invalid_arg "Integrator.run_multiscale: steps must be positive";
+      let dt = tau /. float_of_int n in
+      let sub_u ~eps = run_multiscale ~update_u finer ~tau:eps in
+      let sys = { update_p = level.update_p_level; update_u = sub_u } in
+      run level.level_scheme sys ~steps:n ~dt

@@ -1,0 +1,10 @@
+(** A monomial is one term of the molecular-dynamics Hamiltonian: it can
+    refresh its pseudofermions (heatbath), report its action value, and
+    accumulate its force on the gauge momenta. *)
+
+type t = {
+  name : string;
+  refresh : unit -> unit;  (** draw pseudofermions for a new trajectory *)
+  action : unit -> float;
+  add_force : Qdp.Field.t array -> unit;  (** forces.(mu) += dS/d(link mu) *)
+}

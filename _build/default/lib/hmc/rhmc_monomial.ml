@@ -1,0 +1,94 @@
+(** One-flavor rational HMC monomial (the paper's Ref. 14: exact 2+1
+    flavour RHMC) for the strange quark:
+
+      S = phi^dag r(M^dag M) phi,      r(x) ~ x^(-1/2)
+      heatbath: phi = r_4(M^dag M) eta, r_4(x) ~ x^(+1/4)
+
+    Both rational functions are applied through their partial-fraction
+    expansions with one multi-shift CG per application.  The force uses
+    the shifted solutions X_i directly. *)
+
+module Expr = Qdp.Expr
+module Field = Qdp.Field
+
+type approx = {
+  inv_sqrt : Numerics.Ratfun.t;  (** ~ x^(-1/2): action and force *)
+  fourth_root : Numerics.Ratfun.t;  (** ~ x^(+1/4): heatbath *)
+  lo : float;
+  hi : float;
+}
+
+(* Zolotarev gives the optimal inverse square root; the heatbath quarter
+   root comes from the integral-representation quadrature, which is
+   arbitrarily accurate (heatbath runs once per trajectory, so the extra
+   partial fractions are cheap). *)
+let make_approx ?(degree = 10) ?(heatbath_points = 250) ~lo ~hi () =
+  {
+    inv_sqrt = Numerics.Zolotarev.inv_sqrt ~degree ~lo ~hi;
+    fourth_root = Numerics.Ratfun.of_quadrature_pow ~sigma:0.25 ~points:heatbath_points ~lo ~hi;
+    lo;
+    hi;
+  }
+
+(* Crude largest-eigenvalue estimate of M^dag M by power iteration; used to
+   pick/validate the approximation interval. *)
+let power_iteration_max (ctx : Context.t) ~kappa ?(iters = 20) () =
+  let ops, nop = Two_flavor.make_normal_op ctx ~kappa in
+  let v = Context.fresh_fermion ctx in
+  Field.fill_gaussian v ctx.Context.rng;
+  let w = Context.fresh_fermion ctx in
+  let lambda = ref 1.0 in
+  for _ = 1 to iters do
+    nop.Solvers.Ops.apply w v;
+    let n = sqrt (ops.Solvers.Ops.norm2 (Expr.field w)) in
+    lambda := n /. sqrt (ops.Solvers.Ops.norm2 (Expr.field v));
+    ctx.Context.backend.Context.eval v
+      (Expr.mul (Expr.const_real (1.0 /. n)) (Expr.field w))
+  done;
+  !lambda
+
+(* dest = a0 src + sum_i alpha_i (A + beta_i)^{-1} src via multi-shift CG. *)
+let apply_rational (ctx : Context.t) ~kappa ~(r : Numerics.Ratfun.t) ~dest ~src ?(tol = 1e-10) ()
+    =
+  let ops, nop = Two_flavor.make_normal_op ctx ~kappa in
+  let n = Array.length r.Numerics.Ratfun.terms in
+  let shifts = Array.map snd r.Numerics.Ratfun.terms in
+  let xs = Array.init n (fun _ -> Context.fresh_fermion ctx) in
+  let res = Solvers.Multishift_cg.solve ops nop ~b:src ~shifts ~xs ~tol () in
+  if not res.Solvers.Multishift_cg.converged then
+    failwith "Rhmc_monomial: multishift CG did not converge";
+  ctx.Context.solver_iterations <-
+    ctx.Context.solver_iterations + res.Solvers.Multishift_cg.iterations;
+  let acc = ref (Expr.mul (Expr.const_real r.Numerics.Ratfun.a0) (Expr.field src)) in
+  Array.iteri
+    (fun i (alpha, _) ->
+      acc := Expr.add !acc (Expr.mul (Expr.const_real alpha) (Expr.field xs.(i))))
+    r.Numerics.Ratfun.terms;
+  ctx.Context.backend.Context.eval dest !acc;
+  xs
+
+let create (ctx : Context.t) ~kappa ~(approx : approx) ?(tol = 1e-10) () =
+  let phi = Context.fresh_fermion ctx in
+  let refresh () =
+    let eta = Context.fresh_fermion ctx in
+    Field.fill_gaussian eta ctx.Context.rng;
+    ignore (apply_rational ctx ~kappa ~r:approx.fourth_root ~dest:phi ~src:eta ~tol ())
+  in
+  let action () =
+    let tmp = Context.fresh_fermion ctx in
+    ignore (apply_rational ctx ~kappa ~r:approx.inv_sqrt ~dest:tmp ~src:phi ~tol ());
+    fst (ctx.Context.backend.Context.inner (Expr.field phi) (Expr.field tmp))
+  in
+  let add_force forces =
+    let r = approx.inv_sqrt in
+    let tmp = Context.fresh_fermion ctx in
+    let xs = apply_rational ctx ~kappa ~r ~dest:tmp ~src:phi ~tol () in
+    let y = Context.fresh_fermion ctx in
+    Array.iteri
+      (fun i (alpha, _) ->
+        ctx.Context.backend.Context.eval y
+          (Lqcd.Wilson.wilson_expr ~kappa ctx.Context.u xs.(i));
+        Fermion_force.accumulate ctx ~coeff:(-.kappa *. alpha) ~x:xs.(i) ~y forces)
+      r.Numerics.Ratfun.terms
+  in
+  { Monomial.name = Printf.sprintf "rhmc(kappa=%.4f)" kappa; refresh; action; add_force }

@@ -1,0 +1,110 @@
+(** Two-flavor Wilson pseudofermion monomials.
+
+    [create] gives the plain term S = phi^dag (M^dag M)^-1 phi (heatbath
+    phi = M^dag eta).  [create_ratio] gives the Hasenbusch
+    mass-preconditioned ratio (the paper's Ref. 13)
+
+      S = phi^dag W (M^dag M)^-1 W^dag phi,   W = M(kappa_heavy),
+
+    whose force is milder, allowing coarser step sizes for the expensive
+    light-quark piece. *)
+
+module Expr = Qdp.Expr
+module Field = Qdp.Field
+
+let g5 e = Lqcd.Wilson.gamma5_expr e
+let f = Expr.field
+
+let make_normal_op (ctx : Context.t) ~kappa =
+  let ops = Context.solver_ops ctx in
+  let apply_m src = Lqcd.Wilson.wilson_expr ~kappa ctx.Context.u src in
+  (ops, Solvers.Ops.normal_op ops ~apply_m)
+
+(* dest = M^dag src = g5 M g5 src *)
+let apply_mdag (ctx : Context.t) ~kappa ~dest ~src =
+  let tmp = Context.fresh_fermion ctx in
+  ctx.Context.backend.Context.eval tmp (g5 (f src));
+  let tmp2 = Context.fresh_fermion ctx in
+  ctx.Context.backend.Context.eval tmp2 (Lqcd.Wilson.wilson_expr ~kappa ctx.Context.u tmp);
+  ctx.Context.backend.Context.eval dest (g5 (f tmp2))
+
+let create (ctx : Context.t) ~kappa ?(tol = 1e-10) ?(max_iter = 5000) () =
+  let phi = Context.fresh_fermion ctx in
+  let x = Context.fresh_fermion ctx in
+  let y = Context.fresh_fermion ctx in
+  let eta = Context.fresh_fermion ctx in
+  let solve ~rhs =
+    let ops, nop = make_normal_op ctx ~kappa in
+    Field.fill_constant x 0.0;
+    let r = Solvers.Cg.solve ops nop ~b:rhs ~x ~tol ~max_iter () in
+    if not r.Solvers.Cg.converged then failwith "Two_flavor: CG did not converge";
+    ctx.Context.solver_iterations <- ctx.Context.solver_iterations + r.Solvers.Cg.iterations
+  in
+  let refresh () =
+    Field.fill_gaussian eta ctx.Context.rng;
+    apply_mdag ctx ~kappa ~dest:phi ~src:eta
+  in
+  let action () =
+    solve ~rhs:phi;
+    fst (ctx.Context.backend.Context.inner (f phi) (f x))
+  in
+  let add_force forces =
+    solve ~rhs:phi;
+    ctx.Context.backend.Context.eval y (Lqcd.Wilson.wilson_expr ~kappa ctx.Context.u x);
+    Fermion_force.accumulate ctx ~coeff:(-.kappa) ~x ~y forces
+  in
+  { Monomial.name = Printf.sprintf "2flavor(kappa=%.4f)" kappa; refresh; action; add_force }
+
+let create_ratio (ctx : Context.t) ~kappa_light ~kappa_heavy ?(tol = 1e-10) ?(max_iter = 5000) ()
+    =
+  if kappa_heavy >= kappa_light then
+    invalid_arg "Two_flavor.create_ratio: preconditioner must be heavier (smaller kappa)";
+  let phi = Context.fresh_fermion ctx in
+  let x = Context.fresh_fermion ctx in
+  let y = Context.fresh_fermion ctx in
+  let rhs = Context.fresh_fermion ctx in
+  let record ops_result = ctx.Context.solver_iterations <- ctx.Context.solver_iterations + ops_result in
+  let solve_light () =
+    (* x = (M^dag M)^{-1} W^dag phi *)
+    apply_mdag ctx ~kappa:kappa_heavy ~dest:rhs ~src:phi;
+    let ops, nop = make_normal_op ctx ~kappa:kappa_light in
+    Field.fill_constant x 0.0;
+    let r = Solvers.Cg.solve ops nop ~b:rhs ~x ~tol ~max_iter () in
+    if not r.Solvers.Cg.converged then failwith "Two_flavor.ratio: CG did not converge";
+    record r.Solvers.Cg.iterations
+  in
+  let refresh () =
+    (* phi = W^-dag M^dag eta = g5 W^{-1} g5 M^dag eta *)
+    let eta = Context.fresh_fermion ctx in
+    Field.fill_gaussian eta ctx.Context.rng;
+    let t = Context.fresh_fermion ctx in
+    apply_mdag ctx ~kappa:kappa_light ~dest:t ~src:eta;
+    let s = Context.fresh_fermion ctx in
+    ctx.Context.backend.Context.eval s (g5 (f t));
+    (* Solve W z = s. *)
+    let ops, nop = make_normal_op ctx ~kappa:kappa_heavy in
+    let wdag_s = Context.fresh_fermion ctx in
+    apply_mdag ctx ~kappa:kappa_heavy ~dest:wdag_s ~src:s;
+    let z = Context.fresh_fermion ctx in
+    let r = Solvers.Cg.solve ops nop ~b:wdag_s ~x:z ~tol ~max_iter () in
+    if not r.Solvers.Cg.converged then failwith "Two_flavor.ratio: heatbath CG did not converge";
+    record r.Solvers.Cg.iterations;
+    ctx.Context.backend.Context.eval phi (g5 (f z))
+  in
+  let action () =
+    solve_light ();
+    fst (ctx.Context.backend.Context.inner (f rhs) (f x))
+  in
+  let add_force forces =
+    solve_light ();
+    ctx.Context.backend.Context.eval y (Lqcd.Wilson.wilson_expr ~kappa:kappa_light ctx.Context.u x);
+    (* F = kappa_heavy TA(C(x,phi)) - kappa_light TA(C(x,y)) *)
+    Fermion_force.accumulate ctx ~coeff:kappa_heavy ~x ~y:phi forces;
+    Fermion_force.accumulate ctx ~coeff:(-.kappa_light) ~x ~y forces
+  in
+  {
+    Monomial.name = Printf.sprintf "hasenbusch(%.4f/%.4f)" kappa_light kappa_heavy;
+    refresh;
+    action;
+    add_force;
+  }

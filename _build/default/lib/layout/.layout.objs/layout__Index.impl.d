@@ -1,0 +1,1 @@
+lib/layout/index.ml: Bigarray Shape

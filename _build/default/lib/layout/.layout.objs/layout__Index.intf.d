@@ -1,0 +1,1 @@
+lib/layout/index.mli: Bigarray Shape

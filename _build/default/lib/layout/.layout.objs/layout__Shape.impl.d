@@ -1,0 +1,1 @@
+lib/layout/shape.ml: Printf

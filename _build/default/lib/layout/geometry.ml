@@ -1,0 +1,90 @@
+type t = { dims : int array; volume : int }
+
+let create dims =
+  if Array.length dims = 0 then invalid_arg "Geometry.create: empty dimension list";
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Geometry.create: non-positive extent") dims;
+  { dims = Array.copy dims; volume = Array.fold_left ( * ) 1 dims }
+
+let nd g = Array.length g.dims
+let volume g = g.volume
+let dims g = Array.copy g.dims
+
+let coord_of_site g s =
+  if s < 0 || s >= g.volume then invalid_arg "Geometry.coord_of_site: site out of range";
+  let nd = Array.length g.dims in
+  let coord = Array.make nd 0 in
+  let rest = ref s in
+  for d = 0 to nd - 1 do
+    coord.(d) <- !rest mod g.dims.(d);
+    rest := !rest / g.dims.(d)
+  done;
+  coord
+
+let site_of_coord g coord =
+  let nd = Array.length g.dims in
+  if Array.length coord <> nd then invalid_arg "Geometry.site_of_coord: dimension mismatch";
+  let s = ref 0 in
+  for d = nd - 1 downto 0 do
+    let c = ((coord.(d) mod g.dims.(d)) + g.dims.(d)) mod g.dims.(d) in
+    s := (!s * g.dims.(d)) + c
+  done;
+  !s
+
+let neighbor g s ~dim ~dir =
+  if dim < 0 || dim >= Array.length g.dims then invalid_arg "Geometry.neighbor: bad dimension";
+  if dir <> 1 && dir <> -1 then invalid_arg "Geometry.neighbor: dir must be +-1";
+  let coord = coord_of_site g s in
+  coord.(dim) <- coord.(dim) + dir;
+  site_of_coord g coord
+
+let parity g s = Array.fold_left ( + ) 0 (coord_of_site g s) land 1
+
+let sites_of_parity g p =
+  if p <> 0 && p <> 1 then invalid_arg "Geometry.sites_of_parity: parity must be 0 or 1";
+  let out = ref [] in
+  for s = volume g - 1 downto 0 do
+    if parity g s = p then out := s :: !out
+  done;
+  Array.of_list !out
+
+(* Sites whose neighbour along [dim] in direction [dir] wraps around: a shift
+   pulling from that neighbour needs off-node data exactly there. *)
+let face_sites g ~dim ~dir =
+  if dim < 0 || dim >= Array.length g.dims then invalid_arg "Geometry.face_sites: bad dimension";
+  if dir <> 1 && dir <> -1 then invalid_arg "Geometry.face_sites: dir must be +-1";
+  let edge = if dir = 1 then g.dims.(dim) - 1 else 0 in
+  let out = ref [] in
+  for s = volume g - 1 downto 0 do
+    if (coord_of_site g s).(dim) = edge then out := s :: !out
+  done;
+  Array.of_list !out
+
+let inner_sites g ~dim ~dir =
+  if dim < 0 || dim >= Array.length g.dims then invalid_arg "Geometry.inner_sites: bad dimension";
+  if dir <> 1 && dir <> -1 then invalid_arg "Geometry.inner_sites: dir must be +-1";
+  let edge = if dir = 1 then g.dims.(dim) - 1 else 0 in
+  let out = ref [] in
+  for s = volume g - 1 downto 0 do
+    if (coord_of_site g s).(dim) <> edge then out := s :: !out
+  done;
+  Array.of_list !out
+
+let fold_coords g ~init ~f =
+  let nd = Array.length g.dims in
+  let coord = Array.make nd 0 in
+  let acc = ref init in
+  for _s = 0 to volume g - 1 do
+    acc := f !acc coord;
+    (* Increment the coordinate counter, x fastest. *)
+    let d = ref 0 in
+    let carry = ref true in
+    while !carry && !d < nd do
+      coord.(!d) <- coord.(!d) + 1;
+      if coord.(!d) = g.dims.(!d) then begin
+        coord.(!d) <- 0;
+        incr d
+      end
+      else carry := false
+    done
+  done;
+  !acc

@@ -1,0 +1,43 @@
+(** Hypercubic lattice geometry: site indexing, neighbours, checkerboards.
+
+    Sites are numbered lexicographically with the first (x) dimension
+    fastest.  Used both for the global lattice and for the per-rank
+    sub-grids of the domain decomposition. *)
+
+type t = private { dims : int array; volume : int }
+
+val create : int array -> t
+(** [create dims] builds an Nd-dimensional geometry.  All extents must be
+    positive; raises [Invalid_argument] otherwise. *)
+
+val nd : t -> int
+val volume : t -> int
+val dims : t -> int array
+(** A fresh copy of the extents array. *)
+
+val coord_of_site : t -> int -> int array
+val site_of_coord : t -> int array -> int
+(** Inverse maps between the lexicographic site index and coordinates.
+    [site_of_coord] reduces coordinates modulo the extents (periodic). *)
+
+val neighbor : t -> int -> dim:int -> dir:int -> int
+(** [neighbor g s ~dim ~dir] is the site one step from [s] along [dim]
+    ([dir] = +1 forward, -1 backward) with periodic wrap-around. *)
+
+val parity : t -> int -> int
+(** Checkerboard parity (sum of coordinates mod 2) of a site. *)
+
+val sites_of_parity : t -> int -> int array
+(** All site indices of the given parity, ascending. *)
+
+val face_sites : t -> dim:int -> dir:int -> int array
+(** Sites on the face that *sends* data for a shift that pulls from
+    direction [dir] along [dim]: the boundary slice whose neighbour in
+    [dir] wraps around.  Ascending order. *)
+
+val inner_sites : t -> dim:int -> dir:int -> int array
+(** Complement of {!face_sites} receiving no off-node data for that shift. *)
+
+val fold_coords : t -> init:'a -> f:('a -> int array -> 'a) -> 'a
+(** Fold over all coordinates in site order (the array passed to [f] is
+    reused; copy it if retained). *)

@@ -1,0 +1,53 @@
+type scheme = Aos | Soa
+
+let check_ranges shape ~nsites ~site ~spin ~color ~reality =
+  let is_ = Shape.spin_extent shape.Shape.spin in
+  let ic = Shape.color_extent shape.Shape.color in
+  let ir = Shape.reality_extent shape.Shape.reality in
+  if site < 0 || site >= nsites then invalid_arg "Index.offset: site out of range";
+  if spin < 0 || spin >= is_ then invalid_arg "Index.offset: spin out of range";
+  if color < 0 || color >= ic then invalid_arg "Index.offset: color out of range";
+  if reality < 0 || reality >= ir then invalid_arg "Index.offset: reality out of range"
+
+let offset scheme shape ~nsites ~site ~spin ~color ~reality =
+  check_ranges shape ~nsites ~site ~spin ~color ~reality;
+  let is_ = Shape.spin_extent shape.Shape.spin in
+  let ic = Shape.color_extent shape.Shape.color in
+  let ir = Shape.reality_extent shape.Shape.reality in
+  match scheme with
+  | Aos -> ((((site * is_) + spin) * ic + color) * ir) + reality
+  | Soa -> ((((reality * ic) + color) * is_ + spin) * nsites) + site
+
+let linear_component shape ~spin ~color ~reality =
+  let ic = Shape.color_extent shape.Shape.color in
+  let ir = Shape.reality_extent shape.Shape.reality in
+  (((spin * ic) + color) * ir) + reality
+
+let component_of_linear shape lin =
+  let ic = Shape.color_extent shape.Shape.color in
+  let ir = Shape.reality_extent shape.Shape.reality in
+  let reality = lin mod ir in
+  let rest = lin / ir in
+  let color = rest mod ic in
+  let spin = rest / ic in
+  (spin, color, reality)
+
+let convert ~src ~dst ~from_scheme ~to_scheme shape ~nsites =
+  let dof = Shape.dof shape in
+  let expected = nsites * dof in
+  if Bigarray.Array1.dim src <> expected then invalid_arg "Index.convert: src size mismatch";
+  if Bigarray.Array1.dim dst <> expected then invalid_arg "Index.convert: dst size mismatch";
+  let is_ = Shape.spin_extent shape.Shape.spin in
+  let ic = Shape.color_extent shape.Shape.color in
+  let ir = Shape.reality_extent shape.Shape.reality in
+  for site = 0 to nsites - 1 do
+    for spin = 0 to is_ - 1 do
+      for color = 0 to ic - 1 do
+        for reality = 0 to ir - 1 do
+          let i = offset from_scheme shape ~nsites ~site ~spin ~color ~reality in
+          let o = offset to_scheme shape ~nsites ~site ~spin ~color ~reality in
+          Bigarray.Array1.unsafe_set dst o (Bigarray.Array1.unsafe_get src i)
+        done
+      done
+    done
+  done

@@ -1,0 +1,37 @@
+(** Data layout functions: where component (site, spin, color, reality)
+    lives inside a field's flat storage.
+
+    The paper's central data-layout optimization (Sec. III-B): the host
+    keeps an array-of-structures order while the device uses the coalesced
+    structure-of-arrays order
+
+      I(iV,iS,iC,iR) = ((iR * IC + iC) * IS + iS) * IV + iV
+
+    so that adjacent CUDA threads (adjacent iV) touch adjacent words. *)
+
+type scheme =
+  | Aos  (** site-slowest: ((iV*IS + iS)*IC + iC)*IR + iR — host order *)
+  | Soa  (** site-fastest: ((iR*IC + iC)*IS + iS)*IV + iV — device order *)
+
+val offset :
+  scheme -> Shape.t -> nsites:int -> site:int -> spin:int -> color:int -> reality:int -> int
+(** Word offset of one real number inside the field's flat array.  All
+    indices are range-checked. *)
+
+val linear_component : Shape.t -> spin:int -> color:int -> reality:int -> int
+(** Canonical (layout-independent) component number
+    [(spin * IC + color) * IR + reality]; used by site-level evaluators. *)
+
+val component_of_linear : Shape.t -> int -> int * int * int
+(** Inverse of {!linear_component}. *)
+
+val convert :
+  src:('a, 'b, Bigarray.c_layout) Bigarray.Array1.t ->
+  dst:('a, 'b, Bigarray.c_layout) Bigarray.Array1.t ->
+  from_scheme:scheme ->
+  to_scheme:scheme ->
+  Shape.t ->
+  nsites:int ->
+  unit
+(** Re-order a field between layouts.  [src] and [dst] must both have
+    [nsites * dof] elements; raises [Invalid_argument] otherwise. *)

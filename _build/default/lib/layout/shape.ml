@@ -1,0 +1,76 @@
+type precision = F32 | F64
+type reality = Real | Cplx
+
+type spin = Spin_scalar | Spin_vector of int | Spin_matrix of int | Spin_block of int
+
+type color =
+  | Color_scalar
+  | Color_vector of int
+  | Color_matrix of int
+  | Color_diag of int
+  | Color_tri of int
+  | Color_rows of int
+
+type t = { spin : spin; color : color; reality : reality; prec : precision }
+
+let spin_extent = function
+  | Spin_scalar -> 1
+  | Spin_vector n -> n
+  | Spin_matrix n -> n * n
+  | Spin_block n -> n
+
+let color_extent = function
+  | Color_scalar -> 1
+  | Color_vector n -> n
+  | Color_matrix n -> n * n
+  | Color_diag n -> n
+  | Color_tri n -> n
+  | Color_rows n -> n * 3
+
+let reality_extent = function Real -> 1 | Cplx -> 2
+let components s = spin_extent s.spin * color_extent s.color
+let dof s = components s * reality_extent s.reality
+let bytes_per_site s = dof s * match s.prec with F32 -> 4 | F64 -> 8
+let equal = ( = )
+let equal_modulo_prec a b = { a with prec = F32 } = { b with prec = F32 }
+let promote_prec a b = match (a, b) with F32, F32 -> F32 | _ -> F64
+
+let spin_to_string = function
+  | Spin_scalar -> "Ss"
+  | Spin_vector n -> Printf.sprintf "Sv%d" n
+  | Spin_matrix n -> Printf.sprintf "Sm%d" n
+  | Spin_block n -> Printf.sprintf "Sb%d" n
+
+let color_to_string = function
+  | Color_scalar -> "Cs"
+  | Color_vector n -> Printf.sprintf "Cv%d" n
+  | Color_matrix n -> Printf.sprintf "Cm%d" n
+  | Color_diag n -> Printf.sprintf "Cd%d" n
+  | Color_tri n -> Printf.sprintf "Ct%d" n
+  | Color_rows n -> Printf.sprintf "Cr%d" n
+
+let to_string s =
+  Printf.sprintf "%s.%s.%s.%s" (spin_to_string s.spin) (color_to_string s.color)
+    (match s.reality with Real -> "R" | Cplx -> "C")
+    (match s.prec with F32 -> "f32" | F64 -> "f64")
+
+let validate s =
+  let check n what = if n <= 0 then invalid_arg ("Shape.validate: non-positive " ^ what) in
+  (match s.spin with
+  | Spin_scalar -> ()
+  | Spin_vector n | Spin_matrix n | Spin_block n -> check n "spin extent");
+  match s.color with
+  | Color_scalar -> ()
+  | Color_vector n | Color_matrix n | Color_diag n | Color_tri n | Color_rows n ->
+      check n "color extent"
+
+let lattice_fermion prec = { spin = Spin_vector 4; color = Color_vector 3; reality = Cplx; prec }
+let lattice_color_matrix prec = { spin = Spin_scalar; color = Color_matrix 3; reality = Cplx; prec }
+let lattice_spin_matrix prec = { spin = Spin_matrix 4; color = Color_scalar; reality = Cplx; prec }
+let clover_diag prec = { spin = Spin_block 2; color = Color_diag 6; reality = Real; prec }
+let clover_tri prec = { spin = Spin_block 2; color = Color_tri 15; reality = Cplx; prec }
+let compressed_color_matrix prec =
+  { spin = Spin_scalar; color = Color_rows 2; reality = Cplx; prec }
+
+let real_scalar prec = { spin = Spin_scalar; color = Color_scalar; reality = Real; prec }
+let complex_scalar prec = { spin = Spin_scalar; color = Color_scalar; reality = Cplx; prec }

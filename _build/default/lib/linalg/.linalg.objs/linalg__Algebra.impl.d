@@ -1,0 +1,1 @@
+lib/linalg/algebra.ml: Array Layout List Printf

@@ -1,0 +1,1 @@
+lib/linalg/site.ml: Algebra Array Index Layout List Printf Scalar Shape

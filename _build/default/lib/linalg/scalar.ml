@@ -1,0 +1,34 @@
+(** Abstract scalar semantics for the site algebra.
+
+    All per-site math in the library is written once against this signature
+    (see {!Site}).  Instantiated with {!Float_scalar} it is the CPU
+    evaluator of the original QDP++ implementation; instantiated with the
+    PTX value emitter of the QDP-JIT layer, the very same algebra *builds
+    kernel code* instead of computing numbers — the expression-templates-
+    as-code-generators idea of the paper in OCaml terms. *)
+
+module type S = sig
+  type t
+
+  val const : float -> t
+  (** Inject a compile-time constant. *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val neg : t -> t
+
+  val fma : t -> t -> t -> t
+  (** [fma a b c] is [a * b + c]; evaluators may fuse it. *)
+end
+
+module Float_scalar : S with type t = float = struct
+  type t = float
+
+  let const x = x
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let neg x = -.x
+  let fma a b c = (a *. b) +. c
+end

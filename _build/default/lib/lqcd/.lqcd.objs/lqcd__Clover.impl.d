@@ -1,0 +1,1 @@
+lib/lqcd/clover.ml: Array Gamma Gauge Hashtbl Layout Printf Qdp

@@ -1,0 +1,1 @@
+lib/lqcd/clover.mli: Gauge Layout Qdp

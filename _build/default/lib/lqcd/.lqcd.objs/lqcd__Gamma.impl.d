@@ -1,0 +1,1 @@
+lib/lqcd/gamma.ml: Array Layout Qdp

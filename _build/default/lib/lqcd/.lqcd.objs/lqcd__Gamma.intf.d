@@ -1,0 +1,1 @@
+lib/lqcd/gamma.mli: Layout Qdp

@@ -1,0 +1,1 @@
+lib/lqcd/gauge.ml: Array Layout Linalg List Printf Qdp

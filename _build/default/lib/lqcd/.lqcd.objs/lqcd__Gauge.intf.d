@@ -1,0 +1,1 @@
+lib/lqcd/gauge.mli: Layout Linalg Prng Qdp

@@ -1,0 +1,1 @@
+lib/lqcd/gauge_io.ml: Array Buffer Bytes Fun Gauge Int32 Int64 Layout Printf Qdp String

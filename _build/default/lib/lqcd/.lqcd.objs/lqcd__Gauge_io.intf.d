@@ -1,0 +1,1 @@
+lib/lqcd/gauge_io.mli: Gauge

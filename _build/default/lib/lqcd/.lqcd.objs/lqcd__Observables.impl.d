@@ -1,0 +1,1 @@
+lib/lqcd/observables.ml: Array Gauge Layout Qdp

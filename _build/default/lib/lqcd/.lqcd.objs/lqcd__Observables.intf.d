@@ -1,0 +1,1 @@
+lib/lqcd/observables.mli: Gauge Layout Qdp

@@ -1,0 +1,1 @@
+lib/lqcd/wilson.ml: Array Gamma Gauge Layout Qdp

@@ -1,0 +1,1 @@
+lib/lqcd/wilson.mli: Gauge Layout Qdp

@@ -1,0 +1,118 @@
+(** The clover term (Sec. VI-A): packing into the Table I (lower part)
+    types and application.
+
+    A(x) = c_id + (c_sw / 4) sum_{mu<>nu} sigma_munu F_munu(x) is Hermitian
+    and block-diagonal in the two chiralities of the DeGrand–Rossi basis;
+    each 6x6 block is stored as 6 real diagonal entries plus 15 complex
+    lower-triangular entries.  Application happens through the custom
+    [Expr.Clover] node — the user-defined operation that mixes spin and
+    color index spaces, which plain QDP++ cannot express but the code
+    generator supports. *)
+
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+
+type t = { diag : Field.t; tri : Field.t; csw : float; c_id : float }
+
+(* Lower-triangle index: k(i,j) = i(i-1)/2 + j for i > j. *)
+let tri_index i j =
+  assert (i > j);
+  (i * (i - 1) / 2) + j
+
+(* Pack the clover term from 3x3 field-strength matrices.  [eval] runs a
+   color-matrix expression into a field (CPU or JIT — the packer is
+   agnostic); the per-site 6x6 block assembly is host-side bookkeeping, as
+   it is in Chroma. *)
+let pack ?(prec = Shape.F64) ~eval ~csw ~c_id (u : Gauge.links) =
+  let geom = u.(0).Field.geom in
+  let nd = Array.length u in
+  if nd <> 4 then invalid_arg "Clover.pack: the clover term is four-dimensional";
+  let nsites = Geometry.volume geom in
+  (* Materialise the six field-strength components. *)
+  let fmunu = Hashtbl.create 6 in
+  for mu = 0 to 3 do
+    for nu = mu + 1 to 3 do
+      let dest = Field.create ~name:(Printf.sprintf "F%d%d" mu nu) (Shape.lattice_color_matrix prec) geom in
+      eval dest (Gauge.field_strength_expr u ~mu ~nu);
+      Hashtbl.replace fmunu (mu, nu) dest
+    done
+  done;
+  let diag = Field.create ~name:"clov_diag" (Shape.clover_diag prec) geom in
+  let tri = Field.create ~name:"clov_tri" (Shape.clover_tri prec) geom in
+  (* sigma matrices restricted to the chiral blocks. *)
+  let sigma = Array.init 4 (fun mu -> Array.init 4 (fun nu -> if mu < nu then Gamma.sigma_mat mu nu else Gamma.zero4 ())) in
+  let block = Array.make_matrix 6 6 (0.0, 0.0) in
+  for site = 0 to nsites - 1 do
+    for b = 0 to 1 do
+      (* H[(s,a)(s',a')] = c_id delta + (csw/2) sum_{mu<nu} sigma[2b+s][2b+s'] F[a][a']. *)
+      for i = 0 to 5 do
+        for j = 0 to 5 do
+          block.(i).(j) <- (if i = j then (c_id, 0.0) else (0.0, 0.0))
+        done
+      done;
+      for mu = 0 to 3 do
+        for nu = mu + 1 to 3 do
+          let f = Hashtbl.find fmunu (mu, nu) in
+          let fsite = Field.get_site f ~site in
+          let s = sigma.(mu).(nu) in
+          for si = 0 to 1 do
+            for sj = 0 to 1 do
+              let sr, si_ = s.((2 * b) + si).((2 * b) + sj) in
+              if sr <> 0.0 || si_ <> 0.0 then
+                for a = 0 to 2 do
+                  for a' = 0 to 2 do
+                    let fr = fsite.(2 * ((3 * a) + a')) in
+                    let fi = fsite.((2 * ((3 * a) + a')) + 1) in
+                    let i = (3 * si) + a and j = (3 * sj) + a' in
+                    let pr, pi = block.(i).(j) in
+                    (* (csw/2) * sigma * F *)
+                    let re = 0.5 *. csw *. ((sr *. fr) -. (si_ *. fi)) in
+                    let im = 0.5 *. csw *. ((sr *. fi) +. (si_ *. fr)) in
+                    block.(i).(j) <- (pr +. re, pi +. im)
+                  done
+                done
+            done
+          done
+        done
+      done;
+      (* Store: diagonal (real) and strictly-lower triangle. *)
+      for i = 0 to 5 do
+        let re, _ = block.(i).(i) in
+        Field.set diag ~site ~spin:b ~color:i ~reality:0 re
+      done;
+      for i = 1 to 5 do
+        for j = 0 to i - 1 do
+          let re, im = block.(i).(j) in
+          let k = tri_index i j in
+          Field.set tri ~site ~spin:b ~color:k ~reality:0 re;
+          Field.set tri ~site ~spin:b ~color:k ~reality:1 im
+        done
+      done
+    done
+  done;
+  { diag; tri; csw; c_id }
+
+let apply_expr t psi = Expr.clover ~diag:(Expr.field t.diag) ~tri:(Expr.field t.tri) (Expr.field psi)
+
+(* Reference implementation of A psi as a *dense* spin (x) color expression:
+   c_id psi + (csw/2) sum_{mu<nu} sigma_munu (F_munu psi).  Used by tests to
+   validate the packed form against an independent construction. *)
+let apply_dense_expr ?(prec = Shape.F64) ~eval ~csw ~c_id (u : Gauge.links) (psi : Field.t) =
+  let geom = u.(0).Field.geom in
+  let acc = ref (Expr.mul (Expr.const_real ~prec c_id) (Expr.field psi)) in
+  for mu = 0 to 3 do
+    for nu = mu + 1 to 3 do
+      let fdest = Field.create (Shape.lattice_color_matrix prec) geom in
+      eval fdest (Gauge.field_strength_expr u ~mu ~nu);
+      let sig_const = Gamma.spin_matrix_const ~prec (Gamma.sigma_mat mu nu) in
+      let term =
+        Expr.mul
+          (Expr.const_real ~prec (0.5 *. csw))
+          (Expr.mul sig_const (Expr.mul (Expr.field fdest) (Expr.field psi)))
+      in
+      acc := Expr.add !acc term
+    done
+  done;
+  !acc

@@ -1,0 +1,44 @@
+(** The clover term (the paper's Sec. VI-A): packing into the Table I
+    (lower part) types and application.
+
+    A(x) = c_id + (c_sw/4) sum_{mu<>nu} sigma_munu F_munu(x) is Hermitian
+    and block-diagonal in the two chiralities of the DeGrand–Rossi basis;
+    each 6x6 block is stored as 6 real diagonal entries plus 15 complex
+    lower-triangular entries.  Application happens through the custom
+    [Expr.Clover] node — the user-defined operation mixing spin and color
+    index spaces that plain QDP++ cannot express but the code generator
+    supports. *)
+
+type t = {
+  diag : Qdp.Field.t;  (** Sb2.Cd6.R: 2 blocks x 6 real diagonal entries *)
+  tri : Qdp.Field.t;  (** Sb2.Ct15.C: 2 blocks x 15 complex lower-triangular *)
+  csw : float;
+  c_id : float;
+}
+
+val tri_index : int -> int -> int
+(** k(i,j) = i(i-1)/2 + j for the strictly-lower triangle, i > j. *)
+
+val pack :
+  ?prec:Layout.Shape.precision ->
+  eval:(Qdp.Field.t -> Qdp.Expr.t -> unit) ->
+  csw:float ->
+  c_id:float ->
+  Gauge.links ->
+  t
+(** Compute the six field-strength components with [eval] (CPU or JIT) and
+    assemble the packed Hermitian blocks host-side, as Chroma does. *)
+
+val apply_expr : t -> Qdp.Field.t -> Qdp.Expr.t
+(** A psi through the packed custom operation (Table II's "clover"). *)
+
+val apply_dense_expr :
+  ?prec:Layout.Shape.precision ->
+  eval:(Qdp.Field.t -> Qdp.Expr.t -> unit) ->
+  csw:float ->
+  c_id:float ->
+  Gauge.links ->
+  Qdp.Field.t ->
+  Qdp.Expr.t
+(** Independent dense sigma.F construction, for validating the packed
+    form. *)

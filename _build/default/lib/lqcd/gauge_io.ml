@@ -1,0 +1,81 @@
+(** Gauge-configuration checkpointing.
+
+    A minimal self-describing binary format (little-endian, 64-bit doubles
+    in AoS site order) with the mean plaquette stored in the header as a
+    content check on load — the moral equivalent of the NERSC-archive
+    checksum convention used by production codes. *)
+
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+
+let magic = "QDPJITGAUGE1"
+
+exception Format_error of string
+
+let write ~path (u : Gauge.links) =
+  let geom = u.(0).Field.geom in
+  let nd = Geometry.nd geom in
+  if Array.length u <> nd then invalid_arg "Gauge_io.write: link count mismatch";
+  let plaq =
+    Gauge.mean_plaquette ~sum_real:(fun e -> (Qdp.Eval_cpu.sum_components e).(0)) u
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let b = Buffer.create 64 in
+      Buffer.add_int32_le b (Int32.of_int nd);
+      Array.iter (fun d -> Buffer.add_int32_le b (Int32.of_int d)) (Geometry.dims geom);
+      Buffer.add_int64_le b (Int64.bits_of_float plaq);
+      output_string oc (Buffer.contents b);
+      let dof = Shape.dof u.(0).Field.shape in
+      let site_buf = Buffer.create (8 * dof) in
+      Array.iter
+        (fun uf ->
+          for site = 0 to Geometry.volume geom - 1 do
+            Buffer.clear site_buf;
+            Array.iter
+              (fun v -> Buffer.add_int64_le site_buf (Int64.bits_of_float v))
+              (Field.get_site uf ~site);
+            output_string oc (Buffer.contents site_buf)
+          done)
+        u)
+
+let really_read ic n =
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  b
+
+let read ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = Bytes.to_string (really_read ic (String.length magic)) in
+      if m <> magic then raise (Format_error "bad magic");
+      let nd = Int32.to_int (Bytes.get_int32_le (really_read ic 4) 0) in
+      if nd < 1 || nd > 8 then raise (Format_error "implausible dimensionality");
+      let dims = Array.init nd (fun _ -> Int32.to_int (Bytes.get_int32_le (really_read ic 4) 0)) in
+      let stored_plaq = Int64.float_of_bits (Bytes.get_int64_le (really_read ic 8) 0) in
+      let geom = Geometry.create dims in
+      let u = Gauge.create_links geom in
+      let dof = Shape.dof u.(0).Field.shape in
+      Array.iter
+        (fun uf ->
+          for site = 0 to Geometry.volume geom - 1 do
+            let bytes = really_read ic (8 * dof) in
+            Field.set_site uf ~site
+              (Array.init dof (fun k -> Int64.float_of_bits (Bytes.get_int64_le bytes (8 * k))))
+          done)
+        u;
+      let plaq =
+        Gauge.mean_plaquette ~sum_real:(fun e -> (Qdp.Eval_cpu.sum_components e).(0)) u
+      in
+      if abs_float (plaq -. stored_plaq) > 1e-10 then
+        raise
+          (Format_error
+             (Printf.sprintf "plaquette check failed: stored %.12f, recomputed %.12f" stored_plaq
+                plaq));
+      u)

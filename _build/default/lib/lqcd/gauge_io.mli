@@ -1,0 +1,14 @@
+(** Gauge-configuration checkpointing.
+
+    A minimal self-describing binary format (little-endian, 64-bit doubles
+    in AoS site order) with the mean plaquette stored in the header as a
+    content check on load — the moral equivalent of the NERSC-archive
+    checksum convention. *)
+
+exception Format_error of string
+
+val write : path:string -> Gauge.links -> unit
+
+val read : path:string -> Gauge.links
+(** Raises {!Format_error} on bad magic, implausible headers, or when the
+    recomputed plaquette disagrees with the stored one (corruption). *)

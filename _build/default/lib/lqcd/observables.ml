@@ -1,0 +1,90 @@
+(** Gauge observables beyond the plaquette: Wilson loops, the Polyakov
+    loop, and per-timeslice projections (the building block of the
+    post-Monte-Carlo analysis part the paper's introduction contrasts with
+    gauge generation).  Everything is built from shift expressions, so the
+    same code runs on the CPU reference and through the JIT engine. *)
+
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+module Subset = Qdp.Subset
+
+let f = Expr.field
+
+(* Product of [len] links along direction [mu] starting at each site:
+   L(x) = U_mu(x) U_mu(x+mu) ... U_mu(x+(len-1)mu), as one expression of
+   nested shifts (shift-of-shift chains are supported by the codegen). *)
+let line_expr (u : Gauge.links) ~mu ~len =
+  if len < 1 then invalid_arg "Observables.line_expr: len must be >= 1";
+  let rec shifted e n = if n = 0 then e else shifted (Expr.shift e ~dim:mu ~dir:1) (n - 1) in
+  let rec go acc n =
+    if n = len then acc else go (Expr.mul acc (shifted (f u.(mu)) n)) (n + 1)
+  in
+  go (f u.(mu)) 1
+
+(* Re tr of the R x T rectangle in the (mu, nu) plane, averaged over the
+   lattice and normalized to Nc (W(1,1) is the plaquette). *)
+let wilson_loop ~sum_real (u : Gauge.links) ~mu ~nu ~r ~t =
+  if mu = nu then invalid_arg "Observables.wilson_loop: mu = nu";
+  let bottom = line_expr u ~mu ~len:r in
+  let top = line_expr u ~mu ~len:r in
+  let left = line_expr u ~mu:nu ~len:t in
+  let right = line_expr u ~mu:nu ~len:t in
+  (* shift an expression by n steps along dim *)
+  let rec shiftn e dim n = if n = 0 then e else shiftn (Expr.shift e ~dim ~dir:1) dim (n - 1) in
+  let loop =
+    Expr.mul
+      (Expr.mul bottom (shiftn right mu r))
+      (Expr.mul (Expr.adj (shiftn top nu t)) (Expr.adj left))
+  in
+  let tr = Expr.mul (Expr.const_real (1.0 /. 3.0)) (Expr.real (Expr.trace_color loop)) in
+  let volume = Field.volume u.(0) in
+  sum_real tr /. float_of_int volume
+
+(* Polyakov loop: the trace of the product of all temporal links, averaged
+   over space.  The product is a line of length L_t in the last dimension;
+   its trace is constant along that dimension, so averaging over the whole
+   lattice equals averaging over space. *)
+let polyakov_loop ~sum_components (u : Gauge.links) =
+  let geom = u.(0).Field.geom in
+  let nd = Geometry.nd geom in
+  let lt = (Geometry.dims geom).(nd - 1) in
+  let line = line_expr u ~mu:(nd - 1) ~len:lt in
+  let tr = Expr.mul (Expr.const_real (1.0 /. 3.0)) (Expr.trace_color line) in
+  let sums = sum_components tr in
+  let volume = float_of_int (Field.volume u.(0)) in
+  (sums.(0) /. volume, sums.(1) /. volume)
+
+(* Sites of one timeslice t (last dimension), for per-timeslice sums. *)
+let timeslice_subset geom ~t =
+  let nd = Geometry.nd geom in
+  let lt = (Geometry.dims geom).(nd - 1) in
+  if t < 0 || t >= lt then invalid_arg "Observables.timeslice_subset: t out of range";
+  let sites = ref [] in
+  for s = Geometry.volume geom - 1 downto 0 do
+    if (Geometry.coord_of_site geom s).(nd - 1) = t then sites := s :: !sites
+  done;
+  Subset.Custom (Array.of_list !sites)
+
+(* Pion (pseudoscalar) correlator from a point-source propagator:
+   C(t) = sum_{x, t(x)=t} sum_{s,c} |S(x)_{s,c}|^2 where S's columns are
+   the 12 solutions M S_{s0,c0} = delta_{x,0} delta_{s,s0} delta_{c,c0}.
+   [norm2_subset] must evaluate |expr|^2 restricted to a subset. *)
+let pion_correlator ~norm2_subset (propagator_columns : Field.t array) =
+  if Array.length propagator_columns = 0 then
+    invalid_arg "Observables.pion_correlator: no propagator columns";
+  let geom = propagator_columns.(0).Field.geom in
+  let nd = Geometry.nd geom in
+  let lt = (Geometry.dims geom).(nd - 1) in
+  Array.init lt (fun t ->
+      let subset = timeslice_subset geom ~t in
+      Array.fold_left
+        (fun acc col -> acc +. norm2_subset subset (f col))
+        0.0 propagator_columns)
+
+(* Point source: delta at the origin in (spin s0, color c0). *)
+let point_source ?(prec = Shape.F64) geom ~spin ~color =
+  let src = Field.create ~name:"src" (Shape.lattice_fermion prec) geom in
+  Field.set src ~site:0 ~spin ~color ~reality:0 1.0;
+  src

@@ -1,0 +1,210 @@
+(** Automated GPU memory management (Sec. IV).
+
+    Before a kernel launch the JIT layer walks the expression AST, extracts
+    the referenced fields and calls {!ensure_resident} for each: data is
+    uploaded (with the AoS→SoA layout change of Sec. III-B) if absent or
+    stale.  Fields are paged out to host memory either when host code
+    touches them (hooks installed on the field) or when an allocation
+    cannot be serviced — then the least-recently-used unpinned entry is
+    spilled, "least recently" meaning the timestamp of the last reference
+    from a compute kernel. *)
+
+module Shape = Layout.Shape
+module Index = Layout.Index
+module Field = Qdp.Field
+module Device = Gpusim.Device
+module Buffer_ = Gpusim.Buffer
+
+type entry = {
+  field : Field.t;
+  buf : Buffer_.t;
+  mutable last_use : int;
+  mutable device_dirty : bool;  (** device copy newer than host *)
+  mutable host_version : int;  (** [Field.version] captured at upload *)
+  mutable pinned : bool;  (** referenced by the launch being assembled *)
+}
+
+type stats = {
+  mutable hits : int;
+  mutable uploads : int;
+  mutable pageouts : int;
+  mutable spills : int;  (** evictions forced by allocation pressure *)
+}
+
+type t = {
+  device : Device.t;
+  entries : (int, entry) Hashtbl.t;
+  mutable tick : int;
+  stats : stats;
+}
+
+let create device =
+  {
+    device;
+    entries = Hashtbl.create 64;
+    tick = 0;
+    stats = { hits = 0; uploads = 0; pageouts = 0; spills = 0 };
+  }
+
+let stats t = t.stats
+let resident_count t = Hashtbl.length t.entries
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_use <- t.tick
+
+(* Copy host AoS -> device SoA.  Host and device storage have the same
+   element kind, so the layout converter works directly on both arrays. *)
+let upload t entry =
+  let f = entry.field in
+  let nsites = Field.volume f in
+  (* Model-only devices account the transfer but skip the data movement:
+     the paper-scale sweeps only need the clock. *)
+  (if t.device.Device.mode = Device.Functional then
+     match (Field.unsafe_storage f, entry.buf.Buffer_.data) with
+     | Field.S32 host, Buffer_.F32 dev ->
+         Index.convert ~src:host ~dst:dev ~from_scheme:Index.Aos ~to_scheme:Index.Soa
+           f.Field.shape ~nsites
+     | Field.S64 host, Buffer_.F64 dev ->
+         Index.convert ~src:host ~dst:dev ~from_scheme:Index.Aos ~to_scheme:Index.Soa
+           f.Field.shape ~nsites
+     | _ -> assert false);
+  Device.account_transfer t.device ~bytes:entry.buf.Buffer_.bytes ~to_device:true;
+  entry.host_version <- f.Field.version;
+  entry.device_dirty <- false;
+  t.stats.uploads <- t.stats.uploads + 1
+
+(* Copy device SoA -> host AoS, *without* tripping the host-access hooks. *)
+let page_out t entry =
+  let f = entry.field in
+  let nsites = Field.volume f in
+  (if t.device.Device.mode = Device.Functional then
+     match (Field.unsafe_storage f, entry.buf.Buffer_.data) with
+     | Field.S32 host, Buffer_.F32 dev ->
+         Index.convert ~src:dev ~dst:host ~from_scheme:Index.Soa ~to_scheme:Index.Aos
+           f.Field.shape ~nsites
+     | Field.S64 host, Buffer_.F64 dev ->
+         Index.convert ~src:dev ~dst:host ~from_scheme:Index.Soa ~to_scheme:Index.Aos
+           f.Field.shape ~nsites
+     | _ -> assert false);
+  Device.account_transfer t.device ~bytes:entry.buf.Buffer_.bytes ~to_device:false;
+  entry.device_dirty <- false;
+  (* The page-out changed the host content: bump the version so that any
+     *other* cache holding this field re-uploads instead of trusting its
+     zero-content shortcut or a stale copy. *)
+  f.Field.version <- f.Field.version + 1;
+  entry.host_version <- f.Field.version;
+  t.stats.pageouts <- t.stats.pageouts + 1
+
+let evict t entry =
+  if entry.device_dirty then page_out t entry;
+  Device.free t.device entry.buf;
+  Hashtbl.remove t.entries entry.field.Field.id
+
+(* Spill the least-recently-used unpinned entry; false if none exists. *)
+let spill_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ e ->
+      if not e.pinned then
+        match !victim with
+        | Some v when v.last_use <= e.last_use -> ()
+        | _ -> victim := Some e)
+    t.entries;
+  match !victim with
+  | Some e ->
+      t.stats.spills <- t.stats.spills + 1;
+      evict t e;
+      true
+  | None -> false
+
+let alloc_with_spilling t f =
+  let words = Field.volume f * Shape.dof f.Field.shape in
+  let alloc () =
+    match f.Field.shape.Shape.prec with
+    | Shape.F32 -> Device.alloc_f32 t.device words
+    | Shape.F64 -> Device.alloc_f64 t.device words
+  in
+  let rec go () =
+    match alloc () with
+    | buf -> buf
+    | exception Device.Out_of_device_memory ->
+        if spill_one t then go ()
+        else raise Device.Out_of_device_memory
+  in
+  go ()
+
+let install_hooks t f =
+  (* Chain below any hook another cache installed: a field can migrate
+     between engines (each pages out its own dirty copy; divergent writes
+     on two devices are the caller's error and ensure_resident faults). *)
+  let prev_read = f.Field.before_host_read in
+  let prev_write = f.Field.before_host_write in
+  let on_access prev field =
+    (match Hashtbl.find_opt t.entries field.Field.id with
+    | Some e when e.device_dirty -> page_out t e
+    | Some _ | None -> ());
+    prev field
+  in
+  f.Field.before_host_read <- on_access prev_read;
+  (* A host write also needs the page-out first (partial writes must land on
+     current data); the version bump of the write then marks the device copy
+     stale for the next launch. *)
+  f.Field.before_host_write <- on_access prev_write
+
+let ensure_resident ?(pin = false) ?(for_write = false) t (f : Field.t) =
+  match Hashtbl.find_opt t.entries f.Field.id with
+  | Some e ->
+      if (not for_write) && (not e.device_dirty) && e.host_version <> f.Field.version then
+        upload t e
+      else if (not for_write) && e.host_version <> f.Field.version && e.device_dirty then
+        (* Host and device both advanced: the hooks prevent this for fields
+           created through the public API; fail loudly otherwise. *)
+        invalid_arg "Memcache: divergent host and device copies"
+      else if e.host_version <> f.Field.version && for_write then
+        (* Destination only: stale content is irrelevant, it is overwritten. *)
+        e.host_version <- f.Field.version;
+      t.stats.hits <- t.stats.hits + 1;
+      touch t e;
+      if pin then e.pinned <- true;
+      e.buf
+  | None ->
+      let buf = alloc_with_spilling t f in
+      let entry =
+        { field = f; buf; last_use = 0; device_dirty = false; host_version = -1; pinned = pin }
+      in
+      Hashtbl.replace t.entries f.Field.id entry;
+      install_hooks t f;
+      touch t entry;
+      (* A whole-subset destination is fully overwritten by the kernel, and a
+         never-written field (version 0) matches the zero-filled allocation;
+         neither needs its host content to travel. *)
+      if for_write || f.Field.version = 0 then entry.host_version <- f.Field.version
+      else upload t entry;
+      entry.buf
+
+let mark_device_dirty t (f : Field.t) =
+  match Hashtbl.find_opt t.entries f.Field.id with
+  | Some e ->
+      e.device_dirty <- true;
+      touch t e
+  | None -> invalid_arg "Memcache.mark_device_dirty: field not resident"
+
+let unpin_all t = Hashtbl.iter (fun _ e -> e.pinned <- false) t.entries
+
+let flush_field t (f : Field.t) =
+  match Hashtbl.find_opt t.entries f.Field.id with
+  | Some e when e.device_dirty -> page_out t e
+  | Some _ | None -> ()
+
+let flush_all t = Hashtbl.iter (fun _ e -> if e.device_dirty then page_out t e) t.entries
+
+let drop t (f : Field.t) =
+  match Hashtbl.find_opt t.entries f.Field.id with
+  | Some e -> evict t e
+  | None -> ()
+
+let is_resident t (f : Field.t) = Hashtbl.mem t.entries f.Field.id
+
+let is_device_dirty t (f : Field.t) =
+  match Hashtbl.find_opt t.entries f.Field.id with Some e -> e.device_dirty | None -> false

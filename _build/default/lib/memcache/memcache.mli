@@ -1,0 +1,48 @@
+(** Automated GPU memory management (the paper's Sec. IV).
+
+    Before a kernel launch the JIT layer walks the expression AST,
+    extracts the referenced fields and calls {!ensure_resident} for each:
+    data is uploaded (with the AoS→SoA layout change of Sec. III-B) if
+    absent or stale.  Fields are paged out to host memory either when host
+    code touches them (hooks installed on the field) or when an allocation
+    cannot be serviced — then the least-recently-used unpinned entry is
+    spilled, "least recently" meaning the timestamp of the last reference
+    from a compute kernel. *)
+
+type stats = {
+  mutable hits : int;
+  mutable uploads : int;
+  mutable pageouts : int;
+  mutable spills : int;  (** evictions forced by allocation pressure *)
+}
+
+type t
+
+val create : Gpusim.Device.t -> t
+val stats : t -> stats
+val resident_count : t -> int
+
+val ensure_resident : ?pin:bool -> ?for_write:bool -> t -> Qdp.Field.t -> Gpusim.Buffer.t
+(** Make the field's data available in device memory, uploading (with
+    layout conversion) when the device copy is absent or stale, spilling
+    LRU entries if the allocation does not fit.  [pin] protects the entry
+    from spilling until {!unpin_all} (the fields of the launch being
+    assembled).  [for_write] marks a destination whose whole content will
+    be overwritten: its host data need not travel.  Raises
+    [Gpusim.Device.Out_of_device_memory] if nothing can be spilled. *)
+
+val mark_device_dirty : t -> Qdp.Field.t -> unit
+(** The kernel just wrote the field: device copy is newer than host. *)
+
+val unpin_all : t -> unit
+
+val flush_field : t -> Qdp.Field.t -> unit
+(** Page out if device-dirty (host access hooks call this). *)
+
+val flush_all : t -> unit
+
+val drop : t -> Qdp.Field.t -> unit
+(** Page out if dirty, then free the device allocation. *)
+
+val is_resident : t -> Qdp.Field.t -> bool
+val is_device_dirty : t -> Qdp.Field.t -> bool

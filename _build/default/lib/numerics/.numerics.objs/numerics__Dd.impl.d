@@ -1,0 +1,1 @@
+lib/numerics/dd.ml: Array Float Linsolve

@@ -1,0 +1,1 @@
+lib/numerics/ratfun.ml: Array Float

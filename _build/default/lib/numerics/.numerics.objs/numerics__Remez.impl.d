@@ -1,0 +1,1 @@
+lib/numerics/remez.ml: Array Dd Float Printf Ratfun Sys

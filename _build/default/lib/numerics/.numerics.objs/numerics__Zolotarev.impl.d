@@ -1,0 +1,1 @@
+lib/numerics/zolotarev.ml: Array Float Ratfun

@@ -1,0 +1,34 @@
+(** Double-double arithmetic (~32 significant digits).
+
+    The Remez exchange for RHMC rational approximations needs to resolve an
+    equioscillation level around 1e-6..1e-10 out of linear systems whose
+    conditioning exhausts plain doubles (the reference tool, AlgRemez, runs
+    at 40+ decimal digits for the same reason).  A value is represented as
+    an unevaluated sum [hi + lo] with [|lo| <= ulp(hi)/2]. *)
+
+type t = { hi : float; lo : float }
+
+val zero : t
+val one : t
+val of_float : float -> t
+val to_float : t -> float
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val compare_abs : t -> t -> int
+(** Compare absolute values (for pivoting). *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+
+val solve : t array array -> t array -> t array
+(** Gaussian elimination with partial pivoting in double-double precision.
+    Raises [Linsolve.Singular] on vanishing pivots. *)
+
+val solve_float : float array array -> float array -> float array
+(** Convenience: promote a double system, solve in double-double, demote. *)

@@ -1,0 +1,42 @@
+(** Remez exchange for minimax rational approximation of [x^sigma].
+
+    RHMC (Clark–Kennedy, the paper's Ref. 14) evaluates fractional powers of
+    the clover-Dirac normal operator through an optimal rational
+    approximation.  This module computes the degree-(n,n) rational minimax
+    approximation to [f(x) = x^sigma] on [lo,hi] under *relative* error, the
+    standard choice for RHMC.  The exchange is carried out in a Chebyshev
+    basis on the geometric-mean-rescaled interval to stay well conditioned in
+    double precision.  The artifacts RHMC consumes are the two
+    partial-fraction expansions: [pfe ~ x^sigma] and [pfe_inv ~ x^-sigma]
+    (the inverse of a relative-minimax approximant approximates the inverse
+    power with the same relative error). *)
+
+type result = {
+  sigma : float;  (** the approximated exponent *)
+  lo : float;
+  hi : float;  (** approximation interval *)
+  degree : int;  (** achieved numerator = denominator degree (see [approx]) *)
+  error : float;  (** achieved max relative error on [lo,hi] *)
+  pfe : Ratfun.t;  (** partial fractions ~ x^sigma *)
+  pfe_inv : Ratfun.t;  (** partial fractions ~ x^-sigma *)
+}
+
+val approx : sigma:float -> degree:int -> lo:float -> hi:float -> result
+(** [approx ~sigma ~degree ~lo ~hi] runs the Remez exchange.  Requirements:
+    [0 < |sigma| < 1], [degree >= 1], [0 < lo < hi].  Negative [sigma] is
+    served by approximating [x^|sigma|] and swapping the two partial-fraction
+    forms.
+
+    The exchange runs a degree continuation 1..degree; if the highest degrees
+    cannot be stabilised in double-double precision (wide [hi/lo] ratios),
+    the best valid lower-degree solution is returned with its honest [error]
+    and [degree] fields — callers that need a guaranteed-optimal x^(+-1/2)
+    approximation over wide ranges should use {!Zolotarev} instead.  Raises
+    [Failure] only when no degree yields a valid expansion. *)
+
+val eval : result -> float -> float
+(** Evaluate the [x^sigma] approximant (i.e. [pfe]) at a point. *)
+
+val check_equioscillation : result -> samples:int -> float
+(** Max relative deviation of [pfe] over a fresh log grid; tests use this to
+    confirm the claimed [error]. *)

@@ -1,0 +1,52 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty array";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let std_dev xs = sqrt (variance xs)
+
+let std_error xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.std_error: empty array";
+  std_dev xs /. sqrt (float_of_int n)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left (fun (lo, hi) x -> (min lo x, max hi x)) (xs.(0), xs.(0)) xs
+
+let jackknife f xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Stats.jackknife: need at least 2 samples";
+  let full = f xs in
+  let resampled =
+    Array.init n (fun drop ->
+        f (Array.init (n - 1) (fun i -> if i < drop then xs.(i) else xs.(i + 1))))
+  in
+  let m = mean resampled in
+  let var =
+    Array.fold_left (fun acc r -> acc +. ((r -. m) *. (r -. m))) 0.0 resampled
+    *. (float_of_int (n - 1) /. float_of_int n)
+  in
+  (full, sqrt var)
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys || n < 2 then invalid_arg "Stats.linear_fit: shape mismatch";
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 in
+  for i = 0 to n - 1 do
+    sxx := !sxx +. ((xs.(i) -. mx) *. (xs.(i) -. mx));
+    sxy := !sxy +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+  done;
+  if !sxx = 0.0 then invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = !sxy /. !sxx in
+  (slope, my -. (slope *. mx))

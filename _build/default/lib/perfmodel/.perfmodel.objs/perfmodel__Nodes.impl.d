@@ -1,0 +1,1 @@
+lib/perfmodel/nodes.ml: Comms Gpusim

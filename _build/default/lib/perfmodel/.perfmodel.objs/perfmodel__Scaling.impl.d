@@ -1,0 +1,1 @@
+lib/perfmodel/scaling.ml: Gpusim Nodes Workload

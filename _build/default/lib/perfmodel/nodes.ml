@@ -1,0 +1,44 @@
+(** Node and machine descriptions for the Fig. 7/8 strong-scaling model.
+
+    Blue Waters XE nodes carry two AMD 6276 (Interlagos) sockets; XK nodes
+    one Interlagos plus one K20X.  Titan's XK7 nodes are the same
+    XK configuration on the same Gemini interconnect, which is why the
+    paper's Fig. 8 curves coincide.  CPU rates are sustained streaming
+    numbers (lattice QCD CPU kernels are bandwidth bound, like the GPU
+    ones). *)
+
+type cpu_socket = {
+  cpu_name : string;
+  sustained_bw : float;  (** bytes/s, streaming *)
+  flops : float;  (** DP flop/s sustained *)
+}
+
+(* AMD Opteron 6276: 8 Bulldozer modules, DDR3-1600, ~16 GB/s sustained
+   stream per socket, ~70 GFlops DP sustained. *)
+let interlagos = { cpu_name = "AMD-6276"; sustained_bw = 16.0e9; flops = 70.0e9 }
+
+type node = {
+  node_name : string;
+  sockets : int;
+  socket : cpu_socket;
+  gpu : Gpusim.Machine.t option;
+}
+
+let xe_node = { node_name = "XE"; sockets = 2; socket = interlagos; gpu = None }
+
+let xk_node =
+  { node_name = "XK"; sockets = 1; socket = interlagos; gpu = Some Gpusim.Machine.k20x_ecc_off }
+
+type machine = {
+  machine_name : string;
+  node : node;
+  network : Comms.Network.t;
+  jitter : float;  (** run-to-run fluctuation factor for reporting *)
+}
+
+let blue_waters_xk = { machine_name = "Blue Waters"; node = xk_node; network = Comms.Network.cray_gemini; jitter = 1.0 }
+let blue_waters_xe = { machine_name = "Blue Waters XE"; node = xe_node; network = Comms.Network.cray_gemini; jitter = 1.0 }
+
+(* Titan: same XK7 + Gemini; benchmark timings on the two systems
+   "are hardly distinguishable" (Sec. VIII-D). *)
+let titan = { machine_name = "Titan"; node = xk_node; network = Comms.Network.cray_gemini; jitter = 1.03 }

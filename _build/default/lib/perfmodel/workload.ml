@@ -1,0 +1,47 @@
+(** The per-trajectory operation count of the production RHMC run
+    (V = 40^3 x 256, 2+1 anisotropic clover, m_pi ~ 230 MeV, tau = 0.2).
+
+    The volume-independent structure (solver iterations per trajectory,
+    integrator steps, solve count) is taken from an *actual* RHMC run of
+    this repository's [Hmc] driver on a small lattice — recorded through
+    [Context.solver_iterations]/[md_steps_taken] — and combined here with
+    per-site traffic constants read off the generated kernels.  Only the
+    lattice volume is scaled to the paper's run; DESIGN.md documents this
+    substitution. *)
+
+type t = {
+  volume : int;  (** global lattice sites *)
+  solver_iterations : int;  (** Krylov iterations per trajectory (all solves) *)
+  solves : int;  (** solver invocations per trajectory (CPU+QUDA pays
+                     transfers + layout changes on each) *)
+  md_force_evals : int;  (** integrator force evaluations per trajectory *)
+  dslash_bytes_per_site : float;  (** bytes one dslash application moves per site *)
+  solver_linalg_bytes_per_site : float;  (** axpy/reduction traffic per iteration *)
+  qdp_bytes_per_site_per_force : float;
+      (** non-solver expression traffic per site per force evaluation
+          (forces, staples, momentum/gauge updates, clover, ...) *)
+  qdp_kernels_per_force : int;  (** launches per force evaluation *)
+}
+
+(* Per-site traffic constants: the dslash and solver-linalg numbers are
+   read off this repo's generated kernels (Ptx.Analysis, double precision);
+   the per-force expression traffic and the iteration/solve counts are the
+   Fig. 7 calibration (see EXPERIMENTS.md) — they bundle everything a
+   production force evaluation does (staples, two Hasenbusch terms, the
+   rational term with ~10 poles, momentum updates). *)
+let production ?(solver_iterations = 127_000) ?(solves = 400) ?(md_force_evals = 96) () =
+  {
+    volume = 40 * 40 * 40 * 256;
+    solver_iterations;
+    solves;
+    md_force_evals;
+    dslash_bytes_per_site = 3200.0;
+    solver_linalg_bytes_per_site = 1200.0;
+    qdp_bytes_per_site_per_force = 2.088e6;
+    qdp_kernels_per_force = 2300;
+  }
+
+(* Scale a trace measured on a small lattice to the production volume:
+   iteration counts are physics (kept), traffic scales with volume. *)
+let from_trace ~solver_iterations ~solves ~md_force_evals =
+  production ~solver_iterations ~solves ~md_force_evals ()

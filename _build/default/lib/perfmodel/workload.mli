@@ -1,0 +1,24 @@
+(** The per-trajectory operation count of the production RHMC run
+    (V = 40^3 x 256, 2+1 anisotropic clover, m_pi ~ 230 MeV, tau = 0.2).
+
+    The volume-independent structure (solver iterations per trajectory,
+    solve count, force evaluations) is measured from this repository's own
+    [Hmc] driver on a small lattice and combined with per-site traffic
+    constants read off the generated kernels; only the lattice volume is
+    scaled to the paper's run.  DESIGN.md documents this substitution. *)
+
+type t = {
+  volume : int;
+  solver_iterations : int;
+  solves : int;
+  md_force_evals : int;
+  dslash_bytes_per_site : float;
+  solver_linalg_bytes_per_site : float;
+  qdp_bytes_per_site_per_force : float;
+  qdp_kernels_per_force : int;
+}
+
+val production : ?solver_iterations:int -> ?solves:int -> ?md_force_evals:int -> unit -> t
+
+val from_trace : solver_iterations:int -> solves:int -> md_force_evals:int -> t
+(** Scale a trace measured on a small lattice to the production volume. *)

@@ -1,0 +1,108 @@
+(* xoshiro256++ by Blackman & Vigna, with splitmix64 for seeding and stream
+   splitting.  All arithmetic is on boxed int64 which is fast enough for the
+   noise volumes used here (tests and small-lattice HMC). *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable cached_gauss : float;
+  mutable has_cached : bool;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64 step: used to expand a 64-bit seed into the 256-bit state. *)
+let splitmix64 state =
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed =
+  let st = ref seed in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3; cached_gauss = 0.0; has_cached = false }
+
+let copy g = { g with s0 = g.s0 }
+
+let bits64 g =
+  let result = Int64.add (rotl (Int64.add g.s0 g.s3) 23) g.s0 in
+  let t = Int64.shift_left g.s1 17 in
+  g.s2 <- Int64.logxor g.s2 g.s0;
+  g.s3 <- Int64.logxor g.s3 g.s1;
+  g.s1 <- Int64.logxor g.s1 g.s2;
+  g.s0 <- Int64.logxor g.s0 g.s3;
+  g.s2 <- Int64.logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g ~index =
+  (* Derive a child seed by hashing the parent state with the index through
+     splitmix64; the parent state is not advanced. *)
+  let st = ref (Int64.logxor g.s0 (Int64.mul (Int64.of_int (index + 1)) 0xD1342543DE82EF95L)) in
+  let mix = Int64.logxor (splitmix64 st) g.s2 in
+  create ~seed:(Int64.logxor mix (Int64.of_int index))
+
+let float01 g =
+  (* Take the top 53 bits for a uniform double in [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform g ~lo ~hi = lo +. ((hi -. lo) *. float01 g)
+
+let int_below g n =
+  if n <= 0 then invalid_arg "Prng.int_below: n must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for n << 2^62. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 g) 1) (Int64.of_int n))
+
+let gaussian_pair g =
+  (* Box–Muller.  Guard against log 0 by excluding u1 = 0. *)
+  let rec nonzero () =
+    let u = float01 g in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () in
+  let u2 = float01 g in
+  let r = sqrt (-2.0 *. log u1) in
+  let theta = 2.0 *. Float.pi *. u2 in
+  (r *. cos theta, r *. sin theta)
+
+let gaussian g =
+  if g.has_cached then begin
+    g.has_cached <- false;
+    g.cached_gauss
+  end
+  else begin
+    let x, y = gaussian_pair g in
+    g.cached_gauss <- y;
+    g.has_cached <- true;
+    x
+  end
+
+(* Jump polynomial for xoshiro256++ (2^128 steps). *)
+let jump_table = [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
+
+let jump g =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun jp ->
+      for b = 0 to 63 do
+        if Int64.logand jp (Int64.shift_left 1L b) <> 0L then begin
+          s0 := Int64.logxor !s0 g.s0;
+          s1 := Int64.logxor !s1 g.s1;
+          s2 := Int64.logxor !s2 g.s2;
+          s3 := Int64.logxor !s3 g.s3
+        end;
+        ignore (bits64 g)
+      done)
+    jump_table;
+  g.s0 <- !s0;
+  g.s1 <- !s1;
+  g.s2 <- !s2;
+  g.s3 <- !s3

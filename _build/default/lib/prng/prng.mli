@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    LQCD gauge generation needs reproducible noise: momentum refreshment and
+    pseudofermion heatbaths draw gaussian vectors over the whole lattice, and
+    multi-rank runs must produce the same field content regardless of the
+    rank decomposition.  This module provides a xoshiro256++ generator with
+    [splitmix64] seeding, cheap stream splitting (one independent stream per
+    lattice site), and gaussian variates. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** Fresh generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> index:int -> t
+(** [split g ~index] derives an independent stream identified by [index]
+    without disturbing [g].  Splitting the same generator state with the
+    same index always yields the same stream; distinct indices give
+    decorrelated streams.  Used for per-site noise filling. *)
+
+val bits64 : t -> int64
+(** Next 64 uniformly distributed bits. *)
+
+val float01 : t -> float
+(** Uniform in [0,1) with 53-bit resolution. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [lo,hi). *)
+
+val int_below : t -> int -> int
+(** [int_below g n] is uniform in [0,n). Requires [n > 0]. *)
+
+val gaussian : t -> float
+(** Standard normal variate (Box–Muller; one value per call, the paired
+    value is cached). *)
+
+val gaussian_pair : t -> float * float
+(** Two independent standard normal variates. *)
+
+val jump : t -> unit
+(** Advance the state by 2^128 steps (xoshiro jump polynomial); used to
+    give long-lived parallel streams non-overlapping subsequences. *)

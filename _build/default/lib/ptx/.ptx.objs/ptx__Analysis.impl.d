@@ -1,0 +1,1 @@
+lib/ptx/analysis.ml: List Types

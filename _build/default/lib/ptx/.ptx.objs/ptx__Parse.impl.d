@@ -1,0 +1,1 @@
+lib/ptx/parse.ml: Buffer Int32 Int64 List Printf String Types

@@ -1,0 +1,1 @@
+lib/ptx/parse.mli: Types

@@ -1,0 +1,1 @@
+lib/ptx/print.ml: Buffer Hashtbl Int32 Int64 List Option Printf Types

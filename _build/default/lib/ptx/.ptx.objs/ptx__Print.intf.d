@@ -1,0 +1,1 @@
+lib/ptx/print.mli: Types

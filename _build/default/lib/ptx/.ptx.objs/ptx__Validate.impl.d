@@ -1,0 +1,1 @@
+lib/ptx/validate.ml: Array Hashtbl List Option Printf Types

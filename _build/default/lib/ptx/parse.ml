@@ -1,0 +1,299 @@
+(** PTX text parser — the front half of the simulated driver JIT.
+
+    Accepts the dialect produced by {!Print} (the code generators emit
+    nothing else), with free-form whitespace.  Errors raise {!Error} with a
+    line number, as a real assembler would. *)
+
+open Types
+
+exception Error of string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let dtype_of_suffix line = function
+  | "f32" -> F32
+  | "f64" -> F64
+  | "s32" -> S32
+  | "u32" -> U32
+  | "s64" -> S64
+  | "u64" -> U64
+  | "pred" -> Pred
+  | s -> fail line "unknown type suffix %S" s
+
+let parse_reg line s =
+  let prefix_table =
+    [ ("%fd", F64); ("%f", F32); ("%ru", U32); ("%rd", U64); ("%rs", S64); ("%r", S32); ("%p", Pred) ]
+  in
+  let rec go = function
+    | [] -> fail line "bad register %S" s
+    | (prefix, dt) :: rest ->
+        let pl = String.length prefix in
+        if String.length s > pl && String.sub s 0 pl = prefix then begin
+          match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+          | Some id -> { rtype = dt; id }
+          | None -> go rest
+        end
+        else go rest
+  in
+  go prefix_table
+
+let parse_operand line s =
+  if String.length s = 0 then fail line "empty operand"
+  else if s.[0] = '%' then Reg (parse_reg line s)
+  else if String.length s > 2 && s.[0] = '0' && (s.[1] = 'f' || s.[1] = 'F') && String.length s = 10
+  then
+    Imm_float (Int32.float_of_bits (Int32.of_string ("0x" ^ String.sub s 2 8)))
+  else if String.length s > 2 && s.[0] = '0' && (s.[1] = 'd' || s.[1] = 'D') then
+    Imm_float (Int64.float_of_bits (Int64.of_string ("0x" ^ String.sub s 2 16)))
+  else
+    match int_of_string_opt s with
+    | Some i -> Imm_int i
+    | None -> fail line "bad operand %S" s
+
+(* [%rd3+16] -> (reg, 16) *)
+let parse_address line s =
+  let s = String.trim s in
+  if String.length s < 2 || s.[0] <> '[' || s.[String.length s - 1] <> ']' then
+    fail line "bad address %S" s;
+  let inner = String.sub s 1 (String.length s - 2) in
+  match String.index_opt inner '+' with
+  | Some i ->
+      let r = parse_reg line (String.trim (String.sub inner 0 i)) in
+      let off = String.trim (String.sub inner (i + 1) (String.length inner - i - 1)) in
+      (r, int_of_string off)
+  | None -> (parse_reg line (String.trim inner), 0)
+
+let split_operands s =
+  (* Split on commas that are not inside brackets or parens. *)
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '[' | '(' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ']' | ')' ->
+          decr depth;
+          Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+          out := Buffer.contents buf :: !out;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  if Buffer.length buf > 0 then out := Buffer.contents buf :: !out;
+  List.rev_map String.trim !out
+
+let sreg_of_string = function
+  | "%tid.x" -> Some Tid_x
+  | "%ntid.x" -> Some Ntid_x
+  | "%ctaid.x" -> Some Ctaid_x
+  | "%nctaid.x" -> Some Nctaid_x
+  | _ -> None
+
+let cmp_of_string line = function
+  | "eq" -> Eq
+  | "ne" -> Ne
+  | "lt" -> Lt
+  | "le" -> Le
+  | "gt" -> Gt
+  | "ge" -> Ge
+  | s -> fail line "unknown comparison %S" s
+
+let parse_instr ~param_index line text =
+  let text = String.trim text in
+  let pred, text =
+    if String.length text > 0 && text.[0] = '@' then begin
+      match String.index_opt text ' ' with
+      | Some i ->
+          ( Some (parse_reg line (String.sub text 1 (i - 1))),
+            String.trim (String.sub text i (String.length text - i)) )
+      | None -> fail line "bad predicated instruction %S" text
+    end
+    else (None, text)
+  in
+  let opcode, rest =
+    match String.index_opt text ' ' with
+    | Some i -> (String.sub text 0 i, String.trim (String.sub text i (String.length text - i)))
+    | None -> (text, "")
+  in
+  let rest = String.trim rest in
+  let ops () = split_operands rest in
+  let parts = String.split_on_char '.' opcode in
+  match parts with
+  | [ "ret" ] -> Ret
+  | [ "bra"; "uni" ] -> Bra { label = rest; pred }
+  | [ "bra" ] -> Bra { label = rest; pred }
+  | [ "ld"; "param"; t ] -> (
+      let _ = dtype_of_suffix line t in
+      match ops () with
+      | [ dst; addr ] ->
+          let dst = parse_reg line dst in
+          let addr = String.trim addr in
+          if String.length addr >= 2 && addr.[0] = '[' && addr.[String.length addr - 1] = ']'
+          then
+            let name = String.trim (String.sub addr 1 (String.length addr - 2)) in
+            Ld_param { dst; param_index = param_index line name }
+          else fail line "bad param reference %S" addr
+      | _ -> fail line "ld.param arity")
+  | [ "ld"; "global"; t ] -> (
+      match ops () with
+      | [ dst; addr ] ->
+          let a, offset = parse_address line addr in
+          Ld_global { dtype = dtype_of_suffix line t; dst = parse_reg line dst; addr = a; offset }
+      | _ -> fail line "ld.global arity")
+  | [ "st"; "global"; t ] -> (
+      match ops () with
+      | [ addr; src ] ->
+          let a, offset = parse_address line addr in
+          St_global
+            { dtype = dtype_of_suffix line t; addr = a; offset; src = parse_operand line src }
+      | _ -> fail line "st.global arity")
+  | [ "mov"; t ] -> (
+      match ops () with
+      | [ dst; src ] -> (
+          let dstr = parse_reg line dst in
+          match sreg_of_string src with
+          | Some sr -> Mov_sreg { dst = dstr; src = sr }
+          | None ->
+              let _ = dtype_of_suffix line t in
+              Mov { dst = dstr; src = parse_operand line src })
+      | _ -> fail line "mov arity")
+  | [ "add"; t ] | [ "sub"; t ] | [ "mul"; t ] | [ "mul"; "lo"; t ] | [ "div"; t ]
+  | [ "div"; "rn"; t ] -> (
+      let dtype = dtype_of_suffix line t in
+      match ops () with
+      | [ dst; a; b ] -> (
+          let dst = parse_reg line dst in
+          let a = parse_operand line a and b = parse_operand line b in
+          match List.hd parts with
+          | "add" -> Add { dtype; dst; a; b }
+          | "sub" -> Sub { dtype; dst; a; b }
+          | "mul" -> Mul { dtype; dst; a; b }
+          | "div" -> Div { dtype; dst; a; b }
+          | _ -> assert false)
+      | _ -> fail line "3-operand arity")
+  | [ "fma"; "rn"; t ] | [ "mad"; "lo"; t ] -> (
+      let dtype = dtype_of_suffix line t in
+      match ops () with
+      | [ dst; a; b; c ] ->
+          Fma
+            {
+              dtype;
+              dst = parse_reg line dst;
+              a = parse_operand line a;
+              b = parse_operand line b;
+              c = parse_operand line c;
+            }
+      | _ -> fail line "fma arity")
+  | [ "neg"; t ] -> (
+      match ops () with
+      | [ dst; a ] ->
+          Neg { dtype = dtype_of_suffix line t; dst = parse_reg line dst; a = parse_operand line a }
+      | _ -> fail line "neg arity")
+  | "cvt" :: rest_parts -> (
+      (* cvt[.rn|.rzi].<dst>.<src> *)
+      match List.rev rest_parts with
+      | src :: dst :: _ -> (
+          let _ = dtype_of_suffix line dst and _ = dtype_of_suffix line src in
+          match ops () with
+          | [ d; s ] -> Cvt { dst = parse_reg line d; src = parse_reg line s }
+          | _ -> fail line "cvt arity")
+      | _ -> fail line "bad cvt opcode %S" opcode)
+  | [ "setp"; c; t ] -> (
+      match ops () with
+      | [ dst; a; b ] ->
+          Setp
+            {
+              cmp = cmp_of_string line c;
+              dtype = dtype_of_suffix line t;
+              dst = parse_reg line dst;
+              a = parse_operand line a;
+              b = parse_operand line b;
+            }
+      | _ -> fail line "setp arity")
+  | [ "call"; "uni" ] -> (
+      match ops () with
+      | [ ret; func; arg ] ->
+          let strip_parens s =
+            let s = String.trim s in
+            if String.length s >= 2 && s.[0] = '(' && s.[String.length s - 1] = ')' then
+              String.trim (String.sub s 1 (String.length s - 2))
+            else fail line "bad call operand %S" s
+          in
+          Call
+            {
+              func = String.trim func;
+              ret = parse_reg line (strip_parens ret);
+              arg = parse_reg line (strip_parens arg);
+            }
+      | _ -> fail line "call arity")
+  | _ -> fail line "unknown opcode %S" opcode
+
+let kernel text =
+  let lines = String.split_on_char '\n' text in
+  let kname = ref "" in
+  let params = ref [] in
+  let body = ref [] in
+  let in_body = ref false in
+  List.iteri
+    (fun lineno raw ->
+      let line = lineno + 1 in
+      let no_comment =
+        let len = String.length raw in
+        let cut = ref len in
+        for i = 0 to len - 2 do
+          if !cut = len && raw.[i] = '/' && raw.[i + 1] = '/' then cut := i
+        done;
+        String.sub raw 0 !cut
+      in
+      let s = String.trim no_comment in
+      if s = "" then ()
+      else if String.length s >= 2 && String.sub s 0 2 = "//" then ()
+      else if s = "{" then in_body := true
+      else if s = "}" then in_body := false
+      else if not !in_body then begin
+        if
+          String.length s > 8
+          && (String.sub s 0 8 = ".version" || String.sub s 0 7 = ".target")
+        then ()
+        else if String.length s >= 7 && String.sub s 0 7 = ".target" then ()
+        else if String.length s >= 13 && String.sub s 0 13 = ".address_size" then ()
+        else if String.length s >= 15 && String.sub s 0 15 = ".visible .entry" then begin
+          let after = String.trim (String.sub s 15 (String.length s - 15)) in
+          let name = match String.index_opt after '(' with
+            | Some i -> String.sub after 0 i
+            | None -> after
+          in
+          kname := String.trim name
+        end
+        else if String.length s >= 6 && String.sub s 0 6 = ".param" then begin
+          (* .param .u64 kname_param_0[,] *)
+          let s = if s.[String.length s - 1] = ',' then String.sub s 0 (String.length s - 1) else s in
+          match String.split_on_char ' ' s |> List.filter (fun x -> x <> "") with
+          | [ _; dot_t; pname ] ->
+              let t = dtype_of_suffix line (String.sub dot_t 1 (String.length dot_t - 1)) in
+              params := { pname; ptype = t } :: !params
+          | _ -> fail line "bad .param line %S" s
+        end
+        else if s = ")" then ()
+        else fail line "unexpected header line %S" s
+      end
+      else if String.length s >= 4 && String.sub s 0 4 = ".reg" then ()
+      else if String.length s > 1 && s.[String.length s - 1] = ':' then
+        body := Label (String.sub s 0 (String.length s - 1)) :: !body
+      else begin
+        let s = if s.[String.length s - 1] = ';' then String.sub s 0 (String.length s - 1) else s in
+        let param_index line name =
+          let rec go i = function
+            | [] -> fail line "unknown parameter %S" name
+            | p :: rest -> if p.pname = name then i else go (i + 1) rest
+          in
+          go 0 (List.rev !params)
+        in
+        body := parse_instr ~param_index line s :: !body
+      end)
+    lines;
+  if !kname = "" then raise (Error "no .entry found");
+  { kname = !kname; params = List.rev !params; body = List.rev !body }

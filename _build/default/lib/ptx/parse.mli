@@ -1,0 +1,10 @@
+(** PTX text parser — the front half of the simulated driver JIT.
+
+    Accepts the dialect produced by {!Print} (the code generators emit
+    nothing else) with free-form whitespace; parameters are resolved by
+    name.  Errors raise {!Error} with a line number, as a real assembler
+    would. *)
+
+exception Error of string
+
+val kernel : string -> Types.kernel

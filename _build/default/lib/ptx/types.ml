@@ -1,0 +1,94 @@
+(** The PTX subset emitted by the QDP-JIT code generators.
+
+    PTX (Parallel Thread Execution) is NVIDIA's virtual ISA; the paper's
+    kernels are written directly in it and handed to the driver JIT
+    (Fig. 2).  This module is the typed in-memory form.  The printer
+    ({!Print}) emits real PTX text and the parser ({!Parse}) — standing in
+    for the driver — reads the text back; the simulated device executes the
+    parsed form. *)
+
+type dtype = F32 | F64 | S32 | U32 | S64 | U64 | Pred
+
+(** Virtual register: a class (by [dtype]) and an index within it. *)
+type reg = { rtype : dtype; id : int }
+
+type operand = Reg of reg | Imm_float of float | Imm_int of int
+
+(** Comparison operators for [setp]. *)
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+(** Special (read-only) registers. *)
+type sreg = Tid_x | Ntid_x | Ctaid_x | Nctaid_x
+
+type instr =
+  | Ld_param of { dst : reg; param_index : int }
+      (** ld.param.<t> %r, [kernel_param_<i>]; *)
+  | Ld_global of { dtype : dtype; dst : reg; addr : reg; offset : int }
+      (** ld.global.<t> %r, [%rd + offset]; *)
+  | St_global of { dtype : dtype; addr : reg; offset : int; src : operand }
+  | Mov of { dst : reg; src : operand }
+  | Mov_sreg of { dst : reg; src : sreg }
+  | Add of { dtype : dtype; dst : reg; a : operand; b : operand }
+  | Sub of { dtype : dtype; dst : reg; a : operand; b : operand }
+  | Mul of { dtype : dtype; dst : reg; a : operand; b : operand }
+      (** integer flavours are mul.lo *)
+  | Div of { dtype : dtype; dst : reg; a : operand; b : operand }
+      (** printed div.rn for floats *)
+  | Fma of { dtype : dtype; dst : reg; a : operand; b : operand; c : operand }
+      (** fma.rn float only; mad.lo for ints *)
+  | Neg of { dtype : dtype; dst : reg; a : operand }
+  | Cvt of { dst : reg; src : reg }  (** cvt.<dst.t>.<src.t> with rn where needed *)
+  | Setp of { cmp : cmp; dtype : dtype; dst : reg; a : operand; b : operand }
+  | Bra of { label : string; pred : reg option }  (** [@%p] bra LABEL; *)
+  | Label of string
+  | Call of { func : string; ret : reg; arg : reg }
+      (** call.uni (ret), func, (arg): pre-generated math subroutines
+          (Sec. III-D); the simulated driver links them natively. *)
+  | Ret
+
+(** Kernel parameter declaration. *)
+type param = { pname : string; ptype : dtype }
+
+type kernel = { kname : string; params : param list; body : instr list }
+
+let dtype_suffix = function
+  | F32 -> "f32"
+  | F64 -> "f64"
+  | S32 -> "s32"
+  | U32 -> "u32"
+  | S64 -> "s64"
+  | U64 -> "u64"
+  | Pred -> "pred"
+
+(* Register class prefixes follow NVCC conventions. *)
+let reg_prefix = function
+  | F32 -> "%f"
+  | F64 -> "%fd"
+  | S32 -> "%r"
+  | U32 -> "%ru"
+  | S64 -> "%rs"
+  | U64 -> "%rd"
+  | Pred -> "%p"
+
+let reg_name r = Printf.sprintf "%s%d" (reg_prefix r.rtype) r.id
+
+let cmp_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let sreg_name = function
+  | Tid_x -> "%tid.x"
+  | Ntid_x -> "%ntid.x"
+  | Ctaid_x -> "%ctaid.x"
+  | Nctaid_x -> "%nctaid.x"
+
+let is_float = function F32 | F64 -> true | S32 | U32 | S64 | U64 | Pred -> false
+let is_int = function S32 | U32 | S64 | U64 -> true | F32 | F64 | Pred -> false
+let dtype_bytes = function
+  | F32 | S32 | U32 -> 4
+  | F64 | S64 | U64 -> 8
+  | Pred -> 1

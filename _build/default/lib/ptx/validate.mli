@@ -1,0 +1,8 @@
+(** Static checks a real assembler would perform: every register is
+    written before it is read (the generators emit forward-branching
+    straight-line code, so textual order is execution order), branch
+    targets exist, and operand/instruction types agree. *)
+
+exception Invalid of string
+
+val kernel : Types.kernel -> unit

@@ -1,0 +1,1 @@
+lib/qdp/eval_cpu.ml: Array Expr Field Layout Linalg Printf Subset

@@ -1,0 +1,1 @@
+lib/qdp/eval_cpu.mli: Expr Field Layout Linalg Subset

@@ -1,0 +1,1 @@
+lib/qdp/expr.ml: Array Buffer Field Hashtbl Layout Linalg List Printf String

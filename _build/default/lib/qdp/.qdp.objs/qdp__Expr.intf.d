@@ -1,0 +1,1 @@
+lib/qdp/expr.mli: Field Layout

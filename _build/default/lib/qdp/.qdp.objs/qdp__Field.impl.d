@@ -1,0 +1,1 @@
+lib/qdp/field.ml: Array Bigarray Layout Printf Prng

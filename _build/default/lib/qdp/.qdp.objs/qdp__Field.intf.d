@@ -1,0 +1,1 @@
+lib/qdp/field.mli: Bigarray Layout Prng

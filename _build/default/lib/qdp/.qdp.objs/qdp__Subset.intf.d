@@ -1,0 +1,1 @@
+lib/qdp/subset.mli: Layout

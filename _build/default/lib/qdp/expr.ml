@@ -1,0 +1,279 @@
+(** Data-parallel expressions — the abstract syntax trees of Fig. 3.
+
+    QDP++ builds these with expression templates (PETE proxy objects nested
+    by the C++ compiler); here they are a plain variant.  Smart
+    constructors type-check shapes eagerly, mirroring the C++ template
+    instantiation errors, so an ill-typed expression never reaches an
+    evaluator.  Leaves refer to fields; [Shift] is the map/stencil node
+    displacing its subtree by one site along a dimension (Sec. II-C). *)
+
+module Shape = Layout.Shape
+
+type unop =
+  | Neg
+  | Conj
+  | Adj
+  | Transpose
+  | Times_i
+  | Trace_color
+  | Trace_spin
+  | Real
+  | Imag
+  | Norm2_local
+      (** per-site |.|^2 (internal: powers the norm2 reduction) *)
+  | Compress  (** SU(3) -> 2-row compressed gauge storage *)
+  | Reconstruct  (** compressed -> full SU(3) via conj cross product *)
+
+type binop = Add | Sub | Mul | Outer_color | Inner_local
+
+type t =
+  | Leaf of Field.t
+  | Const of Shape.t * float array
+      (** compile-time element (e.g. gamma matrices): folded into the
+          generated code, part of the kernel-cache key *)
+  | Param of Shape.t * float array
+      (** runtime scalar leaf (solver coefficients): becomes a kernel
+          parameter, so kernels are reused across values *)
+  | Unary of unop * t
+  | Binary of binop * t * t
+  | Shift of t * int * int  (** subtree, dimension, direction (+-1) *)
+  | Clover of t * t * t  (** diag, tri, fermion (Sec. VI-A) *)
+
+let rec shape = function
+  | Leaf f -> f.Field.shape
+  | Const (s, _) | Param (s, _) -> s
+  | Unary (op, e) -> (
+      let s = shape e in
+      match op with
+      | Neg | Conj | Times_i -> s
+      | Adj -> Linalg.Algebra.adj_shape s
+      | Transpose -> Linalg.Algebra.transpose_shape s
+      | Trace_color -> Linalg.Algebra.trace_color_shape s
+      | Trace_spin -> Linalg.Algebra.trace_spin_shape s
+      | Real | Imag -> Linalg.Algebra.real_shape s
+      | Norm2_local -> Shape.real_scalar s.Shape.prec
+      | Compress -> Linalg.Algebra.compress_shape s
+      | Reconstruct -> Linalg.Algebra.reconstruct_shape s)
+  | Binary (op, a, b) -> (
+      let sa = shape a and sb = shape b in
+      match op with
+      | Add | Sub -> Linalg.Algebra.add_shape sa sb
+      | Mul -> Linalg.Algebra.mul_shape sa sb
+      | Outer_color -> Linalg.Algebra.outer_color_shape sa sb
+      | Inner_local ->
+          if not (Shape.equal_modulo_prec sa sb) then
+            raise (Linalg.Algebra.Type_error "inner_local: shape mismatch");
+          Shape.complex_scalar (Shape.promote_prec sa.Shape.prec sb.Shape.prec))
+  | Shift (e, _, _) -> shape e
+  | Clover (diag, tri, psi) ->
+      Linalg.Algebra.clover_shapes ~diag:(shape diag) ~tri:(shape tri) ~psi:(shape psi)
+
+(* Smart constructors: type-check at construction time. *)
+let check e =
+  ignore (shape e);
+  e
+
+let field f = Leaf f
+let const s v =
+  if Array.length v <> Shape.dof s then invalid_arg "Expr.const: component count mismatch";
+  Const (s, Array.copy v)
+
+let const_real ?(prec = Shape.F64) x = Param (Shape.real_scalar prec, [| x |])
+let const_complex ?(prec = Shape.F64) re im = Param (Shape.complex_scalar prec, [| re; im |])
+
+let embedded_real ?(prec = Shape.F64) x = Const (Shape.real_scalar prec, [| x |])
+
+let add a b = check (Binary (Add, a, b))
+let sub a b = check (Binary (Sub, a, b))
+let mul a b = check (Binary (Mul, a, b))
+let outer_color a b = check (Binary (Outer_color, a, b))
+let neg e = check (Unary (Neg, e))
+let conj e = check (Unary (Conj, e))
+let adj e = check (Unary (Adj, e))
+let transpose e = check (Unary (Transpose, e))
+let times_i e = check (Unary (Times_i, e))
+let trace_color e = check (Unary (Trace_color, e))
+let trace_spin e = check (Unary (Trace_spin, e))
+let real e = check (Unary (Real, e))
+let imag e = check (Unary (Imag, e))
+let norm2_local e = check (Unary (Norm2_local, e))
+let compress e = check (Unary (Compress, e))
+let reconstruct e = check (Unary (Reconstruct, e))
+let inner_local a b = check (Binary (Inner_local, a, b))
+
+let shift e ~dim ~dir =
+  if dir <> 1 && dir <> -1 then invalid_arg "Expr.shift: dir must be +-1";
+  if dim < 0 then invalid_arg "Expr.shift: negative dimension";
+  check (Shift (e, dim, dir))
+
+let clover ~diag ~tri psi = check (Clover (diag, tri, psi))
+
+(* Operators for expression-heavy call sites (the QDP++ infix style). *)
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( ~- ) = neg
+  let ( !! ) = field
+end
+
+(* All distinct leaf fields, in first-visit order: the references the memory
+   cache must make device-resident before a launch (Sec. IV). *)
+let leaves e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Leaf f ->
+        if not (Hashtbl.mem seen f.Field.id) then begin
+          Hashtbl.replace seen f.Field.id ();
+          out := f :: !out
+        end
+    | Const _ | Param _ -> ()
+    | Unary (_, e) -> go e
+    | Binary (_, a, b) ->
+        go a;
+        go b
+    | Shift (e, _, _) -> go e
+    | Clover (a, b, c) ->
+        go a;
+        go b;
+        go c
+  in
+  go e;
+  List.rev !out
+
+(* Runtime scalar parameters in deterministic traversal order; the engine
+   binds their current values in this same order at launch time. *)
+let params e =
+  let out = ref [] in
+  let rec go = function
+    | Leaf _ | Const _ -> ()
+    | Param (s, v) -> out := (s, v) :: !out
+    | Unary (_, e) -> go e
+    | Binary (_, a, b) ->
+        go a;
+        go b
+    | Shift (e, _, _) -> go e
+    | Clover (a, b, c) ->
+        go a;
+        go b;
+        go c
+  in
+  go e;
+  List.rev !out
+
+(* Shift (dim, dir) pairs used anywhere in the expression: the neighbour
+   tables a kernel will need. *)
+let shift_dirs e =
+  let seen = Hashtbl.create 8 in
+  let rec go = function
+    | Leaf _ | Const _ | Param _ -> ()
+    | Unary (_, e) -> go e
+    | Binary (_, a, b) ->
+        go a;
+        go b
+    | Shift (e, dim, dir) ->
+        Hashtbl.replace seen (dim, dir) ();
+        go e
+    | Clover (a, b, c) ->
+        go a;
+        go b;
+        go c
+  in
+  go e;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
+
+let has_shift e = shift_dirs e <> []
+
+let unop_name = function
+  | Neg -> "neg"
+  | Conj -> "conj"
+  | Adj -> "adj"
+  | Transpose -> "transpose"
+  | Times_i -> "timesI"
+  | Trace_color -> "traceColor"
+  | Trace_spin -> "traceSpin"
+  | Real -> "real"
+  | Imag -> "imag"
+  | Norm2_local -> "localNorm2"
+  | Compress -> "compress"
+  | Reconstruct -> "reconstruct12"
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Outer_color -> "outerColor"
+  | Inner_local -> "localInnerProduct"
+
+(* Structural key for the kernel cache: field *identities* are erased (a
+   leaf contributes its shape and its positional slot in the deduplicated
+   leaf list), so the same kernel is reused for any fields of matching
+   structure.  The slot matters: the generated kernel binds one pointer per
+   *distinct* field, so `b + D b` and `b + D x` need different kernels even
+   though their trees look alike. *)
+let structure_key ~dest_shape e =
+  let slot_of =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i (f : Field.t) -> Hashtbl.replace tbl f.Field.id i) (leaves e);
+    fun (f : Field.t) -> Hashtbl.find tbl f.Field.id
+  in
+  let buf = Buffer.create 128 in
+  let add = Buffer.add_string buf in
+  let rec go = function
+    | Leaf f -> add (Printf.sprintf "L%d[%s]" (slot_of f) (Shape.to_string f.Field.shape))
+    | Const (s, v) ->
+        add (Printf.sprintf "K[%s;" (Shape.to_string s));
+        Array.iter (fun x -> add (Printf.sprintf "%h," x)) v;
+        add "]"
+    | Param (s, _) -> add (Printf.sprintf "P[%s]" (Shape.to_string s))
+    | Unary (op, e) ->
+        add (unop_name op);
+        add "(";
+        go e;
+        add ")"
+    | Binary (op, a, b) ->
+        add "(";
+        go a;
+        add (binop_name op);
+        go b;
+        add ")"
+    | Shift (e, dim, dir) ->
+        add (Printf.sprintf "shift%d%+d(" dim dir);
+        go e;
+        add ")"
+    | Clover (a, b, c) ->
+        add "clover(";
+        go a;
+        add ",";
+        go b;
+        add ",";
+        go c;
+        add ")"
+  in
+  add (Shape.to_string dest_shape);
+  add "=";
+  go e;
+  Buffer.contents buf
+
+(* Human-readable AST rendering (the Fig. 3 tree), for the quickstart
+   example and debugging. *)
+let rec render ?(indent = 0) e =
+  let pad = String.make (2 * indent) ' ' in
+  match e with
+  | Leaf f -> Printf.sprintf "%sLattice %s : %s\n" pad f.Field.name (Shape.to_string f.Field.shape)
+  | Const (s, _) -> Printf.sprintf "%sConst : %s\n" pad (Shape.to_string s)
+  | Param (s, _) -> Printf.sprintf "%sScalarParam : %s\n" pad (Shape.to_string s)
+  | Unary (op, e) -> Printf.sprintf "%sUnaryNode (%s)\n%s" pad (unop_name op) (render ~indent:(indent + 1) e)
+  | Binary (op, a, b) ->
+      Printf.sprintf "%sBinaryNode (%s)\n%s%s" pad (binop_name op)
+        (render ~indent:(indent + 1) a)
+        (render ~indent:(indent + 1) b)
+  | Shift (e, dim, dir) ->
+      Printf.sprintf "%sUnaryNode (Map: shift dim=%d dir=%+d)\n%s" pad dim dir
+        (render ~indent:(indent + 1) e)
+  | Clover (a, b, c) ->
+      Printf.sprintf "%sCloverNode\n%s%s%s" pad
+        (render ~indent:(indent + 1) a)
+        (render ~indent:(indent + 1) b)
+        (render ~indent:(indent + 1) c)

@@ -1,0 +1,125 @@
+(** Lattice field containers — the outer [Lattice] level of the type
+    hierarchy.
+
+    Host storage is array-of-structures order ({!Layout.Index.Aos}) in a
+    Bigarray of the field's precision.  Every field carries a unique id
+    (the GPU software cache keys on it) and a version counter bumped on
+    host writes so a stale device copy can be detected.  The
+    [before_host_read]/[before_host_write] hooks are installed by the
+    memory cache: they page device-dirty data back before the host touches
+    it — the "data fields are paged out when accessed by CPU code" rule of
+    Sec. IV. *)
+
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Index = Layout.Index
+
+type storage =
+  | S32 of (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+  | S64 of (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  id : int;
+  name : string;
+  shape : Shape.t;
+  geom : Geometry.t;
+  storage : storage;
+  mutable version : int;
+  mutable before_host_read : t -> unit;
+  mutable before_host_write : t -> unit;
+}
+
+let next_id = ref 0
+
+let create ?(name = "") shape geom =
+  Shape.validate shape;
+  let n = Geometry.volume geom * Shape.dof shape in
+  let storage =
+    match shape.Shape.prec with
+    | Shape.F32 ->
+        let a = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout n in
+        Bigarray.Array1.fill a 0.0;
+        S32 a
+    | Shape.F64 ->
+        let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+        Bigarray.Array1.fill a 0.0;
+        S64 a
+  in
+  incr next_id;
+  let id = !next_id in
+  let name = if name = "" then Printf.sprintf "field%d" id else name in
+  {
+    id;
+    name;
+    shape;
+    geom;
+    storage;
+    version = 0;
+    before_host_read = (fun _ -> ());
+    before_host_write = (fun _ -> ());
+  }
+
+let volume t = Geometry.volume t.geom
+let dof t = Shape.dof t.shape
+let bytes t = volume t * Shape.bytes_per_site t.shape
+
+let raw_get t i = match t.storage with S32 a -> a.{i} | S64 a -> a.{i}
+let raw_set t i v = match t.storage with S32 a -> a.{i} <- v | S64 a -> a.{i} <- v
+
+let offset t ~site ~spin ~color ~reality =
+  Index.offset Index.Aos t.shape ~nsites:(volume t) ~site ~spin ~color ~reality
+
+let get t ~site ~spin ~color ~reality =
+  t.before_host_read t;
+  raw_get t (offset t ~site ~spin ~color ~reality)
+
+let set t ~site ~spin ~color ~reality v =
+  t.before_host_write t;
+  t.version <- t.version + 1;
+  raw_set t (offset t ~site ~spin ~color ~reality) v
+
+(* Whole-site access in canonical component order. *)
+let get_site t ~site =
+  t.before_host_read t;
+  let d = dof t in
+  Array.init d (fun k -> raw_get t ((site * d) + k))
+
+let set_site t ~site comps =
+  t.before_host_write t;
+  t.version <- t.version + 1;
+  let d = dof t in
+  if Array.length comps <> d then invalid_arg "Field.set_site: component count mismatch";
+  Array.iteri (fun k v -> raw_set t ((site * d) + k) v) comps
+
+let fill_constant t v =
+  t.before_host_write t;
+  t.version <- t.version + 1;
+  match t.storage with S32 a -> Bigarray.Array1.fill a v | S64 a -> Bigarray.Array1.fill a v
+
+(* Reproducible noise: each site draws from its own split stream keyed by
+   the site index, so the content is decomposition-independent when keyed
+   by global site. *)
+let fill_gaussian ?(site_key = fun site -> site) t rng =
+  t.before_host_write t;
+  t.version <- t.version + 1;
+  let d = dof t in
+  for site = 0 to volume t - 1 do
+    let g = Prng.split rng ~index:(site_key site) in
+    for k = 0 to d - 1 do
+      raw_set t ((site * d) + k) (Prng.gaussian g)
+    done
+  done
+
+let copy_from ~dst ~src =
+  if not (Shape.equal dst.shape src.shape) then invalid_arg "Field.copy_from: shape mismatch";
+  if volume dst <> volume src then invalid_arg "Field.copy_from: volume mismatch";
+  src.before_host_read src;
+  dst.before_host_write dst;
+  dst.version <- dst.version + 1;
+  match (dst.storage, src.storage) with
+  | S32 d, S32 s -> Bigarray.Array1.blit s d
+  | S64 d, S64 s -> Bigarray.Array1.blit s d
+  | _ -> assert false
+
+(* Direct storage access for the memory cache (no coherence hooks). *)
+let unsafe_storage t = t.storage

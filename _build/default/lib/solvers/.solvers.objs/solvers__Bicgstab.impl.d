@@ -1,0 +1,1 @@
+lib/solvers/bicgstab.ml: Ops Qdp

@@ -1,0 +1,1 @@
+lib/solvers/bicgstab.mli: Ops Qdp

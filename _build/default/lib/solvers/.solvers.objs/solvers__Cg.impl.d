@@ -1,0 +1,1 @@
+lib/solvers/cg.ml: Ops Qdp

@@ -1,0 +1,1 @@
+lib/solvers/cg.mli: Ops Qdp

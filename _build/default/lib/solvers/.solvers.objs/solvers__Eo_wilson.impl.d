@@ -1,0 +1,1 @@
+lib/solvers/eo_wilson.ml: Cg Lqcd Ops Qdp

@@ -1,0 +1,1 @@
+lib/solvers/eo_wilson.mli: Lqcd Ops Qdp

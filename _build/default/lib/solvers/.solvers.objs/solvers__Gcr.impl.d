@@ -1,0 +1,1 @@
+lib/solvers/gcr.ml: Array Ops Qdp

@@ -1,0 +1,1 @@
+lib/solvers/gcr.mli: Ops Qdp

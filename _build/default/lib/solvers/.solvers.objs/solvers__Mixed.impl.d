@@ -1,0 +1,1 @@
+lib/solvers/mixed.ml: Cg Layout Ops Qdp

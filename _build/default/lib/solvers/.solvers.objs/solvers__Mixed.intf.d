@@ -1,0 +1,1 @@
+lib/solvers/mixed.mli: Ops Qdp

@@ -1,0 +1,1 @@
+lib/solvers/multishift_cg.ml: Array Ops Qdp

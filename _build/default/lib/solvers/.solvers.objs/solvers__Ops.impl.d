@@ -1,0 +1,1 @@
+lib/solvers/ops.ml: Layout Lqcd Qdp Qdpjit

@@ -1,0 +1,1 @@
+lib/solvers/quda_like.ml: Gcr Mixed

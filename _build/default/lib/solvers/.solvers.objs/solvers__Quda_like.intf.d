@@ -1,0 +1,1 @@
+lib/solvers/quda_like.mli: Gcr Mixed Ops Qdp

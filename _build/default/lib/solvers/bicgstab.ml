@@ -1,0 +1,79 @@
+(** BiCGStab for the (non-Hermitian) Wilson operator itself — avoids the
+    squared condition number of the normal equations. *)
+
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+
+type result = { iterations : int; residual : float; converged : bool }
+
+let c_mul (ar, ai) (br, bi) = ((ar *. br) -. (ai *. bi), (ar *. bi) +. (ai *. br))
+let c_div (ar, ai) (br, bi) =
+  let d = (br *. br) +. (bi *. bi) in
+  (((ar *. br) +. (ai *. bi)) /. d, ((ai *. br) -. (ar *. bi)) /. d)
+
+let c_neg (re, im) = (-.re, -.im)
+let c_norm2 (re, im) = (re *. re) +. (im *. im)
+
+let solve (ops : Ops.t) (op : Ops.linop) ~b ~x ?(tol = 1e-8) ?(max_iter = 2000) () =
+  let f = Expr.field in
+  let cxpy = Ops.cxpy in
+  let r = ops.Ops.fresh () in
+  let r0 = ops.Ops.fresh () in
+  let p = ops.Ops.fresh () in
+  let v = ops.Ops.fresh () in
+  let s = ops.Ops.fresh () in
+  let t = ops.Ops.fresh () in
+  op.Ops.apply v x;
+  ops.Ops.assign r (Expr.sub (f b) (f v));
+  ops.Ops.assign r0 (f r);
+  ops.Ops.assign p (f r);
+  let b_norm = sqrt (ops.Ops.norm2 (f b)) in
+  let scale = if b_norm > 0.0 then b_norm else 1.0 in
+  let rho = ref (ops.Ops.inner (f r0) (f r)) in
+  let iter = ref 0 in
+  let res = ref (sqrt (ops.Ops.norm2 (f r))) in
+  let converged = ref (!res <= tol *. scale) in
+  let broke_down = ref false in
+  while (not !converged) && (not !broke_down) && !iter < max_iter do
+    incr iter;
+    op.Ops.apply v p;
+    let r0v = ops.Ops.inner (f r0) (f v) in
+    if c_norm2 r0v = 0.0 then broke_down := true
+    else begin
+      let alpha = c_div !rho r0v in
+      ops.Ops.assign s (cxpy ~alpha:(c_neg alpha) v r);
+      let s_norm = sqrt (ops.Ops.norm2 (f s)) in
+      if s_norm <= tol *. scale then begin
+        ops.Ops.assign x (cxpy ~alpha p x);
+        res := s_norm;
+        converged := true
+      end
+      else begin
+        op.Ops.apply t s;
+        let tt = ops.Ops.norm2 (f t) in
+        if tt = 0.0 then broke_down := true
+        else begin
+          let ts = ops.Ops.inner (f t) (f s) in
+          let omega = (fst ts /. tt, snd ts /. tt) in
+          (* x += alpha p + omega s *)
+          ops.Ops.assign x (cxpy ~alpha p x);
+          ops.Ops.assign x (cxpy ~alpha:omega s x);
+          ops.Ops.assign r (cxpy ~alpha:(c_neg omega) t s);
+          res := sqrt (ops.Ops.norm2 (f r));
+          if !res <= tol *. scale then converged := true
+          else begin
+            let rho_new = ops.Ops.inner (f r0) (f r) in
+            if c_norm2 rho_new = 0.0 || c_norm2 omega = 0.0 then broke_down := true
+            else begin
+              let beta = c_mul (c_div rho_new !rho) (c_div alpha omega) in
+              (* p = r + beta (p - omega v) *)
+              ops.Ops.assign p (cxpy ~alpha:(c_neg omega) v p);
+              ops.Ops.assign p (cxpy ~alpha:beta p r);
+              rho := rho_new
+            end
+          end
+        end
+      end
+    end
+  done;
+  { iterations = !iter; residual = !res /. scale; converged = !converged }

@@ -1,0 +1,16 @@
+(** BiCGStab for the (non-Hermitian) Wilson operator itself — avoids the
+    squared condition number of the normal equations. *)
+
+type result = { iterations : int; residual : float; converged : bool }
+
+val solve :
+  Ops.t ->
+  Ops.linop ->
+  b:Qdp.Field.t ->
+  x:Qdp.Field.t ->
+  ?tol:float ->
+  ?max_iter:int ->
+  unit ->
+  result
+(** Converged = relative residual below [tol]; breakdowns (rho or omega
+    vanishing) terminate honestly with [converged = false]. *)

@@ -1,0 +1,35 @@
+(** Conjugate gradients for Hermitian positive-definite operators
+    (the normal equations M^dag M x = b of the Wilson solves). *)
+
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+
+type result = { iterations : int; residual : float; converged : bool }
+
+let solve (ops : Ops.t) (op : Ops.linop) ~b ~x ?(tol = 1e-8) ?(max_iter = 1000) () =
+  let f = Expr.field in
+  let r = ops.Ops.fresh () and p = ops.Ops.fresh () and ap = ops.Ops.fresh () in
+  (* r = b - A x ; p = r *)
+  op.Ops.apply ap x;
+  ops.Ops.assign r (Expr.sub (f b) (f ap));
+  ops.Ops.assign p (f r);
+  let b_norm = sqrt (ops.Ops.norm2 (f b)) in
+  let target = tol *. (if b_norm > 0.0 then b_norm else 1.0) in
+  let rr = ref (ops.Ops.norm2 (f r)) in
+  let iter = ref 0 in
+  let converged = ref (sqrt !rr <= target) in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    op.Ops.apply ap p;
+    let pap, _ = ops.Ops.inner (f p) (f ap) in
+    if pap <= 0.0 then failwith "Cg.solve: operator is not positive definite";
+    let alpha = !rr /. pap in
+    ops.Ops.assign x (Ops.rxpy ~alpha p x);
+    ops.Ops.assign r (Ops.rxpy ~alpha:(-.alpha) ap r);
+    let rr_new = ops.Ops.norm2 (f r) in
+    let beta = rr_new /. !rr in
+    ops.Ops.assign p (Ops.rxpy ~alpha:beta p r);
+    rr := rr_new;
+    if sqrt !rr <= target then converged := true
+  done;
+  { iterations = !iter; residual = sqrt !rr /. (if b_norm > 0.0 then b_norm else 1.0); converged = !converged }

@@ -1,0 +1,18 @@
+(** Conjugate gradients for Hermitian positive-definite operators (the
+    normal equations M^dag M x = b of the Wilson solves). *)
+
+type result = { iterations : int; residual : float; converged : bool }
+
+val solve :
+  Ops.t ->
+  Ops.linop ->
+  b:Qdp.Field.t ->
+  x:Qdp.Field.t ->
+  ?tol:float ->
+  ?max_iter:int ->
+  unit ->
+  result
+(** Solve A x = b to relative residual [tol] (default 1e-8), starting from
+    the current content of [x].  Subset-restricted [Ops.t] instances give
+    checkerboarded solves.  Raises [Failure] if the operator is detected
+    to be non-positive. *)

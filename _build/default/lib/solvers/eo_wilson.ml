@@ -1,0 +1,81 @@
+(** Even-odd (red-black) preconditioned Wilson solves.
+
+    The hopping term only connects opposite parities, so with
+    M = 1 - kappa D,
+
+      M = [ 1           -kappa D_eo ]
+          [ -kappa D_oe  1          ]
+
+    and the Schur complement on the even checkerboard is
+
+      Mhat = 1 - kappa^2 D_eo D_oe.
+
+    Solving [Mhat x_e = b_e + kappa D_eo b_o] and reconstructing
+    [x_o = b_o + kappa D_oe x_e] halves the solve volume and improves the
+    condition number — the standard production preconditioning in Chroma,
+    and what the QDP-JIT subset (site-list) kernels exist for.  Mhat is
+    gamma5-Hermitian on the even sublattice, so CG runs on its normal
+    equations with the same gamma5 trick as the full operator. *)
+
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+module Subset = Qdp.Subset
+
+type result = { iterations : int; residual : float; converged : bool }
+
+let f = Expr.field
+
+(* Mhat as a linop over the even checkerboard.  The odd sites of [scratch]
+   hold kappa D_oe src between the two half-applications; even-subset
+   kernels only read odd neighbours, so stale even entries are harmless. *)
+let schur_op (ops : Ops.t) ?(coeffs = [||]) ~kappa u =
+  let scratch = ops.Ops.fresh () in
+  let apply dest src =
+    ops.Ops.assign ~subset:Subset.Odd scratch
+      (Expr.mul (Expr.const_real kappa) (Lqcd.Wilson.hopping_expr ~coeffs u src));
+    ops.Ops.assign ~subset:Subset.Even dest
+      (Expr.sub (f src)
+         (Expr.mul (Expr.const_real kappa) (Lqcd.Wilson.hopping_expr ~coeffs u scratch)))
+  in
+  { Ops.apply; tag = "schur(1 - k^2 Deo Doe)" }
+
+(* gamma5 Mhat gamma5 Mhat, restricted to even sites. *)
+let schur_normal_op (ops : Ops.t) ?coeffs ~kappa u =
+  let mhat = schur_op ops ?coeffs ~kappa u in
+  let t1 = ops.Ops.fresh () and t2 = ops.Ops.fresh () and t3 = ops.Ops.fresh () in
+  let apply dest src =
+    mhat.Ops.apply t1 src;
+    ops.Ops.assign ~subset:Subset.Even t2 (Lqcd.Wilson.gamma5_expr (f t1));
+    mhat.Ops.apply t3 t2;
+    ops.Ops.assign ~subset:Subset.Even dest (Lqcd.Wilson.gamma5_expr (f t3))
+  in
+  { Ops.apply; tag = "normal(schur)" }
+
+(* Solve M x = b through the even-odd decomposition.  [x] receives the
+   full-lattice solution. *)
+let solve (ops : Ops.t) ?(coeffs = [||]) ~kappa u ~b ~x ?(tol = 1e-10) ?(max_iter = 5000) () =
+  let eops = Ops.restricted ops Subset.Even in
+  (* b_hat = b_e + kappa (D b)_e = b_e + kappa D_eo b_o. *)
+  let bhat = ops.Ops.fresh () in
+  ops.Ops.assign ~subset:Subset.Even bhat
+    (Expr.add (f b) (Expr.mul (Expr.const_real kappa) (Lqcd.Wilson.hopping_expr ~coeffs u b)));
+  (* Normal-equation CG on the even checkerboard: solve Mhat^dag Mhat x_e =
+     Mhat^dag b_hat. *)
+  let nop = schur_normal_op eops ~coeffs ~kappa u in
+  let mhat = schur_op eops ~coeffs ~kappa u in
+  let rhs = ops.Ops.fresh () and tmp = ops.Ops.fresh () in
+  ops.Ops.assign ~subset:Subset.Even tmp (Lqcd.Wilson.gamma5_expr (f bhat));
+  mhat.Ops.apply rhs tmp;
+  let rhs2 = ops.Ops.fresh () in
+  ops.Ops.assign ~subset:Subset.Even rhs2 (Lqcd.Wilson.gamma5_expr (f rhs));
+  Field.fill_constant x 0.0;
+  let r = Cg.solve eops nop ~b:rhs2 ~x ~tol ~max_iter () in
+  (* Reconstruct the odd checkerboard: x_o = b_o + kappa D_oe x_e. *)
+  ops.Ops.assign ~subset:Subset.Odd x
+    (Expr.add (f b) (Expr.mul (Expr.const_real kappa) (Lqcd.Wilson.hopping_expr ~coeffs u x)));
+  (* True full-operator residual. *)
+  let mx = ops.Ops.fresh () in
+  ops.Ops.assign mx (Lqcd.Wilson.wilson_expr ~coeffs ~kappa u x);
+  let b_norm = sqrt (ops.Ops.norm2 (f b)) in
+  let res = sqrt (ops.Ops.norm2 (Ops.xmy mx b)) /. if b_norm > 0.0 then b_norm else 1.0 in
+  { iterations = r.Cg.iterations; residual = res; converged = r.Cg.converged && res <= 10.0 *. tol }

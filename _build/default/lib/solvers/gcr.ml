@@ -1,0 +1,59 @@
+(** Restarted GCR(m) — generalized conjugate residuals, the algorithm the
+    QUDA library runs inside the "QDP-JIT+QUDA" configuration of Fig. 7
+    ("full benefit is taken from the algorithmic improvements (QUDA GCR
+    solver)").  Works for any invertible operator. *)
+
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+
+type result = { iterations : int; residual : float; converged : bool }
+
+let c_neg (re, im) = (-.re, -.im)
+
+let solve (ops : Ops.t) (op : Ops.linop) ~b ~x ?(tol = 1e-8) ?(max_iter = 2000) ?(restart = 16) ()
+    =
+  let f = Expr.field in
+  let cxpy = Ops.cxpy in
+  let r = ops.Ops.fresh () and tmp = ops.Ops.fresh () in
+  let ps = Array.init restart (fun _ -> ops.Ops.fresh ()) in
+  let aps = Array.init restart (fun _ -> ops.Ops.fresh ()) in
+  let ap_norm2 = Array.make restart 0.0 in
+  op.Ops.apply tmp x;
+  ops.Ops.assign r (Expr.sub (f b) (f tmp));
+  let b_norm = sqrt (ops.Ops.norm2 (f b)) in
+  let scale = if b_norm > 0.0 then b_norm else 1.0 in
+  let res = ref (sqrt (ops.Ops.norm2 (f r))) in
+  let iter = ref 0 in
+  let converged = ref (!res <= tol *. scale) in
+  while (not !converged) && !iter < max_iter do
+    (* One restart cycle. *)
+    let k = ref 0 in
+    while !k < restart && (not !converged) && !iter < max_iter do
+      incr iter;
+      let j = !k in
+      (* New direction: p_j = r, orthogonalised against previous A p_i. *)
+      ops.Ops.assign ps.(j) (f r);
+      op.Ops.apply aps.(j) ps.(j);
+      for i = 0 to j - 1 do
+        let c = ops.Ops.inner (f aps.(i)) (f aps.(j)) in
+        let beta = (fst c /. ap_norm2.(i), snd c /. ap_norm2.(i)) in
+        ops.Ops.assign ps.(j) (cxpy ~alpha:(c_neg beta) ps.(i) ps.(j));
+        ops.Ops.assign aps.(j) (cxpy ~alpha:(c_neg beta) aps.(i) aps.(j))
+      done;
+      ap_norm2.(j) <- ops.Ops.norm2 (f aps.(j));
+      if ap_norm2.(j) = 0.0 then begin
+        (* Breakdown: force a restart. *)
+        k := restart
+      end
+      else begin
+        let c = ops.Ops.inner (f aps.(j)) (f r) in
+        let alpha = (fst c /. ap_norm2.(j), snd c /. ap_norm2.(j)) in
+        ops.Ops.assign x (cxpy ~alpha ps.(j) x);
+        ops.Ops.assign r (cxpy ~alpha:(c_neg alpha) aps.(j) r);
+        res := sqrt (ops.Ops.norm2 (f r));
+        if !res <= tol *. scale then converged := true;
+        incr k
+      end
+    done
+  done;
+  { iterations = !iter; residual = !res /. scale; converged = !converged }

@@ -1,0 +1,17 @@
+(** Restarted GCR(m) — generalized conjugate residuals, the algorithm the
+    QUDA library runs inside the paper's "QDP-JIT+QUDA" configuration
+    ("full benefit is taken from the algorithmic improvements (QUDA GCR
+    solver)").  Works for any invertible operator. *)
+
+type result = { iterations : int; residual : float; converged : bool }
+
+val solve :
+  Ops.t ->
+  Ops.linop ->
+  b:Qdp.Field.t ->
+  x:Qdp.Field.t ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?restart:int ->
+  unit ->
+  result

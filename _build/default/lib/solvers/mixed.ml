@@ -1,0 +1,51 @@
+(** Mixed-precision defect-correction solver (the QUDA strategy of
+    Ref. 2: "solving lattice QCD systems of equations using mixed
+    precision solvers on GPUs").
+
+    The outer loop keeps a double-precision residual; each correction is
+    obtained by an inner single-precision CG on the normal operator.
+    Cross-precision assignments round at the store, exactly the implicit
+    conversion semantics of the expression layer. *)
+
+module Shape = Layout.Shape
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+
+type result = { outer_iterations : int; inner_iterations : int; residual : float; converged : bool }
+
+(* [ops64]/[op64] work at F64, [ops32]/[op32] at F32 on the same geometry. *)
+let solve (ops64 : Ops.t) (op64 : Ops.linop) (ops32 : Ops.t) (op32 : Ops.linop) ~b ~x
+    ?(tol = 1e-10) ?(inner_tol = 1e-5) ?(max_outer = 50) ?(max_inner = 500) () =
+  if ops32.Ops.shape.Shape.prec <> Shape.F32 then
+    invalid_arg "Mixed.solve: inner ops must be single precision";
+  let f = Expr.field in
+  let r = ops64.Ops.fresh () and tmp = ops64.Ops.fresh () and e64 = ops64.Ops.fresh () in
+  let r32 = ops32.Ops.fresh () and e32 = ops32.Ops.fresh () in
+  let b_norm = sqrt (ops64.Ops.norm2 (f b)) in
+  let scale = if b_norm > 0.0 then b_norm else 1.0 in
+  let outer = ref 0 and inner = ref 0 in
+  op64.Ops.apply tmp x;
+  ops64.Ops.assign r (Expr.sub (f b) (f tmp));
+  let res = ref (sqrt (ops64.Ops.norm2 (f r))) in
+  let converged = ref (!res <= tol *. scale) in
+  let stagnated = ref false in
+  while (not !converged) && (not !stagnated) && !outer < max_outer do
+    incr outer;
+    (* Truncate the residual to single precision and solve A e = r there. *)
+    ops32.Ops.assign r32 (f r);
+    Field.fill_constant e32 0.0;
+    let inner_result = Cg.solve ops32 op32 ~b:r32 ~x:e32 ~tol:inner_tol ~max_iter:max_inner () in
+    inner := !inner + inner_result.Cg.iterations;
+    (* Promote the correction and update solution + true residual. *)
+    ops64.Ops.assign e64 (f e32);
+    ops64.Ops.assign x (Expr.add (f x) (f e64));
+    op64.Ops.apply tmp x;
+    ops64.Ops.assign r (Expr.sub (f b) (f tmp));
+    let new_res = sqrt (ops64.Ops.norm2 (f r)) in
+    if new_res >= !res && !outer > 1 then
+      (* Stagnation at the single-precision floor: stop honestly. *)
+      stagnated := true;
+    res := new_res;
+    if !res <= tol *. scale then converged := true
+  done;
+  { outer_iterations = !outer; inner_iterations = !inner; residual = !res /. scale; converged = !converged }

@@ -1,0 +1,31 @@
+(** Mixed-precision defect-correction solver (the QUDA strategy of the
+    paper's Ref. 2).
+
+    The outer loop keeps a double-precision residual; each correction is
+    an inner single-precision CG on the normal operator.  Cross-precision
+    assignments round at the store — the expression layer's implicit
+    conversion semantics. *)
+
+type result = {
+  outer_iterations : int;
+  inner_iterations : int;  (** total f32 CG iterations *)
+  residual : float;
+  converged : bool;
+}
+
+val solve :
+  Ops.t ->
+  Ops.linop ->
+  Ops.t ->
+  Ops.linop ->
+  b:Qdp.Field.t ->
+  x:Qdp.Field.t ->
+  ?tol:float ->
+  ?inner_tol:float ->
+  ?max_outer:int ->
+  ?max_inner:int ->
+  unit ->
+  result
+(** [solve ops64 op64 ops32 op32 ...]: the f32 instances must act on the
+    same geometry at F32.  Stagnation at the single-precision floor stops
+    the iteration honestly. *)

@@ -1,0 +1,25 @@
+(** Multi-shift conjugate gradients (CG-M, Jegerlehner hep-lat/9612014).
+
+    Solves (A + sigma_i) x_i = b for a whole family of positive shifts at
+    the cost of one Krylov space — the workhorse behind the rational
+    approximation of the RHMC strange-quark determinant (the paper's
+    Ref. 14), where the partial-fraction poles become the shifts. *)
+
+type result = {
+  iterations : int;
+  residuals : float array;  (** relative residual per shift *)
+  converged : bool;
+}
+
+val solve :
+  Ops.t ->
+  Ops.linop ->
+  b:Qdp.Field.t ->
+  shifts:float array ->
+  xs:Qdp.Field.t array ->
+  ?tol:float ->
+  ?max_iter:int ->
+  unit ->
+  result
+(** All shifts must be >= 0; [xs] are overwritten with the solutions (the
+    larger the shift, the faster its system converges and freezes). *)

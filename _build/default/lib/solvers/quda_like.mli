@@ -1,0 +1,40 @@
+(** Stand-in for the QUDA library (the paper's Refs. 2, 9, 10, 12):
+    hand-optimised Dirac solvers the framework interfaces with.
+
+    Functionally this repository's solvers already serve; what QUDA adds
+    is hand tuning, whose measured headroom (Sec. VIII-C: 346-vs-197
+    GFLOPS SP, 171-vs-90 DP — factors 1.76x/1.9x with identical work) is
+    carried here and feeds the Fig. 7 analysis. *)
+
+type precision = Sp | Dp
+
+val headroom : precision -> float
+val dslash_gflops_measured : precision -> float
+val generated_dslash_gflops : precision -> float
+
+val gcr_solve :
+  Ops.t ->
+  Ops.linop ->
+  b:Qdp.Field.t ->
+  x:Qdp.Field.t ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?restart:int ->
+  unit ->
+  Gcr.result
+(** The QUDA GCR entry point, as Chroma calls it through the device
+    interface (fields stay resident in the QDP-JIT layout — no copies). *)
+
+val mixed_cg_solve :
+  Ops.t ->
+  Ops.linop ->
+  Ops.t ->
+  Ops.linop ->
+  b:Qdp.Field.t ->
+  x:Qdp.Field.t ->
+  ?tol:float ->
+  ?inner_tol:float ->
+  ?max_outer:int ->
+  ?max_inner:int ->
+  unit ->
+  Mixed.result

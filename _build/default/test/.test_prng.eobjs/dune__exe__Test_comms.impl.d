@@ -1,0 +1,1 @@
+test/test_comms.ml: Alcotest Array Comms Hashtbl Layout QCheck QCheck_alcotest

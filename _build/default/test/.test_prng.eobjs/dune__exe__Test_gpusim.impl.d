@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Bigarray Gpusim List

@@ -1,0 +1,1 @@
+test/test_hmc.ml: Alcotest Array Float Hmc Layout Linalg Lqcd Numerics Printf Prng Qdp

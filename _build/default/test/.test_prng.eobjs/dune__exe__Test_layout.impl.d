@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Bigarray Gen Hashtbl Layout List QCheck QCheck_alcotest

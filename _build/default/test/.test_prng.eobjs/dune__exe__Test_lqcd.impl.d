@@ -1,0 +1,1 @@
+test/test_lqcd.ml: Alcotest Array Filename Float Fun Layout Linalg Lqcd Prng Qdp Sys

@@ -1,0 +1,1 @@
+test/test_lqcd.mli:

@@ -1,0 +1,1 @@
+test/test_memcache.ml: Alcotest Array Bigarray Gpusim Layout Memcache Printf Prng Qdp

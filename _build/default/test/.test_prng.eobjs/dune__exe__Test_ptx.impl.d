@@ -1,0 +1,1 @@
+test/test_ptx.ml: Alcotest Int64 Layout List Lqcd Ptx Qdp Qdpjit String

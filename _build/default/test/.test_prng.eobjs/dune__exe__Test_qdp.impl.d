@@ -1,0 +1,1 @@
+test/test_qdp.ml: Alcotest Array Layout Linalg List Prng Qdp

@@ -1,0 +1,1 @@
+test/test_qdpjit.ml: Alcotest Array Gpusim Int64 Layout Linalg List Lqcd Memcache Prng Ptx QCheck QCheck_alcotest Qdp Qdpjit

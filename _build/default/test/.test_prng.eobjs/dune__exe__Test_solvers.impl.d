@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Array Layout Lqcd Printf Prng Qdp Qdpjit Solvers

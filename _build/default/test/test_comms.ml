@@ -1,0 +1,88 @@
+module Grid = Comms.Grid
+module Geometry = Layout.Geometry
+
+let test_grid_divisibility () =
+  Alcotest.check_raises "non-dividing ranks"
+    (Invalid_argument "Grid.create: global extent 6 not divisible by 4 ranks in dim 0")
+    (fun () -> ignore (Grid.create ~global_dims:[| 6; 4 |] ~rank_dims:[| 4; 1 |]))
+
+let test_grid_geometry () =
+  let g = Grid.create ~global_dims:[| 8; 4; 4; 4 |] ~rank_dims:[| 2; 1; 1; 2 |] in
+  Alcotest.(check int) "nranks" 4 (Grid.nranks g);
+  Alcotest.(check int) "local volume" (4 * 4 * 4 * 2) (Grid.local_volume g)
+
+let test_owner_roundtrip () =
+  let g = Grid.create ~global_dims:[| 8; 4; 4; 4 |] ~rank_dims:[| 2; 2; 1; 1 |] in
+  let global = Geometry.create [| 8; 4; 4; 4 |] in
+  for gs = 0 to Geometry.volume global - 1 do
+    let coord = Geometry.coord_of_site global gs in
+    let rank, local_site = Grid.owner g ~global_coord:coord in
+    Alcotest.(check int) "owner inverse" gs (Grid.global_site g ~rank ~local_site)
+  done
+
+let test_global_sites_partition () =
+  let g = Grid.create ~global_dims:[| 4; 4; 4; 4 |] ~rank_dims:[| 2; 2; 1; 1 |] in
+  let seen = Hashtbl.create 256 in
+  for rank = 0 to Grid.nranks g - 1 do
+    for ls = 0 to Grid.local_volume g - 1 do
+      let gs = Grid.global_site g ~rank ~local_site:ls in
+      if Hashtbl.mem seen gs then Alcotest.failf "site %d owned twice" gs;
+      Hashtbl.replace seen gs ()
+    done
+  done;
+  Alcotest.(check int) "partition covers lattice" 256 (Hashtbl.length seen)
+
+let test_neighbor_rank_wraps () =
+  let g = Grid.create ~global_dims:[| 8; 4 |] ~rank_dims:[| 4; 1 |] in
+  Alcotest.(check int) "forward" 1 (Grid.neighbor_rank g 0 ~dim:0 ~dir:1);
+  Alcotest.(check int) "wrap" 0 (Grid.neighbor_rank g 3 ~dim:0 ~dir:1);
+  Alcotest.(check int) "backward wrap" 3 (Grid.neighbor_rank g 0 ~dim:0 ~dir:(-1))
+
+let test_network_message_time () =
+  let n = Comms.Network.infiniband_qdr in
+  let t0 = Comms.Network.message_time_ns n ~bytes:0 in
+  Alcotest.(check (float 1e-9)) "latency floor" n.Comms.Network.latency_ns t0;
+  let big = Comms.Network.message_time_ns n ~bytes:4_000_000 in
+  Alcotest.(check bool) "bandwidth term" true (big > 1e6)
+
+let test_fabric_accounting () =
+  let f = Comms.Fabric.create ~network:Comms.Network.cray_gemini ~nranks:4 in
+  let arrive = Comms.Fabric.transfer f ~src:0 ~dst:1 ~bytes:6000 ~post_ns:1000.0 in
+  Alcotest.(check bool) "arrival after post + latency" true
+    (arrive >= 1000.0 +. Comms.Network.cray_gemini.Comms.Network.latency_ns);
+  let stats = Comms.Fabric.stats f in
+  Alcotest.(check int) "messages" 1 stats.Comms.Fabric.messages;
+  Alcotest.(check int) "bytes" 6000 stats.Comms.Fabric.bytes;
+  Alcotest.check_raises "rank range" (Invalid_argument "Fabric.transfer: rank out of range")
+    (fun () -> ignore (Comms.Fabric.transfer f ~src:0 ~dst:9 ~bytes:1 ~post_ns:0.0))
+
+let qcheck_owner =
+  QCheck.Test.make ~name:"owner is a bijection" ~count:100
+    QCheck.(pair (int_bound 3) (int_bound 10_000))
+    (fun (split, seed) ->
+      let rank_dims = [| 1; 1; 1; 1 |] in
+      rank_dims.(split) <- 2;
+      let g = Grid.create ~global_dims:[| 4; 4; 4; 4 |] ~rank_dims in
+      let gs = seed mod 256 in
+      let coord = Geometry.coord_of_site (Geometry.create [| 4; 4; 4; 4 |]) gs in
+      let rank, local_site = Grid.owner g ~global_coord:coord in
+      Grid.global_site g ~rank ~local_site = gs)
+
+let () =
+  Alcotest.run "comms"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "divisibility" `Quick test_grid_divisibility;
+          Alcotest.test_case "geometry" `Quick test_grid_geometry;
+          Alcotest.test_case "owner roundtrip" `Quick test_owner_roundtrip;
+          Alcotest.test_case "partition" `Quick test_global_sites_partition;
+          Alcotest.test_case "neighbor ranks" `Quick test_neighbor_rank_wraps;
+          QCheck_alcotest.to_alcotest qcheck_owner;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "message time" `Quick test_network_message_time;
+          Alcotest.test_case "fabric accounting" `Quick test_fabric_accounting;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Index = Layout.Index
+
+(* ------------------------------ Shape ------------------------------- *)
+
+let test_table1_dofs () =
+  (* Table I: real degrees of freedom per site of the standard types. *)
+  Alcotest.(check int) "fermion" 24 (Shape.dof (Shape.lattice_fermion Shape.F64));
+  Alcotest.(check int) "color matrix" 18 (Shape.dof (Shape.lattice_color_matrix Shape.F64));
+  Alcotest.(check int) "spin matrix" 32 (Shape.dof (Shape.lattice_spin_matrix Shape.F64));
+  Alcotest.(check int) "clover diag" 12 (Shape.dof (Shape.clover_diag Shape.F64));
+  Alcotest.(check int) "clover tri" 60 (Shape.dof (Shape.clover_tri Shape.F64));
+  Alcotest.(check int) "real scalar" 1 (Shape.dof (Shape.real_scalar Shape.F32));
+  Alcotest.(check int) "complex scalar" 2 (Shape.dof (Shape.complex_scalar Shape.F32))
+
+let test_bytes_per_site () =
+  Alcotest.(check int) "fermion DP" 192 (Shape.bytes_per_site (Shape.lattice_fermion Shape.F64));
+  Alcotest.(check int) "fermion SP" 96 (Shape.bytes_per_site (Shape.lattice_fermion Shape.F32))
+
+let test_promote () =
+  Alcotest.(check bool) "f32+f32" true (Shape.promote_prec Shape.F32 Shape.F32 = Shape.F32);
+  Alcotest.(check bool) "f32+f64" true (Shape.promote_prec Shape.F32 Shape.F64 = Shape.F64)
+
+let test_validate () =
+  Alcotest.check_raises "negative extent" (Invalid_argument "Shape.validate: non-positive spin extent")
+    (fun () ->
+      Shape.validate
+        { Shape.spin = Shape.Spin_vector (-1); color = Shape.Color_scalar; reality = Shape.Real; prec = Shape.F64 })
+
+(* ----------------------------- Geometry ----------------------------- *)
+
+let test_coord_roundtrip () =
+  let g = Geometry.create [| 3; 4; 5; 2 |] in
+  for s = 0 to Geometry.volume g - 1 do
+    let c = Geometry.coord_of_site g s in
+    Alcotest.(check int) "roundtrip" s (Geometry.site_of_coord g c)
+  done
+
+let test_neighbor_inverse () =
+  let g = Geometry.create [| 4; 4; 4; 4 |] in
+  for s = 0 to Geometry.volume g - 1 do
+    for dim = 0 to 3 do
+      let fwd = Geometry.neighbor g s ~dim ~dir:1 in
+      Alcotest.(check int) "fwd then bwd" s (Geometry.neighbor g fwd ~dim ~dir:(-1))
+    done
+  done
+
+let test_neighbor_wraps () =
+  let g = Geometry.create [| 4; 4 |] in
+  (* site (3,0): +x neighbour wraps to (0,0). *)
+  let s = Geometry.site_of_coord g [| 3; 0 |] in
+  Alcotest.(check int) "wraps" (Geometry.site_of_coord g [| 0; 0 |]) (Geometry.neighbor g s ~dim:0 ~dir:1)
+
+let test_parity_counts () =
+  let g = Geometry.create [| 4; 4; 4; 4 |] in
+  let even = Geometry.sites_of_parity g 0 and odd = Geometry.sites_of_parity g 1 in
+  Alcotest.(check int) "even half" 128 (Array.length even);
+  Alcotest.(check int) "odd half" 128 (Array.length odd);
+  (* A site and its neighbour have opposite parity. *)
+  Array.iter
+    (fun s ->
+      Alcotest.(check int) "opposite parity" 1 (Geometry.parity g (Geometry.neighbor g s ~dim:2 ~dir:1)))
+    even
+
+let test_face_inner_partition () =
+  let g = Geometry.create [| 4; 3; 2; 5 |] in
+  for dim = 0 to 3 do
+    List.iter
+      (fun dir ->
+        let face = Geometry.face_sites g ~dim ~dir in
+        let inner = Geometry.inner_sites g ~dim ~dir in
+        Alcotest.(check int) "partition size" (Geometry.volume g)
+          (Array.length face + Array.length inner);
+        Alcotest.(check int) "face is a slice" (Geometry.volume g / (Geometry.dims g).(dim))
+          (Array.length face);
+        (* Faces are exactly the sites whose neighbour wraps. *)
+        Array.iter
+          (fun s ->
+            let c = Geometry.coord_of_site g s in
+            let edge = if dir = 1 then (Geometry.dims g).(dim) - 1 else 0 in
+            Alcotest.(check int) "face coordinate" edge c.(dim))
+          face)
+      [ 1; -1 ]
+  done
+
+let test_fold_coords_order () =
+  let g = Geometry.create [| 2; 3 |] in
+  let seen = Geometry.fold_coords g ~init:[] ~f:(fun acc c -> Array.copy c :: acc) in
+  let seen = List.rev seen in
+  Alcotest.(check int) "count" 6 (List.length seen);
+  (* x fastest: second coordinate is (1,0). *)
+  Alcotest.(check bool) "x fastest" true (List.nth seen 1 = [| 1; 0 |])
+
+(* ------------------------------ Index ------------------------------- *)
+
+let all_components shape =
+  let out = ref [] in
+  for s = 0 to Shape.spin_extent shape.Shape.spin - 1 do
+    for c = 0 to Shape.color_extent shape.Shape.color - 1 do
+      for r = 0 to Shape.reality_extent shape.Shape.reality - 1 do
+        out := (s, c, r) :: !out
+      done
+    done
+  done;
+  List.rev !out
+
+let test_offsets_bijective scheme () =
+  let shape = Shape.lattice_fermion Shape.F64 in
+  let nsites = 6 in
+  let seen = Hashtbl.create 64 in
+  for site = 0 to nsites - 1 do
+    List.iter
+      (fun (spin, color, reality) ->
+        let o = Index.offset scheme shape ~nsites ~site ~spin ~color ~reality in
+        if o < 0 || o >= nsites * Shape.dof shape then Alcotest.failf "offset out of range: %d" o;
+        if Hashtbl.mem seen o then Alcotest.failf "offset collision at %d" o;
+        Hashtbl.replace seen o ())
+      (all_components shape)
+  done;
+  Alcotest.(check int) "covers all words" (nsites * Shape.dof shape) (Hashtbl.length seen)
+
+let test_soa_coalescing () =
+  (* The paper's layout: adjacent sites are adjacent words for a fixed
+     component — the coalescing property. *)
+  let shape = Shape.lattice_fermion Shape.F32 in
+  let nsites = 8 in
+  for site = 0 to nsites - 2 do
+    let a = Index.offset Index.Soa shape ~nsites ~site ~spin:2 ~color:1 ~reality:1 in
+    let b = Index.offset Index.Soa shape ~nsites ~site:(site + 1) ~spin:2 ~color:1 ~reality:1 in
+    Alcotest.(check int) "adjacent" (a + 1) b
+  done
+
+let test_aos_site_contiguous () =
+  let shape = Shape.lattice_color_matrix Shape.F64 in
+  let nsites = 5 in
+  (* In AoS a site's dof words are contiguous. *)
+  let offsets =
+    List.map
+      (fun (spin, color, reality) -> Index.offset Index.Aos shape ~nsites ~site:2 ~spin ~color ~reality)
+      (all_components shape)
+  in
+  let lo = List.fold_left min max_int offsets and hi = List.fold_left max 0 offsets in
+  Alcotest.(check int) "span" (Shape.dof shape - 1) (hi - lo);
+  Alcotest.(check int) "start" (2 * Shape.dof shape) lo
+
+let test_linear_component_roundtrip () =
+  let shape = Shape.clover_tri Shape.F64 in
+  for lin = 0 to Shape.dof shape - 1 do
+    let s, c, r = Index.component_of_linear shape lin in
+    Alcotest.(check int) "roundtrip" lin (Index.linear_component shape ~spin:s ~color:c ~reality:r)
+  done
+
+let test_convert_roundtrip () =
+  let shape = Shape.lattice_fermion Shape.F64 in
+  let nsites = 16 in
+  let n = nsites * Shape.dof shape in
+  let src = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  let dst = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  let back = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    src.{i} <- float_of_int i
+  done;
+  Index.convert ~src ~dst ~from_scheme:Index.Aos ~to_scheme:Index.Soa shape ~nsites;
+  Index.convert ~src:dst ~dst:back ~from_scheme:Index.Soa ~to_scheme:Index.Aos shape ~nsites;
+  for i = 0 to n - 1 do
+    if back.{i} <> src.{i} then Alcotest.failf "roundtrip mismatch at %d" i
+  done;
+  (* And the conversion is not the identity. *)
+  let differs = ref false in
+  for i = 0 to n - 1 do
+    if dst.{i} <> src.{i} then differs := true
+  done;
+  Alcotest.(check bool) "non-trivial" true !differs
+
+(* qcheck: random geometry site/coordinate roundtrip *)
+let qcheck_geometry =
+  QCheck.Test.make ~name:"coord_of_site is a bijection" ~count:200
+    QCheck.(
+      pair (list_of_size (Gen.int_range 1 4) (int_range 1 6)) (int_bound 10_000))
+    (fun (dims, seed) ->
+      QCheck.assume (dims <> []);
+      let g = Geometry.create (Array.of_list dims) in
+      let s = seed mod Geometry.volume g in
+      Geometry.site_of_coord g (Geometry.coord_of_site g s) = s)
+
+let () =
+  Alcotest.run "layout"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "Table I dof" `Quick test_table1_dofs;
+          Alcotest.test_case "bytes per site" `Quick test_bytes_per_site;
+          Alcotest.test_case "precision promotion" `Quick test_promote;
+          Alcotest.test_case "validation" `Quick test_validate;
+        ] );
+      ( "geometry",
+        [
+          Alcotest.test_case "coord roundtrip" `Quick test_coord_roundtrip;
+          Alcotest.test_case "neighbor inverse" `Quick test_neighbor_inverse;
+          Alcotest.test_case "wrap-around" `Quick test_neighbor_wraps;
+          Alcotest.test_case "parity halves" `Quick test_parity_counts;
+          Alcotest.test_case "face/inner partition" `Quick test_face_inner_partition;
+          Alcotest.test_case "fold order" `Quick test_fold_coords_order;
+          QCheck_alcotest.to_alcotest qcheck_geometry;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "AoS offsets bijective" `Quick (test_offsets_bijective Index.Aos);
+          Alcotest.test_case "SoA offsets bijective" `Quick (test_offsets_bijective Index.Soa);
+          Alcotest.test_case "SoA coalescing" `Quick test_soa_coalescing;
+          Alcotest.test_case "AoS contiguity" `Quick test_aos_site_contiguous;
+          Alcotest.test_case "linear component roundtrip" `Quick test_linear_component_roundtrip;
+          Alcotest.test_case "layout conversion roundtrip" `Quick test_convert_roundtrip;
+        ] );
+    ]

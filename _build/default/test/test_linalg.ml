@@ -1,0 +1,252 @@
+module Shape = Layout.Shape
+module FSite = Linalg.Site.Make (Linalg.Scalar.Float_scalar)
+module Su3 = Linalg.Su3
+
+let rng = Prng.create ~seed:77L
+
+let random_value shape =
+  FSite.of_floats shape (Array.init (Shape.dof shape) (fun _ -> Prng.gaussian rng))
+
+let cm = Shape.lattice_color_matrix Shape.F64
+let fm = Shape.lattice_fermion Shape.F64
+let sm = Shape.lattice_spin_matrix Shape.F64
+
+let value_close ?(tol = 1e-12) name (a : FSite.value) (b : FSite.value) =
+  if not (Shape.equal a.FSite.shape b.FSite.shape) then Alcotest.failf "%s: shape mismatch" name;
+  Array.iteri
+    (fun i x ->
+      if abs_float (x -. b.FSite.data.(i)) > tol then
+        Alcotest.failf "%s: component %d: %g vs %g" name i x b.FSite.data.(i))
+    a.FSite.data
+
+(* --------------------------- site algebra --------------------------- *)
+
+let test_add_commutes () =
+  let a = random_value fm and b = random_value fm in
+  value_close "a+b = b+a" (FSite.add a b) (FSite.add b a)
+
+let test_mul_associative () =
+  let a = random_value cm and b = random_value cm and c = random_value cm in
+  value_close ~tol:1e-10 "(ab)c = a(bc)" (FSite.mul (FSite.mul a b) c) (FSite.mul a (FSite.mul b c))
+
+let test_mul_distributes () =
+  let a = random_value cm and b = random_value fm and c = random_value fm in
+  value_close ~tol:1e-10 "a(b+c) = ab+ac"
+    (FSite.mul a (FSite.add b c))
+    (FSite.add (FSite.mul a b) (FSite.mul a c))
+
+let test_adj_antihomomorphism () =
+  let a = random_value cm and b = random_value cm in
+  value_close ~tol:1e-10 "adj(ab) = adj(b) adj(a)"
+    (FSite.adj (FSite.mul a b))
+    (FSite.mul (FSite.adj b) (FSite.adj a))
+
+let test_adj_involution () =
+  let a = random_value sm in
+  value_close "adj adj = id" a (FSite.adj (FSite.adj a))
+
+let test_transpose_conj_is_adj () =
+  let a = random_value cm in
+  value_close "transpose . conj = adj" (FSite.adj a) (FSite.transpose (FSite.conj a))
+
+let test_times_i () =
+  let a = random_value fm in
+  (* i * (i * a) = -a *)
+  value_close "i*i*a = -a" (FSite.neg a) (FSite.times_i (FSite.times_i a))
+
+let test_trace_cyclic () =
+  let a = random_value cm and b = random_value cm in
+  value_close ~tol:1e-10 "tr(ab) = tr(ba)"
+    (FSite.trace_color (FSite.mul a b))
+    (FSite.trace_color (FSite.mul b a))
+
+let test_trace_spin () =
+  let a = random_value sm in
+  let tr = FSite.trace_spin a in
+  (* diag sum by hand: spin matrix component (i,i) is spin index 4i+i *)
+  let expect_re = ref 0.0 and expect_im = ref 0.0 in
+  for i = 0 to 3 do
+    expect_re := !expect_re +. a.FSite.data.(2 * ((4 * i) + i));
+    expect_im := !expect_im +. a.FSite.data.((2 * ((4 * i) + i)) + 1)
+  done;
+  Alcotest.(check (float 1e-12)) "re" !expect_re tr.FSite.data.(0);
+  Alcotest.(check (float 1e-12)) "im" !expect_im tr.FSite.data.(1)
+
+let test_spin_color_factorisation () =
+  (* (Gamma x 1)(1 x U) psi = (1 x U)(Gamma x 1) psi: spin and color
+     multiplications act on independent index spaces. *)
+  let g = random_value sm and u = random_value cm and psi = random_value fm in
+  value_close ~tol:1e-10 "commuting tensor factors"
+    (FSite.mul g (FSite.mul u psi))
+    (FSite.mul u (FSite.mul g psi))
+
+let test_outer_color_vs_manual () =
+  let a = random_value fm and b = random_value fm in
+  let o = FSite.outer_color a b in
+  (* check entry (i,j) = sum_s a[s,i] conj(b[s,j]) for i=1, j=2 *)
+  let re = ref 0.0 and im = ref 0.0 in
+  for s = 0 to 3 do
+    let ar = a.FSite.data.(2 * ((s * 3) + 1)) and ai = a.FSite.data.((2 * ((s * 3) + 1)) + 1) in
+    let br = b.FSite.data.(2 * ((s * 3) + 2)) and bi = b.FSite.data.((2 * ((s * 3) + 2)) + 1) in
+    re := !re +. ((ar *. br) +. (ai *. bi));
+    im := !im +. ((ai *. br) -. (ar *. bi))
+  done;
+  Alcotest.(check (float 1e-12)) "re(1,2)" !re o.FSite.data.(2 * ((1 * 3) + 2));
+  Alcotest.(check (float 1e-12)) "im(1,2)" !im o.FSite.data.((2 * ((1 * 3) + 2)) + 1)
+
+let test_norm2_inner_consistency () =
+  let a = random_value fm in
+  let n = FSite.norm2_local a in
+  let p = FSite.inner_local a a in
+  Alcotest.(check (float 1e-10)) "norm2 = <a,a>" n.FSite.data.(0) p.FSite.data.(0);
+  Alcotest.(check (float 1e-10)) "<a,a> real" 0.0 p.FSite.data.(1)
+
+let test_clover_hermitian () =
+  (* The packed clover application must be a Hermitian operator:
+     <a, A b> = conj(<b, A a>). *)
+  let diag = random_value (Shape.clover_diag Shape.F64) in
+  let tri = random_value (Shape.clover_tri Shape.F64) in
+  let a = random_value fm and b = random_value fm in
+  let ab = FSite.inner_local a (FSite.clover_apply ~diag ~tri b) in
+  let ba = FSite.inner_local b (FSite.clover_apply ~diag ~tri a) in
+  Alcotest.(check (float 1e-10)) "re" ba.FSite.data.(0) ab.FSite.data.(0);
+  Alcotest.(check (float 1e-10)) "im" (-.ba.FSite.data.(1)) ab.FSite.data.(1)
+
+let test_clover_block_structure () =
+  (* A fermion living only in the upper chirality stays there. *)
+  let diag = random_value (Shape.clover_diag Shape.F64) in
+  let tri = random_value (Shape.clover_tri Shape.F64) in
+  let psi = FSite.create fm in
+  (* populate spins 0,1 only *)
+  let data = Array.copy psi.FSite.data in
+  for s = 0 to 1 do
+    for c = 0 to 2 do
+      data.(2 * ((s * 3) + c)) <- Prng.gaussian rng;
+      data.((2 * ((s * 3) + c)) + 1) <- Prng.gaussian rng
+    done
+  done;
+  let psi = FSite.of_floats fm data in
+  let out = FSite.clover_apply ~diag ~tri psi in
+  for s = 2 to 3 do
+    for c = 0 to 2 do
+      Alcotest.(check (float 0.0)) "lower block untouched re" 0.0 out.FSite.data.(2 * ((s * 3) + c));
+      Alcotest.(check (float 0.0)) "lower block untouched im" 0.0
+        out.FSite.data.((2 * ((s * 3) + c)) + 1)
+    done
+  done
+
+let test_type_errors () =
+  let psi = random_value fm and u = random_value cm in
+  (match FSite.mul psi u with
+  | exception Linalg.Algebra.Type_error _ -> ()
+  | _ -> Alcotest.fail "fermion * matrix should be rejected (vector on the left)");
+  (match FSite.add psi u with
+  | exception Linalg.Algebra.Type_error _ -> ()
+  | _ -> Alcotest.fail "mismatched add should be rejected");
+  match FSite.adj psi with
+  | exception Linalg.Algebra.Type_error _ -> ()
+  | _ -> Alcotest.fail "adj of a vector should be rejected"
+
+(* ------------------------------- su3 -------------------------------- *)
+
+let test_reunitarize () =
+  for _ = 1 to 20 do
+    let m = Array.init 18 (fun _ -> Prng.gaussian rng) in
+    (* keep it near-invertible *)
+    let m = Su3.add m (Su3.scale ~re:3.0 ~im:0.0 (Su3.identity ())) in
+    let u = Su3.reunitarize m in
+    Alcotest.(check bool) "special unitary" true (Su3.is_special_unitary ~tol:1e-10 u)
+  done
+
+let test_expm_known () =
+  (* exp(i theta lambda_3) is diagonal with phases e^{+-i theta}. *)
+  let theta = 0.3 in
+  let l3 = (Su3.gell_mann ()).(2) in
+  let u = Su3.expm (Su3.scale ~re:0.0 ~im:theta l3) in
+  Alcotest.(check (float 1e-12)) "cos" (cos theta) u.(0);
+  Alcotest.(check (float 1e-12)) "sin" (sin theta) u.(1);
+  Alcotest.(check (float 1e-12)) "conj" (-.sin theta) u.(2 * 4 + 1);
+  Alcotest.(check (float 1e-12)) "corner" 1.0 u.(2 * 8)
+
+let test_expm_inverse () =
+  let h = Su3.gaussian_hermitian rng in
+  let u = Su3.expm (Su3.scale ~re:0.0 ~im:0.7 h) in
+  let uinv = Su3.expm (Su3.scale ~re:0.0 ~im:(-0.7) h) in
+  Alcotest.(check (float 1e-10)) "exp(iH) exp(-iH) = 1" 0.0
+    (Su3.frobenius_dist (Su3.mul u uinv) (Su3.identity ()))
+
+let test_expm_unitary () =
+  let h = Su3.gaussian_hermitian rng in
+  let u = Su3.expm (Su3.scale ~re:0.0 ~im:1.3 h) in
+  Alcotest.(check bool) "unitary" true (Su3.is_unitary ~tol:1e-10 u)
+
+let test_gell_mann_traces () =
+  let gens = Su3.gell_mann () in
+  Array.iteri
+    (fun a la ->
+      let tr_re, tr_im = Su3.trace la in
+      Alcotest.(check (float 1e-12)) "traceless re" 0.0 tr_re;
+      Alcotest.(check (float 1e-12)) "traceless im" 0.0 tr_im;
+      Array.iteri
+        (fun b lb ->
+          let re, im = Su3.trace (Su3.mul la lb) in
+          let expect = if a = b then 2.0 else 0.0 in
+          Alcotest.(check (float 1e-12)) "tr(la lb) = 2 dab re" expect re;
+          Alcotest.(check (float 1e-12)) "tr(la lb) im" 0.0 im)
+        gens)
+    gens
+
+let test_gaussian_hermitian_props () =
+  for _ = 1 to 10 do
+    let h = Su3.gaussian_hermitian rng in
+    let tr_re, tr_im = Su3.trace h in
+    Alcotest.(check (float 1e-12)) "traceless re" 0.0 tr_re;
+    Alcotest.(check (float 1e-12)) "traceless im" 0.0 tr_im;
+    Alcotest.(check (float 1e-12)) "hermitian" 0.0 (Su3.frobenius_dist h (Su3.dagger h))
+  done
+
+let test_random_su3 () =
+  for _ = 1 to 10 do
+    let u = Su3.random_su3 rng in
+    Alcotest.(check bool) "special unitary" true (Su3.is_special_unitary ~tol:1e-9 u)
+  done
+
+let test_determinant () =
+  let u = Su3.random_su3 rng in
+  let re, im = Su3.determinant u in
+  Alcotest.(check (float 1e-9)) "det re" 1.0 re;
+  Alcotest.(check (float 1e-9)) "det im" 0.0 im
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "site-algebra",
+        [
+          Alcotest.test_case "add commutes" `Quick test_add_commutes;
+          Alcotest.test_case "mul associative" `Quick test_mul_associative;
+          Alcotest.test_case "mul distributes" `Quick test_mul_distributes;
+          Alcotest.test_case "adj antihomomorphism" `Quick test_adj_antihomomorphism;
+          Alcotest.test_case "adj involution" `Quick test_adj_involution;
+          Alcotest.test_case "transpose+conj = adj" `Quick test_transpose_conj_is_adj;
+          Alcotest.test_case "times_i" `Quick test_times_i;
+          Alcotest.test_case "trace cyclic" `Quick test_trace_cyclic;
+          Alcotest.test_case "trace spin manual" `Quick test_trace_spin;
+          Alcotest.test_case "spin/color factorise" `Quick test_spin_color_factorisation;
+          Alcotest.test_case "outer color manual" `Quick test_outer_color_vs_manual;
+          Alcotest.test_case "norm2/inner" `Quick test_norm2_inner_consistency;
+          Alcotest.test_case "clover hermitian" `Quick test_clover_hermitian;
+          Alcotest.test_case "clover block structure" `Quick test_clover_block_structure;
+          Alcotest.test_case "type errors" `Quick test_type_errors;
+        ] );
+      ( "su3",
+        [
+          Alcotest.test_case "reunitarize" `Quick test_reunitarize;
+          Alcotest.test_case "expm diagonal" `Quick test_expm_known;
+          Alcotest.test_case "expm inverse" `Quick test_expm_inverse;
+          Alcotest.test_case "expm unitary" `Quick test_expm_unitary;
+          Alcotest.test_case "gell-mann traces" `Quick test_gell_mann_traces;
+          Alcotest.test_case "gaussian hermitian" `Quick test_gaussian_hermitian_props;
+          Alcotest.test_case "random su3" `Quick test_random_su3;
+          Alcotest.test_case "determinant" `Quick test_determinant;
+        ] );
+    ]

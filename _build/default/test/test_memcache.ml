@@ -1,0 +1,185 @@
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Device = Gpusim.Device
+
+let geom = Geometry.create [| 4; 4; 4; 4 |]
+
+let small_device () =
+  (* Room for only ~3 fermion fields: forces spilling. *)
+  let machine = { Gpusim.Machine.k20x_ecc_off with Gpusim.Machine.memory_bytes = 160_000 } in
+  Device.create machine
+
+let fresh_cache ?(small = false) () =
+  let dev = if small then small_device () else Device.create Gpusim.Machine.k20x_ecc_off in
+  Memcache.create dev
+
+let test_upload_and_hit () =
+  let cache = fresh_cache () in
+  let f = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  Field.fill_gaussian f (Prng.create ~seed:1L);
+  let _ = Memcache.ensure_resident cache f in
+  Alcotest.(check int) "one upload" 1 (Memcache.stats cache).Memcache.uploads;
+  let _ = Memcache.ensure_resident cache f in
+  Alcotest.(check int) "no second upload" 1 (Memcache.stats cache).Memcache.uploads;
+  Alcotest.(check bool) "hit counted" true ((Memcache.stats cache).Memcache.hits >= 1)
+
+let test_layout_change_on_upload () =
+  let cache = fresh_cache () in
+  let f = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  Field.fill_gaussian f (Prng.create ~seed:2L);
+  let buf = Memcache.ensure_resident cache f in
+  (* Device holds SoA: component (0,0,0) of site s is at word s. *)
+  match buf.Gpusim.Buffer.data with
+  | Gpusim.Buffer.F64 dev ->
+      for site = 0 to 7 do
+        Alcotest.(check (float 0.0)) "soa word"
+          (Field.get f ~site ~spin:0 ~color:0 ~reality:0)
+          dev.{site}
+      done
+  | _ -> Alcotest.fail "expected f64 buffer"
+
+let test_host_write_invalidates () =
+  let cache = fresh_cache () in
+  let f = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  Field.fill_constant f 1.0;
+  let _ = Memcache.ensure_resident cache f in
+  Field.set f ~site:0 ~spin:0 ~color:0 ~reality:0 42.0;
+  let buf = Memcache.ensure_resident cache f in
+  Alcotest.(check int) "re-uploaded" 2 (Memcache.stats cache).Memcache.uploads;
+  match buf.Gpusim.Buffer.data with
+  | Gpusim.Buffer.F64 dev -> Alcotest.(check (float 0.0)) "new value on device" 42.0 dev.{0}
+  | _ -> Alcotest.fail "expected f64 buffer"
+
+let test_device_dirty_pages_out_on_read () =
+  let cache = fresh_cache () in
+  let f = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  let buf = Memcache.ensure_resident cache f in
+  Memcache.mark_device_dirty cache f;
+  (* Scribble on the device copy, then read through the host API: the hook
+     must page the device data back first. *)
+  (match buf.Gpusim.Buffer.data with
+  | Gpusim.Buffer.F64 dev -> dev.{0} <- 7.5 (* SoA word 0 = site 0, comp (0,0,0) *)
+  | _ -> Alcotest.fail "expected f64");
+  let v = Field.get f ~site:0 ~spin:0 ~color:0 ~reality:0 in
+  Alcotest.(check (float 0.0)) "device value visible on host" 7.5 v;
+  Alcotest.(check int) "pageout counted" 1 (Memcache.stats cache).Memcache.pageouts;
+  Alcotest.(check bool) "no longer dirty" false (Memcache.is_device_dirty cache f)
+
+let test_lru_spill () =
+  let cache = fresh_cache ~small:true () in
+  let make i =
+    let f = Field.create ~name:(Printf.sprintf "f%d" i) (Shape.lattice_fermion Shape.F64) geom in
+    Field.fill_constant f (float_of_int i);
+    f
+  in
+  (* Each fermion field: 256 sites * 192 B = 49 KB; device capacity 160 KB. *)
+  let fields = Array.init 5 make in
+  Array.iter (fun f -> ignore (Memcache.ensure_resident cache f)) fields;
+  Alcotest.(check bool) "spills happened" true ((Memcache.stats cache).Memcache.spills > 0);
+  Alcotest.(check bool) "early field evicted" false (Memcache.is_resident cache fields.(0));
+  Alcotest.(check bool) "recent field resident" true (Memcache.is_resident cache fields.(4));
+  (* Spilled dirty data must round-trip intact. *)
+  let f0 = fields.(0) in
+  Alcotest.(check (float 0.0)) "content intact" 0.0 (Field.get f0 ~site:3 ~spin:1 ~color:2 ~reality:1)
+
+let test_spill_preserves_dirty_data () =
+  let cache = fresh_cache ~small:true () in
+  let a = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  let buf = Memcache.ensure_resident cache a in
+  (* Write device-side, mark dirty, then force its eviction. *)
+  (match buf.Gpusim.Buffer.data with
+  | Gpusim.Buffer.F64 dev -> dev.{5} <- 123.0
+  | _ -> assert false);
+  Memcache.mark_device_dirty cache a;
+  for i = 0 to 4 do
+    let f = Field.create (Shape.lattice_fermion Shape.F64) geom in
+    Field.fill_constant f (float_of_int i);
+    ignore (Memcache.ensure_resident cache f)
+  done;
+  Alcotest.(check bool) "a evicted" false (Memcache.is_resident cache a);
+  (* SoA word 5 = site 5, component (0,0,0). *)
+  Alcotest.(check (float 0.0)) "dirty data survived eviction" 123.0
+    (Field.get a ~site:5 ~spin:0 ~color:0 ~reality:0)
+
+let test_pinned_not_spilled () =
+  let cache = fresh_cache ~small:true () in
+  let a = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  ignore (Memcache.ensure_resident ~pin:true cache a);
+  for i = 0 to 3 do
+    let f = Field.create (Shape.lattice_fermion Shape.F64) geom in
+    ignore (Memcache.ensure_resident cache f);
+    ignore i
+  done;
+  Alcotest.(check bool) "pinned stays" true (Memcache.is_resident cache a);
+  Memcache.unpin_all cache
+
+let test_oom_when_all_pinned () =
+  let cache = fresh_cache ~small:true () in
+  let pin () =
+    let f = Field.create (Shape.lattice_fermion Shape.F64) geom in
+    ignore (Memcache.ensure_resident ~pin:true cache f)
+  in
+  match
+    for _ = 1 to 10 do
+      pin ()
+    done
+  with
+  | exception Device.Out_of_device_memory -> ()
+  | () -> Alcotest.fail "pinning more than device memory should fail"
+
+let test_drop () =
+  let cache = fresh_cache () in
+  let f = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  ignore (Memcache.ensure_resident cache f);
+  Alcotest.(check bool) "resident" true (Memcache.is_resident cache f);
+  Memcache.drop cache f;
+  Alcotest.(check bool) "gone" false (Memcache.is_resident cache f)
+
+let test_fresh_zero_field_skips_upload () =
+  let cache = fresh_cache () in
+  let f = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  ignore (Memcache.ensure_resident cache f);
+  Alcotest.(check int) "no upload for never-written field" 0
+    (Memcache.stats cache).Memcache.uploads
+
+let test_cross_cache_migration () =
+  (* A field written on one device, paged out, must re-upload on another
+     cache instead of being treated as never-written zeros. *)
+  let cache1 = fresh_cache () and cache2 = fresh_cache () in
+  let f = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  let buf1 = Memcache.ensure_resident cache1 f in
+  (match buf1.Gpusim.Buffer.data with
+  | Gpusim.Buffer.F64 dev -> dev.{0} <- 3.25
+  | _ -> assert false);
+  Memcache.mark_device_dirty cache1 f;
+  (* Host access pages out of cache1 (hooks) and bumps the version. *)
+  Alcotest.(check (float 0.0)) "host sees device write" 3.25
+    (Field.get f ~site:0 ~spin:0 ~color:0 ~reality:0);
+  let buf2 = Memcache.ensure_resident cache2 f in
+  match buf2.Gpusim.Buffer.data with
+  | Gpusim.Buffer.F64 dev ->
+      Alcotest.(check (float 0.0)) "second device has the data" 3.25 dev.{0}
+  | _ -> assert false
+
+let () =
+  Alcotest.run "memcache"
+    [
+      ( "residency",
+        [
+          Alcotest.test_case "upload then hit" `Quick test_upload_and_hit;
+          Alcotest.test_case "layout change" `Quick test_layout_change_on_upload;
+          Alcotest.test_case "host write invalidates" `Quick test_host_write_invalidates;
+          Alcotest.test_case "read pages out" `Quick test_device_dirty_pages_out_on_read;
+          Alcotest.test_case "fresh zero field" `Quick test_fresh_zero_field_skips_upload;
+          Alcotest.test_case "drop" `Quick test_drop;
+          Alcotest.test_case "cross-cache migration" `Quick test_cross_cache_migration;
+        ] );
+      ( "spilling",
+        [
+          Alcotest.test_case "LRU eviction" `Quick test_lru_spill;
+          Alcotest.test_case "dirty data survives" `Quick test_spill_preserves_dirty_data;
+          Alcotest.test_case "pinned protected" `Quick test_pinned_not_spilled;
+          Alcotest.test_case "oom when pinned" `Quick test_oom_when_all_pinned;
+        ] );
+    ]

@@ -1,0 +1,102 @@
+(* The Fig. 7/8 scaling model must reproduce the paper's anchor
+   measurements and basic monotonicities. *)
+
+module S = Perfmodel.Scaling
+module W = Perfmodel.Workload
+module N = Perfmodel.Nodes
+
+let w = W.production ()
+let bw = N.blue_waters_xk
+let t config nodes = S.trajectory_time ~machine:bw ~config w ~nodes
+
+let within name ~tol expected actual =
+  if abs_float (actual -. expected) /. expected > tol then
+    Alcotest.failf "%s: expected ~%g, got %g" name expected actual
+
+let test_anchor_cpu_time () = within "CPU-only at 128" ~tol:0.05 16100.0 (t S.Cpu_only 128)
+
+let test_anchor_speedups_128 () =
+  within "CPU+QUDA speedup at 128" ~tol:0.07 2.2
+    (S.speedup ~machine:bw w ~config:S.Cpu_quda ~nodes:128);
+  within "QDP-JIT+QUDA speedup at 128" ~tol:0.05 11.0
+    (S.speedup ~machine:bw w ~config:S.Qdpjit_quda ~nodes:128)
+
+let test_anchor_speedup_800 () =
+  within "QDP-JIT+QUDA speedup at 800" ~tol:0.05 3.7
+    (S.speedup ~machine:bw w ~config:S.Qdpjit_quda ~nodes:800)
+
+let test_node_hours () =
+  let cq = S.node_hours ~machine:bw ~config:S.Cpu_quda w ~nodes:128 in
+  let jq = S.node_hours ~machine:bw ~config:S.Qdpjit_quda w ~nodes:128 in
+  within "CPU+QUDA node-hours" ~tol:0.05 258.0 cq;
+  within "QDP-JIT node-hours" ~tol:0.05 52.0 jq;
+  within "cost reduction ~5x" ~tol:0.1 5.0 (cq /. jq)
+
+let test_config_ordering () =
+  List.iter
+    (fun n ->
+      let cpu = t S.Cpu_only n and cq = t S.Cpu_quda n and jq = t S.Qdpjit_quda n in
+      if not (jq < cq && cq < cpu) then
+        Alcotest.failf "ordering broken at N=%d: %g %g %g" n cpu cq jq)
+    [ 128; 256; 400; 512; 800; 1600 ]
+
+let test_strong_scaling_monotone () =
+  List.iter
+    (fun config ->
+      let prev = ref infinity in
+      List.iter
+        (fun n ->
+          let time = t config n in
+          if time > !prev then Alcotest.failf "time increased at N=%d" n;
+          prev := time)
+        [ 128; 256; 400; 512; 800; 1600 ])
+    [ S.Cpu_only; S.Cpu_quda; S.Qdpjit_quda ]
+
+let test_scaling_efficiency_decays () =
+  (* Strong-scaling parallel efficiency of the JIT config must decay with
+     node count (the 11x -> 3.7x story). *)
+  let eff n = t S.Qdpjit_quda 128 *. 128.0 /. (t S.Qdpjit_quda n *. float_of_int n) in
+  Alcotest.(check bool) "efficiency decays" true (eff 800 < eff 400 && eff 400 < eff 256)
+
+let test_titan_close_to_blue_waters () =
+  List.iter
+    (fun n ->
+      let bw_time = S.trajectory_time ~machine:N.blue_waters_xk ~config:S.Qdpjit_quda w ~nodes:n in
+      let ti_time = S.trajectory_time ~machine:N.titan ~config:S.Qdpjit_quda w ~nodes:n in
+      if abs_float (ti_time -. bw_time) /. bw_time > 0.05 then
+        Alcotest.failf "Titan deviates at N=%d" n)
+    [ 128; 256; 400; 512; 800 ]
+
+let test_workload_trace_scaling () =
+  let w2 = W.from_trace ~solver_iterations:200_000 ~solves:500 ~md_force_evals:120 in
+  Alcotest.(check bool) "heavier trace, longer trajectory" true
+    (S.trajectory_time ~machine:bw ~config:S.Qdpjit_quda w2 ~nodes:128 > t S.Qdpjit_quda 128)
+
+let test_invalid_nodes () =
+  Alcotest.check_raises "zero nodes"
+    (Invalid_argument "Scaling.trajectory_time: nodes must be positive") (fun () ->
+      ignore (t S.Cpu_only 0))
+
+let () =
+  Alcotest.run "perfmodel"
+    [
+      ( "anchors",
+        [
+          Alcotest.test_case "CPU time at 128" `Quick test_anchor_cpu_time;
+          Alcotest.test_case "speedups at 128" `Quick test_anchor_speedups_128;
+          Alcotest.test_case "speedup at 800" `Quick test_anchor_speedup_800;
+          Alcotest.test_case "node-hours / 5x cost" `Quick test_node_hours;
+        ] );
+      ( "shape",
+        [
+          Alcotest.test_case "config ordering" `Quick test_config_ordering;
+          Alcotest.test_case "monotone scaling" `Quick test_strong_scaling_monotone;
+          Alcotest.test_case "efficiency decay" `Quick test_scaling_efficiency_decays;
+          Alcotest.test_case "Titan ~ Blue Waters" `Quick test_titan_close_to_blue_waters;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "trace scaling" `Quick test_workload_trace_scaling;
+          Alcotest.test_case "input validation" `Quick test_invalid_nodes;
+        ] );
+    ]

@@ -1,0 +1,234 @@
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+module Subset = Qdp.Subset
+
+let geom = Geometry.create [| 4; 4; 4; 4 |]
+let rng = Prng.create ~seed:31L
+
+let fermion () =
+  let f = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  Field.fill_gaussian f rng;
+  f
+
+let cmatrix () =
+  let f = Field.create (Shape.lattice_color_matrix Shape.F64) geom in
+  Field.fill_gaussian f rng;
+  f
+
+(* ---------------------------- field basics --------------------------- *)
+
+let test_field_get_set () =
+  let f = fermion () in
+  Field.set f ~site:3 ~spin:2 ~color:1 ~reality:1 5.5;
+  Alcotest.(check (float 0.0)) "get" 5.5 (Field.get f ~site:3 ~spin:2 ~color:1 ~reality:1)
+
+let test_field_site_roundtrip () =
+  let f = fermion () in
+  let v = Field.get_site f ~site:10 in
+  Field.set_site f ~site:11 v;
+  Alcotest.(check bool) "site copy" true (Field.get_site f ~site:11 = v)
+
+let test_fill_gaussian_decomposition_independent () =
+  (* Two fields filled with the same site_key mapping get the same content. *)
+  let a = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  let b = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  Field.fill_gaussian a (Prng.create ~seed:5L);
+  Field.fill_gaussian b (Prng.create ~seed:5L);
+  Alcotest.(check bool) "same noise" true (Field.get_site a ~site:77 = Field.get_site b ~site:77)
+
+let test_version_bumps () =
+  let f = fermion () in
+  let v0 = f.Field.version in
+  Field.set f ~site:0 ~spin:0 ~color:0 ~reality:0 1.0;
+  Alcotest.(check bool) "bump" true (f.Field.version > v0)
+
+(* ------------------------- shape inference --------------------------- *)
+
+let test_expr_shapes () =
+  let u = cmatrix () and psi = fermion () in
+  let e = Expr.mul (Expr.field u) (Expr.field psi) in
+  Alcotest.(check bool) "u*psi fermion" true
+    (Shape.equal (Expr.shape e) (Shape.lattice_fermion Shape.F64));
+  let tr = Expr.real (Expr.trace_color (Expr.mul (Expr.field u) (Expr.field u))) in
+  Alcotest.(check bool) "trace real scalar" true
+    (Shape.equal (Expr.shape tr) (Shape.real_scalar Shape.F64))
+
+let test_expr_type_errors () =
+  let u = cmatrix () and psi = fermion () in
+  (match Expr.mul (Expr.field psi) (Expr.field u) with
+  | exception Linalg.Algebra.Type_error _ -> ()
+  | _ -> Alcotest.fail "psi*u accepted");
+  (match Expr.add (Expr.field psi) (Expr.field u) with
+  | exception Linalg.Algebra.Type_error _ -> ()
+  | _ -> Alcotest.fail "psi+u accepted");
+  match Expr.trace_color (Expr.field psi) with
+  | exception Linalg.Algebra.Type_error _ -> ()
+  | _ -> Alcotest.fail "trace of vector accepted"
+
+let test_precision_promotion () =
+  let a32 = Field.create (Shape.lattice_fermion Shape.F32) geom in
+  let b64 = fermion () in
+  let e = Expr.add (Expr.field a32) (Expr.field b64) in
+  Alcotest.(check bool) "promoted to f64" true ((Expr.shape e).Shape.prec = Shape.F64)
+
+let test_leaves_dedup () =
+  let u = cmatrix () and psi = fermion () in
+  let e = Expr.add (Expr.mul (Expr.field u) (Expr.field psi)) (Expr.mul (Expr.field u) (Expr.field psi)) in
+  Alcotest.(check int) "two distinct leaves" 2 (List.length (Expr.leaves e))
+
+let test_structure_key_field_independent () =
+  let u1 = cmatrix () and u2 = cmatrix () and psi1 = fermion () and psi2 = fermion () in
+  let sh = Expr.shape (Expr.mul (Expr.field u1) (Expr.field psi1)) in
+  let k1 = Expr.structure_key ~dest_shape:sh (Expr.mul (Expr.field u1) (Expr.field psi1)) in
+  let k2 = Expr.structure_key ~dest_shape:sh (Expr.mul (Expr.field u2) (Expr.field psi2)) in
+  Alcotest.(check string) "same structure, same key" k1 k2;
+  let k3 = Expr.structure_key ~dest_shape:sh (Expr.mul (Expr.adj (Expr.field u1)) (Expr.field psi1)) in
+  Alcotest.(check bool) "adj changes key" true (k1 <> k3)
+
+let test_param_key_value_independent () =
+  let psi = fermion () in
+  let sh = Expr.shape (Expr.field psi) in
+  let k v = Expr.structure_key ~dest_shape:sh (Expr.mul (Expr.const_real v) (Expr.field psi)) in
+  Alcotest.(check string) "scalar params erased from key" (k 1.5) (k 2.5)
+
+let test_shift_dirs () =
+  let psi = fermion () in
+  let e =
+    Expr.add
+      (Expr.shift (Expr.field psi) ~dim:0 ~dir:1)
+      (Expr.shift (Expr.shift (Expr.field psi) ~dim:2 ~dir:(-1)) ~dim:0 ~dir:1)
+  in
+  Alcotest.(check bool) "dirs found" true (Expr.shift_dirs e = [ (0, 1); (2, -1) ])
+
+(* ------------------------------ eval --------------------------------- *)
+
+let test_eval_identity_mul () =
+  let psi = fermion () in
+  let ident = Field.create (Shape.lattice_color_matrix Shape.F64) geom in
+  for site = 0 to Geometry.volume geom - 1 do
+    Field.set_site ident ~site (Linalg.Su3.identity ())
+  done;
+  let out = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  Qdp.Eval_cpu.eval out (Expr.mul (Expr.field ident) (Expr.field psi));
+  for site = 0 to Geometry.volume geom - 1 do
+    if Field.get_site out ~site <> Field.get_site psi ~site then
+      Alcotest.failf "identity multiplication changed site %d" site
+  done
+
+let test_eval_shift_semantics () =
+  let psi = fermion () in
+  let out = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  Qdp.Eval_cpu.eval out (Expr.shift (Expr.field psi) ~dim:1 ~dir:1);
+  for site = 0 to Geometry.volume geom - 1 do
+    let src = Geometry.neighbor geom site ~dim:1 ~dir:1 in
+    if Field.get_site out ~site <> Field.get_site psi ~site:src then
+      Alcotest.failf "shift wrong at site %d" site
+  done
+
+let test_shift_inverse () =
+  let psi = fermion () in
+  let tmp = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  let out = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  Qdp.Eval_cpu.eval tmp (Expr.shift (Expr.field psi) ~dim:3 ~dir:1);
+  Qdp.Eval_cpu.eval out (Expr.shift (Expr.field tmp) ~dim:3 ~dir:(-1));
+  let d = Qdp.Eval_cpu.norm2 (Expr.sub (Expr.field out) (Expr.field psi)) in
+  Alcotest.(check (float 0.0)) "shift then unshift" 0.0 d
+
+let test_subset_eval () =
+  let psi = fermion () in
+  let out = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  Field.fill_constant out 9.0;
+  Qdp.Eval_cpu.eval ~subset:Subset.Even out (Expr.field psi);
+  Array.iter
+    (fun site ->
+      if Field.get_site out ~site <> Field.get_site psi ~site then
+        Alcotest.failf "even site %d not written" site)
+    (Subset.sites geom Subset.Even);
+  Array.iter
+    (fun site ->
+      if Field.get out ~site ~spin:0 ~color:0 ~reality:0 <> 9.0 then
+        Alcotest.failf "odd site %d overwritten" site)
+    (Subset.sites geom Subset.Odd)
+
+let test_norm2_manual () =
+  let psi = fermion () in
+  let manual = ref 0.0 in
+  for site = 0 to Geometry.volume geom - 1 do
+    Array.iter (fun x -> manual := !manual +. (x *. x)) (Field.get_site psi ~site)
+  done;
+  Alcotest.(check (float 1e-6)) "norm2" !manual (Qdp.Eval_cpu.norm2 (Expr.field psi))
+
+let test_inner_conjugate_symmetry () =
+  let a = fermion () and b = fermion () in
+  let re1, im1 = Qdp.Eval_cpu.inner (Expr.field a) (Expr.field b) in
+  let re2, im2 = Qdp.Eval_cpu.inner (Expr.field b) (Expr.field a) in
+  Alcotest.(check (float 1e-9)) "re symmetric" re1 re2;
+  Alcotest.(check (float 1e-9)) "im antisymmetric" im1 (-.im2)
+
+let test_sum_components_linear () =
+  let a = fermion () in
+  let s1 = Qdp.Eval_cpu.sum_components (Expr.field a) in
+  let s2 = Qdp.Eval_cpu.sum_components (Expr.mul (Expr.const_real 2.0) (Expr.field a)) in
+  Array.iteri (fun i x -> Alcotest.(check (float 1e-9)) "linear" (2.0 *. x) s2.(i)) s1
+
+(* a random well-typed expression generator for property tests *)
+let rec random_expr depth fields =
+  let u, _psi = fields in
+  if depth = 0 then
+    match Prng.int_below rng 3 with
+    | 0 -> Expr.field u
+    | 1 -> Expr.mul (Expr.field u) (Expr.field u)
+    | _ -> Expr.adj (Expr.field u)
+  else
+    match Prng.int_below rng 5 with
+    | 0 -> Expr.add (random_expr (depth - 1) fields) (random_expr (depth - 1) fields)
+    | 1 -> Expr.mul (random_expr (depth - 1) fields) (random_expr (depth - 1) fields)
+    | 2 -> Expr.adj (random_expr (depth - 1) fields)
+    | 3 -> Expr.shift (random_expr (depth - 1) fields) ~dim:(Prng.int_below rng 4) ~dir:1
+    | _ -> Expr.neg (random_expr (depth - 1) fields)
+
+let test_random_exprs_shape_stable () =
+  let u = cmatrix () and psi = fermion () in
+  for _ = 1 to 50 do
+    let e = random_expr 3 (u, psi) in
+    (* shape inference must agree with actual evaluation *)
+    let sh = Expr.shape e in
+    let out = Field.create sh geom in
+    Qdp.Eval_cpu.eval out e;
+    Alcotest.(check bool) "evaluates" true (Field.volume out = Geometry.volume geom)
+  done
+
+let () =
+  Alcotest.run "qdp"
+    [
+      ( "field",
+        [
+          Alcotest.test_case "get/set" `Quick test_field_get_set;
+          Alcotest.test_case "site roundtrip" `Quick test_field_site_roundtrip;
+          Alcotest.test_case "reproducible noise" `Quick test_fill_gaussian_decomposition_independent;
+          Alcotest.test_case "version bump" `Quick test_version_bumps;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "shape inference" `Quick test_expr_shapes;
+          Alcotest.test_case "type errors" `Quick test_expr_type_errors;
+          Alcotest.test_case "precision promotion" `Quick test_precision_promotion;
+          Alcotest.test_case "leaf dedup" `Quick test_leaves_dedup;
+          Alcotest.test_case "structure key" `Quick test_structure_key_field_independent;
+          Alcotest.test_case "param values erased" `Quick test_param_key_value_independent;
+          Alcotest.test_case "shift dirs" `Quick test_shift_dirs;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "identity mul" `Quick test_eval_identity_mul;
+          Alcotest.test_case "shift semantics" `Quick test_eval_shift_semantics;
+          Alcotest.test_case "shift inverse" `Quick test_shift_inverse;
+          Alcotest.test_case "subset eval" `Quick test_subset_eval;
+          Alcotest.test_case "norm2 manual" `Quick test_norm2_manual;
+          Alcotest.test_case "inner symmetry" `Quick test_inner_conjugate_symmetry;
+          Alcotest.test_case "sum linear" `Quick test_sum_components_linear;
+          Alcotest.test_case "random exprs" `Quick test_random_exprs_shape_stable;
+        ] );
+    ]

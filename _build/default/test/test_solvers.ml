@@ -1,0 +1,203 @@
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+
+let geom = Geometry.create [| 4; 4; 4; 2 |]
+let rng = Prng.create ~seed:808L
+let shape = Shape.lattice_fermion Shape.F64
+
+(* Shared problem setup: a warm gauge field and the Wilson operator. *)
+let u = Lqcd.Gauge.create_links geom
+let () = Lqcd.Gauge.random_gauge ~epsilon:0.3 u rng
+let kappa = 0.115
+let eng = Qdpjit.Engine.create ()
+let ops = Solvers.Ops.jit eng shape geom
+let apply_m src = Lqcd.Wilson.wilson_expr ~kappa u src
+let nop = Solvers.Ops.normal_op ops ~apply_m
+
+let mop =
+  { Solvers.Ops.apply = (fun dest src -> Qdpjit.Engine.eval eng dest (apply_m src)); tag = "M" }
+
+let rhs () =
+  let b = Field.create shape geom in
+  Field.fill_gaussian b rng;
+  b
+
+let true_residual op b x =
+  let tmp = Field.create shape geom in
+  op.Solvers.Ops.apply tmp x;
+  sqrt
+    (Qdpjit.Engine.norm2 eng (Expr.sub (Expr.field tmp) (Expr.field b))
+    /. Qdpjit.Engine.norm2 eng (Expr.field b))
+
+let test_cg_converges () =
+  let b = rhs () in
+  let x = Field.create shape geom in
+  let r = Solvers.Cg.solve ops nop ~b ~x ~tol:1e-10 () in
+  Alcotest.(check bool) "converged" true r.Solvers.Cg.converged;
+  Alcotest.(check bool) "claimed residual" true (r.Solvers.Cg.residual <= 1e-10);
+  Alcotest.(check bool) "true residual" true (true_residual nop b x <= 1e-9)
+
+let test_cg_zero_rhs () =
+  let b = Field.create shape geom in
+  let x = Field.create shape geom in
+  let r = Solvers.Cg.solve ops nop ~b ~x ~tol:1e-10 () in
+  Alcotest.(check bool) "converged without iterating" true
+    (r.Solvers.Cg.converged && r.Solvers.Cg.iterations = 0)
+
+let test_cg_max_iter () =
+  let b = rhs () in
+  let x = Field.create shape geom in
+  let r = Solvers.Cg.solve ops nop ~b ~x ~tol:1e-14 ~max_iter:2 () in
+  Alcotest.(check bool) "honest failure" true
+    ((not r.Solvers.Cg.converged) && r.Solvers.Cg.iterations = 2)
+
+let test_bicgstab_converges () =
+  let b = rhs () in
+  let x = Field.create shape geom in
+  let r = Solvers.Bicgstab.solve ops mop ~b ~x ~tol:1e-10 () in
+  Alcotest.(check bool) "converged" true r.Solvers.Bicgstab.converged;
+  Alcotest.(check bool) "true residual" true (true_residual mop b x <= 1e-9)
+
+let test_gcr_converges () =
+  let b = rhs () in
+  let x = Field.create shape geom in
+  let r = Solvers.Gcr.solve ops mop ~b ~x ~tol:1e-10 ~restart:12 () in
+  Alcotest.(check bool) "converged" true r.Solvers.Gcr.converged;
+  Alcotest.(check bool) "true residual" true (true_residual mop b x <= 1e-9)
+
+let test_solvers_agree () =
+  let b = rhs () in
+  let x1 = Field.create shape geom and x2 = Field.create shape geom in
+  ignore (Solvers.Bicgstab.solve ops mop ~b ~x:x1 ~tol:1e-11 ());
+  ignore (Solvers.Gcr.solve ops mop ~b ~x:x2 ~tol:1e-11 ());
+  let d = Qdpjit.Engine.norm2 eng (Expr.sub (Expr.field x1) (Expr.field x2)) in
+  let n = Qdpjit.Engine.norm2 eng (Expr.field x1) in
+  Alcotest.(check bool) "same solution" true (sqrt (d /. n) < 1e-8)
+
+let test_multishift_matches_direct () =
+  let b = rhs () in
+  let shifts = [| 0.1; 0.7; 2.5 |] in
+  let xs = Array.init 3 (fun _ -> Field.create shape geom) in
+  let r = Solvers.Multishift_cg.solve ops nop ~b ~shifts ~xs ~tol:1e-10 () in
+  Alcotest.(check bool) "converged" true r.Solvers.Multishift_cg.converged;
+  Array.iteri
+    (fun i sigma ->
+      let shifted =
+        {
+          Solvers.Ops.apply =
+            (fun dest src ->
+              nop.Solvers.Ops.apply dest src;
+              Qdpjit.Engine.eval eng dest
+                (Expr.add (Expr.field dest) (Expr.mul (Expr.const_real sigma) (Expr.field src))));
+          tag = "A+sigma";
+        }
+      in
+      let xd = Field.create shape geom in
+      ignore (Solvers.Cg.solve ops shifted ~b ~x:xd ~tol:1e-11 ());
+      let d = Qdpjit.Engine.norm2 eng (Expr.sub (Expr.field xd) (Expr.field xs.(i))) in
+      let n = Qdpjit.Engine.norm2 eng (Expr.field xd) in
+      if sqrt (d /. n) > 1e-7 then Alcotest.failf "shift %g mismatch: %g" sigma (sqrt (d /. n)))
+    shifts
+
+let test_multishift_larger_shifts_converge_faster () =
+  let b = rhs () in
+  let shifts = [| 0.01; 10.0 |] in
+  let xs = Array.init 2 (fun _ -> Field.create shape geom) in
+  let r = Solvers.Multishift_cg.solve ops nop ~b ~shifts ~xs ~tol:1e-10 () in
+  Alcotest.(check bool) "big shift residual smaller" true
+    (r.Solvers.Multishift_cg.residuals.(1) <= r.Solvers.Multishift_cg.residuals.(0) +. 1e-12)
+
+let test_mixed_precision () =
+  let shape32 = Shape.lattice_fermion Shape.F32 in
+  let u32 = Array.map (fun _ -> Field.create (Shape.lattice_color_matrix Shape.F32) geom) u in
+  Array.iteri (fun mu d -> Qdpjit.Engine.eval eng d (Expr.field u.(mu))) u32;
+  let ops32 = Solvers.Ops.jit eng shape32 geom in
+  let apply32 src = Lqcd.Wilson.wilson_expr ~kappa u32 src in
+  let nop32 = Solvers.Ops.normal_op ops32 ~apply_m:apply32 in
+  let b = rhs () in
+  let x = Field.create shape geom in
+  let r = Solvers.Mixed.solve ops nop ops32 nop32 ~b ~x ~tol:1e-9 () in
+  Alcotest.(check bool) "converged" true r.Solvers.Mixed.converged;
+  Alcotest.(check bool) "dp residual from sp inner solves" true (true_residual nop b x <= 1e-8);
+  Alcotest.(check bool) "took more than one outer" true (r.Solvers.Mixed.outer_iterations >= 2)
+
+let test_eo_preconditioned_matches_full () =
+  let b = rhs () in
+  let x_eo = Field.create shape geom in
+  let r = Solvers.Eo_wilson.solve ops ~kappa u ~b ~x:x_eo ~tol:1e-10 () in
+  Alcotest.(check bool) "converged" true r.Solvers.Eo_wilson.converged;
+  Alcotest.(check bool)
+    (Printf.sprintf "full-operator residual %.2e" r.Solvers.Eo_wilson.residual)
+    true
+    (r.Solvers.Eo_wilson.residual <= 1e-8);
+  (* Same solution as an unpreconditioned solve of M x = b. *)
+  let x_full = Field.create shape geom in
+  ignore (Solvers.Bicgstab.solve ops mop ~b ~x:x_full ~tol:1e-11 ());
+  let d = Qdpjit.Engine.norm2 eng (Expr.sub (Expr.field x_eo) (Expr.field x_full)) in
+  let n = Qdpjit.Engine.norm2 eng (Expr.field x_full) in
+  Alcotest.(check bool) "matches full solve" true (sqrt (d /. n) < 1e-7)
+
+let test_eo_fewer_iterations () =
+  let b = rhs () in
+  let x_eo = Field.create shape geom in
+  let r_eo = Solvers.Eo_wilson.solve ops ~kappa u ~b ~x:x_eo ~tol:1e-10 () in
+  let x_full = Field.create shape geom in
+  let r_full = Solvers.Cg.solve ops nop ~b ~x:x_full ~tol:1e-10 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "eo %d < full %d iterations" r_eo.Solvers.Eo_wilson.iterations
+       r_full.Solvers.Cg.iterations)
+    true
+    (r_eo.Solvers.Eo_wilson.iterations < r_full.Solvers.Cg.iterations)
+
+let test_quda_headroom_numbers () =
+  Alcotest.(check (float 1e-9)) "sp" 1.76 (Solvers.Quda_like.headroom Solvers.Quda_like.Sp);
+  Alcotest.(check (float 1e-9)) "dp" 1.9 (Solvers.Quda_like.headroom Solvers.Quda_like.Dp);
+  Alcotest.(check (float 0.5)) "generated sp" 196.6
+    (Solvers.Quda_like.generated_dslash_gflops Solvers.Quda_like.Sp);
+  Alcotest.(check (float 0.5)) "generated dp" 90.0
+    (Solvers.Quda_like.generated_dslash_gflops Solvers.Quda_like.Dp)
+
+let test_cpu_and_jit_ops_agree () =
+  (* The same CG on the CPU backend lands on the same solution. *)
+  let cpu_ops = Solvers.Ops.cpu shape geom in
+  let cpu_nop = Solvers.Ops.normal_op cpu_ops ~apply_m in
+  let b = rhs () in
+  let x_cpu = Field.create shape geom and x_jit = Field.create shape geom in
+  ignore (Solvers.Cg.solve cpu_ops cpu_nop ~b ~x:x_cpu ~tol:1e-11 ());
+  ignore (Solvers.Cg.solve ops nop ~b ~x:x_jit ~tol:1e-11 ());
+  let d = Qdp.Eval_cpu.norm2 (Expr.sub (Expr.field x_cpu) (Expr.field x_jit)) in
+  let n = Qdp.Eval_cpu.norm2 (Expr.field x_cpu) in
+  Alcotest.(check bool) "backends agree" true (sqrt (d /. n) < 1e-9)
+
+let () =
+  Alcotest.run "solvers"
+    [
+      ( "cg",
+        [
+          Alcotest.test_case "converges" `Quick test_cg_converges;
+          Alcotest.test_case "zero rhs" `Quick test_cg_zero_rhs;
+          Alcotest.test_case "max_iter honest" `Quick test_cg_max_iter;
+          Alcotest.test_case "cpu/jit backends" `Quick test_cpu_and_jit_ops_agree;
+        ] );
+      ( "krylov",
+        [
+          Alcotest.test_case "bicgstab" `Quick test_bicgstab_converges;
+          Alcotest.test_case "gcr" `Quick test_gcr_converges;
+          Alcotest.test_case "solutions agree" `Quick test_solvers_agree;
+        ] );
+      ( "multishift",
+        [
+          Alcotest.test_case "matches direct" `Quick test_multishift_matches_direct;
+          Alcotest.test_case "shift ordering" `Quick test_multishift_larger_shifts_converge_faster;
+        ] );
+      ( "mixed",
+        [ Alcotest.test_case "sp-inner dp-outer" `Quick test_mixed_precision ] );
+      ( "even-odd",
+        [
+          Alcotest.test_case "matches full solve" `Quick test_eo_preconditioned_matches_full;
+          Alcotest.test_case "better conditioning" `Quick test_eo_fewer_iterations;
+        ] );
+      ("quda", [ Alcotest.test_case "headroom" `Quick test_quda_headroom_numbers ]);
+    ]
