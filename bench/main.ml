@@ -156,6 +156,68 @@ let fig6 () =
   Printf.printf "  (paper: overlap gains ~11%% SP / ~7%% DP at the largest volume)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Streams: the Fig. 6 workload through the stream/event engine, with the
+   rank timelines exported as a Chrome trace *)
+
+let streams_bench () =
+  section "Streams: sync vs overlapped Dslash timeline, Chrome trace export";
+  let l = 32 in
+  let global_dims = [| l; l; l; l |] in
+  let run overlap =
+    let m =
+      Qdpjit.Multi.create ~machine:Gpusim.Machine.k20m_ecc_on ~mode:Gpusim.Device.Model_only
+        ~network:Comms.Network.infiniband_qdr ~global_dims ~rank_dims:[| 1; 1; 1; 2 |] ()
+    in
+    Qdpjit.Multi.set_overlap m overlap;
+    let u =
+      Array.init 4 (fun _ -> Qdpjit.Multi.create_field m (Shape.lattice_color_matrix Shape.F32))
+    in
+    let psi = Qdpjit.Multi.create_field m (Shape.lattice_fermion Shape.F32) in
+    let out = Qdpjit.Multi.create_field m (Shape.lattice_fermion Shape.F32) in
+    let mk rank =
+      let ul = Array.map (fun (df : Qdpjit.Multi.dfield) -> df.Qdpjit.Multi.locals.(rank)) u in
+      Lqcd.Wilson.hopping_expr ul psi.Qdpjit.Multi.locals.(rank)
+    in
+    for _ = 1 to 8 do
+      ignore (Qdpjit.Multi.eval m out mk)
+    done;
+    Qdpjit.Multi.reset_clocks m;
+    let t = Qdpjit.Multi.eval m out mk in
+    (m, t.Qdpjit.Multi.total_ns)
+  in
+  let m_on, t_on = run true in
+  let _, t_off = run false in
+  Printf.printf "  SP Dslash %d^4, 2 ranks: overlapped %.0f ns, synchronous %.0f ns (%.1f%% saved)\n"
+    l t_on t_off
+    (100.0 *. (t_off -. t_on) /. t_off);
+  (* Export the overlapped run's timelines (one process per rank, one
+     thread per stream). *)
+  let trace_path = "trace_streams.json" in
+  let ctxs =
+    List.init (Qdpjit.Multi.nranks m_on) (fun r ->
+        (Printf.sprintf "rank%d" r, Qdpjit.Engine.streams (Qdpjit.Multi.engine m_on r)))
+  in
+  Streams.Trace.write_file trace_path ctxs;
+  let trace_bytes = (Unix.stat trace_path).Unix.st_size in
+  let streams_used =
+    let ctx = Qdpjit.Engine.streams (Qdpjit.Multi.engine m_on 0) in
+    List.length
+      (List.sort_uniq compare (List.map (fun sp -> sp.Streams.span_sid) (Streams.spans ctx)))
+  in
+  Printf.printf "  wrote %s: %d bytes, rank0 spans on %d streams\n" trace_path trace_bytes
+    streams_used;
+  if trace_bytes < 256 then failwith "trace file suspiciously small";
+  if streams_used < 2 then failwith "expected spans on at least two streams";
+  let oc = open_out "BENCH_streams.json" in
+  Printf.fprintf oc
+    "{\n  \"workload\": \"wilson_dslash_sp_%d^4_2ranks\",\n  \"sync_ns\": %.1f,\n  \"overlap_ns\": %.1f,\n  \"saved_fraction\": %.4f,\n  \"trace_file\": \"%s\",\n  \"trace_bytes\": %d,\n  \"rank0_streams_with_spans\": %d\n}\n"
+    l t_off t_on
+    ((t_off -. t_on) /. t_off)
+    trace_path trace_bytes streams_used;
+  close_out oc;
+  Printf.printf "  wrote BENCH_streams.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Sec VIII-C: QUDA comparison *)
 
 let quda_compare () =
@@ -380,6 +442,7 @@ let sections =
     ("fig4", fun () -> bandwidth_sweep Shape.F32);
     ("fig5", fun () -> bandwidth_sweep Shape.F64);
     ("fig6", fig6);
+    ("streams", streams_bench);
     ("quda", quda_compare);
     ("fig7", fig7);
     ("fig8", fig8);

@@ -27,6 +27,8 @@ type kernel_entry = {
 
 type t = {
   device : Device.t;
+  streams : Streams.t;  (** stream context over [device]; all launches go
+                            through it (default stream unless told otherwise) *)
   cache : Memcache.t;
   kernels : (string, kernel_entry) Hashtbl.t;
   ntables : (string, Buffer_.t) Hashtbl.t;
@@ -39,9 +41,11 @@ type t = {
 
 let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional) () =
   let device = Device.create ~mode machine in
+  let streams = Streams.create device in
   {
     device;
-    cache = Memcache.create device;
+    streams;
+    cache = Memcache.create ~sched:streams device;
     kernels = Hashtbl.create 64;
     ntables = Hashtbl.create 16;
     sitelists = Hashtbl.create 8;
@@ -52,9 +56,12 @@ let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional) 
   }
 
 let device t = t.device
+let streams t = t.streams
+let default_stream t = Streams.default_stream t.streams
 let memcache t = t.cache
 let kernels_built t = t.kernels_built
 let jit_seconds t = t.jit_seconds
+let synchronize t = Streams.synchronize t.streams
 
 let geom_tag geom =
   Geometry.dims geom |> Array.to_list |> List.map string_of_int |> String.concat "x"
@@ -74,7 +81,9 @@ let ntable t geom ~dim ~dir =
             a.{site} <- Int32.of_int (Geometry.neighbor geom site ~dim ~dir)
           done
       | _ -> assert false);
-      Device.account_transfer t.device ~bytes:buf.Buffer_.bytes ~to_device:true;
+      ignore
+        (Streams.memcpy_h2d ~name:("ntable " ^ key) t.streams
+           (Streams.default_stream t.streams) ~bytes:buf.Buffer_.bytes);
       Hashtbl.replace t.ntables key buf;
       buf
 
@@ -83,7 +92,9 @@ let upload_sitelist t sites =
   (match buf.Buffer_.data with
   | Buffer_.I32 a -> Array.iteri (fun i s -> a.{i} <- Int32.of_int s) sites
   | _ -> assert false);
-  Device.account_transfer t.device ~bytes:buf.Buffer_.bytes ~to_device:true;
+  ignore
+    (Streams.memcpy_h2d ~name:"sitelist" t.streams (Streams.default_stream t.streams)
+       ~bytes:buf.Buffer_.bytes);
   buf
 
 let sitelist t geom subset =
@@ -143,12 +154,14 @@ let lookup_kernel t ~dest_shape ~expr ~nsites ~use_sitelist =
       Hashtbl.replace t.kernels key entry;
       entry
 
-(* Launch through the auto-tuner: resource failures shrink the block; the
-   modeled time of successful payload launches drives the probe. *)
-let tuned_launch t entry ~nthreads ~params =
+(* Launch through the auto-tuner onto [stream]: resource failures shrink
+   the block; the modeled time of successful payload launches drives the
+   probe (the stream's queueing delay is excluded from the signal). *)
+let tuned_launch t entry ~stream ~nthreads ~params =
+  let name = entry.built.Codegen.kernel.kname in
   let rec attempt () =
     let block = Autotune.next_block entry.tuner in
-    match Device.launch t.device entry.compiled ~nthreads ~block ~params with
+    match Streams.launch ~name t.streams stream entry.compiled ~nthreads ~block ~params with
     | ns -> Autotune.report entry.tuner ~block ~ns
     | exception Device.Launch_failure _ ->
         Autotune.on_failure entry.tuner ~block;
@@ -156,20 +169,29 @@ let tuned_launch t entry ~nthreads ~params =
   in
   if nthreads > 0 then attempt ()
 
-let eval ?(subset = Subset.All) t dest expr =
+let eval ?(subset = Subset.All) ?stream t dest expr =
   Qdp.Eval_cpu.check_dest dest expr;
   let geom = dest.Field.geom in
   let nsites = Geometry.volume geom in
   let use_sitelist = not (Subset.is_all subset) in
   let entry = lookup_kernel t ~dest_shape:dest.Field.shape ~expr ~nsites ~use_sitelist in
+  (* Passing an explicit stream makes the eval asynchronous (the caller
+     synchronizes); the implicit default stream keeps the legacy blocking
+     semantics. *)
+  let sync = stream = None in
+  let stream = match stream with Some s -> s | None -> Streams.default_stream t.streams in
   let leaves = Expr.leaves expr in
-  (* Make everything resident before binding addresses (Sec. IV). *)
-  let leaf_bufs = List.map (fun f -> Memcache.ensure_resident ~pin:true t.cache f) leaves in
+  (* Make everything resident before binding addresses (Sec. IV); the
+     launch stream waits on any upload still in flight on the transfer
+     stream. *)
+  let leaf_bufs =
+    List.map (fun f -> Memcache.ensure_resident ~pin:true ~wait_stream:stream t.cache f) leaves
+  in
   let dest_is_leaf = List.exists (fun (f : Field.t) -> f.Field.id = dest.Field.id) leaves in
   let dest_buf =
     Memcache.ensure_resident ~pin:true
       ~for_write:(Subset.is_all subset && not dest_is_leaf)
-      t.cache dest
+      ~wait_stream:stream t.cache dest
   in
   let slist =
     if use_sitelist then Some (sitelist t geom subset) else None
@@ -192,9 +214,10 @@ let eval ?(subset = Subset.All) t dest expr =
       entry.built.Codegen.plan
     |> Array.of_list
   in
-  tuned_launch t entry ~nthreads:n_work ~params;
+  tuned_launch t entry ~stream ~nthreads:n_work ~params;
   Memcache.mark_device_dirty t.cache dest;
   Memcache.unpin_all t.cache;
+  if sync then ignore (Streams.stream_synchronize t.streams stream);
   ignore slist
 
 (* ------------------------------------------------------------------ *)
@@ -292,16 +315,24 @@ let reduce_entry t =
       t.reduce_kernel <- Some entry;
       entry
 
+(* The host is about to read [bytes] of a reduction result: a blocking
+   D2H copy on the default stream. *)
+let sync_readback t ~bytes =
+  let s0 = Streams.default_stream t.streams in
+  ignore (Streams.memcpy_d2h ~name:"reduce readback" t.streams s0 ~bytes);
+  ignore (Streams.stream_synchronize t.streams s0)
+
 (* Fold one SoA component plane of a device-resident f64 field buffer. *)
 let reduce_plane t ~(field_buf : Buffer_.t) ~plane_word ~nsites =
   if nsites = 1 then begin
-    Device.account_transfer t.device ~bytes:8 ~to_device:false;
+    sync_readback t ~bytes:8;
     match field_buf.Buffer_.data with
     | Buffer_.F64 a -> a.{plane_word}
     | _ -> invalid_arg "Engine.reduce_plane: f64 buffer expected"
   end
   else begin
     let entry = reduce_entry t in
+    let stream = Streams.default_stream t.streams in
     let cap = (nsites + 1) / 2 in
     let ping = Device.alloc_f64 t.device cap in
     let pong = Device.alloc_f64 t.device ((cap + 1) / 2) in
@@ -311,11 +342,11 @@ let reduce_plane t ~(field_buf : Buffer_.t) ~plane_word ~nsites =
         [| Gpusim.Vm.Ptr src; Gpusim.Vm.Ptr dst; Gpusim.Vm.Int src_off; Gpusim.Vm.Int n_in;
            Gpusim.Vm.Int n_out |]
       in
-      tuned_launch t entry ~nthreads:n_out ~params;
+      tuned_launch t entry ~stream ~nthreads:n_out ~params;
       if n_out = 1 then dst else go ~src:dst ~src_off:0 ~n_in:n_out ~dst:other ~other:dst
     in
     let final = go ~src:field_buf ~src_off:(plane_word * 8) ~n_in:nsites ~dst:ping ~other:pong in
-    Device.account_transfer t.device ~bytes:8 ~to_device:false;
+    sync_readback t ~bytes:8;
     let result =
       match final.Buffer_.data with
       | Buffer_.F64 a -> a.{0}

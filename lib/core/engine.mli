@@ -23,6 +23,17 @@ val create : ?machine:Gpusim.Machine.t -> ?mode:Gpusim.Device.mode -> unit -> t
     paper-scale benchmark sweeps). *)
 
 val device : t -> Gpusim.Device.t
+
+val streams : t -> Streams.t
+(** The engine's stream context; all launches and transfers schedule onto
+    its timelines (and into its Chrome-trace span log). *)
+
+val default_stream : t -> Streams.stream
+
+val synchronize : t -> float
+(** Drain every stream of the engine's context (device synchronize);
+    returns the host-visible clock in ns. *)
+
 val memcache : t -> Memcache.t
 
 val kernels_built : t -> int
@@ -32,10 +43,14 @@ val kernels_built : t -> int
 val jit_seconds : t -> float
 (** Accumulated modeled driver-JIT time (Sec. III-D: 0.05–0.22 s/kernel). *)
 
-val eval : ?subset:Qdp.Subset.t -> t -> Qdp.Field.t -> Qdp.Expr.t -> unit
+val eval : ?subset:Qdp.Subset.t -> ?stream:Streams.stream -> t -> Qdp.Field.t -> Qdp.Expr.t -> unit
 (** [eval t dest expr]: dest = expr on the simulated device.  Functionally
     identical to {!Qdp.Eval_cpu.eval} (bit-exact; the test suite checks
-    this for every operation). *)
+    this for every operation).  Without [stream] the call is blocking
+    (launch on the default stream, then stream-synchronize — the legacy
+    semantics, so clock deltas around it keep measuring).  With [stream]
+    the launch is asynchronous on that stream and the caller owns
+    synchronization (events or {!synchronize}). *)
 
 val norm2 : ?subset:Qdp.Subset.t -> t -> Qdp.Expr.t -> float
 (** Deterministic pairwise-tree reduction of the per-site |.|^2 kernel. *)

@@ -1,5 +1,5 @@
 (** Multi-rank SPMD execution with communication/computation overlap
-    (Sec. V).
+    (Sec. V), expressed with streams and events.
 
     Every MPI rank of the paper becomes a simulated rank here: its own
     device, memory cache and kernel cache, with the local sub-grid of the
@@ -7,27 +7,37 @@
     subtree is materialised by a local kernel (the "gather" compute), its
     face data crosses the fabric, inner sites are rebuilt from the local
     neighbour table, and face sites are filled from the received buffer.
-    The final shift-free kernel is then launched in two pieces — inner
-    sites while messages are in flight, face sites after arrival — when
-    overlap is enabled, or in one piece after arrival when it is not.
-    Shifts of shifts work but their inner exchanges do not overlap,
-    matching the paper's stated limitation.
+
+    The overlap itself is CUDA-shaped: each rank runs its compute on the
+    engine's default stream and its exchanges on a dedicated "comm"
+    stream.  The gather kernel records an event the face export waits on;
+    the message arrival (computed by the simulated fabric) completes an
+    event the import side waits on; the received-face scatter records a
+    [face_ready] event.  With overlap enabled the final kernel is launched
+    in two pieces — inner sites run immediately, the face piece waits on
+    [face_ready] — and with it disabled the compute stream itself waits on
+    [face_ready] before any post-exchange work, serialising comm and
+    compute.  No per-rank clock arithmetic: the timeline is whatever the
+    stream scheduler produced, observable via {!max_clock}.
 
     Functional results are identical with overlap on or off; what changes
     is the simulated per-rank timeline, which is what Fig. 6 plots. *)
 
 module Shape = Layout.Shape
 module Geometry = Layout.Geometry
+module Index = Layout.Index
 module Field = Qdp.Field
 module Expr = Qdp.Expr
 module Subset = Qdp.Subset
+module Buffer_ = Gpusim.Buffer
 
 type t = {
   grid : Comms.Grid.t;
   fabric : Comms.Fabric.t;
   engines : Engine.t array;
+  comm_streams : Streams.stream array;
+      (** per-rank dedicated stream for face exchange traffic *)
   mutable overlap : bool;
-  rank_clock : float array;  (** modeled per-rank timeline, ns *)
   mutable comm_bytes : int;
   shift_pool : (string, dfield * dfield) Hashtbl.t;
       (** reused (tmp, shifted) temporaries per (dim, dir, shape,
@@ -43,12 +53,14 @@ let create ?(machine = Gpusim.Machine.k20m_ecc_on) ?(mode = Gpusim.Device.Functi
     ?(network = Comms.Network.infiniband_qdr) ~global_dims ~rank_dims () =
   let grid = Comms.Grid.create ~global_dims ~rank_dims in
   let nranks = Comms.Grid.nranks grid in
+  let engines = Array.init nranks (fun _ -> Engine.create ~machine ~mode ()) in
   {
     grid;
     fabric = Comms.Fabric.create ~network ~nranks;
-    engines = Array.init nranks (fun _ -> Engine.create ~machine ~mode ());
+    engines;
+    comm_streams =
+      Array.map (fun eng -> Streams.create_stream ~name:"comm" (Engine.streams eng)) engines;
     overlap = true;
-    rank_clock = Array.make nranks 0.0;
     comm_bytes = 0;
     shift_pool = Hashtbl.create 16;
     shift_seq = 0;
@@ -56,9 +68,19 @@ let create ?(machine = Gpusim.Machine.k20m_ecc_on) ?(mode = Gpusim.Device.Functi
 
 let nranks t = Comms.Grid.nranks t.grid
 let local_geom t = t.grid.Comms.Grid.local
+let engine t rank = t.engines.(rank)
 let set_overlap t flag = t.overlap <- flag
-let max_clock t = Array.fold_left max 0.0 t.rank_clock
-let reset_clocks t = Array.fill t.rank_clock 0 (Array.length t.rank_clock) 0.0
+
+let max_clock t =
+  Array.fold_left (fun acc eng -> Float.max acc (Streams.horizon (Engine.streams eng))) 0.0
+    t.engines
+
+let reset_clocks t =
+  Array.iter
+    (fun eng ->
+      Streams.reset (Engine.streams eng);
+      Memcache.settle (Engine.memcache eng))
+    t.engines
 
 let create_field ?name t shape =
   { shape; locals = Array.init (nranks t) (fun _ -> Field.create ?name shape (local_geom t)) }
@@ -85,10 +107,60 @@ let gather t (df : dfield) ~(global : Field.t) =
 (* Is the rank grid split along [dim]?  If not, a shift is purely local. *)
 let split_along t dim = (Geometry.dims t.grid.Comms.Grid.rank_geom).(dim) > 1
 
+let ctx t rank = Engine.streams t.engines.(rank)
+let s0 t rank = Engine.default_stream t.engines.(rank)
+
+(* Functional face fill, device buffer to device buffer (the wrapped local
+   neighbour index *is* the partner's local site index).  Going through
+   the host API would trip the coherence hooks and page whole fields over
+   modeled PCIe — a real implementation scatters the receive buffer on the
+   device, and the modeled cost of that traffic is already on the comm
+   stream, so the data movement here must be free of modeled time. *)
+let fill_face_functional t ~rank ~partner ~face ~dim ~dir (tmp : dfield) (shifted : dfield) =
+  let local = local_geom t in
+  let shape = shifted.shape in
+  let nsites = Geometry.volume local in
+  let dst_cache = Engine.memcache t.engines.(rank) in
+  let src_cache = Engine.memcache t.engines.(partner) in
+  let dst_buf = Memcache.ensure_resident dst_cache shifted.locals.(rank) in
+  let src_buf = Memcache.ensure_resident src_cache tmp.locals.(partner) in
+  let dof = Shape.dof shape in
+  let copy (type a b) (src : (a, b, Bigarray.c_layout) Bigarray.Array1.t)
+      (dst : (a, b, Bigarray.c_layout) Bigarray.Array1.t) =
+    Array.iter
+      (fun x ->
+        let src_site = Geometry.neighbor local x ~dim ~dir in
+        for lin = 0 to dof - 1 do
+          let spin, color, reality = Index.component_of_linear shape lin in
+          let src_off = Index.offset Index.Soa shape ~nsites ~site:src_site ~spin ~color ~reality in
+          let dst_off = Index.offset Index.Soa shape ~nsites ~site:x ~spin ~color ~reality in
+          dst.{dst_off} <- src.{src_off}
+        done)
+      face
+  in
+  (match (src_buf.Buffer_.data, dst_buf.Buffer_.data) with
+  | Buffer_.F32 s, Buffer_.F32 d -> copy s d
+  | Buffer_.F64 s, Buffer_.F64 d -> copy s d
+  | _ -> invalid_arg "Multi: face fill precision mismatch");
+  Memcache.mark_device_dirty dst_cache shifted.locals.(rank)
+
+(* ---------------------------------------------------------------- *)
+(* Expression lowering                                               *)
+
+(* Rewrite per-rank expressions bottom-up, materialising every Shift whose
+   direction crosses ranks; collects the off-node face-site set
+   contributed by top-level shifts and the [face_ready] events the final
+   face piece must wait on. *)
+type lowering = {
+  mutable face_sets : (int * int) list;  (** exchanged (dim,dir) at top level *)
+  mutable nested : bool;  (** saw an exchanged shift below another shift *)
+  face_ready : Streams.Event.t list array;  (** per-rank, one per exchange *)
+}
+
 (* ---------------------------------------------------------------- *)
 (* Shift materialisation                                             *)
 
-(* One exchanged shift: the per-rank result fields plus timing facts. *)
+(* One exchanged shift: the per-rank result fields. *)
 let shift_temps t ~dim ~dir shape =
   (* Distinct shift occurrences within one statement need distinct buffers
      (two nodes may share (dim, dir, shape)); across statements the same
@@ -102,110 +174,111 @@ let shift_temps t ~dim ~dir shape =
       Hashtbl.replace t.shift_pool key pair;
       pair
 
-let materialize_shift t (subs : Expr.t array) ~dim ~dir =
+let materialize_shift t (low : lowering) (subs : Expr.t array) ~dim ~dir ~depth =
   let local = local_geom t in
   let n = nranks t in
   let shape = Expr.shape subs.(0) in
   let pooled_tmp, shifted = shift_temps t ~dim ~dir shape in
-  let gather_ns = Array.make n 0.0 in
-  let inner_ns = Array.make n 0.0 in
-  let face_ns = Array.make n 0.0 in
-  (* 1. Local "gather" kernel: materialise the subtree everywhere — unless
-     it is already a plain field, in which case the faces can be sent
-     directly (no copy, no kernel). *)
+  (* 1. Local "gather" kernel on the compute stream: materialise the
+     subtree everywhere — unless it is already a plain field, in which
+     case the faces can be sent directly (no copy, no kernel).  The
+     [g_done] event marks when the face data is ready to export. *)
+  let g_done = Array.init n (fun r -> Streams.Event.create ~name:(Printf.sprintf "gather done r%d" r) ()) in
   let tmp =
     match subs.(0) with
     | Expr.Leaf _ ->
-        {
-          shape;
-          locals =
-            Array.map (function Expr.Leaf f -> f | _ -> assert false) subs;
-        }
-    | _ ->
-        let tmp = pooled_tmp in
+        let tmp =
+          { shape; locals = Array.map (function Expr.Leaf f -> f | _ -> assert false) subs }
+        in
         for rank = 0 to n - 1 do
-          let eng = t.engines.(rank) in
-          let before = Gpusim.Device.clock_ns (Engine.device eng) in
-          Engine.eval eng tmp.locals.(rank) subs.(rank);
-          gather_ns.(rank) <- Gpusim.Device.clock_ns (Engine.device eng) -. before
+          Streams.record_event (ctx t rank) (s0 t rank) g_done.(rank)
         done;
         tmp
+    | _ ->
+        for rank = 0 to n - 1 do
+          Engine.eval ~stream:(s0 t rank) t.engines.(rank) pooled_tmp.locals.(rank) subs.(rank);
+          Streams.record_event (ctx t rank) (s0 t rank) g_done.(rank)
+        done;
+        pooled_tmp
   in
   if not (split_along t dim) then begin
     (* Whole direction lives on-rank: a single local kernel suffices. *)
     for rank = 0 to n - 1 do
-      let eng = t.engines.(rank) in
-      let before = Gpusim.Device.clock_ns (Engine.device eng) in
-      Engine.eval eng shifted.locals.(rank) (Expr.shift (Expr.field tmp.locals.(rank)) ~dim ~dir);
-      inner_ns.(rank) <- Gpusim.Device.clock_ns (Engine.device eng) -. before
+      Engine.eval ~stream:(s0 t rank) t.engines.(rank) shifted.locals.(rank)
+        (Expr.shift (Expr.field tmp.locals.(rank)) ~dim ~dir);
     done;
-    (tmp, shifted, gather_ns, inner_ns, face_ns, None)
+    shifted
   end
   else begin
     let face = Geometry.face_sites local ~dim ~dir in
     let inner = Geometry.inner_sites local ~dim ~dir in
     let face_bytes = Array.length face * Shape.bytes_per_site shape in
     t.comm_bytes <- t.comm_bytes + (face_bytes * n);
-    (* 2. Inner sites from the local (periodic) neighbour table. *)
+    let cuda_aware = Comms.Fabric.cuda_aware t.fabric in
+    (* 2. Face export on the comm stream: wait for the gather, then (for a
+       non-CUDA-aware fabric) stage the face through host memory.  The
+       comm stream's cursor afterwards is the message post time. *)
+    let post = Array.make n 0.0 in
     for rank = 0 to n - 1 do
-      let eng = t.engines.(rank) in
-      let before = Gpusim.Device.clock_ns (Engine.device eng) in
-      Engine.eval ~subset:(Subset.Custom inner) eng shifted.locals.(rank)
-        (Expr.shift (Expr.field tmp.locals.(rank)) ~dim ~dir);
-      inner_ns.(rank) <- Gpusim.Device.clock_ns (Engine.device eng) -. before
+      let c = ctx t rank and sc = t.comm_streams.(rank) in
+      Streams.wait_event c sc g_done.(rank);
+      if not cuda_aware then
+        ignore (Streams.memcpy_d2h ~name:"face export" c sc ~bytes:face_bytes);
+      post.(rank) <- Streams.cursor_ns sc
     done;
-    (* 3. Face sites from the partner rank (the wrapped local neighbour
-       index *is* the partner's local site index).  Model-only devices
-       skip the data movement. *)
+    (* 3. The wire: the simulated fabric turns each post time into an
+       arrival time at the partner, which completes an event the
+       receiver's comm stream waits on. *)
+    let arrived =
+      Array.init n (fun rank ->
+          (* Receiver's message comes from the rank on the *opposite* side. *)
+          let sender = Comms.Grid.neighbor_rank t.grid rank ~dim ~dir in
+          let arrive_ns =
+            Comms.Fabric.transfer t.fabric ~src:sender ~dst:rank ~bytes:face_bytes
+              ~post_ns:post.(sender)
+          in
+          let ev = Streams.Event.create ~name:(Printf.sprintf "msg arrival r%d" rank) () in
+          Streams.record_event_at ev ~ns:arrive_ns;
+          ev)
+    in
+    (* 4. Face import + scatter on the comm stream; [face_ready] caps the
+       exchange.  Model-only devices skip the data movement.  The scatter
+       is a tiny launch-overhead-sized kernel; it is modeled on the copy
+       engine rather than the SMs because the engine timelines are FCFS in
+       issue order — a late-starting blip on the compute engine would
+       otherwise push back every kernel issued after it, which the real
+       hardware (running it between kernels) does not do. *)
     for rank = 0 to n - 1 do
       let partner = Comms.Grid.neighbor_rank t.grid rank ~dim ~dir in
       if (Engine.device t.engines.(rank)).Gpusim.Device.mode = Gpusim.Device.Functional then
-        Array.iter
-          (fun x ->
-            let src_site = Geometry.neighbor local x ~dim ~dir in
-            Field.set_site shifted.locals.(rank) ~site:x
-              (Field.get_site tmp.locals.(partner) ~site:src_site))
-          face;
-      (* Account a small scatter kernel for the received face. *)
-      let eng = t.engines.(rank) in
-      let mach = (Engine.device eng).Gpusim.Device.machine in
-      face_ns.(rank) <- mach.Gpusim.Machine.base_overhead_ns
+        fill_face_functional t ~rank ~partner ~face ~dim ~dir tmp shifted;
+      let c = ctx t rank and sc = t.comm_streams.(rank) in
+      Streams.wait_event c sc arrived.(rank);
+      if not cuda_aware then
+        ignore (Streams.memcpy_h2d ~name:"face import" c sc ~bytes:face_bytes);
+      let mach = (Engine.device t.engines.(rank)).Gpusim.Device.machine in
+      Streams.busy ~cat:"kernel" c sc ~engine:Streams.Copy_h2d ~name:"face scatter"
+        ~ns:mach.Gpusim.Machine.base_overhead_ns;
+      let ev = Streams.Event.create ~name:(Printf.sprintf "face ready r%d" rank) () in
+      Streams.record_event c sc ev;
+      (* Overlap off — or an exchange feeding another shift, which the
+         paper does not overlap — stalls the compute stream here and now;
+         overlap on defers the wait to the final face piece. *)
+      if (not t.overlap) || depth > 0 then Streams.wait_event c (s0 t rank) ev
+      else low.face_ready.(rank) <- ev :: low.face_ready.(rank)
     done;
-    (tmp, shifted, gather_ns, inner_ns, face_ns, Some face_bytes)
+    (* 5. Inner sites from the local (periodic) neighbour table, on the
+       compute stream — this is the work that hides the messages (with
+       overlap off the compute stream just stalled on [face_ready], so
+       nothing hides). *)
+    for rank = 0 to n - 1 do
+      Engine.eval ~stream:(s0 t rank) ~subset:(Subset.Custom inner) t.engines.(rank)
+        shifted.locals.(rank)
+        (Expr.shift (Expr.field tmp.locals.(rank)) ~dim ~dir)
+    done;
+    if depth = 0 then low.face_sets <- (dim, dir) :: low.face_sets else low.nested <- true;
+    shifted
   end
-
-(* Message completion time for each rank given per-rank post times. *)
-let arrival_times t ~dim ~dir ~face_bytes ~(post : float array) =
-  let n = nranks t in
-  let pcie rank =
-    let mach = (Engine.device t.engines.(rank)).Gpusim.Device.machine in
-    Gpusim.Timing.transfer_time_ns mach ~bytes:face_bytes
-  in
-  Array.init n (fun rank ->
-      (* Receiver's message comes from the rank on the *opposite* side. *)
-      let sender = Comms.Grid.neighbor_rank t.grid rank ~dim ~dir in
-      let post_ns =
-        if Comms.Fabric.cuda_aware t.fabric then post.(sender)
-        else post.(sender) +. pcie sender
-      in
-      let arrive = Comms.Fabric.transfer t.fabric ~src:sender ~dst:rank ~bytes:face_bytes ~post_ns in
-      if Comms.Fabric.cuda_aware t.fabric then arrive else arrive +. pcie rank)
-
-(* ---------------------------------------------------------------- *)
-(* Expression lowering                                               *)
-
-(* Rewrite per-rank expressions bottom-up, materialising every Shift whose
-   direction crosses ranks; returns the rewritten expressions, the
-   off-node face-site set contributed by top-level shifts, and accumulated
-   per-rank (gather, inner, face, arrival) times for the exchanges. *)
-type lowering = {
-  mutable gather : float array;
-  mutable inner_build : float array;
-  mutable face_fill : float array;
-  mutable arrival : float array;  (** latest message arrival per rank *)
-  mutable face_sets : (int * int) list;  (** exchanged (dim,dir) at top level *)
-  mutable nested : bool;  (** saw an exchanged shift below another shift *)
-}
 
 let rec lower t (low : lowering) ~depth (es : Expr.t array) : Expr.t array =
   let n = nranks t in
@@ -229,25 +302,9 @@ let rec lower t (low : lowering) ~depth (es : Expr.t array) : Expr.t array =
       if not (split_along t dim) then
         (* Purely local: keep the shift in the kernel. *)
         Array.map (fun s -> Expr.Shift (s, dim, dir)) subs
-      else begin
-        let _tmp, shifted, g_ns, i_ns, f_ns, face_bytes = materialize_shift t subs ~dim ~dir in
-        (match face_bytes with
-        | Some fb ->
-            let post = Array.mapi (fun r g -> t.rank_clock.(r) +. low.gather.(r) +. g) g_ns in
-            let arr = arrival_times t ~dim ~dir ~face_bytes:fb ~post in
-            Array.iteri
-              (fun r a -> low.arrival.(r) <- Float.max low.arrival.(r) a)
-              arr
-        | None -> ());
-        Array.iteri
-          (fun r g ->
-            low.gather.(r) <- low.gather.(r) +. g;
-            low.inner_build.(r) <- low.inner_build.(r) +. i_ns.(r);
-            low.face_fill.(r) <- low.face_fill.(r) +. f_ns.(r))
-          g_ns;
-        if depth = 0 then low.face_sets <- (dim, dir) :: low.face_sets else low.nested <- true;
+      else
+        let shifted = materialize_shift t low subs ~dim ~dir ~depth in
         Array.map (fun f -> Expr.field f) shifted.locals
-      end
 
 (* ---------------------------------------------------------------- *)
 (* Evaluation                                                        *)
@@ -261,33 +318,23 @@ let eval ?(subset = Subset.All) t (dest : dfield) (mk : int -> Expr.t) =
   let n = nranks t in
   t.shift_seq <- 0;
   let exprs = Array.init n mk in
-  let low =
-    {
-      gather = Array.make n 0.0;
-      inner_build = Array.make n 0.0;
-      face_fill = Array.make n 0.0;
-      arrival = Array.make n 0.0;
-      face_sets = [];
-      nested = false;
-    }
-  in
+  let low = { face_sets = []; nested = false; face_ready = Array.make n [] } in
   let lowered = lower t low ~depth:0 exprs in
   let local = local_geom t in
   let had_exchange = low.face_sets <> [] || low.nested in
   if not had_exchange then begin
     (* No off-node data: single launch per rank. *)
     for rank = 0 to n - 1 do
-      let eng = t.engines.(rank) in
-      let before = Gpusim.Device.clock_ns (Engine.device eng) in
-      Engine.eval ~subset eng dest.locals.(rank) lowered.(rank);
-      let ns = Gpusim.Device.clock_ns (Engine.device eng) -. before in
-      t.rank_clock.(rank) <- t.rank_clock.(rank) +. ns
+      Engine.eval ~subset ~stream:(s0 t rank) t.engines.(rank) dest.locals.(rank) lowered.(rank)
     done;
     { total_ns = max_clock t; comm_overlapped = false }
   end
   else begin
     (* Split the final kernel: sites whose top-level shifts were all local
-       vs sites that consumed received data. *)
+       vs sites that consumed received data.  The inner piece launches
+       while messages fly; the face piece waits on every [face_ready]
+       event first (with overlap off the compute stream already stalled at
+       the exchanges, so the waits are no-ops there). *)
     let face_set = Hashtbl.create 64 in
     List.iter
       (fun (dim, dir) ->
@@ -300,31 +347,15 @@ let eval ?(subset = Subset.All) t (dest : dfield) (mk : int -> Expr.t) =
     let face_sites =
       Array.of_list (List.filter (fun s -> Hashtbl.mem face_set s) (Array.to_list requested))
     in
-    let inner_kernel_ns = Array.make n 0.0 in
-    let face_kernel_ns = Array.make n 0.0 in
     for rank = 0 to n - 1 do
-      let eng = t.engines.(rank) in
-      let before = Gpusim.Device.clock_ns (Engine.device eng) in
+      let stream = s0 t rank in
       if Array.length inner_sites > 0 then
-        Engine.eval ~subset:(Subset.Custom inner_sites) eng dest.locals.(rank) lowered.(rank);
-      let mid = Gpusim.Device.clock_ns (Engine.device eng) in
+        Engine.eval ~subset:(Subset.Custom inner_sites) ~stream t.engines.(rank)
+          dest.locals.(rank) lowered.(rank);
+      List.iter (Streams.wait_event (ctx t rank) stream) (List.rev low.face_ready.(rank));
       if Array.length face_sites > 0 then
-        Engine.eval ~subset:(Subset.Custom face_sites) eng dest.locals.(rank) lowered.(rank);
-      inner_kernel_ns.(rank) <- mid -. before;
-      face_kernel_ns.(rank) <- Gpusim.Device.clock_ns (Engine.device eng) -. mid
-    done;
-    (* Timeline (Sec. V): gathers post the sends; with overlap the inner
-       work hides the messages, otherwise everything waits for arrival. *)
-    for rank = 0 to n - 1 do
-      let t0 = t.rank_clock.(rank) in
-      let after_gather = t0 +. low.gather.(rank) in
-      let local_work = low.inner_build.(rank) +. inner_kernel_ns.(rank) in
-      let tail = low.face_fill.(rank) +. face_kernel_ns.(rank) in
-      let finish =
-        if t.overlap then Float.max (after_gather +. local_work) low.arrival.(rank) +. tail
-        else Float.max after_gather low.arrival.(rank) +. local_work +. tail
-      in
-      t.rank_clock.(rank) <- finish
+        Engine.eval ~subset:(Subset.Custom face_sites) ~stream t.engines.(rank)
+          dest.locals.(rank) lowered.(rank)
     done;
     { total_ns = max_clock t; comm_overlapped = t.overlap }
   end

@@ -35,13 +35,20 @@ val create :
 val nranks : t -> int
 val local_geom : t -> Layout.Geometry.t
 
+val engine : t -> int -> Engine.t
+(** The rank's engine — its device, memory cache and stream context (the
+    latter holds the rank's recorded timeline for trace export). *)
+
 val set_overlap : t -> bool -> unit
 (** Toggle communication/computation overlap (functional no-op). *)
 
 val max_clock : t -> float
-(** The slowest rank's modeled timeline, ns. *)
+(** The slowest rank's modeled timeline, ns (the latest completion across
+    every stream of every rank). *)
 
 val reset_clocks : t -> unit
+(** Rewind every rank's stream timelines (and recorded trace spans) to
+    zero — benchmarks call this after warm-up. *)
 
 val create_field : ?name:string -> t -> Layout.Shape.t -> dfield
 

@@ -97,21 +97,31 @@ let lookup t id =
 
 (* Host<->device transfers: account PCIe time; the data movement itself is a
    host-side blit performed by the caller (host and device memory are both
-   process memory here). *)
-let account_transfer t ~bytes ~to_device =
+   process memory here).  [transfer_cost] records the traffic and returns
+   the modeled duration without touching the clock — asynchronous copies
+   live on a stream timeline owned by the stream scheduler, not on the
+   device's synchronous clock. *)
+let transfer_cost t ~bytes ~to_device =
   let ns = Timing.transfer_time_ns t.machine ~bytes in
-  t.clock_ns <- t.clock_ns +. ns;
   t.stats.transfers <- t.stats.transfers + 1;
   t.stats.transfer_ns <- t.stats.transfer_ns +. ns;
   if to_device then t.stats.h2d_bytes <- t.stats.h2d_bytes + bytes
-  else t.stats.d2h_bytes <- t.stats.d2h_bytes + bytes
+  else t.stats.d2h_bytes <- t.stats.d2h_bytes + bytes;
+  ns
+
+let account_transfer t ~bytes ~to_device =
+  let ns = transfer_cost t ~bytes ~to_device in
+  t.clock_ns <- t.clock_ns +. ns
 
 let advance_clock t ns = t.clock_ns <- t.clock_ns +. ns
+let set_clock_ns t ns = t.clock_ns <- ns
 
-(* Launch a compiled kernel over [nthreads] logical threads.  Raises
-   [Launch_failure] when the block geometry or register pressure does not
-   fit the machine — the condition the auto-tuner (Sec. VII) probes for. *)
-let launch t (c : Jit.compiled) ~nthreads ~block ~params =
+(* Execute a compiled kernel over [nthreads] logical threads and return its
+   modeled duration without advancing the clock (stream timelines decide
+   *when* it runs).  Raises [Launch_failure] when the block geometry or
+   register pressure does not fit the machine — the condition the
+   auto-tuner (Sec. VII) probes for. *)
+let execute t (c : Jit.compiled) ~nthreads ~block ~params =
   if not (Timing.launch_fits t.machine ~regs_per_thread:c.Jit.regs_per_thread ~block) then begin
     t.stats.launch_failures <- t.stats.launch_failures + 1;
     raise
@@ -127,7 +137,11 @@ let launch t (c : Jit.compiled) ~nthreads ~block ~params =
     Timing.kernel_time_ns t.machine ~analysis:c.Jit.analysis
       ~regs_per_thread:c.Jit.regs_per_thread ~prec:c.Jit.prec ~nthreads ~block
   in
-  t.clock_ns <- t.clock_ns +. ns;
   t.stats.launches <- t.stats.launches + 1;
   t.stats.kernel_ns <- t.stats.kernel_ns +. ns;
+  ns
+
+let launch t (c : Jit.compiled) ~nthreads ~block ~params =
+  let ns = execute t c ~nthreads ~block ~params in
+  t.clock_ns <- t.clock_ns +. ns;
   ns

@@ -54,13 +54,26 @@ val free : t -> Buffer.t -> unit
 val lookup : t -> int -> Buffer.data
 (** Buffer id -> storage, for the VM; faults on freed buffers. *)
 
+val transfer_cost : t -> bytes:int -> to_device:bool -> float
+(** Record the traffic of a host<->device copy in the stats and return the
+    modeled PCIe time in ns {e without} advancing the clock — asynchronous
+    copies live on stream timelines owned by the stream scheduler. *)
+
 val account_transfer : t -> bytes:int -> to_device:bool -> unit
-(** Advance the clock by the PCIe model for a host<->device copy. *)
+(** Advance the clock by the PCIe model for a synchronous host<->device
+    copy ([transfer_cost] + clock advance). *)
 
 val advance_clock : t -> float -> unit
+val set_clock_ns : t -> float -> unit
+
+val execute : t -> Jit.compiled -> nthreads:int -> block:int -> params:Vm.param_value array -> float
+(** Execute over [nthreads] logical threads in blocks of [block]:
+    functionally runs the kernel (unless model-only) and returns its
+    modeled duration in ns {e without} advancing the clock — stream
+    timelines decide when it runs.  Raises {!Launch_failure} if the
+    configuration does not fit. *)
 
 val launch : t -> Jit.compiled -> nthreads:int -> block:int -> params:Vm.param_value array -> float
-(** Launch over [nthreads] logical threads in blocks of [block]: executes
-    functionally (unless model-only), advances the clock by the modeled
-    kernel time, and returns that time in ns.  Raises {!Launch_failure}
-    if the configuration does not fit. *)
+(** Synchronous launch: {!execute}, then advance the clock by the returned
+    kernel time.  Raises {!Launch_failure} if the configuration does not
+    fit. *)

@@ -22,6 +22,9 @@ type entry = {
   mutable device_dirty : bool;  (** device copy newer than host *)
   mutable host_version : int;  (** [Field.version] captured at upload *)
   mutable pinned : bool;  (** referenced by the launch being assembled *)
+  mutable inflight : Streams.Event.t option;
+      (** completion event of an asynchronous transfer still using the
+          buffer — the entry must not spill until it fires *)
 }
 
 type stats = {
@@ -29,29 +32,79 @@ type stats = {
   mutable uploads : int;
   mutable pageouts : int;
   mutable spills : int;  (** evictions forced by allocation pressure *)
+  mutable inflight_skips : int;
+      (** spill candidates passed over because a transfer was in flight *)
 }
 
 type t = {
   device : Device.t;
+  sched : (Streams.t * Streams.stream) option;
+      (** stream context + dedicated transfer stream for async copies *)
   entries : (int, entry) Hashtbl.t;
   mutable tick : int;
   stats : stats;
 }
 
-let create device =
+let create ?sched device =
+  let sched =
+    Option.map (fun ctx -> (ctx, Streams.create_stream ~name:"memcache xfer" ctx)) sched
+  in
   {
     device;
+    sched;
     entries = Hashtbl.create 64;
     tick = 0;
-    stats = { hits = 0; uploads = 0; pageouts = 0; spills = 0 };
+    stats = { hits = 0; uploads = 0; pageouts = 0; spills = 0; inflight_skips = 0 };
   }
 
 let stats t = t.stats
 let resident_count t = Hashtbl.length t.entries
+let transfer_stream t = Option.map snd t.sched
 
 let touch t entry =
   t.tick <- t.tick + 1;
   entry.last_use <- t.tick
+
+(* Has the entry's last asynchronous transfer completed (or was there
+   none)?  Clears the marker once the completion event has fired. *)
+let inflight_done t entry =
+  match (entry.inflight, t.sched) with
+  | None, _ | _, None -> true
+  | Some ev, Some (ctx, _) ->
+      if Streams.event_query ctx ev then begin
+        entry.inflight <- None;
+        true
+      end
+      else false
+
+(* A timeline reset (Streams.reset, after benchmark warm-up) implies
+   every outstanding transfer drained; the entries' completion events now
+   hold stale pre-reset timestamps, so clear the markers rather than let
+   post-reset work chain-wait on times from the discarded timeline. *)
+let settle t = Hashtbl.iter (fun _ e -> e.inflight <- None) t.entries
+
+(* Issue the model side of a transfer: asynchronously on the dedicated
+   stream when a context is attached (recording a completion event on the
+   entry), synchronously on the device clock otherwise. *)
+let issue_transfer t entry ~to_device ~sync =
+  let bytes = entry.buf.Buffer_.bytes in
+  let what = if to_device then "upload" else "pageout" in
+  let fname = entry.field.Field.name in
+  match t.sched with
+  | None -> Device.account_transfer t.device ~bytes ~to_device
+  | Some (ctx, xfer) ->
+      let name = Printf.sprintf "%s %s" what fname in
+      (if to_device then ignore (Streams.memcpy_h2d ~name ctx xfer ~bytes)
+       else ignore (Streams.memcpy_d2h ~name ctx xfer ~bytes));
+      let ev = Streams.Event.create ~name:(name ^ " done") () in
+      Streams.record_event ctx xfer ev;
+      entry.inflight <- Some ev;
+      (* A synchronous caller (host-access hook, flush) blocks until the
+         copy lands. *)
+      if sync then begin
+        ignore (Streams.stream_synchronize ctx xfer);
+        entry.inflight <- None
+      end
 
 (* Copy host AoS -> device SoA.  Host and device storage have the same
    element kind, so the layout converter works directly on both arrays. *)
@@ -69,13 +122,16 @@ let upload t entry =
          Index.convert ~src:host ~dst:dev ~from_scheme:Index.Aos ~to_scheme:Index.Soa
            f.Field.shape ~nsites
      | _ -> assert false);
-  Device.account_transfer t.device ~bytes:entry.buf.Buffer_.bytes ~to_device:true;
+  issue_transfer t entry ~to_device:true ~sync:false;
   entry.host_version <- f.Field.version;
   entry.device_dirty <- false;
   t.stats.uploads <- t.stats.uploads + 1
 
-(* Copy device SoA -> host AoS, *without* tripping the host-access hooks. *)
-let page_out t entry =
+(* Copy device SoA -> host AoS, *without* tripping the host-access hooks.
+   [sync] (the default) models a blocking copy — host code is about to
+   read the data; spills pass [sync:false] and let the copy drain on the
+   transfer stream. *)
+let page_out ?(sync = true) t entry =
   let f = entry.field in
   let nsites = Field.volume f in
   (if t.device.Device.mode = Device.Functional then
@@ -87,7 +143,7 @@ let page_out t entry =
          Index.convert ~src:dev ~dst:host ~from_scheme:Index.Soa ~to_scheme:Index.Aos
            f.Field.shape ~nsites
      | _ -> assert false);
-  Device.account_transfer t.device ~bytes:entry.buf.Buffer_.bytes ~to_device:false;
+  issue_transfer t entry ~to_device:false ~sync;
   entry.device_dirty <- false;
   (* The page-out changed the host content: bump the version so that any
      *other* cache holding this field re-uploads instead of trusting its
@@ -96,25 +152,31 @@ let page_out t entry =
   entry.host_version <- f.Field.version;
   t.stats.pageouts <- t.stats.pageouts + 1
 
-let evict t entry =
-  if entry.device_dirty then page_out t entry;
+let evict ?(sync = true) t entry =
+  if entry.device_dirty then page_out ~sync t entry;
   Device.free t.device entry.buf;
   Hashtbl.remove t.entries entry.field.Field.id
 
-(* Spill the least-recently-used unpinned entry; false if none exists. *)
+(* Spill the least-recently-used unpinned entry whose transfers have all
+   completed; false if none exists.  An entry whose asynchronous upload or
+   pageout is still in flight is pinned by its completion event: freeing
+   the buffer under an active copy engine would corrupt the transfer. *)
 let spill_one t =
   let victim = ref None in
   Hashtbl.iter
     (fun _ e ->
-      if not e.pinned then
-        match !victim with
-        | Some v when v.last_use <= e.last_use -> ()
-        | _ -> victim := Some e)
+      if not e.pinned then begin
+        if inflight_done t e then
+          match !victim with
+          | Some v when v.last_use <= e.last_use -> ()
+          | _ -> victim := Some e
+        else t.stats.inflight_skips <- t.stats.inflight_skips + 1
+      end)
     t.entries;
   match !victim with
   | Some e ->
       t.stats.spills <- t.stats.spills + 1;
-      evict t e;
+      evict ~sync:false t e;
       true
   | None -> false
 
@@ -152,7 +214,14 @@ let install_hooks t f =
      stale for the next launch. *)
   f.Field.before_host_write <- on_access prev_write
 
-let ensure_resident ?(pin = false) ?(for_write = false) t (f : Field.t) =
+(* Make the consuming stream wait for the entry's in-flight transfer (the
+   kernel must not read the buffer before the copy engine delivers it). *)
+let chain_wait t entry ~wait_stream =
+  match (entry.inflight, t.sched, wait_stream) with
+  | Some ev, Some (ctx, _), Some s -> Streams.wait_event ctx s ev
+  | _ -> ()
+
+let ensure_resident ?(pin = false) ?(for_write = false) ?wait_stream t (f : Field.t) =
   match Hashtbl.find_opt t.entries f.Field.id with
   | Some e ->
       if (not for_write) && (not e.device_dirty) && e.host_version <> f.Field.version then
@@ -167,11 +236,20 @@ let ensure_resident ?(pin = false) ?(for_write = false) t (f : Field.t) =
       t.stats.hits <- t.stats.hits + 1;
       touch t e;
       if pin then e.pinned <- true;
+      chain_wait t e ~wait_stream;
       e.buf
   | None ->
       let buf = alloc_with_spilling t f in
       let entry =
-        { field = f; buf; last_use = 0; device_dirty = false; host_version = -1; pinned = pin }
+        {
+          field = f;
+          buf;
+          last_use = 0;
+          device_dirty = false;
+          host_version = -1;
+          pinned = pin;
+          inflight = None;
+        }
       in
       Hashtbl.replace t.entries f.Field.id entry;
       install_hooks t f;
@@ -181,6 +259,7 @@ let ensure_resident ?(pin = false) ?(for_write = false) t (f : Field.t) =
          neither needs its host content to travel. *)
       if for_write || f.Field.version = 0 then entry.host_version <- f.Field.version
       else upload t entry;
+      chain_wait t entry ~wait_stream;
       entry.buf
 
 let mark_device_dirty t (f : Field.t) =
@@ -205,6 +284,11 @@ let drop t (f : Field.t) =
   | None -> ()
 
 let is_resident t (f : Field.t) = Hashtbl.mem t.entries f.Field.id
+
+let is_inflight t (f : Field.t) =
+  match Hashtbl.find_opt t.entries f.Field.id with
+  | Some e -> not (inflight_done t e)
+  | None -> false
 
 let is_device_dirty t (f : Field.t) =
   match Hashtbl.find_opt t.entries f.Field.id with Some e -> e.device_dirty | None -> false

@@ -14,22 +14,36 @@ type stats = {
   mutable uploads : int;
   mutable pageouts : int;
   mutable spills : int;  (** evictions forced by allocation pressure *)
+  mutable inflight_skips : int;
+      (** spill candidates passed over because a transfer was in flight *)
 }
 
 type t
 
-val create : Gpusim.Device.t -> t
+val create : ?sched:Streams.t -> Gpusim.Device.t -> t
+(** With [sched], transfers are issued asynchronously on a dedicated
+    stream of that context ("memcache xfer"), each entry carrying a
+    completion event; without it, transfers advance the device clock
+    synchronously as before. *)
+
 val stats : t -> stats
 val resident_count : t -> int
 
-val ensure_resident : ?pin:bool -> ?for_write:bool -> t -> Qdp.Field.t -> Gpusim.Buffer.t
+val transfer_stream : t -> Streams.stream option
+(** The dedicated transfer stream, when a context is attached. *)
+
+val ensure_resident :
+  ?pin:bool -> ?for_write:bool -> ?wait_stream:Streams.stream -> t -> Qdp.Field.t -> Gpusim.Buffer.t
 (** Make the field's data available in device memory, uploading (with
     layout conversion) when the device copy is absent or stale, spilling
     LRU entries if the allocation does not fit.  [pin] protects the entry
     from spilling until {!unpin_all} (the fields of the launch being
     assembled).  [for_write] marks a destination whose whole content will
-    be overwritten: its host data need not travel.  Raises
-    [Gpusim.Device.Out_of_device_memory] if nothing can be spilled. *)
+    be overwritten: its host data need not travel.  [wait_stream] makes
+    the given (compute) stream wait on the entry's in-flight asynchronous
+    upload, if any — the kernel must not read the buffer before the copy
+    engine delivers it.  Raises [Gpusim.Device.Out_of_device_memory] if
+    nothing can be spilled. *)
 
 val mark_device_dirty : t -> Qdp.Field.t -> unit
 (** The kernel just wrote the field: device copy is newer than host. *)
@@ -45,4 +59,14 @@ val drop : t -> Qdp.Field.t -> unit
 (** Page out if dirty, then free the device allocation. *)
 
 val is_resident : t -> Qdp.Field.t -> bool
+
+val is_inflight : t -> Qdp.Field.t -> bool
+(** Is the entry's last asynchronous transfer still in flight (not yet
+    observable as complete from the host)? *)
+
+val settle : t -> unit
+(** Clear every in-flight marker.  Call after a {!Streams.reset}: the
+    reset implies all outstanding work drained, and the entries'
+    completion events hold stale pre-reset timestamps. *)
+
 val is_device_dirty : t -> Qdp.Field.t -> bool

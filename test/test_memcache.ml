@@ -162,6 +162,47 @@ let test_cross_cache_migration () =
       Alcotest.(check (float 0.0)) "second device has the data" 3.25 dev.{0}
   | _ -> assert false
 
+let test_inflight_not_spilled () =
+  (* Allocation pressure arriving while an async upload is still in flight
+     must not evict the entry under the copy engine: the transfer stream's
+     completion event pins it until the host can observe the copy done. *)
+  let dev = small_device () in
+  let ctx = Streams.create dev in
+  let cache = Memcache.create ~sched:ctx dev in
+  let mk i =
+    let f = Field.create ~name:(Printf.sprintf "g%d" i) (Shape.lattice_fermion Shape.F64) geom in
+    f
+  in
+  let a = mk 0 in
+  Field.fill_constant a 4.5;
+  ignore (Memcache.ensure_resident cache a);
+  (* The upload was issued asynchronously and the host never synchronized:
+     [a] is mid-transfer. *)
+  Alcotest.(check bool) "upload in flight" true (Memcache.is_inflight cache a);
+  (* Fresh zero fields are resident without an upload (no event): they are
+     the only legal spill victims while [a] is in flight. *)
+  let b = mk 1 and c = mk 2 and d = mk 3 in
+  ignore (Memcache.ensure_resident cache b);
+  ignore (Memcache.ensure_resident cache c);
+  ignore (Memcache.ensure_resident cache d);
+  Alcotest.(check bool) "spill happened" true ((Memcache.stats cache).Memcache.spills > 0);
+  Alcotest.(check bool) "in-flight candidates skipped" true
+    ((Memcache.stats cache).Memcache.inflight_skips > 0);
+  Alcotest.(check bool) "in-flight entry survived" true (Memcache.is_resident cache a);
+  Alcotest.(check bool) "LRU fell on a settled entry" false (Memcache.is_resident cache b);
+  (* Once the host synchronizes, the completion event fires and [a] becomes
+     an ordinary (and oldest) LRU candidate. *)
+  ignore (Streams.synchronize ctx);
+  Alcotest.(check bool) "transfer settled" false (Memcache.is_inflight cache a);
+  let e = mk 4 and f = mk 5 in
+  ignore (Memcache.ensure_resident cache e);
+  ignore (Memcache.ensure_resident cache f);
+  Alcotest.(check bool) "settled entry now spillable" false (Memcache.is_resident cache a);
+  (* The spill paged [a] out through the transfer stream: its content must
+     round-trip. *)
+  Alcotest.(check (float 0.0)) "content intact" 4.5
+    (Field.get a ~site:7 ~spin:2 ~color:1 ~reality:0)
+
 let () =
   Alcotest.run "memcache"
     [
@@ -181,5 +222,6 @@ let () =
           Alcotest.test_case "dirty data survives" `Quick test_spill_preserves_dirty_data;
           Alcotest.test_case "pinned protected" `Quick test_pinned_not_spilled;
           Alcotest.test_case "oom when pinned" `Quick test_oom_when_all_pinned;
+          Alcotest.test_case "in-flight transfer pinned" `Quick test_inflight_not_spilled;
         ] );
     ]
