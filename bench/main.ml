@@ -60,7 +60,7 @@ let table2 () =
     (fun (name, expr, dest) ->
       let b =
         Qdpjit.Codegen.build ~kname:("t2_" ^ name) ~dest_shape:dest.Field.shape ~expr
-          ~nsites:(Geometry.volume geom) ~use_sitelist:false
+          ~nsites:(Geometry.volume geom) ~use_sitelist:false ()
       in
       let a = Ptx.Analysis.kernel b.Qdpjit.Codegen.kernel in
       Printf.printf "  %-8s %8d %8d %10.3f %10.3f\n" name a.Ptx.Analysis.flops
@@ -101,7 +101,7 @@ let bandwidth_sweep prec =
              paper's sustained-bandwidth metric counts). *)
           let built =
             Qdpjit.Codegen.build ~kname:("bw_" ^ name) ~dest_shape:dest.Field.shape ~expr
-              ~nsites:(Geometry.volume geom) ~use_sitelist:false
+              ~nsites:(Geometry.volume geom) ~use_sitelist:false ()
           in
           let a = Ptx.Analysis.kernel built.Qdpjit.Codegen.kernel in
           let bytes =
@@ -282,7 +282,7 @@ let jit_overhead () =
       (fun (name, expr, dest) ->
         ( name,
           Qdpjit.Codegen.build ~kname:("jo_" ^ name) ~dest_shape:dest.Field.shape ~expr
-            ~nsites:(Geometry.volume geom) ~use_sitelist:false ))
+            ~nsites:(Geometry.volume geom) ~use_sitelist:false () ))
       (test_functions geom Shape.F64)
   in
   (* Add a dslash kernel, the largest in a trajectory. *)
@@ -290,7 +290,7 @@ let jit_overhead () =
   let psi = Field.create (Shape.lattice_fermion Shape.F64) geom in
   let dslash =
     Qdpjit.Codegen.build ~kname:"jo_dslash" ~dest_shape:psi.Field.shape
-      ~expr:(Lqcd.Wilson.hopping_expr u psi) ~nsites:(Geometry.volume geom) ~use_sitelist:false
+      ~expr:(Lqcd.Wilson.hopping_expr u psi) ~nsites:(Geometry.volume geom) ~use_sitelist:false ()
   in
   let all = kernels @ [ ("dslash", dslash) ] in
   Printf.printf "  %-8s %8s %14s %16s\n" "kernel" "instrs" "model compile" "measured (this)";
@@ -306,7 +306,78 @@ let jit_overhead () =
     all;
   Printf.printf "  (paper: 0.05-0.22 s per kernel; ~200 kernels/trajectory => 10-30 s total)\n";
   Printf.printf "  modeled total for 200 kernels of this mix: %.0f s\n"
-    (!total /. float_of_int (List.length all) *. 200.0)
+    (!total /. float_of_int (List.length all) *. 200.0);
+  (* Middle-end scorecards, as recorded by the engine at compile time. *)
+  let eng = Qdpjit.Engine.create ~mode:Gpusim.Device.Model_only () in
+  List.iter
+    (fun (_, expr, dest) -> Qdpjit.Engine.eval eng dest expr)
+    (test_functions geom Shape.F64);
+  let out = Field.create (Shape.lattice_fermion Shape.F64) geom in
+  Qdpjit.Engine.eval eng out (Lqcd.Wilson.hopping_expr u psi);
+  Printf.printf "\n  middle-end per-kernel stats (Engine.jit_stats, raw -> optimized):\n";
+  Printf.printf "  %-10s %13s %13s %15s  passes\n" "kernel" "instrs" "regs(demand)" "load B/thread";
+  List.iter
+    (fun (s : Qdpjit.Engine.jit_stats) ->
+      Printf.printf "  %-10s %5d ->%5d %5d ->%5d %6d ->%6d  %s\n" s.Qdpjit.Engine.kname
+        s.Qdpjit.Engine.raw_instructions s.Qdpjit.Engine.opt_instructions
+        s.Qdpjit.Engine.raw_registers s.Qdpjit.Engine.opt_registers
+        s.Qdpjit.Engine.raw_load_bytes s.Qdpjit.Engine.opt_load_bytes
+        (String.concat ","
+           (List.map
+              (fun (r : Ptx.Passes.report) ->
+                Printf.sprintf "%s(%d->%d)" r.Ptx.Passes.pass r.Ptx.Passes.before
+                  r.Ptx.Passes.after)
+              s.Qdpjit.Engine.passes)))
+    (Qdpjit.Engine.jit_stats eng)
+
+(* ------------------------------------------------------------------ *)
+(* Middle-end: raw vs optimized Table II kernels, with a JSON artifact *)
+
+let jitopt () =
+  section "JIT middle-end: raw vs optimized Table II kernels";
+  let geom = Geometry.create [| 4; 4; 4; 4 |] in
+  let rows =
+    List.map
+      (fun (name, expr, dest) ->
+        let b =
+          Qdpjit.Codegen.build ~kname:("opt_" ^ name) ~dest_shape:dest.Field.shape ~expr
+            ~nsites:(Geometry.volume geom) ~use_sitelist:false ()
+        in
+        let raw = b.Qdpjit.Codegen.raw and opt = b.Qdpjit.Codegen.kernel in
+        let raw_a = Ptx.Analysis.kernel raw and opt_a = Ptx.Analysis.kernel opt in
+        ( name,
+          List.length raw.Ptx.Types.body,
+          List.length opt.Ptx.Types.body,
+          Ptx.Dataflow.register_demand raw,
+          Ptx.Dataflow.register_demand opt,
+          raw_a.Ptx.Analysis.load_bytes,
+          opt_a.Ptx.Analysis.load_bytes,
+          b.Qdpjit.Codegen.passes ))
+      (test_functions geom Shape.F64)
+  in
+  Printf.printf "  %-8s %14s %14s %16s  passes\n" "kernel" "instructions" "regs(demand)"
+    "load bytes/thr";
+  List.iter
+    (fun (name, ri, oi, rr, orr, rb, ob, passes) ->
+      Printf.printf "  %-8s %6d ->%6d %6d ->%6d %7d ->%7d  %s\n" name ri oi rr orr rb ob
+        (String.concat ","
+           (List.sort_uniq compare (List.map (fun (r : Ptx.Passes.report) -> r.Ptx.Passes.pass) passes)));
+      if oi > ri then failwith (name ^ ": optimized instruction count exceeds raw");
+      if orr > rr then failwith (name ^ ": optimized register demand exceeds raw");
+      if ob > rb then failwith (name ^ ": optimized load bytes exceed raw"))
+    rows;
+  let oc = open_out "BENCH_jitopt.json" in
+  Printf.fprintf oc "{\n  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ri, oi, rr, orr, rb, ob, _) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"raw_instructions\": %d, \"opt_instructions\": %d, \"raw_registers\": %d, \"opt_registers\": %d, \"raw_load_bytes\": %d, \"opt_load_bytes\": %d}%s\n"
+        name ri oi rr orr rb ob
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_jitopt.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Sec VII: auto-tuning trace *)
@@ -367,7 +438,7 @@ let ablation () =
   let expr = Expr.mul (Expr.field u1) (Expr.field u2) in
   let built =
     Qdpjit.Codegen.build ~kname:"abl_tune" ~dest_shape:u1.Field.shape ~expr
-      ~nsites:(Geometry.volume geom16) ~use_sitelist:false
+      ~nsites:(Geometry.volume geom16) ~use_sitelist:false ()
   in
   let compiled = Gpusim.Jit.compile built.Qdpjit.Codegen.text in
   let machine = Gpusim.Machine.k20x_ecc_off in
@@ -400,7 +471,7 @@ let micro () =
   let _, lcm_expr, lcm_dest = List.hd cases in
   let built () =
     Qdpjit.Codegen.build ~kname:"bench_lcm" ~dest_shape:lcm_dest.Field.shape ~expr:lcm_expr
-      ~nsites:(Geometry.volume geom) ~use_sitelist:false
+      ~nsites:(Geometry.volume geom) ~use_sitelist:false ()
   in
   let b = built () in
   let eng = Qdpjit.Engine.create () in
@@ -447,6 +518,7 @@ let sections =
     ("fig7", fig7);
     ("fig8", fig8);
     ("jit", jit_overhead);
+    ("jitopt", jitopt);
     ("autotune", autotune);
     ("ablation", ablation);
     ("micro", micro);

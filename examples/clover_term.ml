@@ -73,7 +73,7 @@ let () =
     Qdpjit.Codegen.build ~kname:"clover_apply"
       ~dest_shape:(Shape.lattice_fermion Shape.F64)
       ~expr:(Lqcd.Clover.apply_expr cl psi)
-      ~nsites:(Geometry.volume geom) ~use_sitelist:false
+      ~nsites:(Geometry.volume geom) ~use_sitelist:false ()
   in
   let a = Ptx.Analysis.kernel built.Qdpjit.Codegen.kernel in
   Printf.printf "generated kernel: %d instructions, %d flops, %d bytes/site => flop/byte %.3f\n"

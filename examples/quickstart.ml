@@ -40,7 +40,7 @@ let () =
   (* The PTX the code generator emits for it. *)
   let built =
     Qdpjit.Codegen.build ~kname:"quickstart_deriv" ~dest_shape:(Expr.shape expr) ~expr
-      ~nsites:(Geometry.volume geom) ~use_sitelist:false
+      ~nsites:(Geometry.volume geom) ~use_sitelist:false ()
   in
   let lines = String.split_on_char '\n' built.Qdpjit.Codegen.text in
   Printf.printf "Generated PTX (%d instructions; first 25 lines):\n" (List.length built.Qdpjit.Codegen.kernel.Ptx.Types.body);

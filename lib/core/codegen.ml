@@ -31,9 +31,11 @@ type param_plan =
 
 type built = {
   kernel : kernel;
+  raw : kernel;
   text : string;
   plan : param_plan list;
   dest_shape : Shape.t;
+  passes : Ptx.Passes.report list;
 }
 
 let elem_bytes = function Shape.F32 -> 4 | Shape.F64 -> 8
@@ -51,7 +53,7 @@ let byte_address e base site_reg ~scale =
   Emitter.emit e (Add { dtype = U64; dst = addr; a = Reg base; b = Reg u64 });
   addr
 
-let build ~kname ~dest_shape ~(expr : Expr.t) ~nsites ~use_sitelist =
+let build ?(optimize = true) ~kname ~dest_shape ~(expr : Expr.t) ~nsites ~use_sitelist () =
   let e = Emitter.create ~kname in
   let leaves = Expr.leaves expr in
   let slot_of_field =
@@ -224,6 +226,18 @@ let build ~kname ~dest_shape ~(expr : Expr.t) ~nsites ~use_sitelist =
         Emitter.emit e Ret;
         Emitter.finish e)
   in
-  let kernel = Emitter.eliminate_dead_code kernel in
-  Ptx.Validate.kernel kernel;
-  { kernel; text = Ptx.Print.kernel kernel; plan; dest_shape }
+  (* The raw stream is what the paper's unparser hands the driver:
+     dead-component loads stripped (that has always happened at emission),
+     everything else naive.  The middle-end then runs on top, with the
+     emitter's provenance as the CSE soundness certificate. *)
+  let raw = Emitter.eliminate_dead_code kernel in
+  Ptx.Validate.kernel raw;
+  let kernel, passes =
+    if optimize then begin
+      let r = Ptx.Passes.run ~provenance:(Emitter.provenance e) raw in
+      Ptx.Validate.kernel r.Ptx.Passes.kernel;
+      (r.Ptx.Passes.kernel, r.Ptx.Passes.applied)
+    end
+    else (raw, [])
+  in
+  { kernel; raw; text = Ptx.Print.kernel kernel; plan; dest_shape; passes }

@@ -25,19 +25,25 @@ type param_plan =
       (** component [comp] of the nth runtime scalar leaf *)
 
 type built = {
-  kernel : Ptx.Types.kernel;  (** validated IR *)
-  text : string;  (** the PTX text handed to the driver JIT *)
+  kernel : Ptx.Types.kernel;  (** validated IR; optimized unless [~optimize:false] *)
+  raw : Ptx.Types.kernel;  (** the pre-middle-end stream (equal to [kernel] when raw) *)
+  text : string;  (** the PTX text of [kernel], handed to the driver JIT *)
   plan : param_plan list;
   dest_shape : Shape.t;
+  passes : Ptx.Passes.report list;  (** middle-end applications, in order *)
 }
 
 val build :
+  ?optimize:bool ->
   kname:string ->
   dest_shape:Shape.t ->
   expr:Qdp.Expr.t ->
   nsites:int ->
   use_sitelist:bool ->
+  unit ->
   built
 (** Generate the kernel for [dest = expr] over a local volume of [nsites]
     sites.  [use_sitelist] selects the subset variant (site index loaded
-    from a buffer instead of the thread index). *)
+    from a buffer instead of the thread index).  [optimize] (default on)
+    runs the {!Ptx.Passes} middle-end on the emitted stream; [raw] always
+    holds the unoptimized kernel for comparison. *)

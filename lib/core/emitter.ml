@@ -1,5 +1,12 @@
 (** PTX emission context: fresh registers, parameters and an instruction
-    stream, accumulated while the code generators walk an expression. *)
+    stream, accumulated while the code generators walk an expression.
+
+    The builder also records value provenance — how many times each
+    register has been defined — which it hands to the optimization passes
+    as the proof that a register is an SSA value, the precondition for
+    CSE to be sound across anything the functorised site algebra emits
+    (including deliberately multi-defined registers like reduction
+    accumulators, which provenance excludes from reuse). *)
 
 open Ptx.Types
 
@@ -10,10 +17,19 @@ type t = {
   mutable nparams : int;
   counters : (dtype, int ref) Hashtbl.t;
   mutable nlabels : int;
+  def_counts : (Ptx.Dataflow.key, int) Hashtbl.t;
 }
 
 let create ~kname =
-  { kname; body_rev = []; params_rev = []; nparams = 0; counters = Hashtbl.create 8; nlabels = 0 }
+  {
+    kname;
+    body_rev = [];
+    params_rev = [];
+    nparams = 0;
+    counters = Hashtbl.create 8;
+    nlabels = 0;
+    def_counts = Hashtbl.create 64;
+  }
 
 let fresh t dtype =
   let c =
@@ -28,7 +44,14 @@ let fresh t dtype =
   incr c;
   { rtype = dtype; id }
 
-let emit t i = t.body_rev <- i :: t.body_rev
+let emit t i =
+  (match Ptx.Dataflow.def_of i with
+  | Some r ->
+      let k = Ptx.Dataflow.key r in
+      Hashtbl.replace t.def_counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.def_counts k))
+  | None -> ());
+  t.body_rev <- i :: t.body_rev
 
 let add_param t dtype name =
   let index = t.nparams in
@@ -43,72 +66,17 @@ let fresh_label t prefix =
 
 let finish t = { kname = t.kname; params = List.rev t.params_rev; body = List.rev t.body_rev }
 
+(** Emission-time value provenance.  Counts only accumulate, so a
+    register reported single-def here has at most one definition in any
+    later (pass-shrunk) form of the kernel — the conservative direction. *)
+let provenance t =
+  {
+    Ptx.Passes.single_def =
+      (fun r -> Hashtbl.find_opt t.def_counts (Ptx.Dataflow.key r) = Some 1);
+  }
+
 (* Dead-code elimination: drop instructions whose destination is never
    consumed.  The generators load every component of a referenced element;
    operations like traceColor use only some of them, and constant folding
-   orphans more.  One backward sweep suffices on the forward-branching
-   straight-line code they emit. *)
-let eliminate_dead_code (k : kernel) =
-  let used = Hashtbl.create 64 in
-  let use r = Hashtbl.replace used (r.rtype, r.id) () in
-  let use_op = function Reg r -> use r | Imm_float _ | Imm_int _ -> () in
-  let is_used r = Hashtbl.mem used (r.rtype, r.id) in
-  let body = Array.of_list k.body in
-  let keep = Array.make (Array.length body) false in
-  for i = Array.length body - 1 downto 0 do
-    let instr = body.(i) in
-    let side_effect =
-      match instr with
-      | St_global _ | Bra _ | Label _ | Ret -> true
-      | Ld_param _ | Ld_global _ | Mov _ | Mov_sreg _ | Add _ | Sub _ | Mul _ | Div _ | Fma _
-      | Neg _ | Cvt _ | Setp _ | Call _ ->
-          false
-    in
-    let defines =
-      match instr with
-      | Ld_param { dst; _ }
-      | Ld_global { dst; _ }
-      | Mov { dst; _ }
-      | Mov_sreg { dst; _ }
-      | Add { dst; _ }
-      | Sub { dst; _ }
-      | Mul { dst; _ }
-      | Div { dst; _ }
-      | Fma { dst; _ }
-      | Neg { dst; _ }
-      | Cvt { dst; _ }
-      | Setp { dst; _ }
-      | Call { ret = dst; _ } ->
-          Some dst
-      | St_global _ | Bra _ | Label _ | Ret -> None
-    in
-    if side_effect || match defines with Some d -> is_used d | None -> false then begin
-      keep.(i) <- true;
-      match instr with
-      | Ld_param _ | Mov_sreg _ | Label _ | Ret -> ()
-      | Ld_global { addr; _ } -> use addr
-      | St_global { addr; src; _ } ->
-          use addr;
-          use_op src
-      | Mov { src; _ } -> use_op src
-      | Add { a; b; _ } | Sub { a; b; _ } | Mul { a; b; _ } | Div { a; b; _ } ->
-          use_op a;
-          use_op b
-      | Fma { a; b; c; _ } ->
-          use_op a;
-          use_op b;
-          use_op c
-      | Neg { a; _ } -> use_op a
-      | Cvt { src; _ } -> use src
-      | Setp { a; b; _ } ->
-          use_op a;
-          use_op b
-      | Bra { pred; _ } -> Option.iter use pred
-      | Call { arg; _ } -> use arg
-    end
-  done;
-  let filtered = ref [] in
-  for i = Array.length body - 1 downto 0 do
-    if keep.(i) then filtered := body.(i) :: !filtered
-  done;
-  { k with body = !filtered }
+   orphans more.  Now shared with the pass pipeline. *)
+let eliminate_dead_code = Ptx.Passes.dce

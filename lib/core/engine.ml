@@ -25,6 +25,22 @@ type kernel_entry = {
   tuner : Autotune.t;
 }
 
+(** Per-kernel middle-end scorecard, recorded at compile time.  Register
+    counts are the {e uncapped} allocator demand from
+    {!Ptx.Dataflow.register_demand} (32-bit units): the occupancy model's
+    [regs_per_thread] saturates at 64 on large kernels, which would hide
+    exactly the savings these numbers exist to show. *)
+type jit_stats = {
+  kname : string;
+  raw_instructions : int;
+  opt_instructions : int;
+  raw_registers : int;
+  opt_registers : int;
+  raw_load_bytes : int;
+  opt_load_bytes : int;
+  passes : Ptx.Passes.report list;  (** pass applications that changed the kernel *)
+}
+
 type t = {
   device : Device.t;
   streams : Streams.t;  (** stream context over [device]; all launches go
@@ -33,13 +49,16 @@ type t = {
   kernels : (string, kernel_entry) Hashtbl.t;
   ntables : (string, Buffer_.t) Hashtbl.t;
   sitelists : (string, Buffer_.t) Hashtbl.t;
+  optimize : bool;  (** run the {!Ptx.Passes} middle-end before the driver JIT *)
   mutable kernels_built : int;
   mutable jit_seconds : float;  (** accumulated modeled driver-JIT time *)
   mutable kernel_serial : int;
   mutable reduce_kernel : kernel_entry option;
+  mutable stats_rev : jit_stats list;
 }
 
-let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional) () =
+let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional)
+    ?(optimize = true) () =
   let device = Device.create ~mode machine in
   let streams = Streams.create device in
   {
@@ -49,11 +68,38 @@ let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional) 
     kernels = Hashtbl.create 64;
     ntables = Hashtbl.create 16;
     sitelists = Hashtbl.create 8;
+    optimize;
     kernels_built = 0;
     jit_seconds = 0.0;
     kernel_serial = 0;
     reduce_kernel = None;
+    stats_rev = [];
   }
+
+(* The middle-end scorecard for one compiled kernel.  Kernels the driver
+   ultimately executes are [kernel]; [raw] is what the paper-faithful
+   unparser produced. *)
+let record_stats t (built : Codegen.built) =
+  let measure (k : kernel) =
+    let a = Ptx.Analysis.kernel k in
+    (List.length k.body, Ptx.Dataflow.register_demand k, a.Ptx.Analysis.load_bytes)
+  in
+  let raw_instructions, raw_registers, raw_load_bytes = measure built.Codegen.raw in
+  let opt_instructions, opt_registers, opt_load_bytes = measure built.Codegen.kernel in
+  t.stats_rev <-
+    {
+      kname = built.Codegen.kernel.kname;
+      raw_instructions;
+      opt_instructions;
+      raw_registers;
+      opt_registers;
+      raw_load_bytes;
+      opt_load_bytes;
+      passes = built.Codegen.passes;
+    }
+    :: t.stats_rev
+
+let jit_stats t = List.rev t.stats_rev
 
 let device t = t.device
 let streams t = t.streams
@@ -130,7 +176,13 @@ let sitelist t geom subset =
 let compile_entry t ~dest_shape ~expr ~nsites ~use_sitelist =
   t.kernel_serial <- t.kernel_serial + 1;
   let kname = Printf.sprintf "qdpjit_kernel_%d" t.kernel_serial in
-  let built = Codegen.build ~kname ~dest_shape ~expr ~nsites ~use_sitelist in
+  let built =
+    Codegen.build ~optimize:t.optimize ~kname ~dest_shape ~expr ~nsites ~use_sitelist ()
+  in
+  (* Definite-assignment check on the real CFG — the middle-end moves
+     code, so the textual rule alone is no longer the whole story. *)
+  Ptx.Validate.dataflow built.Codegen.kernel;
+  record_stats t built;
   let compiled = Jit.compile built.Codegen.text in
   t.kernels_built <- t.kernels_built + 1;
   t.jit_seconds <- t.jit_seconds +. compiled.Jit.compile_time;
@@ -292,20 +344,38 @@ let reduce_entry t =
   match t.reduce_kernel with
   | Some entry -> entry
   | None ->
-      let kernel = build_reduce_kernel () in
-      Ptx.Validate.kernel kernel;
+      let raw = build_reduce_kernel () in
+      Ptx.Validate.kernel raw;
+      (* The hand-built kernel takes the same road as generated ones.  Its
+         accumulator [b] is deliberately multi-defined (zero, then a
+         conditional load): provenance-free CSE must leave it alone, which
+         is exactly what the single-def restriction guarantees. *)
+      let kernel, passes =
+        if t.optimize then begin
+          let r = Ptx.Passes.run raw in
+          Ptx.Validate.kernel r.Ptx.Passes.kernel;
+          (r.Ptx.Passes.kernel, r.Ptx.Passes.applied)
+        end
+        else (raw, [])
+      in
+      Ptx.Validate.dataflow kernel;
       let compiled = Jit.compile (Ptx.Print.kernel kernel) in
       t.kernels_built <- t.kernels_built + 1;
       t.jit_seconds <- t.jit_seconds +. compiled.Jit.compile_time;
+      let built =
+        {
+          Codegen.kernel;
+          raw;
+          text = Ptx.Print.kernel kernel;
+          plan = [];
+          dest_shape = Shape.real_scalar Shape.F64;
+          passes;
+        }
+      in
+      record_stats t built;
       let entry =
         {
-          built =
-            {
-              Codegen.kernel;
-              text = Ptx.Print.kernel kernel;
-              plan = [];
-              dest_shape = Shape.real_scalar Shape.F64;
-            };
+          built;
           compiled;
           tuner =
             Autotune.create

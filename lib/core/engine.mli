@@ -15,12 +15,34 @@ type kernel_entry = {
   tuner : Autotune.t;
 }
 
+(** Per-kernel middle-end scorecard, recorded when a kernel is compiled.
+    Register counts are the {e uncapped} allocator demand from
+    {!Ptx.Dataflow.register_demand} in 32-bit units (the occupancy model's
+    own estimate saturates at 64 on large kernels, which would hide the
+    savings); [load_bytes] are per-thread global-memory reads. *)
+type jit_stats = {
+  kname : string;
+  raw_instructions : int;
+  opt_instructions : int;
+  raw_registers : int;
+  opt_registers : int;
+  raw_load_bytes : int;
+  opt_load_bytes : int;
+  passes : Ptx.Passes.report list;  (** pass applications that changed the kernel *)
+}
+
 type t
 
-val create : ?machine:Gpusim.Machine.t -> ?mode:Gpusim.Device.mode -> unit -> t
+val create :
+  ?machine:Gpusim.Machine.t -> ?mode:Gpusim.Device.mode -> ?optimize:bool -> unit -> t
 (** A fresh engine with its own simulated device, memory cache and kernel
     cache.  [mode = Model_only] skips functional execution (used by the
-    paper-scale benchmark sweeps). *)
+    paper-scale benchmark sweeps).  [optimize] (default on) runs the
+    {!Ptx.Passes} middle-end on every kernel before the driver JIT;
+    [~optimize:false] keeps the paper's raw unparser stream. *)
+
+val jit_stats : t -> jit_stats list
+(** Scorecards of every kernel compiled so far, in compile order. *)
 
 val device : t -> Gpusim.Device.t
 

@@ -21,85 +21,15 @@ type compiled = {
 open Ptx.Types
 
 (* Hardware registers are 32-bit: f64/s64/u64 virtual registers occupy two.
-   Max-live over the straight-line body (branches are forward-only exits)
-   approximates what the SASS allocator would use. *)
+   Peak liveness-derived demand ({!Ptx.Dataflow.register_demand_body}, on
+   the real control-flow graph) approximates what the SASS allocator would
+   use.  The allocator needs scratch beyond the live values, but a real
+   compiler also reuses registers far more aggressively than a max-live
+   bound over unscheduled code suggests, spilling beyond ~64; cap there
+   (Kepler's sweet spot) rather than model spill traffic. *)
 let estimate_registers body =
-  let weight r =
-    match r.rtype with
-    | F64 | S64 | U64 -> 2
-    | F32 | S32 | U32 -> 1
-    | Pred -> 0 (* predicate bank is separate *)
-  in
-  let body = Array.of_list body in
-  let n = Array.length body in
-  (* last_use.(reg key) = last instruction index reading the register *)
-  let first_def = Hashtbl.create 64 in
-  let last_use = Hashtbl.create 64 in
-  let key r = (r.rtype, r.id) in
-  let def i r = if not (Hashtbl.mem first_def (key r)) then Hashtbl.replace first_def (key r) i in
-  let use i r = Hashtbl.replace last_use (key r) i in
-  let use_op i = function Reg r -> use i r | _ -> () in
-  Array.iteri
-    (fun i instr ->
-      match instr with
-      | Ld_param { dst; _ } -> def i dst
-      | Ld_global { dst; addr; _ } ->
-          use i addr;
-          def i dst
-      | St_global { addr; src; _ } ->
-          use i addr;
-          use_op i src
-      | Mov { dst; src } ->
-          use_op i src;
-          def i dst
-      | Mov_sreg { dst; _ } -> def i dst
-      | Add { dst; a; b; _ } | Sub { dst; a; b; _ } | Mul { dst; a; b; _ } | Div { dst; a; b; _ }
-        ->
-          use_op i a;
-          use_op i b;
-          def i dst
-      | Fma { dst; a; b; c; _ } ->
-          use_op i a;
-          use_op i b;
-          use_op i c;
-          def i dst
-      | Neg { dst; a; _ } ->
-          use_op i a;
-          def i dst
-      | Cvt { dst; src } ->
-          use i src;
-          def i dst
-      | Setp { dst; a; b; _ } ->
-          use_op i a;
-          use_op i b;
-          def i dst
-      | Bra { pred; _ } -> Option.iter (use i) pred
-      | Call { ret; arg; _ } ->
-          use i arg;
-          def i ret
-      | Label _ | Ret -> ())
-    body;
-  (* Sweep: +w at def, -w after last use. *)
-  let delta = Array.make (n + 1) 0 in
-  Hashtbl.iter
-    (fun k d ->
-      let u = match Hashtbl.find_opt last_use k with Some u -> max u d | None -> d in
-      let (rtype, _) = k in
-      let w = weight { rtype; id = 0 } in
-      delta.(d) <- delta.(d) + w;
-      delta.(u + 1) <- delta.(u + 1) - w)
-    first_def;
-  let live = ref 0 and peak = ref 0 in
-  Array.iter
-    (fun d ->
-      live := !live + d;
-      if !live > !peak then peak := !live)
-    delta;
-  (* The allocator needs scratch beyond the live values, but a real
-     compiler also reuses registers far more aggressively than a max-live
-     bound over unscheduled code suggests, spilling beyond ~64; cap there
-     (Kepler's sweet spot) rather than model spill traffic. *)
-  min 64 (max 16 (!peak + 6))
+  let demand = Ptx.Dataflow.register_demand_body (Array.of_list body) in
+  min 64 (max 16 (demand + 6))
 
 let dominant_prec analysis_body =
   let has_f64 =

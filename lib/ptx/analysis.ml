@@ -41,6 +41,7 @@ let kernel (k : kernel) =
       | Fma { dtype; _ } ->
           if is_float dtype then { acc with flops = acc.flops + 2 }
           else { acc with int_ops = acc.int_ops + 2 }
+      | Shl _ -> { acc with int_ops = acc.int_ops + 1 }
       | Call _ -> { acc with calls = acc.calls + 1 }
       | Ld_param _ | Mov _ | Mov_sreg _ | Cvt _ | Setp _ | Bra _ | Label _ | Ret -> acc)
     zero k.body

@@ -187,6 +187,20 @@ let parse_instr ~param_index line text =
               c = parse_operand line c;
             }
       | _ -> fail line "fma arity")
+  | [ "shl"; t ] -> (
+      match ops () with
+      | [ dst; a; amount ] -> (
+          match int_of_string_opt amount with
+          | Some amount ->
+              Shl
+                {
+                  dtype = dtype_of_suffix line t;
+                  dst = parse_reg line dst;
+                  a = parse_operand line a;
+                  amount;
+                }
+          | None -> fail line "shl amount must be an immediate, got %S" amount)
+      | _ -> fail line "shl arity")
   | [ "neg"; t ] -> (
       match ops () with
       | [ dst; a ] ->

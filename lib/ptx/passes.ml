@@ -1,0 +1,472 @@
+(** The optimizing middle-end: composable rewrites over {!Types.kernel}.
+
+    The code generators deliberately unparse the expression tree naively
+    (one load per leaf visit, one address chain per access) the way the
+    paper's expression-template unparser does, and the paper then leans on
+    the NVIDIA driver JIT to clean the stream up.  These passes are that
+    clean-up, made explicit and measurable: constant folding with copy
+    propagation, local common-subexpression elimination (which is what
+    dedupes repeated leaf loads and [byte_address] chains), mul+add→fma
+    contraction, power-of-two strength reduction, and dead-code
+    elimination.
+
+    Every pass preserves VM semantics bit-exactly, which constrains them:
+
+    - Floating-point expressions are never re-associated, and float
+      constants are never folded or propagated: an [Imm_float] in an f32
+      instruction is printed rounded to f32 while an f32 {e register}
+      carries its value unrounded until a store (see {!Gpusim.Vm}), so
+      turning a register into an immediate could change stored bits.
+      Integer folding is exact and unrestricted.
+    - mul+add→fma is bit-exact {e in the VM} because the VM evaluates
+      [Fma] as [(a*b)+c] in double precision, exactly like the separate
+      instructions.  Real hardware fuses the rounding; there the
+      contraction would change low bits, as every real compiler's
+      [-ffp-contract=fast] does.
+    - CSE reuses a computed value only when the reused register and every
+      operand have a single static definition (SSA values, which is almost
+      everything the emitter produces), only within an extended basic
+      block (the value-number table resets at every [Label]), and load
+      value numbers are invalidated by any [St_global] so aliased
+      destinations (e.g. in-place axpy) stay exact. *)
+
+open Types
+module D = Dataflow
+
+(** Value provenance handed down by the emitting builder: the proof CSE
+    needs that a register is an SSA value.  When absent, passes recompute
+    it from the body; builder-recorded counts can only over-count (passes
+    only delete definitions), so both are sound. *)
+type provenance = { single_def : reg -> bool }
+
+let provenance_of_body body =
+  let counts = D.def_counts body in
+  { single_def = D.single_def counts }
+
+type report = { pass : string; before : int; after : int }
+
+type result = { kernel : kernel; applied : report list }
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting helpers                                                   *)
+
+(* Rewrite the inputs of one instruction: [op] at operand positions,
+   [reg] at register-only positions (addresses, cvt/call sources, branch
+   predicates).  Destinations are never touched. *)
+let rewrite ~(op : operand -> operand) ~(reg : reg -> reg) (i : instr) =
+  match i with
+  | Ld_param _ | Mov_sreg _ | Label _ | Ret -> i
+  | Ld_global { dtype; dst; addr; offset } -> Ld_global { dtype; dst; addr = reg addr; offset }
+  | St_global { dtype; addr; offset; src } ->
+      St_global { dtype; addr = reg addr; offset; src = op src }
+  | Mov { dst; src } -> Mov { dst; src = op src }
+  | Add { dtype; dst; a; b } -> Add { dtype; dst; a = op a; b = op b }
+  | Sub { dtype; dst; a; b } -> Sub { dtype; dst; a = op a; b = op b }
+  | Mul { dtype; dst; a; b } -> Mul { dtype; dst; a = op a; b = op b }
+  | Div { dtype; dst; a; b } -> Div { dtype; dst; a = op a; b = op b }
+  | Fma { dtype; dst; a; b; c } -> Fma { dtype; dst; a = op a; b = op b; c = op c }
+  | Shl { dtype; dst; a; amount } -> Shl { dtype; dst; a = op a; amount }
+  | Neg { dtype; dst; a } -> Neg { dtype; dst; a = op a }
+  | Cvt { dst; src } -> Cvt { dst; src = reg src }
+  | Setp { cmp; dtype; dst; a; b } -> Setp { cmp; dtype; dst; a = op a; b = op b }
+  | Bra { label; pred } -> Bra { label; pred = Option.map reg pred }
+  | Call { func; ret; arg } -> Call { func; ret; arg = reg arg }
+
+(* Replace the destination register (used to canonicalize an instruction
+   into a CSE lookup key). *)
+let with_dst (d : reg) (i : instr) =
+  match i with
+  | Ld_param x -> Ld_param { x with dst = d }
+  | Ld_global { dtype; dst = _; addr; offset } -> Ld_global { dtype; dst = d; addr; offset }
+  | Mov { dst = _; src } -> Mov { dst = d; src }
+  | Mov_sreg { dst = _; src } -> Mov_sreg { dst = d; src }
+  | Add { dtype; dst = _; a; b } -> Add { dtype; dst = d; a; b }
+  | Sub { dtype; dst = _; a; b } -> Sub { dtype; dst = d; a; b }
+  | Mul { dtype; dst = _; a; b } -> Mul { dtype; dst = d; a; b }
+  | Div { dtype; dst = _; a; b } -> Div { dtype; dst = d; a; b }
+  | Fma { dtype; dst = _; a; b; c } -> Fma { dtype; dst = d; a; b; c }
+  | Shl { dtype; dst = _; a; amount } -> Shl { dtype; dst = d; a; amount }
+  | Neg { dtype; dst = _; a } -> Neg { dtype; dst = d; a }
+  | Cvt { dst = _; src } -> Cvt { dst = d; src }
+  | Setp { cmp; dtype; dst = _; a; b } -> Setp { cmp; dtype; dst = d; a; b }
+  | Call { func; ret = _; arg } -> Call { func; ret = d; arg }
+  | St_global _ | Bra _ | Label _ | Ret -> i
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding + copy propagation                                 *)
+
+(* Integer-only constant propagation/folding (exact in the VM: OCaml int
+   arithmetic both sides) plus register copy propagation for every class
+   (moving a register is exact for floats too).  Folded instructions
+   become Movs; DCE deletes the ones that end up unread. *)
+let constant_fold (k : kernel) =
+  let body = Array.of_list k.body in
+  let counts = D.def_counts body in
+  let sd = D.single_def counts in
+  let consts : (D.key, int) Hashtbl.t = Hashtbl.create 32 in
+  let copies : (D.key, reg) Hashtbl.t = Hashtbl.create 32 in
+  let subst_reg r =
+    match Hashtbl.find_opt copies (D.key r) with Some r' -> r' | None -> r
+  in
+  let subst_op = function
+    | Reg r -> (
+        let r = subst_reg r in
+        match Hashtbl.find_opt consts (D.key r) with
+        | Some v -> Imm_int v
+        | None -> Reg r)
+    | o -> o
+  in
+  let record i =
+    (match i with
+    | Mov { dst; src = Imm_int v } when is_int dst.rtype && sd dst ->
+        Hashtbl.replace consts (D.key dst) v
+    | Mov { dst; src = Reg r } when sd dst && sd r && dst.rtype = r.rtype ->
+        (* [r] is already canonical: the src was rewritten first. *)
+        Hashtbl.replace copies (D.key dst) r
+    | _ -> ());
+    Some i
+  in
+  let fold i =
+    match i with
+    | Add { dtype; dst; a = Imm_int x; b = Imm_int y } when is_int dtype ->
+        Mov { dst; src = Imm_int (x + y) }
+    | Add { dtype; dst; a; b = Imm_int 0 } | Add { dtype; dst; a = Imm_int 0; b = a }
+      when is_int dtype ->
+        Mov { dst; src = a }
+    | Sub { dtype; dst; a = Imm_int x; b = Imm_int y } when is_int dtype ->
+        Mov { dst; src = Imm_int (x - y) }
+    | Sub { dtype; dst; a; b = Imm_int 0 } when is_int dtype -> Mov { dst; src = a }
+    | Mul { dtype; dst; a = Imm_int x; b = Imm_int y } when is_int dtype ->
+        Mov { dst; src = Imm_int (x * y) }
+    | Mul { dtype; dst; a; b = Imm_int 1 } | Mul { dtype; dst; a = Imm_int 1; b = a }
+      when is_int dtype ->
+        Mov { dst; src = a }
+    | Mul { dtype; dst; a = _; b = Imm_int 0 } | Mul { dtype; dst; a = Imm_int 0; b = _ }
+      when is_int dtype ->
+        Mov { dst; src = Imm_int 0 }
+    | Div { dtype; dst; a = Imm_int x; b = Imm_int y } when is_int dtype && y <> 0 ->
+        Mov { dst; src = Imm_int (x / y) }
+    | Div { dtype; dst; a; b = Imm_int 1 } when is_int dtype -> Mov { dst; src = a }
+    | Fma { dtype; dst; a = Imm_int x; b = Imm_int y; c = Imm_int z } when is_int dtype ->
+        Mov { dst; src = Imm_int ((x * y) + z) }
+    | Shl { dtype; dst; a = Imm_int x; amount } when is_int dtype ->
+        Mov { dst; src = Imm_int (x lsl amount) }
+    | Shl { dtype; dst; a; amount = 0 } when is_int dtype -> Mov { dst; src = a }
+    | Neg { dtype; dst; a = Imm_int x } when is_int dtype -> Mov { dst; src = Imm_int (-x) }
+    | i -> i
+  in
+  let out =
+    Array.to_seq body
+    |> Seq.filter_map (fun i -> record (fold (rewrite ~op:subst_op ~reg:subst_reg i)))
+    |> List.of_seq
+  in
+  { k with body = out }
+
+(* ------------------------------------------------------------------ *)
+(* Common-subexpression elimination                                    *)
+
+let cse ?provenance (k : kernel) =
+  let body = Array.of_list k.body in
+  let sd =
+    match provenance with
+    | Some p -> p.single_def
+    | None -> (provenance_of_body body).single_def
+  in
+  (* Canonical dst → replacement dst for dropped duplicates. *)
+  let subst : (D.key, reg) Hashtbl.t = Hashtbl.create 32 in
+  let subst_reg r = match Hashtbl.find_opt subst (D.key r) with Some r' -> r' | None -> r in
+  let subst_op = function Reg r -> Reg (subst_reg r) | o -> o in
+  (* Separate tables so stores invalidate only the load values. *)
+  let vn_pure : (instr, reg) Hashtbl.t = Hashtbl.create 64 in
+  let vn_load : (instr, reg) Hashtbl.t = Hashtbl.create 64 in
+  let out = ref [] in
+  let keep i = out := i :: !out in
+  Array.iter
+    (fun i0 ->
+      let i = rewrite ~op:subst_op ~reg:subst_reg i0 in
+      match i with
+      | Label _ ->
+          (* Join point: values from the fallthrough path are not
+             guaranteed on the branch path. *)
+          Hashtbl.reset vn_pure;
+          Hashtbl.reset vn_load;
+          keep i
+      | St_global _ ->
+          (* The store may alias any loaded location (in-place updates
+             do): every remembered load value dies. *)
+          Hashtbl.reset vn_load;
+          keep i
+      | _ when D.is_side_effecting i -> keep i
+      | _ -> (
+          match D.def_of i with
+          | None -> keep i
+          | Some dst ->
+              (* Float arithmetic is never deduped: reusing a float value
+                 across distant consumers extends its live range through
+                 the whole site computation, costing exactly the register
+                 demand (occupancy, Sec. VI) the middle-end is buying
+                 back, to save a one-cycle rematerializable instruction.
+                 Loads of any type are fair game — dedup there is the
+                 bandwidth win. *)
+              let cseable =
+                match i with Ld_global _ -> true | _ -> not (is_float dst.rtype)
+              in
+              if cseable && sd dst && List.for_all sd (D.uses_of i) then begin
+                let tbl = match i with Ld_global _ -> vn_load | _ -> vn_pure in
+                let key_i = with_dst { rtype = dst.rtype; id = -1 } i in
+                match Hashtbl.find_opt tbl key_i with
+                | Some prior -> Hashtbl.replace subst (D.key dst) prior (* drop [i] *)
+                | None ->
+                    Hashtbl.replace tbl key_i dst;
+                    keep i
+              end
+              else keep i))
+    body;
+  { k with body = List.rev !out }
+
+(* ------------------------------------------------------------------ *)
+(* mul+add → fma contraction                                           *)
+
+let fma_contract (k : kernel) =
+  let body = Array.of_list k.body in
+  let n = Array.length body in
+  let counts = D.def_counts body in
+  let sd = D.single_def counts in
+  let ch = D.chains body in
+  (* Extended-basic-block ids: a contraction moves the multiply down to
+     its consumer, which is only valid when no join point lies between. *)
+  let ebb = Array.make n 0 in
+  let cur = ref 0 in
+  for i = 0 to n - 1 do
+    (match body.(i) with Label _ -> incr cur | _ -> ());
+    ebb.(i) <- !cur
+  done;
+  let op_stable = function Reg r -> sd r | Imm_float _ | Imm_int _ -> true in
+  for i = 0 to n - 1 do
+    match body.(i) with
+    | Mul { dtype; dst = t; a; b } when dtype <> Pred && sd t && op_stable a && op_stable b -> (
+        match D.uses_of_reg ch t with
+        | [ j ] when j > i && ebb.(j) = ebb.(i) -> (
+            match body.(j) with
+            | Add { dtype = dt2; dst; a = x; b = y } when dt2 = dtype ->
+                let other =
+                  if x = Reg t then Some y else if y = Reg t then Some x else None
+                in
+                (match other with
+                | Some c ->
+                    (* [t] becomes dead; DCE deletes the mul. *)
+                    body.(j) <- Fma { dtype; dst; a; b; c }
+                | None -> ())
+            | _ -> ())
+        | _ -> ())
+    | _ -> ()
+  done;
+  { k with body = Array.to_list body }
+
+(* ------------------------------------------------------------------ *)
+(* Strength reduction                                                  *)
+
+(* Integer multiplications by power-of-two immediates — the field-stride
+   scaling inside every byte-address chain — become shifts.  Exact for
+   OCaml ints (two's complement), which is what the VM computes with. *)
+let strength_reduce (k : kernel) =
+  let log2 = function
+    | n when n > 1 && n land (n - 1) = 0 ->
+        let rec lg n acc = if n <= 1 then acc else lg (n lsr 1) (acc + 1) in
+        Some (lg n 0)
+    | _ -> None
+  in
+  let body =
+    List.map
+      (fun i ->
+        match i with
+        | Mul { dtype; dst; a; b } when is_int dtype -> (
+            match (b, a) with
+            | Imm_int n, _ when log2 n <> None ->
+                Shl { dtype; dst; a; amount = Option.get (log2 n) }
+            | _, Imm_int n when log2 n <> None ->
+                Shl { dtype; dst; a = b; amount = Option.get (log2 n) }
+            | _ -> i)
+        | i -> i)
+      k.body
+  in
+  { k with body }
+
+(* ------------------------------------------------------------------ *)
+(* Dead-code elimination                                               *)
+
+(* Backward sweep: keep side-effecting instructions and definitions of
+   registers read later.  One sweep reaches the fixpoint on the forward-
+   branching code every producer in this repository emits. *)
+let dce (k : kernel) =
+  let used : (D.key, unit) Hashtbl.t = Hashtbl.create 64 in
+  let body =
+    List.fold_left
+      (fun acc i ->
+        let keep =
+          D.is_side_effecting i
+          ||
+          match D.def_of i with
+          | Some d -> Hashtbl.mem used (D.key d)
+          | None -> true
+        in
+        if keep then begin
+          List.iter (fun r -> Hashtbl.replace used (D.key r) ()) (D.uses_of i);
+          i :: acc
+        end
+        else acc)
+      [] (List.rev k.body)
+  in
+  { k with body }
+
+(* ------------------------------------------------------------------ *)
+(* Code sinking (register-pressure reduction)                          *)
+
+(* The generators front-load work — every component of a leaf is loaded
+   when the node is first visited — and CSE stretches ranges further by
+   making one early value serve late uses.  Sinking moves a pure,
+   single-def instruction down to just before its first use, shrinking
+   its live range without changing any computed value: the operands are
+   single-def, so they hold the same values at the new point.  Loads
+   never cross stores (the destination may alias a source field, as in an
+   in-place axpy) and nothing crosses control flow or calls.  Each
+   definition moves at most once per invocation, which bounds the work
+   and keeps two values wanted by the same consumer from trading places
+   forever.
+
+   Sinking is not free: when an operand's last use apart from the moved
+   instruction lies above the target, that operand's own live range
+   stretches down to the new position.  A move happens only when the
+   stretched weight stays within the sunk definition's weight, which
+   keeps every move pointwise non-increasing in register pressure — true
+   for a leaf load (the address register is shared by the whole
+   element's loads) and false deep in an arithmetic chain, where moving
+   one add would drag two dying inputs along with it. *)
+let sink (k : kernel) =
+  let body = Array.of_list k.body in
+  let counts = D.def_counts body in
+  let sd = D.single_def counts in
+  let moved : (D.key, unit) Hashtbl.t = Hashtbl.create 64 in
+  let movable i =
+    (not (D.is_side_effecting i))
+    && (match i with Call _ -> false | _ -> true)
+    &&
+    match D.def_of i with
+    | Some d -> sd d && (not (Hashtbl.mem moved (D.key d))) && List.for_all sd (D.uses_of i)
+    | None -> false
+  in
+  (* One sweep: find the lowest movable definition with a gap to its first
+     use, move it, and restart (the move shifts every index in between, so
+     the use chains must be rebuilt). *)
+  let try_one () =
+    let n = Array.length body in
+    let ch = D.chains body in
+    let found = ref false in
+    let i = ref (n - 2) in
+    while (not !found) && !i >= 0 do
+      (if movable body.(!i) then
+         let d = Option.get (D.def_of body.(!i)) in
+         match D.uses_of_reg ch d with
+         | first :: _ when first > !i + 1 ->
+             let barrier = ref false in
+             let is_load = match body.(!i) with Ld_global _ -> true | _ -> false in
+             for j = !i + 1 to first - 1 do
+               match body.(j) with
+               | Label _ | Bra _ | Call _ | Ret -> barrier := true
+               | St_global _ when is_load -> barrier := true
+               | _ -> ()
+             done;
+             (* Weight of operands the move would stretch: any input whose
+                last use apart from this instruction lies above the target
+                now has to stay live down to it.  Requiring the stretched
+                weight to stay within the sunk definition's weight makes
+                the move pointwise non-increasing in pressure: over the
+                vacated span the definition's units are gone, and the
+                stretched units never exceed them. *)
+             let cost =
+               let rec drop_one = function
+                 | [] -> []
+                 | x :: tl -> if x = !i then tl else x :: drop_one tl
+               in
+               List.fold_left
+                 (fun acc kk ->
+                   let uses =
+                     Option.value ~default:[] (Hashtbl.find_opt ch.D.use_sites kk)
+                   in
+                   let last_other = List.fold_left max (-1) (drop_one uses) in
+                   if last_other < first - 1 then acc + D.weight (fst kk) else acc)
+                 0
+                 (List.sort_uniq compare (List.map D.key (D.uses_of body.(!i))))
+             in
+             (* If everything in the gap already feeds the same consumer,
+                the cluster is packed: hopping over those neighbours would
+                gain nothing and two such values could swap forever. *)
+             let settled = ref true in
+             for j = !i + 1 to first - 1 do
+               match D.def_of body.(j) with
+               | Some dj when not (D.is_side_effecting body.(j)) -> (
+                   match D.uses_of_reg ch dj with
+                   | f :: _ when f = first -> ()
+                   | _ -> settled := false)
+               | _ -> settled := false
+             done;
+             if (not !barrier) && (not !settled) && cost <= D.weight d.rtype then begin
+               let instr = body.(!i) in
+               for j = !i to first - 2 do
+                 body.(j) <- body.(j + 1)
+               done;
+               body.(first - 1) <- instr;
+               Hashtbl.replace moved (D.key d) ();
+               found := true
+             end
+         | _ -> ());
+      decr i
+    done;
+    !found
+  in
+  let changed = ref false in
+  while try_one () do
+    changed := true
+  done;
+  if !changed then { k with body = Array.to_list body } else k
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+
+let default_pipeline ?provenance () =
+  [
+    ("const-fold", constant_fold);
+    ("cse", fun k -> cse ?provenance k);
+    ("fma-contract", fma_contract);
+    ("strength-reduce", strength_reduce);
+    ("dce", dce);
+    ("sink", sink);
+  ]
+
+(* Structural comparison; [compare] (unlike [=]) treats NaN immediates as
+   equal to themselves, so the fixpoint loop terminates on any input. *)
+let same a b = compare (a : kernel) b = 0
+
+let run ?provenance (k : kernel) =
+  let applied = ref [] in
+  let round k =
+    List.fold_left
+      (fun k (name, pass) ->
+        let k' = pass k in
+        if not (same k k') then
+          applied :=
+            { pass = name; before = List.length k.body; after = List.length k'.body }
+            :: !applied;
+        k')
+      k
+      (default_pipeline ?provenance ())
+  in
+  (* Later passes expose more work for earlier ones (a contraction frees a
+     register, folding feeds strength reduction): iterate to a fixpoint,
+     bounded because every pass only shrinks or preserves the body. *)
+  let rec go rounds k =
+    let k' = round k in
+    if same k k' || rounds >= 4 then k' else go (rounds + 1) k'
+  in
+  let kernel = go 1 k in
+  { kernel; applied = List.rev !applied }

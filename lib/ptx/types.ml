@@ -36,6 +36,9 @@ type instr =
       (** printed div.rn for floats *)
   | Fma of { dtype : dtype; dst : reg; a : operand; b : operand; c : operand }
       (** fma.rn float only; mad.lo for ints *)
+  | Shl of { dtype : dtype; dst : reg; a : operand; amount : int }
+      (** shl.b<n> with an immediate shift; produced by strength reduction
+          of multiplications by power-of-two strides *)
   | Neg of { dtype : dtype; dst : reg; a : operand }
   | Cvt of { dst : reg; src : reg }  (** cvt.<dst.t>.<src.t> with rn where needed *)
   | Setp of { cmp : cmp; dtype : dtype; dst : reg; a : operand; b : operand }

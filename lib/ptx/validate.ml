@@ -75,6 +75,10 @@ let kernel (k : kernel) =
       | Div { dtype; dst; a; b } ->
           check_arith dtype dst [ a; b ]
       | Fma { dtype; dst; a; b; c } -> check_arith dtype dst [ a; b; c ]
+      | Shl { dtype; dst; a; amount } ->
+          if not (is_int dtype) then fail "shl on non-integer type %s" (dtype_suffix dtype);
+          if amount < 0 || amount > 62 then fail "shl amount %d out of range" amount;
+          check_arith dtype dst [ a ]
       | Neg { dtype; dst; a } -> check_arith dtype dst [ a ]
       | Cvt { dst; src } ->
           if dst.rtype = src.rtype then fail "cvt between identical types";
@@ -102,3 +106,13 @@ let kernel (k : kernel) =
           def ret
       | Label _ | Ret -> ())
     k.body
+
+(* The textual-order rule above is exact for the straight-line code the
+   generators emit, but optimization passes are allowed to move code, and
+   hand-written kernels may branch: check definite assignment on the real
+   control-flow graph instead. *)
+let dataflow (k : kernel) =
+  match Dataflow.undefined_uses k with
+  | [] -> ()
+  | (i, r) :: _ ->
+      fail "register %s may be read before written (instruction %d of %s)" (reg_name r) i k.kname

@@ -6,3 +6,9 @@
 exception Invalid of string
 
 val kernel : Types.kernel -> unit
+
+(** Definite-assignment check on the control-flow graph (via {!Dataflow}):
+    flags any register with a path from the entry to a read that crosses no
+    write.  Stricter than the textual rule of {!kernel} on branchy code;
+    the engine runs it on every kernel it compiles. *)
+val dataflow : Types.kernel -> unit

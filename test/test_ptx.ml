@@ -196,7 +196,7 @@ let test_generated_roundtrip () =
     (fun expr ->
       let b =
         Qdpjit.Codegen.build ~kname:"rt" ~dest_shape:(Qdp.Expr.shape expr) ~expr
-          ~nsites:(Layout.Geometry.volume geom) ~use_sitelist:true
+          ~nsites:(Layout.Geometry.volume geom) ~use_sitelist:true ()
       in
       let parsed = Ptx.Parse.kernel b.Qdpjit.Codegen.text in
       Alcotest.(check bool) "roundtrip equal" true (parsed = b.Qdpjit.Codegen.kernel))

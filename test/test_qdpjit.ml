@@ -139,7 +139,7 @@ let test_compressed_dslash_matches () =
   let bytes expr =
     let b =
       Qdpjit.Codegen.build ~kname:"abl" ~dest_shape:fm ~expr ~nsites:(Geometry.volume geom)
-        ~use_sitelist:false
+        ~use_sitelist:false ()
     in
     let a = Ptx.Analysis.kernel b.Qdpjit.Codegen.kernel in
     a.Ptx.Analysis.load_bytes + a.Ptx.Analysis.store_bytes
