@@ -86,7 +86,7 @@ let bandwidth_sweep prec =
   List.iter
     (fun l ->
       let geom = Geometry.create [| l; l; l; l |] in
-      let eng = Qdpjit.Engine.create ~mode:Gpusim.Device.Model_only () in
+      let eng = Qdpjit.Engine.create ~mode:Gpusim.Device.Model_only ~fuse:false () in
       Printf.printf "  %-4d" l;
       List.iter
         (fun (name, expr, dest) ->
@@ -308,7 +308,7 @@ let jit_overhead () =
   Printf.printf "  modeled total for 200 kernels of this mix: %.0f s\n"
     (!total /. float_of_int (List.length all) *. 200.0);
   (* Middle-end scorecards, as recorded by the engine at compile time. *)
-  let eng = Qdpjit.Engine.create ~mode:Gpusim.Device.Model_only () in
+  let eng = Qdpjit.Engine.create ~mode:Gpusim.Device.Model_only ~fuse:false () in
   List.iter
     (fun (_, expr, dest) -> Qdpjit.Engine.eval eng dest expr)
     (test_functions geom Shape.F64);
@@ -385,7 +385,7 @@ let jitopt () =
 let autotune () =
   section "Sec VII: block-size auto-tuning on payload launches";
   let geom = Geometry.create [| 16; 16; 16; 16 |] in
-  let eng = Qdpjit.Engine.create ~mode:Gpusim.Device.Model_only () in
+  let eng = Qdpjit.Engine.create ~mode:Gpusim.Device.Model_only ~fuse:false () in
   let cases = test_functions geom Shape.F32 in
   let name, expr, dest = List.nth cases 1 in
   Printf.printf "  tuning kernel %s at V=16^4:\n" name;
@@ -412,7 +412,7 @@ let ablation () =
     Array.map (fun _ -> Field.create (Shape.compressed_color_matrix Shape.F64) geom) links
   in
   let time expr =
-    let eng = Qdpjit.Engine.create ~mode:Gpusim.Device.Model_only () in
+    let eng = Qdpjit.Engine.create ~mode:Gpusim.Device.Model_only ~fuse:false () in
     let out = Field.create (Shape.lattice_fermion Shape.F64) geom in
     for _ = 1 to 10 do
       Qdpjit.Engine.eval eng out expr
@@ -461,6 +461,77 @@ let ablation () =
 "
 
 (* ------------------------------------------------------------------ *)
+(* Cross-eval kernel fusion: launches and global traffic of a CG solve *)
+
+let fusion_bench () =
+  section "Kernel fusion: Wilson CG, deferred queue + body splicing vs eval-at-a-time";
+  let geom = Geometry.create [| 4; 4; 4; 2 |] in
+  let shape = Shape.lattice_fermion Shape.F64 in
+  let kappa = 0.115 in
+  let run fuse =
+    let eng = Qdpjit.Engine.create ~fuse () in
+    let ops = Solvers.Ops.jit eng shape geom in
+    let u = Lqcd.Gauge.create_links geom in
+    Lqcd.Gauge.random_gauge ~epsilon:0.3 u (Prng.create ~seed:31L);
+    let nop = Solvers.Ops.normal_op ops ~apply_m:(Lqcd.Wilson.wilson_expr ~kappa u) in
+    let b = Field.create shape geom in
+    Field.fill_gaussian b (Prng.create ~seed:32L);
+    let x = Field.create shape geom in
+    let t0 = Unix.gettimeofday () in
+    let r = Solvers.Cg.solve ops nop ~b ~x ~tol:1e-8 () in
+    let wall = Unix.gettimeofday () -. t0 in
+    ignore (Qdpjit.Engine.synchronize eng);
+    let launches = (Gpusim.Device.stats (Qdpjit.Engine.device eng)).Gpusim.Device.launches in
+    let bytes = Qdpjit.Engine.kernel_bytes_moved eng in
+    (r, x, launches, bytes, wall, Qdpjit.Engine.fusion_stats eng)
+  in
+  let rf, xf, lf, bf, wf, sf = run true in
+  let ru, xu, lu, bu, wu, _ = run false in
+  if not (rf.Solvers.Cg.converged && ru.Solvers.Cg.converged) then failwith "fusion: CG diverged";
+  if rf.Solvers.Cg.iterations <> ru.Solvers.Cg.iterations then
+    failwith "fusion: iteration counts differ";
+  for site = 0 to Field.volume xf - 1 do
+    let a = Field.get_site xf ~site and b = Field.get_site xu ~site in
+    Array.iteri
+      (fun i v ->
+        if Int64.bits_of_float v <> Int64.bits_of_float b.(i) then
+          failwith "fusion: solutions not bit-identical")
+      a
+  done;
+  if lf >= lu then failwith "fusion: no launch reduction";
+  if bf >= bu then failwith "fusion: no global-traffic reduction";
+  let iters = float_of_int rf.Solvers.Cg.iterations in
+  Printf.printf "  Wilson CG %s, %d iterations, solutions bit-identical\n"
+    (String.concat "x" (Array.to_list (Array.map string_of_int (Geometry.dims geom))))
+    rf.Solvers.Cg.iterations;
+  Printf.printf "  %-14s %10s %16s %12s\n" "" "launches" "kernel bytes" "wall s";
+  Printf.printf "  %-14s %10d %16d %12.2f\n" "eval-at-a-time" lu bu wu;
+  Printf.printf "  %-14s %10d %16d %12.2f\n" "fused" lf bf wf;
+  Printf.printf "  per CG iteration: %.1f -> %.1f launches, %.0f -> %.0f kB moved\n"
+    (float_of_int lu /. iters) (float_of_int lf /. iters)
+    (float_of_int bu /. iters /. 1e3)
+    (float_of_int bf /. iters /. 1e3);
+  Printf.printf
+    "  planner: %d groups fused, %d launches saved, %d load B + %d store B eliminated, %d fallbacks\n"
+    sf.Qdpjit.Engine.fused_groups sf.Qdpjit.Engine.launches_saved
+    sf.Qdpjit.Engine.eliminated_load_bytes sf.Qdpjit.Engine.eliminated_store_bytes
+    sf.Qdpjit.Engine.fallbacks;
+  let oc = open_out "BENCH_fusion.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"cg\": {\"iterations\": %d, \"bit_identical\": true,\n\
+    \    \"unfused\": {\"launches\": %d, \"kernel_bytes\": %d, \"wall_s\": %.3f},\n\
+    \    \"fused\": {\"launches\": %d, \"kernel_bytes\": %d, \"wall_s\": %.3f}},\n\
+    \  \"planner\": {\"fused_groups\": %d, \"launches_saved\": %d,\n\
+    \    \"eliminated_load_bytes\": %d, \"eliminated_store_bytes\": %d, \"fallbacks\": %d}\n\
+     }\n"
+    rf.Solvers.Cg.iterations lu bu wu lf bf wf sf.Qdpjit.Engine.fused_groups
+    sf.Qdpjit.Engine.launches_saved sf.Qdpjit.Engine.eliminated_load_bytes
+    sf.Qdpjit.Engine.eliminated_store_bytes sf.Qdpjit.Engine.fallbacks;
+  close_out oc;
+  Printf.printf "  wrote BENCH_fusion.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the real pipeline *)
 
 let micro () =
@@ -474,7 +545,7 @@ let micro () =
       ~nsites:(Geometry.volume geom) ~use_sitelist:false ()
   in
   let b = built () in
-  let eng = Qdpjit.Engine.create () in
+  let eng = Qdpjit.Engine.create ~fuse:false () in
   let cpu_dest = Field.create lcm_dest.Field.shape geom in
   let tests =
     [
@@ -521,6 +592,7 @@ let sections =
     ("jitopt", jitopt);
     ("autotune", autotune);
     ("ablation", ablation);
+    ("fusion", fusion_bench);
     ("micro", micro);
   ]
 
@@ -537,3 +609,4 @@ let () =
   end;
   List.iter (fun (_, f) -> f ()) to_run;
   Printf.printf "\nAll requested benchmark sections completed.\n"
+

@@ -7,7 +7,16 @@
     memory cache, bind parameters, and launch through the per-kernel
     auto-tuner.  Reductions evaluate a per-site kernel into a temporary
     and fold it with cached pairwise-reduction kernels, keeping results
-    deterministic. *)
+    deterministic.
+
+    On top of that sits the deferred-launch queue: a default-stream
+    [eval] only records the request, and a flush point (reduction,
+    host access through the memory cache, subset/geometry change, queue
+    depth, or an explicit {!flush}) runs the fusion planner over the
+    pending evals.  Field-id dependence analysis groups evals that may
+    execute as one kernel — {!Ptx.Fuse} splices their bodies, replacing
+    same-site producer→consumer loads with register moves — and anything
+    hazardous launches separately, in order, on the default stream. *)
 
 module Shape = Layout.Shape
 module Geometry = Layout.Geometry
@@ -23,6 +32,9 @@ type kernel_entry = {
   built : Codegen.built;
   compiled : Jit.compiled;
   tuner : Autotune.t;
+  bytes_per_thread : int;
+      (** modeled global load+store bytes one thread moves (drives the
+          engine-wide traffic counter) *)
 }
 
 (** Per-kernel middle-end scorecard, recorded at compile time.  Register
@@ -39,6 +51,50 @@ type jit_stats = {
   raw_load_bytes : int;
   opt_load_bytes : int;
   passes : Ptx.Passes.report list;  (** pass applications that changed the kernel *)
+  fused_members : int;  (** evals spliced into this kernel (1 = unfused) *)
+  fused_subst_load_bytes : int;
+      (** per-thread consumer load bytes replaced by register moves *)
+  fused_dropped_store_bytes : int;  (** per-thread producer store bytes dropped *)
+}
+
+(** Lifetime counters of the deferred-eval queue and fusion planner. *)
+type fusion_stats = {
+  deferred_evals : int;  (** default-stream evals that entered the queue *)
+  flushes : int;
+  fused_groups : int;  (** multi-eval groups launched as one kernel *)
+  launches_saved : int;
+  eliminated_load_bytes : int;  (** whole-launch global loads removed *)
+  eliminated_store_bytes : int;  (** whole-launch global stores removed *)
+  fallbacks : int;  (** groups relaunched separately after a fusion failure *)
+}
+
+(* Which fields a pending expression reads, and how: a shifted read
+   samples neighbour sites, so it must not observe a same-flush write. *)
+type read_info = { mutable r_unshifted : bool; mutable r_shifted : bool }
+
+type pending = {
+  p_dest : Field.t;
+  p_expr : Expr.t;
+  p_subset : Subset.t;
+  p_geom : Geometry.t;
+  p_reads : (int, read_info) Hashtbl.t;
+  p_retained : Field.t list;  (** memcache references taken at enqueue *)
+}
+
+(* Launch-time binding of one fused parameter slot; field identities are
+   erased (canonical index into the group's distinct-field walk) so the
+   fused kernel is reusable across field sets, like the singleton cache. *)
+type fused_binding =
+  | FB_field of int
+  | FB_ntable of int * int
+  | FB_sitelist
+  | FB_nwork
+  | FB_scalar of int * int * int  (** member, scalar slot, component *)
+
+type fused_entry = {
+  f_entry : kernel_entry;
+  f_plan : fused_binding array;
+  f_report : Ptx.Fuse.report;
 }
 
 type t = {
@@ -47,39 +103,44 @@ type t = {
                             through it (default stream unless told otherwise) *)
   cache : Memcache.t;
   kernels : (string, kernel_entry) Hashtbl.t;
+  fused_kernels : (string, fused_entry) Hashtbl.t;
+  raw_builts : (string, Codegen.built) Hashtbl.t;
+      (** unoptimized per-eval kernels kept as fusion source material *)
   ntables : (string, Buffer_.t) Hashtbl.t;
   sitelists : (string, Buffer_.t) Hashtbl.t;
   optimize : bool;  (** run the {!Ptx.Passes} middle-end before the driver JIT *)
+  fuse : bool;  (** defer default-stream evals and fuse at flush points *)
+  mutable pending_rev : pending list;  (** deferred evals, newest first *)
+  mutable pending_n : int;
+  mutable in_flush : bool;
   mutable kernels_built : int;
   mutable jit_seconds : float;  (** accumulated modeled driver-JIT time *)
   mutable kernel_serial : int;
+  mutable kernel_bytes : int;
+      (** modeled global bytes moved by every launched kernel so far *)
   mutable reduce_kernel : kernel_entry option;
+  mutable reduce_scratch : (Buffer_.t * Buffer_.t) option;
+      (** cached ping/pong buffers for {!reduce_plane} *)
+  mutable reduce_scratch_cap : int;
   mutable stats_rev : jit_stats list;
+  mutable fs_deferred : int;
+  mutable fs_flushes : int;
+  mutable fs_groups : int;
+  mutable fs_saved : int;
+  mutable fs_elim_load : int;
+  mutable fs_elim_store : int;
+  mutable fs_fallbacks : int;
 }
 
-let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional)
-    ?(optimize = true) () =
-  let device = Device.create ~mode machine in
-  let streams = Streams.create device in
-  {
-    device;
-    streams;
-    cache = Memcache.create ~sched:streams device;
-    kernels = Hashtbl.create 64;
-    ntables = Hashtbl.create 16;
-    sitelists = Hashtbl.create 8;
-    optimize;
-    kernels_built = 0;
-    jit_seconds = 0.0;
-    kernel_serial = 0;
-    reduce_kernel = None;
-    stats_rev = [];
-  }
+let max_pending = 16
+let max_group = 6
 
 (* The middle-end scorecard for one compiled kernel.  Kernels the driver
    ultimately executes are [kernel]; [raw] is what the paper-faithful
-   unparser produced. *)
-let record_stats t (built : Codegen.built) =
+   unparser produced (for fused kernels: the splice before re-running the
+   passes). *)
+let record_stats ?(fused_members = 1) ?(fused_subst_load_bytes = 0)
+    ?(fused_dropped_store_bytes = 0) t (built : Codegen.built) =
   let measure (k : kernel) =
     let a = Ptx.Analysis.kernel k in
     (List.length k.body, Ptx.Dataflow.register_demand k, a.Ptx.Analysis.load_bytes)
@@ -96,18 +157,16 @@ let record_stats t (built : Codegen.built) =
       raw_load_bytes;
       opt_load_bytes;
       passes = built.Codegen.passes;
+      fused_members;
+      fused_subst_load_bytes;
+      fused_dropped_store_bytes;
     }
     :: t.stats_rev
-
-let jit_stats t = List.rev t.stats_rev
 
 let device t = t.device
 let streams t = t.streams
 let default_stream t = Streams.default_stream t.streams
 let memcache t = t.cache
-let kernels_built t = t.kernels_built
-let jit_seconds t = t.jit_seconds
-let synchronize t = Streams.synchronize t.streams
 
 let geom_tag geom =
   Geometry.dims geom |> Array.to_list |> List.map string_of_int |> String.concat "x"
@@ -152,11 +211,11 @@ let sitelist t geom subset =
           (match subset with Subset.Even -> "even" | _ -> "odd")
       in
       (match Hashtbl.find_opt t.sitelists key with
-      | Some buf -> (buf, false)
+      | Some buf -> buf
       | None ->
           let buf = upload_sitelist t (Subset.sites geom subset) in
           Hashtbl.replace t.sitelists key buf;
-          (buf, false))
+          buf)
   | Subset.Custom sites ->
       (* Repeated subsets (inner/face partitions of the overlap engine) are
          cached by content digest. *)
@@ -167,11 +226,21 @@ let sitelist t geom subset =
       in
       let key = Printf.sprintf "%s:custom:%s" (geom_tag geom) digest in
       (match Hashtbl.find_opt t.sitelists key with
-      | Some buf -> (buf, false)
+      | Some buf -> buf
       | None ->
           let buf = upload_sitelist t sites in
           Hashtbl.replace t.sitelists key buf;
-          (buf, false))
+          buf)
+
+let entry_of_built t built compiled =
+  let a = Ptx.Analysis.kernel built.Codegen.kernel in
+  {
+    built;
+    compiled;
+    tuner =
+      Autotune.create ~max_block:t.device.Device.machine.Gpusim.Machine.max_threads_per_block ();
+    bytes_per_thread = a.Ptx.Analysis.load_bytes + a.Ptx.Analysis.store_bytes;
+  }
 
 let compile_entry t ~dest_shape ~expr ~nsites ~use_sitelist =
   t.kernel_serial <- t.kernel_serial + 1;
@@ -186,25 +255,37 @@ let compile_entry t ~dest_shape ~expr ~nsites ~use_sitelist =
   let compiled = Jit.compile built.Codegen.text in
   t.kernels_built <- t.kernels_built + 1;
   t.jit_seconds <- t.jit_seconds +. compiled.Jit.compile_time;
-  {
-    built;
-    compiled;
-    tuner = Autotune.create ~max_block:t.device.Device.machine.Gpusim.Machine.max_threads_per_block ();
-  }
+  entry_of_built t built compiled
+
+let eval_key ~dest_shape ~expr ~nsites ~use_sitelist =
+  Printf.sprintf "%s|v%d|%s"
+    (Expr.structure_key ~dest_shape expr)
+    nsites
+    (if use_sitelist then "list" else "all")
 
 let lookup_kernel t ~dest_shape ~expr ~nsites ~use_sitelist =
-  let key =
-    Printf.sprintf "%s|v%d|%s"
-      (Expr.structure_key ~dest_shape expr)
-      nsites
-      (if use_sitelist then "list" else "all")
-  in
+  let key = eval_key ~dest_shape ~expr ~nsites ~use_sitelist in
   match Hashtbl.find_opt t.kernels key with
   | Some e -> e
   | None ->
       let entry = compile_entry t ~dest_shape ~expr ~nsites ~use_sitelist in
       Hashtbl.replace t.kernels key entry;
       entry
+
+(* The unoptimized per-eval kernel, kept as fusion source material: the
+   splicer needs the emitter's canonical instruction order, which the
+   middle-end (sink in particular) does not preserve. *)
+let raw_built t ~dest_shape ~expr ~nsites ~use_sitelist =
+  let key = eval_key ~dest_shape ~expr ~nsites ~use_sitelist in
+  match Hashtbl.find_opt t.raw_builts key with
+  | Some b -> b
+  | None ->
+      let b =
+        Codegen.build ~optimize:false ~kname:"qdpjit_member" ~dest_shape ~expr ~nsites
+          ~use_sitelist ()
+      in
+      Hashtbl.replace t.raw_builts key b;
+      b
 
 (* Launch through the auto-tuner onto [stream]: resource failures shrink
    the block; the modeled time of successful payload launches drives the
@@ -219,34 +300,31 @@ let tuned_launch t entry ~stream ~nthreads ~params =
         Autotune.on_failure entry.tuner ~block;
         attempt ()
   in
-  if nthreads > 0 then attempt ()
+  if nthreads > 0 then begin
+    t.kernel_bytes <- t.kernel_bytes + (entry.bytes_per_thread * nthreads);
+    attempt ()
+  end
 
-let eval ?(subset = Subset.All) ?stream t dest expr =
-  Qdp.Eval_cpu.check_dest dest expr;
+(* One eval, launched immediately (the pre-queue semantics): make every
+   referenced field resident, bind the parameter plan, launch. *)
+let launch_eval ?(subset = Subset.All) ~stream ~sync t dest expr =
   let geom = dest.Field.geom in
   let nsites = Geometry.volume geom in
   let use_sitelist = not (Subset.is_all subset) in
   let entry = lookup_kernel t ~dest_shape:dest.Field.shape ~expr ~nsites ~use_sitelist in
-  (* Passing an explicit stream makes the eval asynchronous (the caller
-     synchronizes); the implicit default stream keeps the legacy blocking
-     semantics. *)
-  let sync = stream = None in
-  let stream = match stream with Some s -> s | None -> Streams.default_stream t.streams in
   let leaves = Expr.leaves expr in
   (* Make everything resident before binding addresses (Sec. IV); the
      launch stream waits on any upload still in flight on the transfer
      stream. *)
   let leaf_bufs =
     List.map (fun f -> Memcache.ensure_resident ~pin:true ~wait_stream:stream t.cache f) leaves
+    |> Array.of_list
   in
   let dest_is_leaf = List.exists (fun (f : Field.t) -> f.Field.id = dest.Field.id) leaves in
   let dest_buf =
     Memcache.ensure_resident ~pin:true
       ~for_write:(Subset.is_all subset && not dest_is_leaf)
       ~wait_stream:stream t.cache dest
-  in
-  let slist =
-    if use_sitelist then Some (sitelist t geom subset) else None
   in
   let n_work = if use_sitelist then Subset.count geom subset else nsites in
   let scalar_values = Expr.params expr |> List.map snd |> Array.of_list in
@@ -255,12 +333,9 @@ let eval ?(subset = Subset.All) ?stream t dest expr =
       (fun plan ->
         match plan with
         | Codegen.Dest -> Gpusim.Vm.Ptr dest_buf
-        | Codegen.Leaf_ptr i -> Gpusim.Vm.Ptr (List.nth leaf_bufs i)
+        | Codegen.Leaf_ptr i -> Gpusim.Vm.Ptr leaf_bufs.(i)
         | Codegen.Ntable (dim, dir) -> Gpusim.Vm.Ptr (ntable t geom ~dim ~dir)
-        | Codegen.Sitelist -> (
-            match slist with
-            | Some (buf, _) -> Gpusim.Vm.Ptr buf
-            | None -> assert false)
+        | Codegen.Sitelist -> Gpusim.Vm.Ptr (sitelist t geom subset)
         | Codegen.N_work -> Gpusim.Vm.Int n_work
         | Codegen.Scalar_param (slot, comp) -> Gpusim.Vm.Float scalar_values.(slot).(comp))
       entry.built.Codegen.plan
@@ -269,8 +344,536 @@ let eval ?(subset = Subset.All) ?stream t dest expr =
   tuned_launch t entry ~stream ~nthreads:n_work ~params;
   Memcache.mark_device_dirty t.cache dest;
   Memcache.unpin_all t.cache;
-  if sync then ignore (Streams.stream_synchronize t.streams stream);
-  ignore slist
+  if sync then ignore (Streams.stream_synchronize t.streams stream)
+
+(* ------------------------------------------------------------------ *)
+(* The fusion planner                                                  *)
+
+(* Which fields [expr] reads, split by whether the read happens through a
+   shift (a shifted read samples neighbour sites, so fusing it past a
+   same-flush write would observe new data mid-sweep). *)
+let reads_of expr =
+  let tbl = Hashtbl.create 8 in
+  let record (f : Field.t) shifted =
+    let r =
+      match Hashtbl.find_opt tbl f.Field.id with
+      | Some r -> r
+      | None ->
+          let r = { r_unshifted = false; r_shifted = false } in
+          Hashtbl.replace tbl f.Field.id r;
+          r
+    in
+    if shifted then r.r_shifted <- true else r.r_unshifted <- true
+  in
+  let rec walk shifted = function
+    | Expr.Leaf f -> record f shifted
+    | Expr.Const _ | Expr.Param _ -> ()
+    | Expr.Unary (_, a) -> walk shifted a
+    | Expr.Binary (_, a, b) ->
+        walk shifted a;
+        walk shifted b
+    | Expr.Shift (a, _, _) -> walk true a
+    | Expr.Clover (d, tr, p) ->
+        walk shifted d;
+        walk shifted tr;
+        walk shifted p
+  in
+  walk false expr;
+  tbl
+
+let reads_shifted (ev : pending) fid =
+  match Hashtbl.find_opt ev.p_reads fid with Some r -> r.r_shifted | None -> false
+
+(* Greedy in-order grouping.  A group is a set of consecutive evals that
+   one fused kernel executes; a candidate joins unless it would
+   - re-write a field the group already writes (WAW: the group has one
+     writer per field, and the overwrite order must survive),
+   - read a group-written field through a shift (RAW-shifted: neighbour
+     sites of the intermediate would be observed mid-update), or
+   - have its destination already read through a shift by a member
+     (WAR-shifted: earlier threads of the fused sweep would clobber
+     neighbour sites the member still needs).
+   Same-site dependences fuse: an unshifted RAW becomes a register
+   substitution (f64) or an in-thread store→load (f32); an unshifted WAR
+   is ordered within each thread.  Groups launch in program order on the
+   in-order default stream, so cross-group hazards resolve through global
+   memory exactly as the unfused schedule did. *)
+let plan_groups (evs : pending array) =
+  let n = Array.length evs in
+  let groups_rev = ref [] and cur = ref [] and cur_n = ref 0 in
+  let close () =
+    if !cur <> [] then begin
+      groups_rev := Array.of_list (List.rev !cur) :: !groups_rev;
+      cur := [];
+      cur_n := 0
+    end
+  in
+  for i = 0 to n - 1 do
+    let ev = evs.(i) in
+    let hazard =
+      !cur_n >= max_group
+      || List.exists
+           (fun j ->
+             let w = evs.(j).p_dest.Field.id in
+             w = ev.p_dest.Field.id
+             || reads_shifted ev w
+             || reads_shifted evs.(j) ev.p_dest.Field.id)
+           !cur
+    in
+    if hazard then close ();
+    cur := i :: !cur;
+    incr cur_n
+  done;
+  close ();
+  List.rev !groups_rev
+
+(* Dead-store analysis over one flush: eval [i]'s stores to its
+   destination T are droppable iff a later eval [j] of the same flush
+   rewrites T and every eval in between (j included) either does not read
+   T or reads it only through register substitution inside [i]'s own
+   group.  The flush is subset-homogeneous, so [j] rewrites exactly the
+   sites [i] would have written.
+
+   An eval that reads its own destination through a shift (an in-place
+   [p = shift p]) keeps its store: threads sweep sites in order and the
+   established CPU/unfused semantics let later sites observe earlier
+   in-place stores at the wrap-around, so the store is not dead even
+   when every downstream reader is register-substituted. *)
+let plan_drops (evs : pending array) group_of =
+  let n = Array.length evs in
+  let drop = Array.make n false in
+  for i = 0 to n - 1 do
+    let dest_id = evs.(i).p_dest.Field.id in
+    let f64 = evs.(i).p_dest.Field.shape.Shape.prec = Shape.F64 in
+    let j = ref (-1) in
+    let self_shift = reads_shifted evs.(i) dest_id in
+    (try
+       for k = i + 1 to n - 1 do
+         if evs.(k).p_dest.Field.id = dest_id then begin
+           j := k;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !j >= 0 && not self_shift then begin
+      let ok = ref true in
+      for k = i + 1 to !j do
+        if Hashtbl.mem evs.(k).p_reads dest_id then
+          if group_of.(k) <> group_of.(i) || not f64 then ok := false
+      done;
+      drop.(i) <- !ok
+    end
+  done;
+  drop
+
+(* Fuse and launch one multi-eval group.  Raises [Ptx.Fuse.Fusion_failure]
+   or [Device.Out_of_device_memory]; the caller falls back to launching
+   the members separately. *)
+let launch_fused t ~geom ~subset ~nsites ~use_sitelist (members : pending array)
+    (dropm : bool array) =
+  let k = Array.length members in
+  let builts =
+    Array.map
+      (fun m ->
+        raw_built t ~dest_shape:m.p_dest.Field.shape ~expr:m.p_expr ~nsites ~use_sitelist)
+      members
+  in
+  (* Canonical distinct-field walk: members' [dest; leaves...] in order.
+     The index is the launch-time binding identity, so the fused kernel is
+     shared by any group with the same structure and alias pattern. *)
+  let field_index = Hashtbl.create 16 in
+  let fields_rev = ref [] and nfields = ref 0 in
+  let canon (f : Field.t) =
+    match Hashtbl.find_opt field_index f.Field.id with
+    | Some ci -> ci
+    | None ->
+        let ci = !nfields in
+        incr nfields;
+        Hashtbl.replace field_index f.Field.id ci;
+        fields_rev := f :: !fields_rev;
+        ci
+  in
+  let member_leaves = Array.map (fun m -> Array.of_list (Expr.leaves m.p_expr)) members in
+  let slot_tbl : (fused_binding, int) Hashtbl.t = Hashtbl.create 32 in
+  let plan_rev = ref [] and nslots = ref 0 in
+  let slot_of b =
+    match Hashtbl.find_opt slot_tbl b with
+    | Some s -> s
+    | None ->
+        let s = !nslots in
+        incr nslots;
+        Hashtbl.replace slot_tbl b s;
+        plan_rev := b :: !plan_rev;
+        s
+  in
+  let slots =
+    Array.mapi
+      (fun mi m ->
+        builts.(mi).Codegen.plan
+        |> List.map (fun p ->
+               match p with
+               | Codegen.Dest -> slot_of (FB_field (canon m.p_dest))
+               | Codegen.Leaf_ptr li -> slot_of (FB_field (canon member_leaves.(mi).(li)))
+               | Codegen.Ntable (dim, dir) -> slot_of (FB_ntable (dim, dir))
+               | Codegen.Sitelist -> slot_of FB_sitelist
+               | Codegen.N_work -> slot_of FB_nwork
+               | Codegen.Scalar_param (slot, comp) -> slot_of (FB_scalar (mi, slot, comp)))
+        |> Array.of_list)
+      members
+  in
+  (* Same-site producer→consumer substitutions: an unshifted f64 read of
+     an earlier member's destination is served from registers. *)
+  let writer = Hashtbl.create 8 in
+  let subst =
+    Array.mapi
+      (fun mi m ->
+        let l =
+          Hashtbl.fold
+            (fun fid (r : read_info) acc ->
+              if not r.r_unshifted then acc
+              else
+                match Hashtbl.find_opt writer fid with
+                | Some pj
+                  when members.(pj).p_dest.Field.shape.Shape.prec = Shape.F64 ->
+                    (slot_of (FB_field (canon members.(pj).p_dest)), pj) :: acc
+                | Some _ | None -> acc)
+            m.p_reads []
+          |> List.sort compare
+        in
+        Hashtbl.replace writer m.p_dest.Field.id mi;
+        l)
+      members
+  in
+  let key =
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "FUSE|%s|v%d" (if use_sitelist then "list" else "all") nsites);
+    Array.iteri
+      (fun mi m ->
+        Buffer.add_char b '|';
+        Buffer.add_string b (Expr.structure_key ~dest_shape:m.p_dest.Field.shape m.p_expr);
+        Buffer.add_string b "#f";
+        Buffer.add_string b (string_of_int (canon m.p_dest));
+        Array.iter
+          (fun f -> Buffer.add_string b ("," ^ string_of_int (canon f)))
+          member_leaves.(mi);
+        Buffer.add_string b "#s";
+        List.iter
+          (fun (s, p) -> Buffer.add_string b (Printf.sprintf "%d:%d," s p))
+          subst.(mi);
+        Buffer.add_string b (if dropm.(mi) then "#d1" else "#d0"))
+      members;
+    Buffer.contents b
+  in
+  let fe =
+    match Hashtbl.find_opt t.fused_kernels key with
+    | Some fe -> fe
+    | None ->
+        let sources =
+          List.init k (fun mi ->
+              {
+                Ptx.Fuse.kernel = builts.(mi).Codegen.raw;
+                slots = slots.(mi);
+                use_sitelist;
+                subst_from = subst.(mi);
+                drop_stores = dropm.(mi);
+              })
+        in
+        t.kernel_serial <- t.kernel_serial + 1;
+        let kname = Printf.sprintf "qdpjit_fused_%d" t.kernel_serial in
+        let fused_raw, report = Ptx.Fuse.fuse ~kname sources in
+        Ptx.Validate.kernel fused_raw;
+        let kernel, passes =
+          if t.optimize then begin
+            let r = Ptx.Passes.run fused_raw in
+            Ptx.Validate.kernel r.Ptx.Passes.kernel;
+            (r.Ptx.Passes.kernel, r.Ptx.Passes.applied)
+          end
+          else (fused_raw, [])
+        in
+        Ptx.Validate.dataflow kernel;
+        let text = Ptx.Print.kernel kernel in
+        let built =
+          {
+            Codegen.kernel;
+            raw = fused_raw;
+            text;
+            plan = [];
+            dest_shape = members.(0).p_dest.Field.shape;
+            passes;
+          }
+        in
+        record_stats ~fused_members:k
+          ~fused_subst_load_bytes:report.Ptx.Fuse.subst_load_bytes
+          ~fused_dropped_store_bytes:report.Ptx.Fuse.dropped_store_bytes t built;
+        let compiled = Jit.compile text in
+        t.kernels_built <- t.kernels_built + 1;
+        t.jit_seconds <- t.jit_seconds +. compiled.Jit.compile_time;
+        let fe =
+          {
+            f_entry = entry_of_built t built compiled;
+            f_plan = Array.of_list (List.rev !plan_rev);
+            f_report = report;
+          }
+        in
+        Hashtbl.replace t.fused_kernels key fe;
+        fe
+  in
+  let fields = Array.of_list (List.rev !fields_rev) in
+  (* A field whose first group use is an all-sites write (and which its
+     writer does not read) is fully overwritten in-kernel before any
+     member consumes it: its host content need not travel. *)
+  let for_write =
+    Array.map
+      (fun (f : Field.t) ->
+        Subset.is_all subset
+        &&
+        let rec first_writer mi =
+          if mi >= k then None
+          else if members.(mi).p_dest.Field.id = f.Field.id then Some mi
+          else first_writer (mi + 1)
+        in
+        match first_writer 0 with
+        | None -> false
+        | Some p ->
+            let read_before = ref false in
+            for mi = 0 to p do
+              if Hashtbl.mem members.(mi).p_reads f.Field.id then read_before := true
+            done;
+            not !read_before)
+      fields
+  in
+  let stream = Streams.default_stream t.streams in
+  let bufs =
+    Array.mapi
+      (fun ci f ->
+        Memcache.ensure_resident ~pin:true ~for_write:for_write.(ci) ~wait_stream:stream
+          t.cache f)
+      fields
+  in
+  let n_work = if use_sitelist then Subset.count geom subset else nsites in
+  let scalars =
+    Array.map (fun m -> Expr.params m.p_expr |> List.map snd |> Array.of_list) members
+  in
+  let params =
+    Array.map
+      (function
+        | FB_field ci -> Gpusim.Vm.Ptr bufs.(ci)
+        | FB_ntable (dim, dir) -> Gpusim.Vm.Ptr (ntable t geom ~dim ~dir)
+        | FB_sitelist -> Gpusim.Vm.Ptr (sitelist t geom subset)
+        | FB_nwork -> Gpusim.Vm.Int n_work
+        | FB_scalar (mi, slot, comp) -> Gpusim.Vm.Float scalars.(mi).(slot).(comp))
+      fe.f_plan
+  in
+  tuned_launch t fe.f_entry ~stream ~nthreads:n_work ~params;
+  Array.iteri
+    (fun mi m -> if not dropm.(mi) then Memcache.mark_device_dirty t.cache m.p_dest)
+    members;
+  Memcache.unpin_all t.cache;
+  t.fs_groups <- t.fs_groups + 1;
+  t.fs_saved <- t.fs_saved + (k - 1);
+  t.fs_elim_load <- t.fs_elim_load + (fe.f_report.Ptx.Fuse.subst_load_bytes * n_work);
+  t.fs_elim_store <- t.fs_elim_store + (fe.f_report.Ptx.Fuse.dropped_store_bytes * n_work)
+
+let launch_group t ~geom ~subset ~nsites ~use_sitelist (evs : pending array)
+    (drop : bool array) (g : int array) =
+  let s0 = Streams.default_stream t.streams in
+  let serial () =
+    Array.iter
+      (fun i -> launch_eval ~subset ~stream:s0 ~sync:false t evs.(i).p_dest evs.(i).p_expr)
+      g
+  in
+  if Array.length g = 1 then begin
+    let i = g.(0) in
+    if drop.(i) then begin
+      (* The whole launch is dead: a later eval of this flush rewrites the
+         destination before anything reads it. *)
+      let b =
+        raw_built t ~dest_shape:evs.(i).p_dest.Field.shape ~expr:evs.(i).p_expr ~nsites
+          ~use_sitelist
+      in
+      let a = Ptx.Analysis.kernel b.Codegen.raw in
+      let n_work = if use_sitelist then Subset.count geom subset else nsites in
+      t.fs_saved <- t.fs_saved + 1;
+      t.fs_elim_load <- t.fs_elim_load + (a.Ptx.Analysis.load_bytes * n_work);
+      t.fs_elim_store <- t.fs_elim_store + (a.Ptx.Analysis.store_bytes * n_work)
+    end
+    else launch_eval ~subset ~stream:s0 ~sync:false t evs.(i).p_dest evs.(i).p_expr
+  end
+  else
+    let dropm = Array.map (fun i -> drop.(i)) g in
+    let members = Array.map (fun i -> evs.(i)) g in
+    match launch_fused t ~geom ~subset ~nsites ~use_sitelist members dropm with
+    | () -> ()
+    | exception Ptx.Fuse.Fusion_failure _ ->
+        t.fs_fallbacks <- t.fs_fallbacks + 1;
+        serial ()
+    | exception Device.Out_of_device_memory ->
+        Memcache.unpin_all t.cache;
+        t.fs_fallbacks <- t.fs_fallbacks + 1;
+        serial ()
+
+let flush t =
+  if (not t.in_flush) && t.pending_n > 0 then begin
+    t.in_flush <- true;
+    Fun.protect
+      ~finally:(fun () -> t.in_flush <- false)
+      (fun () ->
+        let evs = Array.of_list (List.rev t.pending_rev) in
+        t.pending_rev <- [];
+        t.pending_n <- 0;
+        t.fs_flushes <- t.fs_flushes + 1;
+        (* The enqueue-time references only needed to survive until now:
+           each launch pins its own fields, and anything spilled between
+           groups round-trips through its (hook-guarded) host copy. *)
+        Array.iter (fun ev -> List.iter (Memcache.release t.cache) ev.p_retained) evs;
+        let geom = evs.(0).p_geom and subset = evs.(0).p_subset in
+        let nsites = Geometry.volume geom in
+        let use_sitelist = not (Subset.is_all subset) in
+        let groups = plan_groups evs in
+        let group_of = Array.make (Array.length evs) (-1) in
+        List.iteri (fun gi g -> Array.iter (fun i -> group_of.(i) <- gi) g) groups;
+        let drop = plan_drops evs group_of in
+        List.iter (fun g -> launch_group t ~geom ~subset ~nsites ~use_sitelist evs drop g) groups;
+        ignore (Streams.stream_synchronize t.streams (Streams.default_stream t.streams)))
+  end
+
+let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional)
+    ?(optimize = true) ?(fuse = true) () =
+  let device = Device.create ~mode machine in
+  let streams = Streams.create device in
+  let t =
+    {
+      device;
+      streams;
+      cache = Memcache.create ~sched:streams device;
+      kernels = Hashtbl.create 64;
+      fused_kernels = Hashtbl.create 16;
+      raw_builts = Hashtbl.create 16;
+      ntables = Hashtbl.create 16;
+      sitelists = Hashtbl.create 8;
+      optimize;
+      fuse;
+      pending_rev = [];
+      pending_n = 0;
+      in_flush = false;
+      kernels_built = 0;
+      jit_seconds = 0.0;
+      kernel_serial = 0;
+      kernel_bytes = 0;
+      reduce_kernel = None;
+      reduce_scratch = None;
+      reduce_scratch_cap = 0;
+      stats_rev = [];
+      fs_deferred = 0;
+      fs_flushes = 0;
+      fs_groups = 0;
+      fs_saved = 0;
+      fs_elim_load = 0;
+      fs_elim_store = 0;
+      fs_fallbacks = 0;
+    }
+  in
+  (* Host code about to touch any cached field sees the queue's effects
+     first: the flush runs before the dirty-copy page-out. *)
+  Memcache.set_pre_access_hook t.cache (fun _ -> flush t);
+  t
+
+let jit_stats t =
+  flush t;
+  List.rev t.stats_rev
+
+let kernels_built t =
+  flush t;
+  t.kernels_built
+
+let jit_seconds t =
+  flush t;
+  t.jit_seconds
+
+let kernel_bytes_moved t =
+  flush t;
+  t.kernel_bytes
+
+let fusion_stats t =
+  flush t;
+  {
+    deferred_evals = t.fs_deferred;
+    flushes = t.fs_flushes;
+    fused_groups = t.fs_groups;
+    launches_saved = t.fs_saved;
+    eliminated_load_bytes = t.fs_elim_load;
+    eliminated_store_bytes = t.fs_elim_store;
+    fallbacks = t.fs_fallbacks;
+  }
+
+let synchronize t =
+  flush t;
+  Streams.synchronize t.streams
+
+let eval ?(subset = Subset.All) ?stream t dest expr =
+  Qdp.Eval_cpu.check_dest dest expr;
+  match stream with
+  | Some s ->
+      (* Explicit-stream evals bypass the queue but must not overtake it. *)
+      flush t;
+      launch_eval ~subset ~stream:s ~sync:false t dest expr
+  | None ->
+      if not t.fuse then
+        launch_eval ~subset ~stream:(Streams.default_stream t.streams) ~sync:true t dest expr
+      else begin
+        (* The queue is subset- and geometry-homogeneous: a change is a
+           flush point (so are reductions, host access and depth). *)
+        (match t.pending_rev with
+        | [] -> ()
+        | l ->
+            let head = List.nth l (t.pending_n - 1) in
+            if geom_tag head.p_geom <> geom_tag dest.Field.geom || head.p_subset <> subset
+            then flush t);
+        let leaves = Expr.leaves expr in
+        let dest_is_leaf =
+          List.exists (fun (f : Field.t) -> f.Field.id = dest.Field.id) leaves
+        in
+        let retained = ref [] in
+        match
+          (* Residency at enqueue time snapshots the host content the eval
+             must see and installs the access hooks that make any later
+             host touch a flush point. *)
+          List.iter
+            (fun (f : Field.t) ->
+              ignore (Memcache.ensure_resident t.cache f);
+              Memcache.retain t.cache f;
+              retained := f :: !retained)
+            leaves;
+          ignore
+            (Memcache.ensure_resident
+               ~for_write:(Subset.is_all subset && not dest_is_leaf)
+               t.cache dest);
+          Memcache.retain t.cache dest;
+          retained := dest :: !retained
+        with
+        | () ->
+            t.pending_rev <-
+              {
+                p_dest = dest;
+                p_expr = expr;
+                p_subset = subset;
+                p_geom = dest.Field.geom;
+                p_reads = reads_of expr;
+                p_retained = !retained;
+              }
+              :: t.pending_rev;
+            t.pending_n <- t.pending_n + 1;
+            t.fs_deferred <- t.fs_deferred + 1;
+            if t.pending_n >= max_pending then flush t
+        | exception Device.Out_of_device_memory ->
+            (* Not even enough memory to park the operands: drain the
+               queue (freeing its references) and run this eval alone. *)
+            List.iter (Memcache.release t.cache) !retained;
+            flush t;
+            launch_eval ~subset ~stream:(Streams.default_stream t.streams) ~sync:true t dest
+              expr
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Reductions                                                          *)
@@ -373,15 +976,7 @@ let reduce_entry t =
         }
       in
       record_stats t built;
-      let entry =
-        {
-          built;
-          compiled;
-          tuner =
-            Autotune.create
-              ~max_block:t.device.Device.machine.Gpusim.Machine.max_threads_per_block ();
-        }
-      in
+      let entry = entry_of_built t built compiled in
       t.reduce_kernel <- Some entry;
       entry
 
@@ -391,6 +986,25 @@ let sync_readback t ~bytes =
   let s0 = Streams.default_stream t.streams in
   ignore (Streams.memcpy_d2h ~name:"reduce readback" t.streams s0 ~bytes);
   ignore (Streams.stream_synchronize t.streams s0)
+
+(* Ping/pong scratch for the pairwise folds, cached on the engine: a
+   spin-color reduction folds one plane per component, and allocating per
+   plane churned two dozen allocations per call. *)
+let reduce_scratch t ~nsites =
+  let cap = (nsites + 1) / 2 in
+  match t.reduce_scratch with
+  | Some pair when t.reduce_scratch_cap >= cap -> pair
+  | _ ->
+      (match t.reduce_scratch with
+      | Some (ping, pong) ->
+          Device.free t.device ping;
+          Device.free t.device pong
+      | None -> ());
+      let ping = Device.alloc_f64 t.device cap in
+      let pong = Device.alloc_f64 t.device ((cap + 1) / 2) in
+      t.reduce_scratch <- Some (ping, pong);
+      t.reduce_scratch_cap <- cap;
+      (ping, pong)
 
 (* Fold one SoA component plane of a device-resident f64 field buffer. *)
 let reduce_plane t ~(field_buf : Buffer_.t) ~plane_word ~nsites =
@@ -403,9 +1017,7 @@ let reduce_plane t ~(field_buf : Buffer_.t) ~plane_word ~nsites =
   else begin
     let entry = reduce_entry t in
     let stream = Streams.default_stream t.streams in
-    let cap = (nsites + 1) / 2 in
-    let ping = Device.alloc_f64 t.device cap in
-    let pong = Device.alloc_f64 t.device ((cap + 1) / 2) in
+    let ping, pong = reduce_scratch t ~nsites in
     let rec go ~src ~src_off ~n_in ~dst ~other =
       let n_out = (n_in + 1) / 2 in
       let params =
@@ -417,14 +1029,9 @@ let reduce_plane t ~(field_buf : Buffer_.t) ~plane_word ~nsites =
     in
     let final = go ~src:field_buf ~src_off:(plane_word * 8) ~n_in:nsites ~dst:ping ~other:pong in
     sync_readback t ~bytes:8;
-    let result =
-      match final.Buffer_.data with
-      | Buffer_.F64 a -> a.{0}
-      | _ -> assert false
-    in
-    Device.free t.device ping;
-    Device.free t.device pong;
-    result
+    match final.Buffer_.data with
+    | Buffer_.F64 a -> a.{0}
+    | _ -> assert false
   end
 
 (* Evaluate [expr] (any shape, promoted to f64 storage) into a temporary and
@@ -442,6 +1049,9 @@ let sum_components ?(subset = Subset.All) t expr =
   (* Outside the subset the temporary must be zero, which Field.create
      guarantees; evaluate only on the subset. *)
   eval ~subset t tmp expr;
+  (* The readback is a flush point: the per-site kernel (and everything
+     queued before it) must land before the folds read the buffer. *)
+  flush t;
   let buf = Memcache.ensure_resident t.cache tmp in
   let dof = Shape.dof shape in
   let is_ = Shape.spin_extent shape.Shape.spin in

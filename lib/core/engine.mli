@@ -7,12 +7,27 @@
     memory cache (Sec. IV), bind parameters, and launch through the
     per-kernel block-size auto-tuner (Sec. VII).  Reductions evaluate a
     per-site kernel into a temporary and fold it with cached pairwise
-    reduction kernels, keeping results deterministic. *)
+    reduction kernels, keeping results deterministic.
+
+    Default-stream evals are {e deferred}: they enter a pending queue,
+    and a flush point — a reduction or readback, host access to any
+    cached field, a subset or geometry change, the queue depth cap, or an
+    explicit {!flush} — runs the fusion planner over the queue.
+    Field-id dependence analysis (RAW/WAR/WAW, shifted vs same-site)
+    groups compatible evals, and {!Ptx.Fuse} splices each group into one
+    kernel: same-site producer→consumer loads become register moves and
+    dead intermediate stores are dropped, cutting both launch count and
+    global-memory traffic.  Hazardous pairs stay separate launches in
+    program order, so results are bit-exact against the eager schedule;
+    [?fuse:false] restores eval-at-a-time launching outright. *)
 
 type kernel_entry = {
   built : Codegen.built;
   compiled : Gpusim.Jit.compiled;
   tuner : Autotune.t;
+  bytes_per_thread : int;
+      (** modeled global load+store bytes one thread moves (drives
+          {!kernel_bytes_moved}) *)
 }
 
 (** Per-kernel middle-end scorecard, recorded when a kernel is compiled.
@@ -29,20 +44,47 @@ type jit_stats = {
   raw_load_bytes : int;
   opt_load_bytes : int;
   passes : Ptx.Passes.report list;  (** pass applications that changed the kernel *)
+  fused_members : int;  (** evals spliced into this kernel (1 = unfused) *)
+  fused_subst_load_bytes : int;
+      (** per-thread consumer load bytes replaced by register moves *)
+  fused_dropped_store_bytes : int;  (** per-thread producer store bytes dropped *)
+}
+
+(** Lifetime counters of the deferred-eval queue and fusion planner.
+    Byte counts are whole-launch (per-thread savings × threads). *)
+type fusion_stats = {
+  deferred_evals : int;  (** default-stream evals that entered the queue *)
+  flushes : int;
+  fused_groups : int;  (** multi-eval groups launched as one kernel *)
+  launches_saved : int;
+  eliminated_load_bytes : int;
+  eliminated_store_bytes : int;
+  fallbacks : int;  (** groups relaunched separately after a fusion failure *)
 }
 
 type t
 
 val create :
-  ?machine:Gpusim.Machine.t -> ?mode:Gpusim.Device.mode -> ?optimize:bool -> unit -> t
+  ?machine:Gpusim.Machine.t ->
+  ?mode:Gpusim.Device.mode ->
+  ?optimize:bool ->
+  ?fuse:bool ->
+  unit ->
+  t
 (** A fresh engine with its own simulated device, memory cache and kernel
     cache.  [mode = Model_only] skips functional execution (used by the
     paper-scale benchmark sweeps).  [optimize] (default on) runs the
     {!Ptx.Passes} middle-end on every kernel before the driver JIT;
-    [~optimize:false] keeps the paper's raw unparser stream. *)
+    [~optimize:false] keeps the paper's raw unparser stream.  [fuse]
+    (default on) defers default-stream evals into the fusion queue;
+    [~fuse:false] restores blocking eval-at-a-time launches. *)
 
 val jit_stats : t -> jit_stats list
-(** Scorecards of every kernel compiled so far, in compile order. *)
+(** Scorecards of every kernel compiled so far, in compile order
+    (flushes the queue first). *)
+
+val fusion_stats : t -> fusion_stats
+(** Deferred-queue counters so far (flushes the queue first). *)
 
 val device : t -> Gpusim.Device.t
 
@@ -52,27 +94,40 @@ val streams : t -> Streams.t
 
 val default_stream : t -> Streams.stream
 
+val flush : t -> unit
+(** Drain the deferred-eval queue: plan fusion groups, launch them in
+    program order on the default stream, and block until they complete.
+    A no-op when the queue is empty.  Reductions, host access to cached
+    fields, subset/geometry changes and the depth cap flush implicitly. *)
+
 val synchronize : t -> float
-(** Drain every stream of the engine's context (device synchronize);
-    returns the host-visible clock in ns. *)
+(** {!flush}, then drain every stream of the engine's context (device
+    synchronize); returns the host-visible clock in ns. *)
 
 val memcache : t -> Memcache.t
 
 val kernels_built : t -> int
 (** Number of distinct kernels generated and driver-compiled so far (the
-    paper reports ~200 for a production HMC trajectory). *)
+    paper reports ~200 for a production HMC trajectory).  Flushes the
+    queue first, so pending compiles are counted. *)
 
 val jit_seconds : t -> float
-(** Accumulated modeled driver-JIT time (Sec. III-D: 0.05–0.22 s/kernel). *)
+(** Accumulated modeled driver-JIT time (Sec. III-D: 0.05–0.22 s/kernel).
+    Flushes the queue first. *)
+
+val kernel_bytes_moved : t -> int
+(** Modeled global-memory bytes moved by every kernel launched so far
+    (per-thread load+store bytes × threads, summed over launches).
+    Flushes the queue first. *)
 
 val eval : ?subset:Qdp.Subset.t -> ?stream:Streams.stream -> t -> Qdp.Field.t -> Qdp.Expr.t -> unit
 (** [eval t dest expr]: dest = expr on the simulated device.  Functionally
     identical to {!Qdp.Eval_cpu.eval} (bit-exact; the test suite checks
-    this for every operation).  Without [stream] the call is blocking
-    (launch on the default stream, then stream-synchronize — the legacy
-    semantics, so clock deltas around it keep measuring).  With [stream]
-    the launch is asynchronous on that stream and the caller owns
-    synchronization (events or {!synchronize}). *)
+    this for every operation).  Without [stream] the eval is deferred
+    into the fusion queue (or, with [~fuse:false], launched and
+    synchronized immediately — the legacy blocking semantics).  With
+    [stream] the queue is flushed and the launch is asynchronous on that
+    stream; the caller owns synchronization (events or {!synchronize}). *)
 
 val norm2 : ?subset:Qdp.Subset.t -> t -> Qdp.Expr.t -> float
 (** Deterministic pairwise-tree reduction of the per-site |.|^2 kernel. *)

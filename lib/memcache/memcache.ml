@@ -22,6 +22,9 @@ type entry = {
   mutable device_dirty : bool;  (** device copy newer than host *)
   mutable host_version : int;  (** [Field.version] captured at upload *)
   mutable pinned : bool;  (** referenced by the launch being assembled *)
+  mutable retained : int;
+      (** reference count held by deferred (not yet launched) evals; a
+          retained entry survives {!unpin_all} and is never spilled *)
   mutable inflight : Streams.Event.t option;
       (** completion event of an asynchronous transfer still using the
           buffer — the entry must not spill until it fires *)
@@ -42,6 +45,10 @@ type t = {
       (** stream context + dedicated transfer stream for async copies *)
   entries : (int, entry) Hashtbl.t;
   mutable tick : int;
+  mutable pre_access : (Field.t -> unit) option;
+      (** called before any host access to a cached field, ahead of the
+          dirty-copy page-out — the engine flushes its deferred launch
+          queue here so the device copy is current first *)
   stats : stats;
 }
 
@@ -54,8 +61,11 @@ let create ?sched device =
     sched;
     entries = Hashtbl.create 64;
     tick = 0;
+    pre_access = None;
     stats = { hits = 0; uploads = 0; pageouts = 0; spills = 0; inflight_skips = 0 };
   }
+
+let set_pre_access_hook t f = t.pre_access <- Some f
 
 let stats t = t.stats
 let resident_count t = Hashtbl.length t.entries
@@ -165,7 +175,7 @@ let spill_one t =
   let victim = ref None in
   Hashtbl.iter
     (fun _ e ->
-      if not e.pinned then begin
+      if (not e.pinned) && e.retained = 0 then begin
         if inflight_done t e then
           match !victim with
           | Some v when v.last_use <= e.last_use -> ()
@@ -203,6 +213,7 @@ let install_hooks t f =
   let prev_read = f.Field.before_host_read in
   let prev_write = f.Field.before_host_write in
   let on_access prev field =
+    (match t.pre_access with Some hook -> hook field | None -> ());
     (match Hashtbl.find_opt t.entries field.Field.id with
     | Some e when e.device_dirty -> page_out t e
     | Some _ | None -> ());
@@ -248,6 +259,7 @@ let ensure_resident ?(pin = false) ?(for_write = false) ?wait_stream t (f : Fiel
           device_dirty = false;
           host_version = -1;
           pinned = pin;
+          retained = 0;
           inflight = None;
         }
       in
@@ -270,6 +282,16 @@ let mark_device_dirty t (f : Field.t) =
   | None -> invalid_arg "Memcache.mark_device_dirty: field not resident"
 
 let unpin_all t = Hashtbl.iter (fun _ e -> e.pinned <- false) t.entries
+
+let retain t (f : Field.t) =
+  match Hashtbl.find_opt t.entries f.Field.id with
+  | Some e -> e.retained <- e.retained + 1
+  | None -> invalid_arg "Memcache.retain: field not resident"
+
+let release t (f : Field.t) =
+  match Hashtbl.find_opt t.entries f.Field.id with
+  | Some e -> if e.retained > 0 then e.retained <- e.retained - 1
+  | None -> ()
 
 let flush_field t (f : Field.t) =
   match Hashtbl.find_opt t.entries f.Field.id with

@@ -50,6 +50,22 @@ val mark_device_dirty : t -> Qdp.Field.t -> unit
 
 val unpin_all : t -> unit
 
+val retain : t -> Qdp.Field.t -> unit
+(** Take a reference on a resident entry on behalf of a deferred (not yet
+    launched) eval: unlike a pin, it survives {!unpin_all}, and the entry
+    cannot be spilled until every reference is {!release}d.  The field
+    must be resident. *)
+
+val release : t -> Qdp.Field.t -> unit
+(** Drop one {!retain} reference (no-op when the field is not resident or
+    not retained). *)
+
+val set_pre_access_hook : t -> (Qdp.Field.t -> unit) -> unit
+(** Install a callback run before any host access to a cached field,
+    ahead of the dirty-copy page-out.  The engine flushes its deferred
+    launch queue here, so a pending write to the field lands on the
+    device before the page-out makes the host copy current. *)
+
 val flush_field : t -> Qdp.Field.t -> unit
 (** Page out if device-dirty (host access hooks call this). *)
 

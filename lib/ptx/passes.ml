@@ -344,89 +344,102 @@ let dce (k : kernel) =
    one add would drag two dying inputs along with it. *)
 let sink (k : kernel) =
   let body = Array.of_list k.body in
+  let n = Array.length body in
   let counts = D.def_counts body in
   let sd = D.single_def counts in
-  let moved : (D.key, unit) Hashtbl.t = Hashtbl.create 64 in
   let movable i =
     (not (D.is_side_effecting i))
     && (match i with Call _ -> false | _ -> true)
     &&
     match D.def_of i with
-    | Some d -> sd d && (not (Hashtbl.mem moved (D.key d))) && List.for_all sd (D.uses_of i)
+    | Some d -> sd d && List.for_all sd (D.uses_of i)
     | None -> false
   in
-  (* One sweep: find the lowest movable definition with a gap to its first
-     use, move it, and restart (the move shifts every index in between, so
-     the use chains must be rebuilt). *)
-  let try_one () =
-    let n = Array.length body in
-    let ch = D.chains body in
-    let found = ref false in
-    let i = ref (n - 2) in
-    while (not !found) && !i >= 0 do
-      (if movable body.(!i) then
-         let d = Option.get (D.def_of body.(!i)) in
-         match D.uses_of_reg ch d with
-         | first :: _ when first > !i + 1 ->
-             let barrier = ref false in
-             let is_load = match body.(!i) with Ld_global _ -> true | _ -> false in
-             for j = !i + 1 to first - 1 do
-               match body.(j) with
-               | Label _ | Bra _ | Call _ | Ret -> barrier := true
-               | St_global _ when is_load -> barrier := true
-               | _ -> ()
-             done;
-             (* Weight of operands the move would stretch: any input whose
-                last use apart from this instruction lies above the target
-                now has to stay live down to it.  Requiring the stretched
-                weight to stay within the sunk definition's weight makes
-                the move pointwise non-increasing in pressure: over the
-                vacated span the definition's units are gone, and the
-                stretched units never exceed them. *)
-             let cost =
-               let rec drop_one = function
-                 | [] -> []
-                 | x :: tl -> if x = !i then tl else x :: drop_one tl
-               in
-               List.fold_left
-                 (fun acc kk ->
-                   let uses =
-                     Option.value ~default:[] (Hashtbl.find_opt ch.D.use_sites kk)
-                   in
-                   let last_other = List.fold_left max (-1) (drop_one uses) in
-                   if last_other < first - 1 then acc + D.weight (fst kk) else acc)
-                 0
-                 (List.sort_uniq compare (List.map D.key (D.uses_of body.(!i))))
-             in
-             (* If everything in the gap already feeds the same consumer,
-                the cluster is packed: hopping over those neighbours would
-                gain nothing and two such values could swap forever. *)
-             let settled = ref true in
-             for j = !i + 1 to first - 1 do
-               match D.def_of body.(j) with
-               | Some dj when not (D.is_side_effecting body.(j)) -> (
-                   match D.uses_of_reg ch dj with
-                   | f :: _ when f = first -> ()
-                   | _ -> settled := false)
-               | _ -> settled := false
-             done;
-             if (not !barrier) && (not !settled) && cost <= D.weight d.rtype then begin
-               let instr = body.(!i) in
-               for j = !i to first - 2 do
-                 body.(j) <- body.(j + 1)
-               done;
-               body.(first - 1) <- instr;
-               Hashtbl.replace moved (D.key d) ();
-               found := true
-             end
-         | _ -> ());
-      decr i
+  (* One backward sweep, moving each definition at most once.  The chains
+     are maintained incrementally: a move only renumbers the window
+     between the definition and its first use, so only the window
+     instructions' recorded positions change — rebuilding the chains (and
+     rescanning the body) after every move made this pass quadratic on
+     the several-thousand-instruction Dslash kernels. *)
+  let ch = D.chains body in
+  let remap tbl key ~from ~to_ =
+    match Hashtbl.find_opt tbl key with
+    | None -> ()
+    | Some l ->
+        let rec go = function
+          | [] -> []
+          | x :: tl -> if x = from then to_ :: tl else x :: go tl
+        in
+        Hashtbl.replace tbl key (List.sort compare (go l))
+  in
+  let reposition instr ~from ~to_ =
+    (match D.def_of instr with
+    | Some d -> remap ch.D.def_sites (D.key d) ~from ~to_
+    | None -> ());
+    List.iter (fun r -> remap ch.D.use_sites (D.key r) ~from ~to_) (D.uses_of instr)
+  in
+  let do_move p f =
+    let instr = body.(p) in
+    for q = p + 1 to f - 1 do
+      reposition body.(q) ~from:q ~to_:(q - 1)
     done;
-    !found
+    reposition instr ~from:p ~to_:(f - 1);
+    for j = p to f - 2 do
+      body.(j) <- body.(j + 1)
+    done;
+    body.(f - 1) <- instr
   in
   let changed = ref false in
-  while try_one () do
-    changed := true
+  for i = n - 2 downto 0 do
+    if movable body.(i) then
+      let d = Option.get (D.def_of body.(i)) in
+      match D.uses_of_reg ch d with
+      | first :: _ when first > i + 1 ->
+          let barrier = ref false in
+          let is_load = match body.(i) with Ld_global _ -> true | _ -> false in
+          for j = i + 1 to first - 1 do
+            match body.(j) with
+            | Label _ | Bra _ | Call _ | Ret -> barrier := true
+            | St_global _ when is_load -> barrier := true
+            | _ -> ()
+          done;
+          (* Weight of operands the move would stretch: any input whose
+             last use apart from this instruction lies above the target
+             now has to stay live down to it.  Requiring the stretched
+             weight to stay within the sunk definition's weight makes
+             the move pointwise non-increasing in pressure: over the
+             vacated span the definition's units are gone, and the
+             stretched units never exceed them. *)
+          let cost =
+            let rec drop_one = function
+              | [] -> []
+              | x :: tl -> if x = i then tl else x :: drop_one tl
+            in
+            List.fold_left
+              (fun acc kk ->
+                let uses = Option.value ~default:[] (Hashtbl.find_opt ch.D.use_sites kk) in
+                let last_other = List.fold_left max (-1) (drop_one uses) in
+                if last_other < first - 1 then acc + D.weight (fst kk) else acc)
+              0
+              (List.sort_uniq compare (List.map D.key (D.uses_of body.(i))))
+          in
+          (* If everything in the gap already feeds the same consumer,
+             the cluster is packed: hopping over those neighbours would
+             gain nothing and two such values could swap forever. *)
+          let settled = ref true in
+          for j = i + 1 to first - 1 do
+            match D.def_of body.(j) with
+            | Some dj when not (D.is_side_effecting body.(j)) -> (
+                match D.uses_of_reg ch dj with
+                | f :: _ when f = first -> ()
+                | _ -> settled := false)
+            | _ -> settled := false
+          done;
+          if (not !barrier) && (not !settled) && cost <= D.weight d.rtype then begin
+            do_move i first;
+            changed := true
+          end
+      | _ -> ()
   done;
   if !changed then { k with body = Array.to_list body } else k
 

@@ -300,7 +300,9 @@ let test_autotuner_state () =
   Alcotest.(check int) "best block" 128 (Qdpjit.Autotune.next_block tuner)
 
 let test_autotuner_settles_in_engine () =
-  let eng = Engine.create ~mode:Gpusim.Device.Model_only () in
+  (* Eval-at-a-time launches: the deferred queue would (correctly) collapse
+     fifteen same-dest writes with no reader in between into one launch. *)
+  let eng = Engine.create ~mode:Gpusim.Device.Model_only ~fuse:false () in
   let big = Geometry.create [| 8; 8; 8; 8 |] in
   let a = Field.create fm big and b = Field.create fm big in
   for _ = 1 to 15 do

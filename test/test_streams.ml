@@ -175,6 +175,7 @@ let test_engine_records_spans () =
   Field.fill_gaussian f (Prng.create ~seed:5L);
   let out = Field.create (Shape.lattice_fermion Shape.F64) geom in
   Qdpjit.Engine.eval eng out (Expr.add (Expr.field f) (Expr.field f));
+  Qdpjit.Engine.flush eng;
   let ctx = Qdpjit.Engine.streams eng in
   Alcotest.(check bool) "spans recorded" true (Streams.span_count ctx > 0);
   let cats = List.map (fun sp -> sp.Streams.cat) (Streams.spans ctx) in
