@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""CI gates over the JSON artifacts the bench harness writes.
+
+Each subcommand validates one artifact:
+
+  check_bench.py streams    BENCH_streams.json + trace_streams.json
+  check_bench.py jitopt     BENCH_jitopt.json
+  check_bench.py fusion     BENCH_fusion.json
+  check_bench.py fusion-eo  BENCH_fusion_eo.json
+
+Exit status 0 means every gate held; any assertion failure prints the
+violated invariant and exits nonzero.  The gates are deliberately
+data-driven (no hardcoded kernel counts): they assert relations the
+runtime must preserve, not the exact workload the bench happens to run.
+"""
+
+import argparse
+import json
+import sys
+
+# PR 3 shipped the CG solve at 25.2 launches per iteration (fused groups
+# plus a radix-2 fold chain per reduction).  Reduction fusion plus the
+# radix-8 fold must land strictly below that.
+PR3_LAUNCHES_PER_ITER = 25.2
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_streams(args):
+    data = load(args.file or "BENCH_streams.json")
+    assert data["sync_ns"] > 0 and data["overlap_ns"] > 0, "non-positive timings"
+    assert data["overlap_ns"] < data["sync_ns"], (
+        "overlapped Dslash not faster than synchronous "
+        f"({data['overlap_ns']} >= {data['sync_ns']} ns)"
+    )
+    assert data["trace_bytes"] > 256, "Chrome trace suspiciously small"
+    assert data["rank0_streams_with_spans"] >= 2, "expected spans on at least two streams"
+    trace = load(data.get("trace_file", "trace_streams.json"))  # must parse as JSON
+    events = trace["traceEvents"] if isinstance(trace, dict) else trace
+    assert len(events) > 0, "Chrome trace has no events"
+    print(
+        f"streams OK: {data['sync_ns']:.0f} -> {data['overlap_ns']:.0f} ns "
+        f"({100 * data['saved_fraction']:.1f}% saved), "
+        f"{len(events)} trace events on >= {data['rank0_streams_with_spans']} streams"
+    )
+
+
+def check_jitopt(args):
+    data = load(args.file or "BENCH_jitopt.json")
+    kernels = data["kernels"]
+    assert kernels, "no kernels in BENCH_jitopt.json"
+    improved = 0
+    for k in kernels:
+        name = k["name"]
+        assert k["opt_instructions"] <= k["raw_instructions"], (
+            f"{name}: optimized instruction count exceeds raw"
+        )
+        assert k["opt_registers"] <= k["raw_registers"], (
+            f"{name}: optimized register demand exceeds raw"
+        )
+        assert k["opt_load_bytes"] <= k["raw_load_bytes"], (
+            f"{name}: optimized load bytes exceed raw"
+        )
+        if k["opt_instructions"] < k["raw_instructions"]:
+            improved += 1
+        print(
+            f"{name}: {k['raw_instructions']} -> {k['opt_instructions']} instrs, "
+            f"{k['raw_registers']} -> {k['opt_registers']} regs"
+        )
+    assert improved > 0, "middle-end improved no kernel at all"
+    print(f"jitopt OK: {improved}/{len(kernels)} kernels improved")
+
+
+def check_fusion(args):
+    data = load(args.file or "BENCH_fusion.json")
+    cg = data["cg"]
+    assert cg["bit_identical"], "fused CG solution diverged from unfused"
+    lu = cg["unfused"]["launches"]
+    lf = cg["fused"]["launches"]
+    lr = cg["fused_reduction"]["launches"]
+    assert lr < lf < lu, f"launch counts not strictly decreasing: {lu} / {lf} / {lr}"
+    assert cg["fused"]["kernel_bytes"] < cg["unfused"]["kernel_bytes"], (
+        "fusion did not reduce kernel global traffic"
+    )
+    assert cg["fused_reduction"]["kernel_bytes"] <= cg["fused"]["kernel_bytes"], (
+        "reduction fusion increased kernel global traffic"
+    )
+    per_iter = lr / cg["iterations"]
+    assert per_iter < PR3_LAUNCHES_PER_ITER, (
+        f"{per_iter:.1f} launches/iter not below the PR 3 baseline "
+        f"({PR3_LAUNCHES_PER_ITER})"
+    )
+    planner = data["planner"]
+    assert planner["fused_groups"] > 0, "planner fused no groups"
+    assert planner["fallbacks"] == 0, f"{planner['fallbacks']} fusion fallbacks"
+    print(
+        f"fusion OK: CG {cg['iterations']} iters, launches {lu} -> {lf} -> {lr} "
+        f"({per_iter:.1f}/iter, baseline {PR3_LAUNCHES_PER_ITER}), "
+        f"{planner['fused_groups']} groups, {planner['launches_saved']} launches saved"
+    )
+
+
+def check_fusion_eo(args):
+    data = load(args.file or "BENCH_fusion_eo.json")
+    eo = data["eo"]
+    assert eo["bit_identical"], "eo fused solution diverged from unfused"
+    lu = eo["unfused"]["launches"]
+    lr = eo["fused_reduction"]["launches"]
+    assert lr < lu, f"eo solve: fusion saved no launches ({lr} >= {lu})"
+    planner = data["planner"]
+    assert planner["fused_groups"] > 0, "eo solve fused no groups (cross-subset grouping broken)"
+    avg = planner["avg_members_per_fused_group"]
+    assert avg > 1.0, f"eo fused groups average {avg} members (need > 1)"
+    assert planner["fallbacks"] == 0, f"{planner['fallbacks']} fusion fallbacks"
+    print(
+        f"fusion-eo OK: {eo['iterations']} iters, launches {lu} -> {lr}, "
+        f"{planner['fused_groups']} groups at {avg:.2f} members/group"
+    )
+
+
+CHECKS = {
+    "streams": check_streams,
+    "jitopt": check_jitopt,
+    "fusion": check_fusion,
+    "fusion-eo": check_fusion_eo,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("check", choices=sorted(CHECKS))
+    parser.add_argument("file", nargs="?", help="artifact path (defaults per check)")
+    args = parser.parse_args()
+    try:
+        CHECKS[args.check](args)
+    except AssertionError as e:
+        print(f"GATE FAILED ({args.check}): {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

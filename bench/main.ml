@@ -334,8 +334,15 @@ let jit_overhead () =
 (* Middle-end: raw vs optimized Table II kernels, with a JSON artifact *)
 
 let jitopt () =
-  section "JIT middle-end: raw vs optimized Table II kernels";
+  section "JIT middle-end: raw vs optimized Table II kernels (+ dslash)";
   let geom = Geometry.create [| 4; 4; 4; 4 |] in
+  let cases =
+    let u = Lqcd.Gauge.create_links geom in
+    let fm = Shape.lattice_fermion Shape.F64 in
+    let psi = Field.create fm geom in
+    test_functions geom Shape.F64
+    @ [ ("dslash", Lqcd.Wilson.hopping_expr u psi, Field.create fm geom) ]
+  in
   let rows =
     List.map
       (fun (name, expr, dest) ->
@@ -353,7 +360,7 @@ let jitopt () =
           raw_a.Ptx.Analysis.load_bytes,
           opt_a.Ptx.Analysis.load_bytes,
           b.Qdpjit.Codegen.passes ))
-      (test_functions geom Shape.F64)
+      cases
   in
   Printf.printf "  %-8s %14s %14s %16s  passes\n" "kernel" "instructions" "regs(demand)"
     "load bytes/thr";
@@ -463,13 +470,29 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 (* Cross-eval kernel fusion: launches and global traffic of a CG solve *)
 
+let assert_bit_identical what a b =
+  if Field.volume a <> Field.volume b then failwith (what ^ ": volumes differ");
+  for site = 0 to Field.volume a - 1 do
+    let va = Field.get_site a ~site and vb = Field.get_site b ~site in
+    Array.iteri
+      (fun i v ->
+        if Int64.bits_of_float v <> Int64.bits_of_float vb.(i) then
+          failwith (what ^ ": solutions not bit-identical"))
+      va
+  done
+
+let engine_config = function
+  | `Unfused -> Qdpjit.Engine.create ~fuse:false ()
+  | `Fused -> Qdpjit.Engine.create ~fuse:true ~fuse_reductions:false ()
+  | `Fused_reduction -> Qdpjit.Engine.create ~fuse:true ~fuse_reductions:true ()
+
 let fusion_bench () =
   section "Kernel fusion: Wilson CG, deferred queue + body splicing vs eval-at-a-time";
   let geom = Geometry.create [| 4; 4; 4; 2 |] in
   let shape = Shape.lattice_fermion Shape.F64 in
   let kappa = 0.115 in
-  let run fuse =
-    let eng = Qdpjit.Engine.create ~fuse () in
+  let run config =
+    let eng = engine_config config in
     let ops = Solvers.Ops.jit eng shape geom in
     let u = Lqcd.Gauge.create_links geom in
     Lqcd.Gauge.random_gauge ~epsilon:0.3 u (Prng.create ~seed:31L);
@@ -485,51 +508,106 @@ let fusion_bench () =
     let bytes = Qdpjit.Engine.kernel_bytes_moved eng in
     (r, x, launches, bytes, wall, Qdpjit.Engine.fusion_stats eng)
   in
-  let rf, xf, lf, bf, wf, sf = run true in
-  let ru, xu, lu, bu, wu, _ = run false in
-  if not (rf.Solvers.Cg.converged && ru.Solvers.Cg.converged) then failwith "fusion: CG diverged";
-  if rf.Solvers.Cg.iterations <> ru.Solvers.Cg.iterations then
-    failwith "fusion: iteration counts differ";
-  for site = 0 to Field.volume xf - 1 do
-    let a = Field.get_site xf ~site and b = Field.get_site xu ~site in
-    Array.iteri
-      (fun i v ->
-        if Int64.bits_of_float v <> Int64.bits_of_float b.(i) then
-          failwith "fusion: solutions not bit-identical")
-      a
-  done;
+  let rr, xr, lr, br, wr, sr = run `Fused_reduction in
+  let rf, xf, lf, bf, wf, _ = run `Fused in
+  let ru, xu, lu, bu, wu, _ = run `Unfused in
+  if not (rr.Solvers.Cg.converged && rf.Solvers.Cg.converged && ru.Solvers.Cg.converged) then
+    failwith "fusion: CG diverged";
+  if rr.Solvers.Cg.iterations <> ru.Solvers.Cg.iterations
+     || rf.Solvers.Cg.iterations <> ru.Solvers.Cg.iterations
+  then failwith "fusion: iteration counts differ";
+  assert_bit_identical "fusion(fused)" xf xu;
+  assert_bit_identical "fusion(fused_reduction)" xr xu;
   if lf >= lu then failwith "fusion: no launch reduction";
+  if lr >= lf then failwith "fusion: reduction fusion saved no launches";
   if bf >= bu then failwith "fusion: no global-traffic reduction";
-  let iters = float_of_int rf.Solvers.Cg.iterations in
-  Printf.printf "  Wilson CG %s, %d iterations, solutions bit-identical\n"
+  if br > bf then failwith "fusion: reduction fusion increased global traffic";
+  let iters = float_of_int rr.Solvers.Cg.iterations in
+  Printf.printf "  Wilson CG %s, %d iterations, solutions bit-identical across all 3 configs\n"
     (String.concat "x" (Array.to_list (Array.map string_of_int (Geometry.dims geom))))
-    rf.Solvers.Cg.iterations;
-  Printf.printf "  %-14s %10s %16s %12s\n" "" "launches" "kernel bytes" "wall s";
-  Printf.printf "  %-14s %10d %16d %12.2f\n" "eval-at-a-time" lu bu wu;
-  Printf.printf "  %-14s %10d %16d %12.2f\n" "fused" lf bf wf;
-  Printf.printf "  per CG iteration: %.1f -> %.1f launches, %.0f -> %.0f kB moved\n"
-    (float_of_int lu /. iters) (float_of_int lf /. iters)
-    (float_of_int bu /. iters /. 1e3)
-    (float_of_int bf /. iters /. 1e3);
+    rr.Solvers.Cg.iterations;
+  Printf.printf "  %-16s %10s %12s %16s %12s\n" "" "launches" "launch/iter" "kernel bytes" "wall s";
+  Printf.printf "  %-16s %10d %12.1f %16d %12.2f\n" "eval-at-a-time" lu
+    (float_of_int lu /. iters) bu wu;
+  Printf.printf "  %-16s %10d %12.1f %16d %12.2f\n" "fused" lf (float_of_int lf /. iters) bf wf;
+  Printf.printf "  %-16s %10d %12.1f %16d %12.2f\n" "fused+reduction" lr
+    (float_of_int lr /. iters) br wr;
   Printf.printf
     "  planner: %d groups fused, %d launches saved, %d load B + %d store B eliminated, %d fallbacks\n"
-    sf.Qdpjit.Engine.fused_groups sf.Qdpjit.Engine.launches_saved
-    sf.Qdpjit.Engine.eliminated_load_bytes sf.Qdpjit.Engine.eliminated_store_bytes
-    sf.Qdpjit.Engine.fallbacks;
+    sr.Qdpjit.Engine.fused_groups sr.Qdpjit.Engine.launches_saved
+    sr.Qdpjit.Engine.eliminated_load_bytes sr.Qdpjit.Engine.eliminated_store_bytes
+    sr.Qdpjit.Engine.fallbacks;
   let oc = open_out "BENCH_fusion.json" in
   Printf.fprintf oc
     "{\n\
     \  \"cg\": {\"iterations\": %d, \"bit_identical\": true,\n\
     \    \"unfused\": {\"launches\": %d, \"kernel_bytes\": %d, \"wall_s\": %.3f},\n\
-    \    \"fused\": {\"launches\": %d, \"kernel_bytes\": %d, \"wall_s\": %.3f}},\n\
+    \    \"fused\": {\"launches\": %d, \"kernel_bytes\": %d, \"wall_s\": %.3f},\n\
+    \    \"fused_reduction\": {\"launches\": %d, \"kernel_bytes\": %d, \"wall_s\": %.3f}},\n\
     \  \"planner\": {\"fused_groups\": %d, \"launches_saved\": %d,\n\
     \    \"eliminated_load_bytes\": %d, \"eliminated_store_bytes\": %d, \"fallbacks\": %d}\n\
      }\n"
-    rf.Solvers.Cg.iterations lu bu wu lf bf wf sf.Qdpjit.Engine.fused_groups
-    sf.Qdpjit.Engine.launches_saved sf.Qdpjit.Engine.eliminated_load_bytes
-    sf.Qdpjit.Engine.eliminated_store_bytes sf.Qdpjit.Engine.fallbacks;
+    rr.Solvers.Cg.iterations lu bu wu lf bf wf lr br wr sr.Qdpjit.Engine.fused_groups
+    sr.Qdpjit.Engine.launches_saved sr.Qdpjit.Engine.eliminated_load_bytes
+    sr.Qdpjit.Engine.eliminated_store_bytes sr.Qdpjit.Engine.fallbacks;
   close_out oc;
   Printf.printf "  wrote BENCH_fusion.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Cross-subset fusion: the even-odd preconditioned solve interleaves
+   even and odd assignments; grouping per (subset, geometry) run keeps
+   those fusing inside their own checkerboard. *)
+
+let fusion_eo_bench () =
+  section "Kernel fusion (--eo): even-odd Wilson solve, cross-subset grouping";
+  let geom = Geometry.create [| 4; 4; 4; 2 |] in
+  let shape = Shape.lattice_fermion Shape.F64 in
+  let kappa = 0.115 in
+  let run config =
+    let eng = engine_config config in
+    let ops = Solvers.Ops.jit eng shape geom in
+    let u = Lqcd.Gauge.create_links geom in
+    Lqcd.Gauge.random_gauge ~epsilon:0.3 u (Prng.create ~seed:41L);
+    let b = Field.create shape geom in
+    Field.fill_gaussian b (Prng.create ~seed:42L);
+    let x = Field.create shape geom in
+    let r = Solvers.Eo_wilson.solve ops ~kappa u ~b ~x ~tol:1e-8 () in
+    ignore (Qdpjit.Engine.synchronize eng);
+    let launches = (Gpusim.Device.stats (Qdpjit.Engine.device eng)).Gpusim.Device.launches in
+    (r, x, launches, Qdpjit.Engine.fusion_stats eng)
+  in
+  let rr, xr, lr, sr = run `Fused_reduction in
+  let ru, xu, lu, _ = run `Unfused in
+  if not (rr.Solvers.Eo_wilson.converged && ru.Solvers.Eo_wilson.converged) then
+    failwith "fusion-eo: solve diverged";
+  if rr.Solvers.Eo_wilson.iterations <> ru.Solvers.Eo_wilson.iterations then
+    failwith "fusion-eo: iteration counts differ";
+  assert_bit_identical "fusion-eo" xr xu;
+  if lr >= lu then failwith "fusion-eo: no launch reduction";
+  let groups = sr.Qdpjit.Engine.fused_groups and saved = sr.Qdpjit.Engine.launches_saved in
+  if groups = 0 then failwith "fusion-eo: no fused groups in the checkerboarded solve";
+  let avg_members = float_of_int (groups + saved) /. float_of_int groups in
+  if avg_members <= 1.0 then failwith "fusion-eo: fused groups have a single member";
+  Printf.printf
+    "  eo Wilson solve %s: %d CG iterations on the even checkerboard, bit-identical\n"
+    (String.concat "x" (Array.to_list (Array.map string_of_int (Geometry.dims geom))))
+    rr.Solvers.Eo_wilson.iterations;
+  Printf.printf "  launches: eval-at-a-time %d, fused+reduction %d\n" lu lr;
+  Printf.printf "  planner: %d fused groups, %d launches saved, %.2f members/group\n" groups
+    saved avg_members;
+  let oc = open_out "BENCH_fusion_eo.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"eo\": {\"iterations\": %d, \"bit_identical\": true,\n\
+    \    \"unfused\": {\"launches\": %d},\n\
+    \    \"fused_reduction\": {\"launches\": %d}},\n\
+    \  \"planner\": {\"fused_groups\": %d, \"launches_saved\": %d,\n\
+    \    \"avg_members_per_fused_group\": %.4f, \"fallbacks\": %d}\n\
+     }\n"
+    rr.Solvers.Eo_wilson.iterations lu lr groups saved avg_members
+    sr.Qdpjit.Engine.fallbacks;
+  close_out oc;
+  Printf.printf "  wrote BENCH_fusion_eo.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the real pipeline *)
@@ -593,20 +671,30 @@ let sections =
     ("autotune", autotune);
     ("ablation", ablation);
     ("fusion", fusion_bench);
+    ("fusion-eo", fusion_eo_bench);
     ("micro", micro);
   ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let to_run =
-    match args with
-    | [] -> sections
-    | names -> List.filter (fun (n, _) -> List.mem n names) sections
+  (* [fusion --eo] is sugar for the fusion-eo section. *)
+  let names =
+    if List.mem "--eo" args then
+      List.map (fun a -> if a = "fusion" then "fusion-eo" else a) args
+      |> List.filter (fun a -> a <> "--eo")
+    else args
   in
-  if to_run = [] then begin
-    Printf.printf "unknown section; available: %s\n" (String.concat " " (List.map fst sections));
+  let unknown = List.filter (fun n -> not (List.mem_assoc n sections)) names in
+  if unknown <> [] then begin
+    Printf.printf "unknown section(s): %s; available: %s\n" (String.concat " " unknown)
+      (String.concat " " (List.map fst sections));
     exit 1
   end;
+  let to_run =
+    match names with
+    | [] -> List.filter (fun (n, _) -> n <> "fusion-eo") sections
+    | names -> List.filter (fun (n, _) -> List.mem n names) sections
+  in
   List.iter (fun (_, f) -> f ()) to_run;
   Printf.printf "\nAll requested benchmark sections completed.\n"
 

@@ -25,6 +25,9 @@ type param_plan =
   | Ntable of int * int  (** neighbour table for (dim, dir) *)
   | Sitelist  (** site-list buffer (subset kernels) *)
   | N_work  (** number of threads doing real work *)
+  | Block_partial
+      (** per-block partial-sum buffer (reduction kernels only): one plane
+          of ceil(n/8) doubles per destination component *)
   | Scalar_param of int * int
       (** component [comp] of the nth runtime scalar leaf, in expression
           traversal order *)
@@ -53,7 +56,8 @@ let byte_address e base site_reg ~scale =
   Emitter.emit e (Add { dtype = U64; dst = addr; a = Reg base; b = Reg u64 });
   addr
 
-let build ?(optimize = true) ~kname ~dest_shape ~(expr : Expr.t) ~nsites ~use_sitelist () =
+let build ?(optimize = true) ?(reduction = false) ~kname ~dest_shape ~(expr : Expr.t) ~nsites
+    ~use_sitelist () =
   let e = Emitter.create ~kname in
   let leaves = Expr.leaves expr in
   let slot_of_field =
@@ -69,6 +73,7 @@ let build ?(optimize = true) ~kname ~dest_shape ~(expr : Expr.t) ~nsites ~use_si
     @ List.map (fun (dim, dir) -> Ntable (dim, dir)) shift_dirs
     @ (if use_sitelist then [ Sitelist ] else [])
     @ [ N_work ]
+    @ (if reduction then [ Block_partial ] else [])
     @ List.concat
         (List.mapi
            (fun slot (shape, _) ->
@@ -85,6 +90,7 @@ let build ?(optimize = true) ~kname ~dest_shape ~(expr : Expr.t) ~nsites ~use_si
           | Ntable (dim, dir) -> (U64, Printf.sprintf "ntab%d%s" dim (if dir > 0 then "p" else "m"))
           | Sitelist -> (U64, "sitelist")
           | N_work -> (S32, "n_work")
+          | Block_partial -> (U64, "blockpart")
           | Scalar_param (slot, comp) ->
               let shape, _ = List.nth scalar_params slot in
               (prec_dtype shape.Shape.prec, Printf.sprintf "scalar%d_%d" slot comp)
@@ -211,17 +217,107 @@ let build ?(optimize = true) ~kname ~dest_shape ~(expr : Expr.t) ~nsites ~use_si
            Sec. III-D). *)
         let prec = dest_shape.Shape.prec in
         let base = preg Dest in
-        let addr = field_address ~base ~prec site0 in
+        (* Reduction kernels write compact work-item-indexed planes: partial
+           [idx] rather than partial[site].  The in-kernel aggregation tail
+           and the fold chain then never depend on the subset's site
+           numbering, only on the work-item count. *)
+        let dest_site = if reduction then idx else site0 in
+        let addr = field_address ~base ~prec dest_site in
         let ic = Shape.color_extent dest_shape.Shape.color in
         let dof = Shape.dof dest_shape in
-        for lin = 0 to dof - 1 do
+        let plane lin =
           let s, c, r = Index.component_of_linear dest_shape lin in
-          let word = ((((r * ic) + c) * Shape.spin_extent dest_shape.Shape.spin) + s) * nsites in
+          (((r * ic) + c) * Shape.spin_extent dest_shape.Shape.spin) + s
+        in
+        for lin = 0 to dof - 1 do
+          let word = plane lin * nsites in
           let src = Jit_scalar.operand (prec_dtype prec) value.JSite.data.(lin) in
           Emitter.emit e
             (St_global
                { dtype = prec_dtype prec; addr; offset = word * elem_bytes prec; src })
         done;
+        if reduction then begin
+          (* In-kernel block aggregation: the last thread of each group of 8
+             work items (or the final thread of a short tail) re-reads the 8
+             just-written partials and stores their balanced-tree sum into
+             the per-block buffer.  The VM executes threads sequentially in
+             increasing idx order, so the group's stores are visible; the
+             radix is fixed at 8 regardless of launch block size, keeping
+             the value independent of the autotuner's choice. *)
+          let dt = prec_dtype prec in
+          let eb = elem_bytes prec in
+          let bstride = (nsites + 7) / 8 in
+          let nwork = preg N_work in
+          let blk = Emitter.fresh e S32 in
+          Emitter.emit e (Div { dtype = S32; dst = blk; a = Reg idx; b = Imm_int 8 });
+          let base8 = Emitter.fresh e S32 in
+          Emitter.emit e (Mul { dtype = S32; dst = base8; a = Reg blk; b = Imm_int 8 });
+          let rem = Emitter.fresh e S32 in
+          Emitter.emit e (Sub { dtype = S32; dst = rem; a = Reg idx; b = Reg base8 });
+          let agg_label = Emitter.fresh_label e "AGG" in
+          let p7 = Emitter.fresh e Pred in
+          Emitter.emit e (Setp { cmp = Eq; dtype = S32; dst = p7; a = Reg rem; b = Imm_int 7 });
+          Emitter.emit e (Bra { label = agg_label; pred = Some p7 });
+          let nwm1 = Emitter.fresh e S32 in
+          Emitter.emit e (Sub { dtype = S32; dst = nwm1; a = Reg nwork; b = Imm_int 1 });
+          let plast = Emitter.fresh e Pred in
+          Emitter.emit e (Setp { cmp = Eq; dtype = S32; dst = plast; a = Reg idx; b = Reg nwm1 });
+          Emitter.emit e (Bra { label = agg_label; pred = Some plast });
+          Emitter.emit e (Bra { label = exit_label; pred = None });
+          Emitter.emit e (Label agg_label);
+          (* Address chains and bounds predicates hoisted unconditionally so
+             every CFG path defines them; only the loads are guarded. *)
+          let baddr = byte_address e (preg Block_partial) blk ~scale:eb in
+          let elems =
+            Array.init 8 (fun j ->
+                let ij =
+                  if j = 0 then base8
+                  else begin
+                    let r = Emitter.fresh e S32 in
+                    Emitter.emit e (Add { dtype = S32; dst = r; a = Reg base8; b = Imm_int j });
+                    r
+                  end
+                in
+                let eaddr = byte_address e base ij ~scale:eb in
+                let oob = Emitter.fresh e Pred in
+                Emitter.emit e
+                  (Setp { cmp = Ge; dtype = S32; dst = oob; a = Reg ij; b = Reg nwork });
+                (eaddr, oob))
+          in
+          for lin = 0 to dof - 1 do
+            let word = plane lin * nsites in
+            let xs =
+              Array.map
+                (fun (eaddr, oob) ->
+                  (* Guarded load: x = in-bounds ? partial[i] : 0.  The Mov
+                     marks x multi-def, which provenance reports to CSE. *)
+                  let x = Emitter.fresh e dt in
+                  Emitter.emit e (Mov { dst = x; src = Imm_float 0.0 });
+                  let skip = Emitter.fresh_label e "PAD" in
+                  Emitter.emit e (Bra { label = skip; pred = Some oob });
+                  Emitter.emit e
+                    (Ld_global { dtype = dt; dst = x; addr = eaddr; offset = word * eb });
+                  Emitter.emit e (Label skip);
+                  x)
+                elems
+            in
+            let add a b =
+              let d = Emitter.fresh e dt in
+              Emitter.emit e (Add { dtype = dt; dst = d; a = Reg a; b = Reg b });
+              d
+            in
+            (* Balanced tree, matching the radix-8 fold kernel exactly. *)
+            let s01 = add xs.(0) xs.(1)
+            and s23 = add xs.(2) xs.(3)
+            and s45 = add xs.(4) xs.(5)
+            and s67 = add xs.(6) xs.(7) in
+            let q0 = add s01 s23 and q1 = add s45 s67 in
+            let total = add q0 q1 in
+            Emitter.emit e
+              (St_global
+                 { dtype = dt; addr = baddr; offset = plane lin * bstride * eb; src = Reg total })
+          done
+        end;
         Emitter.emit e (Label exit_label);
         Emitter.emit e Ret;
         Emitter.finish e)

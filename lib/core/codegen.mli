@@ -21,6 +21,9 @@ type param_plan =
   | Ntable of int * int  (** neighbour table for (dim, dir) *)
   | Sitelist  (** site-list buffer (subset kernels) *)
   | N_work  (** number of threads doing real work *)
+  | Block_partial
+      (** per-block partial-sum buffer (reduction kernels only): for each
+          destination component, a plane of ceil(n_work/8) elements *)
   | Scalar_param of int * int
       (** component [comp] of the nth runtime scalar leaf *)
 
@@ -35,6 +38,7 @@ type built = {
 
 val build :
   ?optimize:bool ->
+  ?reduction:bool ->
   kname:string ->
   dest_shape:Shape.t ->
   expr:Qdp.Expr.t ->
@@ -46,4 +50,13 @@ val build :
     sites.  [use_sitelist] selects the subset variant (site index loaded
     from a buffer instead of the thread index).  [optimize] (default on)
     runs the {!Ptx.Passes} middle-end on the emitted stream; [raw] always
-    holds the unoptimized kernel for comparison. *)
+    holds the unoptimized kernel for comparison.
+
+    [reduction] (default off) builds the payload kernel of a reduction:
+    destination stores are addressed by the compact work-item index
+    instead of the site index, and the kernel grows a {!Block_partial}
+    parameter plus an aggregation tail — the last thread of each group of
+    8 work items re-reads the group's partials and stores their
+    balanced-tree sum, cutting the host-side fold chain to radix 8.
+    Sound on the simulator because threads run sequentially in increasing
+    index order. *)

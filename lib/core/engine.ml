@@ -79,6 +79,10 @@ type pending = {
   p_geom : Geometry.t;
   p_reads : (int, read_info) Hashtbl.t;
   p_retained : Field.t list;  (** memcache references taken at enqueue *)
+  p_red : bool;
+      (** reduction payload: the kernel is built in reduction mode
+          (compact destination planes + block-partial aggregation) and
+          binds the engine's block scratch buffer *)
 }
 
 (* Launch-time binding of one fused parameter slot; field identities are
@@ -90,6 +94,7 @@ type fused_binding =
   | FB_sitelist
   | FB_nwork
   | FB_scalar of int * int * int  (** member, scalar slot, component *)
+  | FB_red_block  (** the engine's block-partial scratch buffer *)
 
 type fused_entry = {
   f_entry : kernel_entry;
@@ -110,6 +115,9 @@ type t = {
   sitelists : (string, Buffer_.t) Hashtbl.t;
   optimize : bool;  (** run the {!Ptx.Passes} middle-end before the driver JIT *)
   fuse : bool;  (** defer default-stream evals and fuse at flush points *)
+  fuse_reductions : bool;
+      (** let a reduction payload join the trailing fused group instead of
+          always launching it standalone *)
   mutable pending_rev : pending list;  (** deferred evals, newest first *)
   mutable pending_n : int;
   mutable in_flush : bool;
@@ -122,6 +130,10 @@ type t = {
   mutable reduce_scratch : (Buffer_.t * Buffer_.t) option;
       (** cached ping/pong buffers for {!reduce_plane} *)
   mutable reduce_scratch_cap : int;
+  mutable red_block : Buffer_.t option;
+      (** block-partial scratch the reduction-mode payload kernels write:
+          one plane of ceil(nsites/8) doubles per destination component *)
+  mutable red_block_cap : int;
   mutable stats_rev : jit_stats list;
   mutable fs_deferred : int;
   mutable fs_flushes : int;
@@ -242,11 +254,12 @@ let entry_of_built t built compiled =
     bytes_per_thread = a.Ptx.Analysis.load_bytes + a.Ptx.Analysis.store_bytes;
   }
 
-let compile_entry t ~dest_shape ~expr ~nsites ~use_sitelist =
+let compile_entry t ~reduction ~dest_shape ~expr ~nsites ~use_sitelist =
   t.kernel_serial <- t.kernel_serial + 1;
   let kname = Printf.sprintf "qdpjit_kernel_%d" t.kernel_serial in
   let built =
-    Codegen.build ~optimize:t.optimize ~kname ~dest_shape ~expr ~nsites ~use_sitelist ()
+    Codegen.build ~optimize:t.optimize ~reduction ~kname ~dest_shape ~expr ~nsites ~use_sitelist
+      ()
   in
   (* Definite-assignment check on the real CFG — the middle-end moves
      code, so the textual rule alone is no longer the whole story. *)
@@ -257,32 +270,33 @@ let compile_entry t ~dest_shape ~expr ~nsites ~use_sitelist =
   t.jit_seconds <- t.jit_seconds +. compiled.Jit.compile_time;
   entry_of_built t built compiled
 
-let eval_key ~dest_shape ~expr ~nsites ~use_sitelist =
-  Printf.sprintf "%s|v%d|%s"
+let eval_key ~reduction ~dest_shape ~expr ~nsites ~use_sitelist =
+  Printf.sprintf "%s|v%d|%s%s"
     (Expr.structure_key ~dest_shape expr)
     nsites
     (if use_sitelist then "list" else "all")
+    (if reduction then "|red" else "")
 
-let lookup_kernel t ~dest_shape ~expr ~nsites ~use_sitelist =
-  let key = eval_key ~dest_shape ~expr ~nsites ~use_sitelist in
+let lookup_kernel t ~reduction ~dest_shape ~expr ~nsites ~use_sitelist =
+  let key = eval_key ~reduction ~dest_shape ~expr ~nsites ~use_sitelist in
   match Hashtbl.find_opt t.kernels key with
   | Some e -> e
   | None ->
-      let entry = compile_entry t ~dest_shape ~expr ~nsites ~use_sitelist in
+      let entry = compile_entry t ~reduction ~dest_shape ~expr ~nsites ~use_sitelist in
       Hashtbl.replace t.kernels key entry;
       entry
 
 (* The unoptimized per-eval kernel, kept as fusion source material: the
    splicer needs the emitter's canonical instruction order, which the
    middle-end (sink in particular) does not preserve. *)
-let raw_built t ~dest_shape ~expr ~nsites ~use_sitelist =
-  let key = eval_key ~dest_shape ~expr ~nsites ~use_sitelist in
+let raw_built t ~reduction ~dest_shape ~expr ~nsites ~use_sitelist =
+  let key = eval_key ~reduction ~dest_shape ~expr ~nsites ~use_sitelist in
   match Hashtbl.find_opt t.raw_builts key with
   | Some b -> b
   | None ->
       let b =
-        Codegen.build ~optimize:false ~kname:"qdpjit_member" ~dest_shape ~expr ~nsites
-          ~use_sitelist ()
+        Codegen.build ~optimize:false ~reduction ~kname:"qdpjit_member" ~dest_shape ~expr
+          ~nsites ~use_sitelist ()
       in
       Hashtbl.replace t.raw_builts key b;
       b
@@ -305,13 +319,33 @@ let tuned_launch t entry ~stream ~nthreads ~params =
     attempt ()
   end
 
+(* The block-partial scratch buffer, grown on demand.  Reductions are
+   synchronous (payload launch, then folds, then readback), so one engine
+   buffer serves every reduction and is never live across two. *)
+let red_block_scratch t ~cap =
+  match t.red_block with
+  | Some b when t.red_block_cap >= cap -> b
+  | prev ->
+      (match prev with Some b -> Device.free t.device b | None -> ());
+      t.red_block <- None;
+      t.red_block_cap <- 0;
+      let b = Device.alloc_f64 t.device cap in
+      t.red_block <- Some b;
+      t.red_block_cap <- cap;
+      b
+
+let red_block_buf t =
+  match t.red_block with
+  | Some b -> b
+  | None -> invalid_arg "Engine: reduction kernel launched with no block scratch"
+
 (* One eval, launched immediately (the pre-queue semantics): make every
    referenced field resident, bind the parameter plan, launch. *)
-let launch_eval ?(subset = Subset.All) ~stream ~sync t dest expr =
+let launch_eval ?(subset = Subset.All) ?(reduction = false) ~stream ~sync t dest expr =
   let geom = dest.Field.geom in
   let nsites = Geometry.volume geom in
   let use_sitelist = not (Subset.is_all subset) in
-  let entry = lookup_kernel t ~dest_shape:dest.Field.shape ~expr ~nsites ~use_sitelist in
+  let entry = lookup_kernel t ~reduction ~dest_shape:dest.Field.shape ~expr ~nsites ~use_sitelist in
   let leaves = Expr.leaves expr in
   (* Make everything resident before binding addresses (Sec. IV); the
      launch stream waits on any upload still in flight on the transfer
@@ -337,6 +371,7 @@ let launch_eval ?(subset = Subset.All) ~stream ~sync t dest expr =
         | Codegen.Ntable (dim, dir) -> Gpusim.Vm.Ptr (ntable t geom ~dim ~dir)
         | Codegen.Sitelist -> Gpusim.Vm.Ptr (sitelist t geom subset)
         | Codegen.N_work -> Gpusim.Vm.Int n_work
+        | Codegen.Block_partial -> Gpusim.Vm.Ptr (red_block_buf t)
         | Codegen.Scalar_param (slot, comp) -> Gpusim.Vm.Float scalar_values.(slot).(comp))
       entry.built.Codegen.plan
     |> Array.of_list
@@ -384,20 +419,34 @@ let reads_of expr =
 let reads_shifted (ev : pending) fid =
   match Hashtbl.find_opt ev.p_reads fid with Some r -> r.r_shifted | None -> false
 
-(* Greedy in-order grouping.  A group is a set of consecutive evals that
-   one fused kernel executes; a candidate joins unless it would
+(* Two pending evals belong to the same launch run iff they agree on the
+   lattice geometry and the subset: one fused kernel has one site space.
+   Subsets compare structurally (Even/Odd tags; Custom by site array). *)
+let same_run (a : pending) (b : pending) =
+  geom_tag a.p_geom = geom_tag b.p_geom && a.p_subset = b.p_subset
+
+(* Greedy in-order grouping.  A group is a run of consecutive evals on
+   one (subset, geometry) that one fused kernel executes; a candidate
+   joins unless it would
+   - belong to a different (subset, geometry) run — the queue no longer
+     flushes on such a change, but a fused kernel has one site space, so
+     the change closes the group (later same-subset evals start a fresh
+     group; program order is never reordered),
    - re-write a field the group already writes (WAW: the group has one
      writer per field, and the overwrite order must survive),
    - read a group-written field through a shift (RAW-shifted: neighbour
-     sites of the intermediate would be observed mid-update), or
+     sites of the intermediate would be observed mid-update),
    - have its destination already read through a shift by a member
      (WAR-shifted: earlier threads of the fused sweep would clobber
-     neighbour sites the member still needs).
+     neighbour sites the member still needs), or
+   - follow a reduction payload (the splicer requires the reduction body
+     to be the group's tail).
    Same-site dependences fuse: an unshifted RAW becomes a register
    substitution (f64) or an in-thread store→load (f32); an unshifted WAR
    is ordered within each thread.  Groups launch in program order on the
-   in-order default stream, so cross-group hazards resolve through global
-   memory exactly as the unfused schedule did. *)
+   in-order default stream, so cross-group hazards — including every
+   cross-subset dependence — resolve through global memory exactly as
+   the unfused schedule did. *)
 let plan_groups (evs : pending array) =
   let n = Array.length evs in
   let groups_rev = ref [] and cur = ref [] and cur_n = ref 0 in
@@ -412,10 +461,12 @@ let plan_groups (evs : pending array) =
     let ev = evs.(i) in
     let hazard =
       !cur_n >= max_group
+      || (match !cur with [] -> false | j :: _ -> not (same_run evs.(j) ev))
       || List.exists
            (fun j ->
              let w = evs.(j).p_dest.Field.id in
-             w = ev.p_dest.Field.id
+             evs.(j).p_red
+             || w = ev.p_dest.Field.id
              || reads_shifted ev w
              || reads_shifted evs.(j) ev.p_dest.Field.id)
            !cur
@@ -428,11 +479,16 @@ let plan_groups (evs : pending array) =
   List.rev !groups_rev
 
 (* Dead-store analysis over one flush: eval [i]'s stores to its
-   destination T are droppable iff a later eval [j] of the same flush
-   rewrites T and every eval in between (j included) either does not read
-   T or reads it only through register substitution inside [i]'s own
-   group.  The flush is subset-homogeneous, so [j] rewrites exactly the
-   sites [i] would have written.
+   destination T are droppable iff a later eval [j] of the same flush and
+   the same (subset, geometry) run kind rewrites T and every eval in
+   between (j included) either does not read T or reads it only through
+   register substitution inside [i]'s own group.  The same-run
+   requirement replaces the old subset-homogeneous-flush assumption: it
+   is what guarantees [j] rewrites exactly the sites [i] would have
+   written.  A mixed-subset intervening reader always keeps the store
+   (it sits in another group, which the group test below already
+   rejects).  Reduction payloads never drop: the in-kernel block
+   aggregation re-reads the partial stores through global memory.
 
    An eval that reads its own destination through a shift (an in-place
    [p = shift p]) keeps its store: threads sweep sites in order and the
@@ -455,7 +511,7 @@ let plan_drops (evs : pending array) group_of =
          end
        done
      with Exit -> ());
-    if !j >= 0 && not self_shift then begin
+    if !j >= 0 && not self_shift && (not evs.(i).p_red) && same_run evs.(i) evs.(!j) then begin
       let ok = ref true in
       for k = i + 1 to !j do
         if Hashtbl.mem evs.(k).p_reads dest_id then
@@ -475,7 +531,8 @@ let launch_fused t ~geom ~subset ~nsites ~use_sitelist (members : pending array)
   let builts =
     Array.map
       (fun m ->
-        raw_built t ~dest_shape:m.p_dest.Field.shape ~expr:m.p_expr ~nsites ~use_sitelist)
+        raw_built t ~reduction:m.p_red ~dest_shape:m.p_dest.Field.shape ~expr:m.p_expr ~nsites
+          ~use_sitelist)
       members
   in
   (* Canonical distinct-field walk: members' [dest; leaves...] in order.
@@ -517,6 +574,7 @@ let launch_fused t ~geom ~subset ~nsites ~use_sitelist (members : pending array)
                | Codegen.Ntable (dim, dir) -> slot_of (FB_ntable (dim, dir))
                | Codegen.Sitelist -> slot_of FB_sitelist
                | Codegen.N_work -> slot_of FB_nwork
+               | Codegen.Block_partial -> slot_of FB_red_block
                | Codegen.Scalar_param (slot, comp) -> slot_of (FB_scalar (mi, slot, comp)))
         |> Array.of_list)
       members
@@ -561,7 +619,8 @@ let launch_fused t ~geom ~subset ~nsites ~use_sitelist (members : pending array)
         List.iter
           (fun (s, p) -> Buffer.add_string b (Printf.sprintf "%d:%d," s p))
           subst.(mi);
-        Buffer.add_string b (if dropm.(mi) then "#d1" else "#d0"))
+        Buffer.add_string b (if dropm.(mi) then "#d1" else "#d0");
+        if m.p_red then Buffer.add_string b "#R")
       members;
     Buffer.contents b
   in
@@ -577,6 +636,7 @@ let launch_fused t ~geom ~subset ~nsites ~use_sitelist (members : pending array)
                 use_sitelist;
                 subst_from = subst.(mi);
                 drop_stores = dropm.(mi);
+                reduction = members.(mi).p_red;
               })
         in
         t.kernel_serial <- t.kernel_serial + 1;
@@ -662,6 +722,7 @@ let launch_fused t ~geom ~subset ~nsites ~use_sitelist (members : pending array)
         | FB_ntable (dim, dir) -> Gpusim.Vm.Ptr (ntable t geom ~dim ~dir)
         | FB_sitelist -> Gpusim.Vm.Ptr (sitelist t geom subset)
         | FB_nwork -> Gpusim.Vm.Int n_work
+        | FB_red_block -> Gpusim.Vm.Ptr (red_block_buf t)
         | FB_scalar (mi, slot, comp) -> Gpusim.Vm.Float scalars.(mi).(slot).(comp))
       fe.f_plan
   in
@@ -680,7 +741,9 @@ let launch_group t ~geom ~subset ~nsites ~use_sitelist (evs : pending array)
   let s0 = Streams.default_stream t.streams in
   let serial () =
     Array.iter
-      (fun i -> launch_eval ~subset ~stream:s0 ~sync:false t evs.(i).p_dest evs.(i).p_expr)
+      (fun i ->
+        launch_eval ~subset ~reduction:evs.(i).p_red ~stream:s0 ~sync:false t evs.(i).p_dest
+          evs.(i).p_expr)
       g
   in
   if Array.length g = 1 then begin
@@ -689,8 +752,8 @@ let launch_group t ~geom ~subset ~nsites ~use_sitelist (evs : pending array)
       (* The whole launch is dead: a later eval of this flush rewrites the
          destination before anything reads it. *)
       let b =
-        raw_built t ~dest_shape:evs.(i).p_dest.Field.shape ~expr:evs.(i).p_expr ~nsites
-          ~use_sitelist
+        raw_built t ~reduction:false ~dest_shape:evs.(i).p_dest.Field.shape
+          ~expr:evs.(i).p_expr ~nsites ~use_sitelist
       in
       let a = Ptx.Analysis.kernel b.Codegen.raw in
       let n_work = if use_sitelist then Subset.count geom subset else nsites in
@@ -698,7 +761,9 @@ let launch_group t ~geom ~subset ~nsites ~use_sitelist (evs : pending array)
       t.fs_elim_load <- t.fs_elim_load + (a.Ptx.Analysis.load_bytes * n_work);
       t.fs_elim_store <- t.fs_elim_store + (a.Ptx.Analysis.store_bytes * n_work)
     end
-    else launch_eval ~subset ~stream:s0 ~sync:false t evs.(i).p_dest evs.(i).p_expr
+    else
+      launch_eval ~subset ~reduction:evs.(i).p_red ~stream:s0 ~sync:false t evs.(i).p_dest
+        evs.(i).p_expr
   end
   else
     let dropm = Array.map (fun i -> drop.(i)) g in
@@ -727,19 +792,26 @@ let flush t =
            each launch pins its own fields, and anything spilled between
            groups round-trips through its (hook-guarded) host copy. *)
         Array.iter (fun ev -> List.iter (Memcache.release t.cache) ev.p_retained) evs;
-        let geom = evs.(0).p_geom and subset = evs.(0).p_subset in
-        let nsites = Geometry.volume geom in
-        let use_sitelist = not (Subset.is_all subset) in
+        (* The queue is no longer (subset, geometry)-homogeneous: each
+           group carries its own site space, taken from its first member
+           (grouping guarantees run homogeneity within a group). *)
         let groups = plan_groups evs in
         let group_of = Array.make (Array.length evs) (-1) in
         List.iteri (fun gi g -> Array.iter (fun i -> group_of.(i) <- gi) g) groups;
         let drop = plan_drops evs group_of in
-        List.iter (fun g -> launch_group t ~geom ~subset ~nsites ~use_sitelist evs drop g) groups;
+        List.iter
+          (fun g ->
+            let head = evs.(g.(0)) in
+            let geom = head.p_geom and subset = head.p_subset in
+            let nsites = Geometry.volume geom in
+            let use_sitelist = not (Subset.is_all subset) in
+            launch_group t ~geom ~subset ~nsites ~use_sitelist evs drop g)
+          groups;
         ignore (Streams.stream_synchronize t.streams (Streams.default_stream t.streams)))
   end
 
 let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional)
-    ?(optimize = true) ?(fuse = true) () =
+    ?(optimize = true) ?(fuse = true) ?(fuse_reductions = true) () =
   let device = Device.create ~mode machine in
   let streams = Streams.create device in
   let t =
@@ -754,6 +826,7 @@ let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional)
       sitelists = Hashtbl.create 8;
       optimize;
       fuse;
+      fuse_reductions;
       pending_rev = [];
       pending_n = 0;
       in_flush = false;
@@ -764,6 +837,8 @@ let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional)
       reduce_kernel = None;
       reduce_scratch = None;
       reduce_scratch_cap = 0;
+      red_block = None;
+      red_block_cap = 0;
       stats_rev = [];
       fs_deferred = 0;
       fs_flushes = 0;
@@ -811,6 +886,55 @@ let synchronize t =
   flush t;
   Streams.synchronize t.streams
 
+(* Park one eval on the deferred queue.  A subset or geometry change is
+   no longer a flush point — the planner groups the queue into
+   (subset, geometry) runs at flush time, which is what lets interleaved
+   even/odd evals fuse within their own runs.  [red] marks a reduction
+   payload (kernel in reduction mode, block scratch bound at launch). *)
+let enqueue t ~subset ~red dest expr =
+  let leaves = Expr.leaves expr in
+  let dest_is_leaf = List.exists (fun (f : Field.t) -> f.Field.id = dest.Field.id) leaves in
+  let retained = ref [] in
+  match
+    (* Residency at enqueue time snapshots the host content the eval
+       must see and installs the access hooks that make any later
+       host touch a flush point. *)
+    List.iter
+      (fun (f : Field.t) ->
+        ignore (Memcache.ensure_resident t.cache f);
+        Memcache.retain t.cache f;
+        retained := f :: !retained)
+      leaves;
+    ignore
+      (Memcache.ensure_resident
+         ~for_write:(Subset.is_all subset && not dest_is_leaf)
+         t.cache dest);
+    Memcache.retain t.cache dest;
+    retained := dest :: !retained
+  with
+  | () ->
+      t.pending_rev <-
+        {
+          p_dest = dest;
+          p_expr = expr;
+          p_subset = subset;
+          p_geom = dest.Field.geom;
+          p_reads = reads_of expr;
+          p_retained = !retained;
+          p_red = red;
+        }
+        :: t.pending_rev;
+      t.pending_n <- t.pending_n + 1;
+      t.fs_deferred <- t.fs_deferred + 1;
+      if t.pending_n >= max_pending then flush t
+  | exception Device.Out_of_device_memory ->
+      (* Not even enough memory to park the operands: drain the
+         queue (freeing its references) and run this eval alone. *)
+      List.iter (Memcache.release t.cache) !retained;
+      flush t;
+      launch_eval ~subset ~reduction:red ~stream:(Streams.default_stream t.streams) ~sync:true
+        t dest expr
+
 let eval ?(subset = Subset.All) ?stream t dest expr =
   Qdp.Eval_cpu.check_dest dest expr;
   match stream with
@@ -821,68 +945,20 @@ let eval ?(subset = Subset.All) ?stream t dest expr =
   | None ->
       if not t.fuse then
         launch_eval ~subset ~stream:(Streams.default_stream t.streams) ~sync:true t dest expr
-      else begin
-        (* The queue is subset- and geometry-homogeneous: a change is a
-           flush point (so are reductions, host access and depth). *)
-        (match t.pending_rev with
-        | [] -> ()
-        | l ->
-            let head = List.nth l (t.pending_n - 1) in
-            if geom_tag head.p_geom <> geom_tag dest.Field.geom || head.p_subset <> subset
-            then flush t);
-        let leaves = Expr.leaves expr in
-        let dest_is_leaf =
-          List.exists (fun (f : Field.t) -> f.Field.id = dest.Field.id) leaves
-        in
-        let retained = ref [] in
-        match
-          (* Residency at enqueue time snapshots the host content the eval
-             must see and installs the access hooks that make any later
-             host touch a flush point. *)
-          List.iter
-            (fun (f : Field.t) ->
-              ignore (Memcache.ensure_resident t.cache f);
-              Memcache.retain t.cache f;
-              retained := f :: !retained)
-            leaves;
-          ignore
-            (Memcache.ensure_resident
-               ~for_write:(Subset.is_all subset && not dest_is_leaf)
-               t.cache dest);
-          Memcache.retain t.cache dest;
-          retained := dest :: !retained
-        with
-        | () ->
-            t.pending_rev <-
-              {
-                p_dest = dest;
-                p_expr = expr;
-                p_subset = subset;
-                p_geom = dest.Field.geom;
-                p_reads = reads_of expr;
-                p_retained = !retained;
-              }
-              :: t.pending_rev;
-            t.pending_n <- t.pending_n + 1;
-            t.fs_deferred <- t.fs_deferred + 1;
-            if t.pending_n >= max_pending then flush t
-        | exception Device.Out_of_device_memory ->
-            (* Not even enough memory to park the operands: drain the
-               queue (freeing its references) and run this eval alone. *)
-            List.iter (Memcache.release t.cache) !retained;
-            flush t;
-            launch_eval ~subset ~stream:(Streams.default_stream t.streams) ~sync:true t dest
-              expr
-      end
+      else enqueue t ~subset ~red:false dest expr
 
 (* ------------------------------------------------------------------ *)
 (* Reductions                                                          *)
 
-(* Hand-assembled pairwise reduction kernel: out[i] = in[2i] + in[2i+1]
-   (the odd tail reads a zero).  Operating on raw f64 buffers with dynamic
-   strides, one compiled kernel serves every reduction pass. *)
+(* Hand-assembled radix-8 fold kernel:
+     out[i] = ((x0+x1)+(x2+x3)) + ((x4+x5)+(x6+x7)),  xj = in[8i+j] or 0
+   — the same balanced tree (and the same padding) the reduction-mode
+   payload kernels apply in their in-kernel block aggregation, so the
+   final value is independent of how many fold passes run.  Operating on
+   raw f64 buffers with a dynamic byte offset, one compiled kernel serves
+   every reduction pass. *)
 let build_reduce_kernel () =
-  let e = Emitter.create ~kname:"qdpjit_reduce_f64" in
+  let e = Emitter.create ~kname:"qdpjit_reduce8_f64" in
   let p_src = Emitter.add_param e U64 "src" in
   let p_dst = Emitter.add_param e U64 "dst" in
   let p_srcoff = Emitter.add_param e S32 "src_byte_off" in
@@ -904,9 +980,9 @@ let build_reduce_kernel () =
   let guard = Emitter.fresh e Pred in
   Emitter.emit e (Setp { cmp = Ge; dtype = S32; dst = guard; a = Reg idx; b = Reg nout });
   Emitter.emit e (Bra { label = "EXIT"; pred = Some guard });
-  (* j = 2*idx; address = src + srcoff + j*8 *)
+  (* j = 8*idx; base address = src + srcoff + j*8; element l at offset l*8 *)
   let j = Emitter.fresh e S32 in
-  Emitter.emit e (Add { dtype = S32; dst = j; a = Reg idx; b = Reg idx });
+  Emitter.emit e (Mul { dtype = S32; dst = j; a = Reg idx; b = Imm_int 8 });
   let joff = Emitter.fresh e S32 in
   Emitter.emit e (Fma { dtype = S32; dst = joff; a = Reg j; b = Imm_int 8; c = Reg srcoff });
   let joff64 = Emitter.fresh e S64 in
@@ -915,20 +991,36 @@ let build_reduce_kernel () =
   Emitter.emit e (Cvt { dst = joffu; src = joff64 });
   let a_addr = Emitter.fresh e U64 in
   Emitter.emit e (Add { dtype = U64; dst = a_addr; a = Reg src; b = Reg joffu });
-  let a = Emitter.fresh e F64 in
-  Emitter.emit e (Ld_global { dtype = F64; dst = a; addr = a_addr; offset = 0 });
-  (* b = (2*idx+1 < n_in) ? in[2*idx+1] : 0 *)
-  let b = Emitter.fresh e F64 in
-  Emitter.emit e (Mov { dst = b; src = Imm_float 0.0 });
-  let j1 = Emitter.fresh e S32 in
-  Emitter.emit e (Add { dtype = S32; dst = j1; a = Reg j; b = Imm_int 1 });
-  let skip = Emitter.fresh e Pred in
-  Emitter.emit e (Setp { cmp = Ge; dtype = S32; dst = skip; a = Reg j1; b = Reg nin });
-  Emitter.emit e (Bra { label = "SKIP"; pred = Some skip });
-  Emitter.emit e (Ld_global { dtype = F64; dst = b; addr = a_addr; offset = 8 });
-  Emitter.emit e (Label "SKIP");
-  let sum = Emitter.fresh e F64 in
-  Emitter.emit e (Add { dtype = F64; dst = sum; a = Reg a; b = Reg b });
+  let xs =
+    Array.init 8 (fun l ->
+        let x = Emitter.fresh e F64 in
+        if l = 0 then
+          (* 8*idx < n_in holds for every guarded thread. *)
+          Emitter.emit e (Ld_global { dtype = F64; dst = x; addr = a_addr; offset = 0 })
+        else begin
+          (* x = (8*idx+l < n_in) ? in[8*idx+l] : 0 *)
+          Emitter.emit e (Mov { dst = x; src = Imm_float 0.0 });
+          let jl = Emitter.fresh e S32 in
+          Emitter.emit e (Add { dtype = S32; dst = jl; a = Reg j; b = Imm_int l });
+          let skip = Emitter.fresh e Pred in
+          Emitter.emit e (Setp { cmp = Ge; dtype = S32; dst = skip; a = Reg jl; b = Reg nin });
+          let lbl = Printf.sprintf "SKIP%d" l in
+          Emitter.emit e (Bra { label = lbl; pred = Some skip });
+          Emitter.emit e (Ld_global { dtype = F64; dst = x; addr = a_addr; offset = 8 * l });
+          Emitter.emit e (Label lbl)
+        end;
+        x)
+  in
+  let add a b =
+    let d = Emitter.fresh e F64 in
+    Emitter.emit e (Add { dtype = F64; dst = d; a = Reg a; b = Reg b });
+    d
+  in
+  let s01 = add xs.(0) xs.(1)
+  and s23 = add xs.(2) xs.(3)
+  and s45 = add xs.(4) xs.(5)
+  and s67 = add xs.(6) xs.(7) in
+  let sum = add (add s01 s23) (add s45 s67) in
   (* dst + idx*8 *)
   let doff = Emitter.fresh e S32 in
   Emitter.emit e (Mul { dtype = S32; dst = doff; a = Reg idx; b = Imm_int 8 });
@@ -941,21 +1033,21 @@ let build_reduce_kernel () =
   Emitter.emit e (St_global { dtype = F64; addr = d_addr; offset = 0; src = Reg sum });
   Emitter.emit e (Label "EXIT");
   Emitter.emit e Ret;
-  Emitter.finish e
+  (Emitter.finish e, e)
 
 let reduce_entry t =
   match t.reduce_kernel with
   | Some entry -> entry
   | None ->
-      let raw = build_reduce_kernel () in
+      let raw, emitter = build_reduce_kernel () in
       Ptx.Validate.kernel raw;
-      (* The hand-built kernel takes the same road as generated ones.  Its
-         accumulator [b] is deliberately multi-defined (zero, then a
-         conditional load): provenance-free CSE must leave it alone, which
-         is exactly what the single-def restriction guarantees. *)
+      (* The hand-built kernel takes the same road as generated ones,
+         including the emitter's SSA provenance: the padded accumulators
+         are deliberately multi-defined (zero, then a conditional load),
+         which provenance reports so CSE leaves them alone. *)
       let kernel, passes =
         if t.optimize then begin
-          let r = Ptx.Passes.run raw in
+          let r = Ptx.Passes.run ~provenance:(Emitter.provenance emitter) raw in
           Ptx.Validate.kernel r.Ptx.Passes.kernel;
           (r.Ptx.Passes.kernel, r.Ptx.Passes.applied)
         end
@@ -987,7 +1079,7 @@ let sync_readback t ~bytes =
   ignore (Streams.memcpy_d2h ~name:"reduce readback" t.streams s0 ~bytes);
   ignore (Streams.stream_synchronize t.streams s0)
 
-(* Ping/pong scratch for the pairwise folds, cached on the engine: a
+(* Ping/pong scratch for the fold chain, cached on the engine: a
    spin-color reduction folds one plane per component, and allocating per
    plane churned two dozen allocations per call. *)
 let reduce_scratch t ~nsites =
@@ -1006,20 +1098,21 @@ let reduce_scratch t ~nsites =
       t.reduce_scratch_cap <- cap;
       (ping, pong)
 
-(* Fold one SoA component plane of a device-resident f64 field buffer. *)
-let reduce_plane t ~(field_buf : Buffer_.t) ~plane_word ~nsites =
-  if nsites = 1 then begin
+(* Fold [n] f64 values starting at word [plane_word] of a device buffer
+   down to one, radix 8 per pass. *)
+let reduce_plane t ~(buf : Buffer_.t) ~plane_word ~n =
+  if n = 1 then begin
     sync_readback t ~bytes:8;
-    match field_buf.Buffer_.data with
+    match buf.Buffer_.data with
     | Buffer_.F64 a -> a.{plane_word}
     | _ -> invalid_arg "Engine.reduce_plane: f64 buffer expected"
   end
   else begin
     let entry = reduce_entry t in
     let stream = Streams.default_stream t.streams in
-    let ping, pong = reduce_scratch t ~nsites in
+    let ping, pong = reduce_scratch t ~nsites:n in
     let rec go ~src ~src_off ~n_in ~dst ~other =
-      let n_out = (n_in + 1) / 2 in
+      let n_out = (n_in + 7) / 8 in
       let params =
         [| Gpusim.Vm.Ptr src; Gpusim.Vm.Ptr dst; Gpusim.Vm.Int src_off; Gpusim.Vm.Int n_in;
            Gpusim.Vm.Int n_out |]
@@ -1027,16 +1120,27 @@ let reduce_plane t ~(field_buf : Buffer_.t) ~plane_word ~nsites =
       tuned_launch t entry ~stream ~nthreads:n_out ~params;
       if n_out = 1 then dst else go ~src:dst ~src_off:0 ~n_in:n_out ~dst:other ~other:dst
     in
-    let final = go ~src:field_buf ~src_off:(plane_word * 8) ~n_in:nsites ~dst:ping ~other:pong in
+    let final = go ~src:buf ~src_off:(plane_word * 8) ~n_in:n ~dst:ping ~other:pong in
     sync_readback t ~bytes:8;
     match final.Buffer_.data with
     | Buffer_.F64 a -> a.{0}
     | _ -> assert false
   end
 
-(* Evaluate [expr] (any shape, promoted to f64 storage) into a temporary and
-   sum each component over the subset.  Returns the canonical component
-   array, like {!Qdp.Eval_cpu.sum_components}. *)
+(* Evaluate [expr] (any shape, promoted to f64 storage) into a temporary
+   and sum each component over the subset.  Returns the canonical
+   component array, like {!Qdp.Eval_cpu.sum_components}.
+
+   The payload kernel runs in reduction mode: it writes compact
+   work-item-indexed partial planes into the temporary {e and}
+   aggregates each group of 8 partials into the engine's block scratch
+   in the same launch, so the fold chain starts at ceil(n/8) values.
+   With [fuse_reductions] the payload is enqueued like any eval and the
+   planner splices it into the trailing fused group — an axpy+norm2
+   step becomes one launch; otherwise it launches standalone.  Both
+   paths run the identical kernel body, and the balanced radix-8 tree
+   matches {!Qdp.Eval_cpu.tree_sum}, so every configuration produces
+   bit-identical values. *)
 let sum_components ?(subset = Subset.All) t expr =
   let shape = { (Expr.shape expr) with Shape.prec = Shape.F64 } in
   let geom =
@@ -1045,26 +1149,37 @@ let sum_components ?(subset = Subset.All) t expr =
     | [] -> invalid_arg "Engine.sum_components: expression has no fields"
   in
   let nsites = Geometry.volume geom in
-  let tmp = Field.create ~name:"reduce_tmp" shape geom in
-  (* Outside the subset the temporary must be zero, which Field.create
-     guarantees; evaluate only on the subset. *)
-  eval ~subset t tmp expr;
-  (* The readback is a flush point: the per-site kernel (and everything
-     queued before it) must land before the folds read the buffer. *)
-  flush t;
-  let buf = Memcache.ensure_resident t.cache tmp in
+  let n_work = if Subset.is_all subset then nsites else Subset.count geom subset in
   let dof = Shape.dof shape in
-  let is_ = Shape.spin_extent shape.Shape.spin in
-  let ic = Shape.color_extent shape.Shape.color in
-  ignore is_;
-  let out =
-    Array.init dof (fun lin ->
-        let s, c, r = Layout.Index.component_of_linear shape lin in
-        let plane_word = ((((r * ic) + c) * Shape.spin_extent shape.Shape.spin) + s) * nsites in
-        reduce_plane t ~field_buf:buf ~plane_word ~nsites)
-  in
-  Memcache.drop t.cache tmp;
-  out
+  if n_work = 0 then Array.make dof 0.0
+  else begin
+    let bstride = (nsites + 7) / 8 in
+    let block = red_block_scratch t ~cap:(dof * bstride) in
+    let tmp = Field.create ~name:"reduce_tmp" shape geom in
+    if t.fuse && t.fuse_reductions then enqueue t ~subset ~red:true tmp expr
+    else begin
+      (* Reduction fusion off: drain the queue first so the payload
+         always launches standalone (same kernel, separate launch). *)
+      flush t;
+      launch_eval ~subset ~reduction:true ~stream:(Streams.default_stream t.streams)
+        ~sync:false t tmp expr
+    end;
+    (* The readback is a flush point: the payload (and everything queued
+       before it) must land before the folds read the block scratch. *)
+    flush t;
+    let nblocks = (n_work + 7) / 8 in
+    let is_ = Shape.spin_extent shape.Shape.spin in
+    let ic = Shape.color_extent shape.Shape.color in
+    ignore is_;
+    let out =
+      Array.init dof (fun lin ->
+          let s, c, r = Layout.Index.component_of_linear shape lin in
+          let plane = (((r * ic) + c) * Shape.spin_extent shape.Shape.spin) + s in
+          reduce_plane t ~buf:block ~plane_word:(plane * bstride) ~n:nblocks)
+    in
+    Memcache.drop t.cache tmp;
+    out
+  end
 
 let norm2 ?(subset = Subset.All) t expr = (sum_components ~subset t (Expr.norm2_local expr)).(0)
 

@@ -5,21 +5,29 @@
     structure up in the kernel cache (generate + driver-JIT-compile PTX on
     a miss), make every referenced field device-resident through the
     memory cache (Sec. IV), bind parameters, and launch through the
-    per-kernel block-size auto-tuner (Sec. VII).  Reductions evaluate a
-    per-site kernel into a temporary and fold it with cached pairwise
-    reduction kernels, keeping results deterministic.
+    per-kernel block-size auto-tuner (Sec. VII).  Reductions run a
+    reduction-mode payload kernel that writes compact per-work-item
+    partials {e and} aggregates every group of 8 into a block-partial
+    buffer in the same launch; a cached radix-8 fold kernel then collapses
+    the blocks.  The balanced tree matches {!Qdp.Eval_cpu} bit for bit,
+    keeping results deterministic across every engine configuration.
 
     Default-stream evals are {e deferred}: they enter a pending queue,
     and a flush point — a reduction or readback, host access to any
-    cached field, a subset or geometry change, the queue depth cap, or an
-    explicit {!flush} — runs the fusion planner over the queue.
-    Field-id dependence analysis (RAW/WAR/WAW, shifted vs same-site)
-    groups compatible evals, and {!Ptx.Fuse} splices each group into one
-    kernel: same-site producer→consumer loads become register moves and
-    dead intermediate stores are dropped, cutting both launch count and
-    global-memory traffic.  Hazardous pairs stay separate launches in
-    program order, so results are bit-exact against the eager schedule;
-    [?fuse:false] restores eval-at-a-time launching outright. *)
+    cached field, the queue depth cap, or an explicit {!flush} — runs
+    the fusion planner over the queue.  The planner first partitions the
+    queue into consecutive (subset, geometry) runs (a subset change is
+    {e not} a flush point, so interleaved even/odd evals fuse within
+    their own runs), then field-id dependence analysis (RAW/WAR/WAW,
+    shifted vs same-site) groups compatible evals, and {!Ptx.Fuse}
+    splices each group into one kernel: same-site producer→consumer
+    loads become register moves and dead intermediate stores are
+    dropped, cutting both launch count and global-memory traffic.  A
+    trailing reduction payload splices into its group too (reduction
+    fusion), so an axpy+norm2 solver step is a single launch.  Hazardous
+    pairs stay separate launches in program order, so results are
+    bit-exact against the eager schedule; [?fuse:false] restores
+    eval-at-a-time launching outright. *)
 
 type kernel_entry = {
   built : Codegen.built;
@@ -69,6 +77,7 @@ val create :
   ?mode:Gpusim.Device.mode ->
   ?optimize:bool ->
   ?fuse:bool ->
+  ?fuse_reductions:bool ->
   unit ->
   t
 (** A fresh engine with its own simulated device, memory cache and kernel
@@ -77,7 +86,11 @@ val create :
     {!Ptx.Passes} middle-end on every kernel before the driver JIT;
     [~optimize:false] keeps the paper's raw unparser stream.  [fuse]
     (default on) defers default-stream evals into the fusion queue;
-    [~fuse:false] restores blocking eval-at-a-time launches. *)
+    [~fuse:false] restores blocking eval-at-a-time launches.
+    [fuse_reductions] (default on) lets a reduction payload join the
+    trailing fused group; [~fuse_reductions:false] launches every
+    reduction payload standalone (identical kernel body and identical
+    results, one extra launch per reduction). *)
 
 val jit_stats : t -> jit_stats list
 (** Scorecards of every kernel compiled so far, in compile order
@@ -95,10 +108,11 @@ val streams : t -> Streams.t
 val default_stream : t -> Streams.stream
 
 val flush : t -> unit
-(** Drain the deferred-eval queue: plan fusion groups, launch them in
-    program order on the default stream, and block until they complete.
-    A no-op when the queue is empty.  Reductions, host access to cached
-    fields, subset/geometry changes and the depth cap flush implicitly. *)
+(** Drain the deferred-eval queue: plan fusion groups (per
+    (subset, geometry) run), launch them in program order on the default
+    stream, and block until they complete.  A no-op when the queue is
+    empty.  Reduction readbacks, host access to cached fields and the
+    depth cap flush implicitly. *)
 
 val synchronize : t -> float
 (** {!flush}, then drain every stream of the engine's context (device
@@ -130,7 +144,8 @@ val eval : ?subset:Qdp.Subset.t -> ?stream:Streams.stream -> t -> Qdp.Field.t ->
     stream; the caller owns synchronization (events or {!synchronize}). *)
 
 val norm2 : ?subset:Qdp.Subset.t -> t -> Qdp.Expr.t -> float
-(** Deterministic pairwise-tree reduction of the per-site |.|^2 kernel. *)
+(** Deterministic balanced radix-8 tree reduction of the per-site |.|^2
+    kernel; bit-identical across fused / unfused / CPU evaluation. *)
 
 val inner : ?subset:Qdp.Subset.t -> t -> Qdp.Expr.t -> Qdp.Expr.t -> float * float
 val sum_real : ?subset:Qdp.Subset.t -> t -> Qdp.Expr.t -> float

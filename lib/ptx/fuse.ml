@@ -27,6 +27,7 @@ type source = {
   use_sitelist : bool;
   subst_from : (int * int) list;
   drop_stores : bool;
+  reduction : bool;
 }
 
 let map_operand f = function Reg r -> Reg (f r) | (Imm_float _ | Imm_int _) as o -> o
@@ -66,11 +67,12 @@ type parsed = {
   exit_label : string;
   site_chain : instr list;  (** sitelist address chain + site load, if any *)
   site : reg;  (** the register site addresses are built from *)
+  idx : reg;  (** the thread-index register (= [site] without a site list) *)
   prologue_regs : reg list;  (** every register the dropped prologue defines *)
   mid : instr list;
 }
 
-let parse_source ~use_sitelist body =
+let parse_source ~use_sitelist ~reduction body =
   let rec take_params acc = function
     | Ld_param { dst; param_index } :: rest -> take_params ((param_index, dst) :: acc) rest
     | rest -> (List.rev acc, rest)
@@ -108,10 +110,19 @@ let parse_source ~use_sitelist body =
         | i :: rest -> split_tail (i :: acc) rest
       in
       let mid = split_tail [] rest in
+      (* A pointwise body is straight-line; a reduction body may branch
+         (the block-aggregation tail), but only to its own labels or the
+         exit, which the splicer retargets. *)
+      let own_labels =
+        List.filter_map (function Label l -> Some l | _ -> None) mid
+      in
       List.iter
         (function
-          | Label _ | Bra _ | Ret -> fail "source body is not straight-line"
           | Ld_param _ -> fail "parameter load outside the leading run"
+          | Ret -> fail "source body contains a return"
+          | (Label _ | Bra _) when not reduction -> fail "source body is not straight-line"
+          | Bra { label; _ } when label <> exit_label && not (List.mem label own_labels) ->
+              fail "reduction body branches outside itself"
           | _ -> ())
         mid;
       let prologue_regs =
@@ -119,7 +130,7 @@ let parse_source ~use_sitelist body =
         @ List.filter_map Dataflow.def_of site_chain
       in
       { param_loads; head = [ i1; i2; i3; i4; i5 ]; guard; exit_label; site_chain; site;
-        prologue_regs; mid }
+        idx; prologue_regs; mid }
   | _ -> fail "source does not match the canonical prologue"
 
 let fuse ~kname sources =
@@ -127,6 +138,14 @@ let fuse ~kname sources =
   let use_sitelist = (List.hd sources).use_sitelist in
   List.iter
     (fun s -> if s.use_sitelist <> use_sitelist then fail "mixed subset kinds in one group")
+    sources;
+  let nsources = List.length sources in
+  List.iteri
+    (fun i s ->
+      if s.reduction then begin
+        if i <> nsources - 1 then fail "reduction source must be last";
+        if s.drop_stores then fail "reduction source cannot drop stores"
+      end)
     sources;
   (* Pull the sources' register spaces apart: per class, each source's ids
      are shifted past everything already assigned. *)
@@ -148,10 +167,9 @@ let fuse ~kname sources =
             Option.iter bump (Dataflow.def_of i);
             List.iter bump (Dataflow.uses_of i))
           body;
-        (s, parse_source ~use_sitelist body))
+        (s, parse_source ~use_sitelist ~reduction:s.reduction body))
       sources
   in
-  let nsources = List.length sources in
   let nslots =
     1 + List.fold_left (fun m (s, _) -> Array.fold_left max m s.slots) (-1) renamed
   in
@@ -208,16 +226,27 @@ let fuse ~kname sources =
                 Hashtbl.replace remap (Dataflow.key dst) c)
           parsed.param_loads;
         (* Secondary sources lose their prologue: route their thread
-           index, guard and site registers to the first source's. *)
-        if si > 0 then Hashtbl.replace remap (Dataflow.key parsed.site) fused_site;
+           index, guard and site registers to the first source's.  A
+           reduction body additionally references the raw thread index
+           (compact partial addressing and the block computation), which
+           routes to the primary's. *)
+        if si > 0 then begin
+          Hashtbl.replace remap (Dataflow.key parsed.site) fused_site;
+          if s.reduction then Hashtbl.replace remap (Dataflow.key parsed.idx) parsed0.idx
+        end;
         let rename r = Option.value ~default:r (Hashtbl.find_opt remap (Dataflow.key r)) in
         if si > 0 then begin
-          (* The only prologue value a site body may reference is the site
-             register (the thread index when there is no site list); any
-             other leak means the skeleton assumption broke. *)
+          (* The only prologue values a site body may reference are the
+             site register (the thread index when there is no site list)
+             and, for a reduction body, the thread index; any other leak
+             means the skeleton assumption broke. *)
+          let kept =
+            if s.reduction then [ parsed.site; parsed.idx ] else [ parsed.site ]
+          in
           let dropped =
             List.filter
-              (fun r -> Dataflow.key r <> Dataflow.key parsed.site)
+              (fun r ->
+                not (List.exists (fun k -> Dataflow.key r = Dataflow.key k) kept))
               parsed.prologue_regs
           in
           List.iter
@@ -230,6 +259,22 @@ let fuse ~kname sources =
             parsed.mid
         end;
         let mid = List.map (map_regs rename) parsed.mid in
+        (* A reduction body's internal labels are uniquified per member,
+           and its early exits retarget the fused exit. *)
+        let mid =
+          if not s.reduction then mid
+          else begin
+            let relabel l =
+              if l = parsed.exit_label then exit_lbl else Printf.sprintf "M%d_%s" si l
+            in
+            List.map
+              (function
+                | Label l -> Label (relabel l)
+                | Bra { label; pred } -> Bra { label = relabel label; pred }
+                | i -> i)
+              mid
+          end
+        in
         (* Producer→consumer substitution: loads whose address chain is
            provably [subst slot base + site * bytes] become register moves
            from the producer's stored operand at the same offset. *)
@@ -288,24 +333,29 @@ let fuse ~kname sources =
             mid
         in
         (* Record what this source stores to its destination — later
-           members may substitute from it. *)
-        let dest_base =
-          match canonical.(s.slots.(0)) with
-          | Some c -> Dataflow.key c
-          | None -> fail "destination parameter was never loaded"
-        in
-        List.iter
-          (fun i ->
-            match i with
-            | St_global { dtype; addr; offset; src } -> (
-                match trace addr with
-                | Some (base, site)
-                  when Dataflow.key base = dest_base
-                       && Dataflow.key site = Dataflow.key fused_site ->
-                    Hashtbl.replace store_maps.(si) offset (src, dtype)
-                | _ -> fail "store does not target the destination at the thread's site")
-            | _ -> ())
-          mid;
+           members may substitute from it.  A reduction source is exempt:
+           it is the group's tail (nothing substitutes from it), and its
+           stores deliberately target the compact partial planes and the
+           block buffer instead of the thread's site. *)
+        if not s.reduction then begin
+          let dest_base =
+            match canonical.(s.slots.(0)) with
+            | Some c -> Dataflow.key c
+            | None -> fail "destination parameter was never loaded"
+          in
+          List.iter
+            (fun i ->
+              match i with
+              | St_global { dtype; addr; offset; src } -> (
+                  match trace addr with
+                  | Some (base, site)
+                    when Dataflow.key base = dest_base
+                         && Dataflow.key site = Dataflow.key fused_site ->
+                      Hashtbl.replace store_maps.(si) offset (src, dtype)
+                  | _ -> fail "store does not target the destination at the thread's site")
+              | _ -> ())
+            mid
+        end;
         if s.drop_stores then
           List.filter
             (fun i ->

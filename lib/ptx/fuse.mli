@@ -46,11 +46,21 @@ type source = {
   drop_stores : bool;
       (** the planner proved this source's destination is overwritten
           later in the same flush with no unsubstituted reads between *)
+  reduction : bool;
+      (** reduction payload: the body may branch (block-aggregation tail)
+          and stores target compact work-item planes and the
+          block-partial buffer rather than the thread's site.  Must be
+          the last source, never drops stores, and nothing substitutes
+          from it; its internal labels are uniquified and its exit
+          branches retarget the fused exit. *)
 }
 
 val fuse : kname:string -> source list -> Types.kernel * report
 (** Splice the sources, in order, into one kernel named [kname].  All
     sources must agree on [use_sitelist] (the engine only groups evals of
-    one subset).  Raises {!Fusion_failure} if any source does not match
-    the canonical emission structure or a substitution cannot be proven
-    site-exact. *)
+    one subset).  At most one source may be a [reduction], and it must be
+    last: its pointwise partial stores and aggregation tail append after
+    the other bodies, with RAW edges into the group's substituted
+    registers like any member.  Raises {!Fusion_failure} if any source
+    does not match the canonical emission structure or a substitution
+    cannot be proven site-exact. *)

@@ -72,8 +72,33 @@ let eval ?(subset = Subset.All) dest expr =
       done)
     sites
 
-(* Deterministic global reductions (site order), as the single-rank
-   original implementation performs them. *)
+(* Deterministic global reductions.  The summation order is the balanced
+   radix-8 tree the engine's reduction kernels use (in-kernel block
+   aggregation followed by a radix-8 fold chain): each level pads the
+   value list to a multiple of 8 with +0.0 and sums every block of 8 as
+   ((x0+x1)+(x2+x3)) + ((x4+x5)+(x6+x7)), recursing until one value
+   remains.  Sharing one tree makes CPU and engine reductions agree bit
+   for bit whenever the per-site values do. *)
+let tree_sum xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let fold a =
+      let m = Array.length a in
+      Array.init ((m + 7) / 8) (fun blk ->
+          let g j =
+            let i = (8 * blk) + j in
+            if i < m then a.(i) else 0.0
+          in
+          ((g 0 +. g 1) +. (g 2 +. g 3)) +. ((g 4 +. g 5) +. (g 6 +. g 7)))
+    in
+    let r = ref (fold xs) in
+    while Array.length !r > 1 do
+      r := fold !r
+    done;
+    !r.(0)
+  end
+
 let norm2 ?(subset = Subset.All) expr =
   let shape = Expr.shape expr in
   ignore shape;
@@ -82,14 +107,11 @@ let norm2 ?(subset = Subset.All) expr =
     | f :: _ -> f.Field.geom
     | [] -> invalid_arg "Eval_cpu.norm2: expression has no fields"
   in
-  let acc = ref 0.0 in
-  Array.iter
-    (fun site ->
-      let v = eval_site geom expr site in
-      let n = FSite.norm2_local v in
-      acc := !acc +. n.FSite.data.(0))
-    (Subset.sites geom subset);
-  !acc
+  let sites = Subset.sites geom subset in
+  tree_sum
+    (Array.map
+       (fun site -> (FSite.norm2_local (eval_site geom expr site)).FSite.data.(0))
+       sites)
 
 let inner ?(subset = Subset.All) a b =
   let geom =
@@ -97,15 +119,15 @@ let inner ?(subset = Subset.All) a b =
     | f :: _ -> f.Field.geom
     | [] -> invalid_arg "Eval_cpu.inner: expressions have no fields"
   in
-  let re = ref 0.0 and im = ref 0.0 in
-  Array.iter
-    (fun site ->
-      let va = eval_site geom a site and vb = eval_site geom b site in
-      let p = FSite.inner_local va vb in
-      re := !re +. p.FSite.data.(0);
-      im := !im +. p.FSite.data.(1))
-    (Subset.sites geom subset);
-  (!re, !im)
+  let sites = Subset.sites geom subset in
+  let ps =
+    Array.map
+      (fun site ->
+        FSite.inner_local (eval_site geom a site) (eval_site geom b site))
+      sites
+  in
+  ( tree_sum (Array.map (fun p -> p.FSite.data.(0)) ps),
+    tree_sum (Array.map (fun p -> p.FSite.data.(1)) ps) )
 
 (* Sum every component over the subset; returns the summed element in
    canonical component order. *)
@@ -116,10 +138,6 @@ let sum_components ?(subset = Subset.All) expr =
     | f :: _ -> f.Field.geom
     | [] -> invalid_arg "Eval_cpu.sum_components: expression has no fields"
   in
-  let acc = Array.make (Shape.dof shape) 0.0 in
-  Array.iter
-    (fun site ->
-      let v = eval_site geom expr site in
-      Array.iteri (fun k x -> acc.(k) <- acc.(k) +. x) v.FSite.data)
-    (Subset.sites geom subset);
-  acc
+  let sites = Subset.sites geom subset in
+  let vs = Array.map (fun site -> (eval_site geom expr site).FSite.data) sites in
+  Array.init (Shape.dof shape) (fun k -> tree_sum (Array.map (fun v -> v.(k)) vs))

@@ -9,7 +9,12 @@
     production preconditioning in Chroma, and what the QDP-JIT subset
     (site-list) kernels exist for.  Mhat is gamma5-Hermitian on the even
     sublattice, so CG runs on its normal equations with the same gamma5
-    trick as the full operator. *)
+    trick as the full operator.
+
+    On the JIT engine the interleaved even/odd assignments fuse within
+    their own (subset, geometry) runs of the deferred launch queue, and
+    each iteration's norm2/inner payload splices into the pending even
+    group ([bench: fusion --eo] gates both effects). *)
 
 type result = {
   iterations : int;  (** CG iterations on the even checkerboard *)

@@ -60,8 +60,11 @@ let fresh_pool seed n =
       f)
 
 (* Shared engines: kernel and fused-kernel caches warm up across cases,
-   like a long-running Chroma process. *)
+   like a long-running Chroma process.  [fused_eng] has reduction fusion
+   on (the default); [fused_nored_eng] runs the identical reduction
+   kernels but launches every payload standalone. *)
 let fused_eng = Engine.create ~fuse:true ()
+let fused_nored_eng = Engine.create ~fuse:true ~fuse_reductions:false ()
 let unfused_eng = Engine.create ~fuse:false ()
 
 let run_jit ~fuse seed prog =
@@ -183,6 +186,112 @@ let test_f32_chain () =
     pf
 
 (* ------------------------------------------------------------------ *)
+(* Reduction fusion: a trailing norm2/inner payload splices into the
+   pending group; values stay bit-identical across every configuration
+   because all of them run the same balanced radix-8 tree. *)
+
+let beq a b = Int64.bits_of_float a = Int64.bits_of_float b
+let ceq a b = bits ~canon_zero:true a = bits ~canon_zero:true b
+
+let test_reduction_fuses () =
+  let run eng =
+    let l0 = launches eng in
+    let pool = fresh_pool 17L 2 in
+    Engine.eval eng pool.(1) (op_expr pool (Axpy (1, 2.0, 0, 1)));
+    let n = Engine.norm2 eng (Expr.field pool.(1)) in
+    (n, launches eng - l0)
+  in
+  let nr, lr = run fused_eng in
+  let nn, ln = run fused_nored_eng in
+  let nu, lu = run unfused_eng in
+  Alcotest.(check bool) "norm2 bits: fused-reduction = fused" true (beq nr nn);
+  Alcotest.(check bool) "norm2 bits: fused-reduction = unfused" true (beq nr nu);
+  let pc = fresh_pool 17L 2 in
+  Qdp.Eval_cpu.eval pc.(1) (op_expr pc (Axpy (1, 2.0, 0, 1)));
+  let nc = Qdp.Eval_cpu.norm2 (Expr.field pc.(1)) in
+  Alcotest.(check bool) "norm2 bits: engine = cpu" true (ceq nr nc);
+  (* The spliced payload saves exactly the standalone payload launch. *)
+  Alcotest.(check bool) "reduction fusion saves a launch" true (lr < ln);
+  Alcotest.(check bool) "no extra launches vs eval-at-a-time" true (ln <= lu)
+
+let test_subset_reduction () =
+  (* An even-subset eval followed by an even-subset norm2: payload and
+     eval share a (subset, geometry) run, so they fuse; the partials use
+     compact work-item addressing, so the odd half never contaminates
+     the sum. *)
+  let run eng =
+    let pool = fresh_pool 19L 2 in
+    Engine.eval ~subset:Qdp.Subset.Even eng pool.(1) (op_expr pool (Scale (1, 2.0, 0)));
+    Engine.norm2 ~subset:Qdp.Subset.Even eng (Expr.field pool.(1))
+  in
+  let nr = run fused_eng and nn = run fused_nored_eng and nu = run unfused_eng in
+  Alcotest.(check bool) "even norm2 bits: engines agree" true (beq nr nn && beq nr nu);
+  let pc = fresh_pool 19L 2 in
+  Qdp.Eval_cpu.eval ~subset:Qdp.Subset.Even pc.(1) (op_expr pc (Scale (1, 2.0, 0)));
+  let nc = Qdp.Eval_cpu.norm2 ~subset:Qdp.Subset.Even (Expr.field pc.(1)) in
+  Alcotest.(check bool) "even norm2 bits: engine = cpu" true (ceq nr nc)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-subset grouping: interleaved checkerboard evals fuse within
+   their own (subset, geometry) runs and never across them. *)
+
+let eo_prog eval (pool : Field.t array) =
+  (* A cross-lane (shifted) RAW on p1: the odd eval reads even sites of
+     p1 written one eval earlier, and p1's even half is then overwritten
+     (WAR with the shifted read).  Runs are consecutive partitions, so
+     the two even evals must not merge across the odd one. *)
+  let module S = Qdp.Subset in
+  eval ~subset:S.Even pool.(1) (Expr.mul (Expr.const_real 2.0) (Expr.field pool.(0)));
+  eval ~subset:S.Odd pool.(2) (Expr.shift (Expr.field pool.(1)) ~dim:0 ~dir:1);
+  eval ~subset:S.Even pool.(1) (Expr.mul (Expr.const_real 3.0) (Expr.field pool.(0)));
+  eval ~subset:S.Odd pool.(0) (Expr.sub (Expr.field pool.(1)) (Expr.field pool.(2)));
+  eval ~subset:S.Even pool.(2) (Expr.add (Expr.field pool.(1)) (Expr.field pool.(0)))
+
+let test_eo_interleave_hazard () =
+  let run_eng eng =
+    let pool = fresh_pool 23L 3 in
+    eo_prog (fun ~subset d e -> Engine.eval ~subset eng d e) pool;
+    Engine.flush eng;
+    pool
+  in
+  let pf = run_eng fused_eng and pu = run_eng unfused_eng in
+  let pc = fresh_pool 23L 3 in
+  eo_prog (fun ~subset d e -> Qdp.Eval_cpu.eval ~subset d e) pc;
+  Array.iteri
+    (fun i f ->
+      fields_bit_equal (Printf.sprintf "eo-hazard: pool.%d fused = unfused" i) f pu.(i);
+      fields_bit_equal ~canon_zero:true (Printf.sprintf "eo-hazard: pool.%d fused = cpu" i) f
+        pc.(i))
+    pf
+
+let test_eo_runs_fuse () =
+  (* Two even evals then two odd evals in one flush: each checkerboard
+     run forms its own fused group. *)
+  let module S = Qdp.Subset in
+  let prog eval (pool : Field.t array) =
+    eval ~subset:S.Even pool.(1) (Expr.mul (Expr.const_real 2.0) (Expr.field pool.(0)));
+    eval ~subset:S.Even pool.(2) (Expr.sub (Expr.field pool.(1)) (Expr.field pool.(0)));
+    eval ~subset:S.Odd pool.(1) (Expr.mul (Expr.const_real 3.0) (Expr.field pool.(0)));
+    eval ~subset:S.Odd pool.(3) (Expr.add (Expr.field pool.(1)) (Expr.field pool.(0)))
+  in
+  let s0 = Engine.fusion_stats fused_eng in
+  let pf = fresh_pool 29L 4 in
+  prog (fun ~subset d e -> Engine.eval ~subset fused_eng d e) pf;
+  Engine.flush fused_eng;
+  let sf = Engine.fusion_stats fused_eng in
+  Alcotest.(check int) "both checkerboard runs fused" 2
+    (sf.Engine.fused_groups - s0.Engine.fused_groups);
+  let pu = fresh_pool 29L 4 in
+  prog (fun ~subset d e -> Engine.eval ~subset unfused_eng d e) pu;
+  let pc = fresh_pool 29L 4 in
+  prog (fun ~subset d e -> Qdp.Eval_cpu.eval ~subset d e) pc;
+  Array.iteri
+    (fun i f ->
+      fields_bit_equal (Printf.sprintf "eo-runs: pool.%d fused = unfused" i) f pu.(i);
+      fields_bit_equal ~canon_zero:true (Printf.sprintf "eo-runs: pool.%d fused = cpu" i) f pc.(i))
+    pf
+
+(* ------------------------------------------------------------------ *)
 (* QCheck: random eval chains *)
 
 let gen_op =
@@ -226,6 +335,38 @@ let qcheck_random_chains =
       in
       Array.for_all2 (equal ~canon_zero:false) pf pu
       && Array.for_all2 (equal ~canon_zero:true) pf pc)
+
+let qcheck_reduction_chains =
+  (* A random chain *ending in a reduction*: the norm2/inner payload is
+     eligible for splicing into whatever group the chain left pending.
+     Values must agree bitwise across fused-reduction / fused / unfused
+     engines, and (modulo signed zeros in the per-site values) with the
+     CPU reference's shared radix-8 tree. *)
+  QCheck.Test.make ~count:25 ~name:"random chains ending in norm2/inner: all configs bit-equal"
+    arb_prog (fun prog ->
+      let reduce_exprs pool =
+        ( Expr.sub (Expr.field pool.(0)) (Expr.field pool.(1)),
+          Expr.field pool.(2),
+          Expr.field pool.(3) )
+      in
+      let run eng =
+        let pool = fresh_pool 11L 4 in
+        List.iter (fun op -> Engine.eval eng pool.(op_dest op) (op_expr pool op)) prog;
+        let en, ea, eb = reduce_exprs pool in
+        let n = Engine.norm2 eng en in
+        let re, im = Engine.inner eng ea eb in
+        (n, re, im)
+      in
+      let nr, rr, ir = run fused_eng in
+      let nn, rn, im_n = run fused_nored_eng in
+      let nu, ru, iu = run unfused_eng in
+      let pc = fresh_pool 11L 4 in
+      List.iter (fun op -> Qdp.Eval_cpu.eval pc.(op_dest op) (op_expr pc op)) prog;
+      let cn, ca, cb = reduce_exprs pc in
+      let nc = Qdp.Eval_cpu.norm2 cn in
+      let rc, ic = Qdp.Eval_cpu.inner ca cb in
+      beq nr nn && beq nr nu && beq rr rn && beq rr ru && beq ir im_n && beq ir iu && ceq nr nc
+      && ceq rr rc && ceq ir ic)
 
 (* ------------------------------------------------------------------ *)
 (* Solvers: fusion must not change a single iteration *)
@@ -307,7 +448,21 @@ let () =
           Alcotest.test_case "in-place shift" `Quick test_in_place_shift_store_kept;
           Alcotest.test_case "f32 chain" `Quick test_f32_chain;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest qcheck_random_chains ]);
+      ( "reductions",
+        [
+          Alcotest.test_case "reduction fuses" `Quick test_reduction_fuses;
+          Alcotest.test_case "subset reduction" `Quick test_subset_reduction;
+        ] );
+      ( "even-odd",
+        [
+          Alcotest.test_case "interleave hazard" `Quick test_eo_interleave_hazard;
+          Alcotest.test_case "checkerboard runs fuse" `Quick test_eo_runs_fuse;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_random_chains;
+          QCheck_alcotest.to_alcotest qcheck_reduction_chains;
+        ] );
       ( "solvers",
         [
           Alcotest.test_case "cg identical" `Quick test_cg_identical;
