@@ -493,24 +493,38 @@ let fusion_bench () =
   let kappa = 0.115 in
   let run config =
     let eng = engine_config config in
+    let st = Gpusim.Device.stats (Qdpjit.Engine.device eng) in
     let ops = Solvers.Ops.jit eng shape geom in
     let u = Lqcd.Gauge.create_links geom in
     Lqcd.Gauge.random_gauge ~epsilon:0.3 u (Prng.create ~seed:31L);
     let nop = Solvers.Ops.normal_op ops ~apply_m:(Lqcd.Wilson.wilson_expr ~kappa u) in
     let b = Field.create shape geom in
     Field.fill_gaussian b (Prng.create ~seed:32L);
-    let x = Field.create shape geom in
-    let t0 = Unix.gettimeofday () in
-    let r = Solvers.Cg.solve ops nop ~b ~x ~tol:1e-8 () in
-    let wall = Unix.gettimeofday () -. t0 in
-    ignore (Qdpjit.Engine.synchronize eng);
-    let launches = (Gpusim.Device.stats (Qdpjit.Engine.device eng)).Gpusim.Device.launches in
-    let bytes = Qdpjit.Engine.kernel_bytes_moved eng in
-    (r, x, launches, bytes, wall, Qdpjit.Engine.fusion_stats eng)
+    let solve () =
+      let x = Field.create shape geom in
+      let t0 = Unix.gettimeofday () in
+      let r = Solvers.Cg.solve ops nop ~b ~x ~tol:1e-8 () in
+      ignore (Qdpjit.Engine.synchronize eng);
+      (r, x, Unix.gettimeofday () -. t0)
+    in
+    (* The first solve pays every one-time cost — building, optimizing
+       and autotuning each kernel, including the large spliced fused
+       bodies.  Time the second, steady-state solve (compile cost is
+       reported apart from execution, as in the paper) and report the
+       per-solve deltas of the cumulative device counters. *)
+    let _, _, cold = solve () in
+    let l0 = st.Gpusim.Device.launches and ns0 = st.Gpusim.Device.kernel_ns in
+    let b0 = Qdpjit.Engine.kernel_bytes_moved eng in
+    let r, x, w1 = solve () in
+    let launches = st.Gpusim.Device.launches - l0 in
+    let bytes = Qdpjit.Engine.kernel_bytes_moved eng - b0 in
+    let sim_ms = (st.Gpusim.Device.kernel_ns -. ns0) /. 1e6 in
+    let _, _, w2 = solve () in
+    (r, x, launches, bytes, min w1 w2, cold, sim_ms, Qdpjit.Engine.fusion_stats eng)
   in
-  let rr, xr, lr, br, wr, sr = run `Fused_reduction in
-  let rf, xf, lf, bf, wf, _ = run `Fused in
-  let ru, xu, lu, bu, wu, _ = run `Unfused in
+  let rr, xr, lr, br, wr, cr, mr, sr = run `Fused_reduction in
+  let rf, xf, lf, bf, wf, cf, mf, _ = run `Fused in
+  let ru, xu, lu, bu, wu, cu, mu, _ = run `Unfused in
   if not (rr.Solvers.Cg.converged && rf.Solvers.Cg.converged && ru.Solvers.Cg.converged) then
     failwith "fusion: CG diverged";
   if rr.Solvers.Cg.iterations <> ru.Solvers.Cg.iterations
@@ -526,12 +540,14 @@ let fusion_bench () =
   Printf.printf "  Wilson CG %s, %d iterations, solutions bit-identical across all 3 configs\n"
     (String.concat "x" (Array.to_list (Array.map string_of_int (Geometry.dims geom))))
     rr.Solvers.Cg.iterations;
-  Printf.printf "  %-16s %10s %12s %16s %12s\n" "" "launches" "launch/iter" "kernel bytes" "wall s";
-  Printf.printf "  %-16s %10d %12.1f %16d %12.2f\n" "eval-at-a-time" lu
-    (float_of_int lu /. iters) bu wu;
-  Printf.printf "  %-16s %10d %12.1f %16d %12.2f\n" "fused" lf (float_of_int lf /. iters) bf wf;
-  Printf.printf "  %-16s %10d %12.1f %16d %12.2f\n" "fused+reduction" lr
-    (float_of_int lr /. iters) br wr;
+  Printf.printf "  %-16s %10s %12s %16s %10s %10s %10s\n" "" "launches" "launch/iter"
+    "kernel bytes" "sim ms" "wall s" "cold s";
+  Printf.printf "  %-16s %10d %12.1f %16d %10.3f %10.2f %10.2f\n" "eval-at-a-time" lu
+    (float_of_int lu /. iters) bu mu wu cu;
+  Printf.printf "  %-16s %10d %12.1f %16d %10.3f %10.2f %10.2f\n" "fused" lf
+    (float_of_int lf /. iters) bf mf wf cf;
+  Printf.printf "  %-16s %10d %12.1f %16d %10.3f %10.2f %10.2f\n" "fused+reduction" lr
+    (float_of_int lr /. iters) br mr wr cr;
   Printf.printf
     "  planner: %d groups fused, %d launches saved, %d load B + %d store B eliminated, %d fallbacks\n"
     sr.Qdpjit.Engine.fused_groups sr.Qdpjit.Engine.launches_saved
@@ -541,13 +557,17 @@ let fusion_bench () =
   Printf.fprintf oc
     "{\n\
     \  \"cg\": {\"iterations\": %d, \"bit_identical\": true,\n\
-    \    \"unfused\": {\"launches\": %d, \"kernel_bytes\": %d, \"wall_s\": %.3f},\n\
-    \    \"fused\": {\"launches\": %d, \"kernel_bytes\": %d, \"wall_s\": %.3f},\n\
-    \    \"fused_reduction\": {\"launches\": %d, \"kernel_bytes\": %d, \"wall_s\": %.3f}},\n\
+    \    \"unfused\": {\"launches\": %d, \"kernel_bytes\": %d, \"sim_ms\": %.6f, \"wall_s\": \
+     %.3f, \"cold_s\": %.3f},\n\
+    \    \"fused\": {\"launches\": %d, \"kernel_bytes\": %d, \"sim_ms\": %.6f, \"wall_s\": \
+     %.3f, \"cold_s\": %.3f},\n\
+    \    \"fused_reduction\": {\"launches\": %d, \"kernel_bytes\": %d, \"sim_ms\": %.6f, \
+     \"wall_s\": %.3f, \"cold_s\": %.3f}},\n\
     \  \"planner\": {\"fused_groups\": %d, \"launches_saved\": %d,\n\
     \    \"eliminated_load_bytes\": %d, \"eliminated_store_bytes\": %d, \"fallbacks\": %d}\n\
      }\n"
-    rr.Solvers.Cg.iterations lu bu wu lf bf wf lr br wr sr.Qdpjit.Engine.fused_groups
+    rr.Solvers.Cg.iterations lu bu mu wu cu lf bf mf wf cf lr br mr wr cr
+    sr.Qdpjit.Engine.fused_groups
     sr.Qdpjit.Engine.launches_saved sr.Qdpjit.Engine.eliminated_load_bytes
     sr.Qdpjit.Engine.eliminated_store_bytes sr.Qdpjit.Engine.fallbacks;
   close_out oc;
@@ -654,6 +674,159 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Parallel VM: worker-domain sweep over the Table II kernels and the
+   fused Wilson CG solve.  Results must be bit-identical at every worker
+   count; wall time is the steady-state launch cost (kernels prebuilt). *)
+
+let field_checksum fld =
+  let h = ref 0xcbf29ce484222325L in
+  for site = 0 to Field.volume fld - 1 do
+    Array.iter
+      (fun v -> h := Int64.mul (Int64.logxor !h (Int64.bits_of_float v)) 0x100000001b3L)
+      (Field.get_site fld ~site)
+  done;
+  !h
+
+let vmperf () =
+  section "VM worker sweep: pre-decoded interpreter across 1..N domains";
+  let geom = Geometry.create [| 8; 8; 8; 4 |] in
+  let avail = Gpusim.Vm_backend.available_domains () in
+  let workers = List.sort_uniq compare [ 1; 2; 4; avail ] in
+  let prec = Shape.F64 in
+  let mk shape seed =
+    let x = Field.create shape geom in
+    Field.fill_gaussian x (Prng.create ~seed);
+    x
+  in
+  let u = Lqcd.Gauge.create_links geom in
+  Lqcd.Gauge.random_gauge ~epsilon:0.3 u (Prng.create ~seed:51L);
+  let cm = Shape.lattice_color_matrix prec
+  and fm = Shape.lattice_fermion prec
+  and sm = Shape.lattice_spin_matrix prec in
+  let u1 = mk cm 52L and u2 = mk cm 53L and u3 = mk cm 54L in
+  let p1 = mk fm 55L and p2 = mk fm 56L in
+  let g2 = mk sm 57L and g3 = mk sm 58L in
+  let ad = mk (Shape.clover_diag prec) 59L and at = mk (Shape.clover_tri prec) 60L in
+  let f = Expr.field in
+  let cases =
+    [
+      ("lcm", Expr.mul (f u2) (f u3), cm);
+      ("upsi", Expr.mul (f u1) (f p2), fm);
+      ("spmat", Expr.mul (f g2) (f g3), sm);
+      ("matvec", Expr.add (Expr.mul (f u1) (f p1)) (Expr.mul (f u1) (f p2)), fm);
+      ("clover", Expr.clover ~diag:(f ad) ~tri:(f at) (f p1), fm);
+      ("dslash", Lqcd.Wilson.hopping_expr u p1, fm);
+    ]
+  in
+  let reps = 4 in
+  let run_kernels w =
+    let eng = Qdpjit.Engine.create ~vm_domains:w ~fuse:false () in
+    List.map
+      (fun (name, expr, shape) ->
+        let dest = Field.create shape geom in
+        (* Warm evals build the kernel and let the block autotuner settle
+           before the timed repetitions. *)
+        for _ = 1 to 6 do
+          Qdpjit.Engine.eval eng dest expr
+        done;
+        ignore (Qdpjit.Engine.synchronize eng);
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          Qdpjit.Engine.eval eng dest expr
+        done;
+        ignore (Qdpjit.Engine.synchronize eng);
+        let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 /. float_of_int reps in
+        (name, wall_ms, field_checksum dest))
+      cases
+  in
+  let max_iter = 20 in
+  let run_cg w =
+    let eng = Qdpjit.Engine.create ~vm_domains:w () in
+    let ops = Solvers.Ops.jit eng fm geom in
+    let nop = Solvers.Ops.normal_op ops ~apply_m:(Lqcd.Wilson.wilson_expr ~kappa:0.115 u) in
+    let b = mk fm 61L in
+    let solve () =
+      let x = Field.create fm geom in
+      let t0 = Unix.gettimeofday () in
+      let r = Solvers.Cg.solve ops nop ~b ~x ~tol:1e-8 ~max_iter () in
+      ignore (Qdpjit.Engine.synchronize eng);
+      (r, x, Unix.gettimeofday () -. t0)
+    in
+    ignore (solve ());
+    let r, x, wall = solve () in
+    (r.Solvers.Cg.iterations, field_checksum x, wall)
+  in
+  let results = List.map (fun w -> (w, run_kernels w, run_cg w)) workers in
+  let _, base_k, (base_it, base_ck, _) = List.hd results in
+  let kernels_identical =
+    List.map
+      (fun (name, _, ck0) ->
+        ( name,
+          List.for_all
+            (fun (_, ks, _) ->
+              List.exists (fun (n, _, ck) -> n = name && ck = ck0) ks)
+            results ))
+      base_k
+  in
+  let cg_identical =
+    List.for_all (fun (_, _, (it, ck, _)) -> it = base_it && ck = base_ck) results
+  in
+  Printf.printf "  %s back-end, %d domain(s) available; workers swept: %s\n"
+    Gpusim.Vm_backend.runtime avail
+    (String.concat " " (List.map string_of_int workers));
+  Printf.printf "  %-10s" "kernel";
+  List.iter (fun w -> Printf.printf " %7s" (Printf.sprintf "w=%d ms" w)) workers;
+  Printf.printf "  identical\n";
+  List.iter
+    (fun (name, _, _) ->
+      Printf.printf "  %-10s" name;
+      List.iter
+        (fun (_, ks, _) ->
+          let _, ms, _ = List.find (fun (n, _, _) -> n = name) ks in
+          Printf.printf " %7.2f" ms)
+        results;
+      Printf.printf "  %b\n" (List.assoc name kernels_identical))
+    base_k;
+  Printf.printf "  %-10s" (Printf.sprintf "cg(%d it)" base_it);
+  List.iter (fun (_, _, (_, _, wall)) -> Printf.printf " %7.0f" (wall *. 1e3)) results;
+  Printf.printf "  %b\n" cg_identical;
+  if not (cg_identical && List.for_all snd kernels_identical) then
+    failwith "vmperf: results not bit-identical across worker counts";
+  let oc = open_out "BENCH_vmperf.json" in
+  let flist fmt xs = String.concat ", " (List.map (Printf.sprintf fmt) xs) in
+  Printf.fprintf oc
+    "{\n\
+    \  \"runtime\": \"%s\", \"available_domains\": %d, \"geometry\": \"%s\",\n\
+    \  \"workers\": [%s],\n\
+    \  \"kernels\": [\n"
+    Gpusim.Vm_backend.runtime avail
+    (String.concat "x" (Array.to_list (Array.map string_of_int (Geometry.dims geom))))
+    (flist "%d" (List.map (fun (w, _, _) -> w) results));
+  List.iteri
+    (fun i (name, _, _) ->
+      let walls =
+        List.map
+          (fun (_, ks, _) ->
+            let _, ms, _ = List.find (fun (n, _, _) -> n = name) ks in
+            ms)
+          results
+      in
+      Printf.fprintf oc "    {\"name\": \"%s\", \"wall_ms\": [%s], \"bit_identical\": %b}%s\n"
+        name (flist "%.4f" walls)
+        (List.assoc name kernels_identical)
+        (if i = List.length base_k - 1 then "" else ","))
+    base_k;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"cg\": {\"iterations\": %d, \"max_iter\": %d, \"wall_s\": [%s], \"bit_identical\": %b}\n\
+     }\n"
+    base_it max_iter
+    (flist "%.4f" (List.map (fun (_, _, (_, _, w)) -> w) results))
+    cg_identical;
+  close_out oc;
+  Printf.printf "  wrote BENCH_vmperf.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -672,6 +845,7 @@ let sections =
     ("ablation", ablation);
     ("fusion", fusion_bench);
     ("fusion-eo", fusion_eo_bench);
+    ("vmperf", vmperf);
     ("micro", micro);
   ]
 

@@ -811,8 +811,8 @@ let flush t =
   end
 
 let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional)
-    ?(optimize = true) ?(fuse = true) ?(fuse_reductions = true) () =
-  let device = Device.create ~mode machine in
+    ?vm_domains ?(optimize = true) ?(fuse = true) ?(fuse_reductions = true) () =
+  let device = Device.create ~mode ?vm_domains machine in
   let streams = Streams.create device in
   let t =
     {

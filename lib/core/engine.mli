@@ -75,6 +75,7 @@ type t
 val create :
   ?machine:Gpusim.Machine.t ->
   ?mode:Gpusim.Device.mode ->
+  ?vm_domains:int ->
   ?optimize:bool ->
   ?fuse:bool ->
   ?fuse_reductions:bool ->
@@ -82,7 +83,10 @@ val create :
   t
 (** A fresh engine with its own simulated device, memory cache and kernel
     cache.  [mode = Model_only] skips functional execution (used by the
-    paper-scale benchmark sweeps).  [optimize] (default on) runs the
+    paper-scale benchmark sweeps).  [vm_domains] caps the worker count
+    the pre-decoded VM may split a kernel launch across (default: host
+    parallelism, overridable with [REPRO_VM_DOMAINS]); results are
+    bit-identical for any value.  [optimize] (default on) runs the
     {!Ptx.Passes} middle-end on every kernel before the driver JIT;
     [~optimize:false] keeps the paper's raw unparser stream.  [fuse]
     (default on) defers default-stream evals into the fusion queue;

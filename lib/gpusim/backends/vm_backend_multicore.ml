@@ -1,0 +1,101 @@
+(** Multicore grid-sweep back-end (OCaml >= 5): a small persistent pool
+    of domains fed through per-worker mailboxes.
+
+    The pool grows on demand up to the largest worker count any launch
+    requests and is torn down from [at_exit], so domains never outlive
+    the runtime.  [run] hands worker [0] to the calling thread — a
+    one-worker sweep never pays a dispatch — and blocks until every
+    worker returns, which keeps kernel launches synchronous exactly like
+    the sequential interpreter.  Completion is signalled through a
+    condition variable rather than a spin loop so oversubscribed hosts
+    (more workers than cores) context-switch instead of burning a
+    scheduler quantum per handoff.
+
+    Not reentrant: launches are synchronous and issued from one thread
+    at a time, so at most one [run] is in flight. *)
+
+let runtime = "multicore"
+let available_domains () = Domain.recommended_domain_count ()
+
+type slot = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable stop : bool;
+}
+
+let slots : slot array ref = ref [||]
+let spawned : unit Domain.t list ref = ref []
+
+let worker_loop slot =
+  let rec next () =
+    Mutex.lock slot.m;
+    while slot.job = None && not slot.stop do
+      Condition.wait slot.cv slot.m
+    done;
+    let job = slot.job in
+    slot.job <- None;
+    Mutex.unlock slot.m;
+    match job with
+    | Some f ->
+        f ();
+        next ()
+    | None -> ()
+  in
+  next ()
+
+let shutdown () =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.m;
+      s.stop <- true;
+      Condition.signal s.cv;
+      Mutex.unlock s.m)
+    !slots;
+  List.iter Domain.join !spawned;
+  slots := [||];
+  spawned := []
+
+let ensure extra =
+  let have = Array.length !slots in
+  if extra > have then begin
+    if have = 0 then at_exit shutdown;
+    let fresh =
+      Array.init (extra - have) (fun _ ->
+          { m = Mutex.create (); cv = Condition.create (); job = None; stop = false })
+    in
+    slots := Array.append !slots fresh;
+    Array.iter (fun s -> spawned := Domain.spawn (fun () -> worker_loop s) :: !spawned) fresh
+  end
+
+let run ~workers f =
+  if workers <= 1 then f 0
+  else begin
+    let extra = workers - 1 in
+    ensure extra;
+    let pool = !slots in
+    let m = Mutex.create () and cv = Condition.create () in
+    let remaining = ref extra in
+    for k = 1 to extra do
+      let s = pool.(k - 1) in
+      let job () =
+        (* [f] must not raise (the VM records faults out of band); the
+           guard keeps a buggy worker from wedging the pool forever. *)
+        (try f k with _ -> ());
+        Mutex.lock m;
+        decr remaining;
+        if !remaining = 0 then Condition.signal cv;
+        Mutex.unlock m
+      in
+      Mutex.lock s.m;
+      s.job <- Some job;
+      Condition.signal s.cv;
+      Mutex.unlock s.m
+    done;
+    f 0;
+    Mutex.lock m;
+    while !remaining > 0 do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m
+  end

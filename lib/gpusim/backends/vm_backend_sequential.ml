@@ -1,0 +1,14 @@
+(** Sequential grid-sweep back-end (OCaml 4.x fallback).
+
+    Chunks run one after another on the calling thread, in worker-index
+    order.  Workers own disjoint cta spans and disjoint register files,
+    so this produces bit-identical results to the multicore back-end —
+    it is the same schedule with the parallelism removed. *)
+
+let runtime = "sequential"
+let available_domains () = 1
+
+let run ~workers f =
+  for k = 0 to workers - 1 do
+    f k
+  done

@@ -12,6 +12,12 @@ type data =
 
 type t = { id : int; data : data; bytes : int }
 
+val offset_bits : int
+(** Byte offsets occupy the low [offset_bits] of an address; buffer ids
+    live above them. *)
+
+val offset_mask : int
+
 val address : t -> int
 (** The base "device pointer" handed to kernels. *)
 

@@ -25,6 +25,7 @@ type stats = {
 type t = {
   machine : Machine.t;
   mutable mode : mode;
+  mutable vm_domains : int;
   mutable clock_ns : float;
   mutable used_bytes : int;
   mutable buffers : Buffer.t option array;
@@ -32,10 +33,11 @@ type t = {
   stats : stats;
 }
 
-let create ?(mode = Functional) machine =
+let create ?(mode = Functional) ?vm_domains machine =
   {
     machine;
     mode;
+    vm_domains = Machine.host_domains ?vm_domains ();
     clock_ns = 0.0;
     used_bytes = 0;
     buffers = Array.make 64 None;
@@ -55,6 +57,8 @@ let create ?(mode = Functional) machine =
   }
 
 let set_mode t mode = t.mode <- mode
+let vm_domains t = t.vm_domains
+let set_vm_domains t n = t.vm_domains <- max 1 n
 let clock_ns t = t.clock_ns
 let used_bytes t = t.used_bytes
 let free_bytes t = t.machine.Machine.memory_bytes - t.used_bytes
@@ -131,7 +135,8 @@ let execute t (c : Jit.compiled) ~nthreads ~block ~params =
   end;
   let grid = (nthreads + block - 1) / block in
   (match t.mode with
-  | Functional -> Vm.run_grid c.Jit.program ~grid ~block ~params ~lookup:(lookup t)
+  | Functional ->
+      Vm.run_grid ~workers:t.vm_domains c.Jit.program ~grid ~block ~params ~lookup:(lookup t)
   | Model_only -> ());
   let ns =
     Timing.kernel_time_ns t.machine ~analysis:c.Jit.analysis

@@ -27,6 +27,7 @@ type stats = {
 type t = {
   machine : Machine.t;
   mutable mode : mode;
+  mutable vm_domains : int;  (** worker cap for parallel kernel execution *)
   mutable clock_ns : float;
   mutable used_bytes : int;
   mutable buffers : Buffer.t option array;
@@ -34,8 +35,15 @@ type t = {
   stats : stats;
 }
 
-val create : ?mode:mode -> Machine.t -> t
+val create : ?mode:mode -> ?vm_domains:int -> Machine.t -> t
+(** [vm_domains] caps the workers the VM may split a launch across;
+    defaults via {!Machine.host_domains} (available cores, overridable
+    with [REPRO_VM_DOMAINS]).  Results are bit-identical for any
+    worker count. *)
+
 val set_mode : t -> mode -> unit
+val vm_domains : t -> int
+val set_vm_domains : t -> int -> unit
 val clock_ns : t -> float
 val used_bytes : t -> int
 val free_bytes : t -> int

@@ -70,3 +70,18 @@ let by_name = function
   | "K20x_eccoff" -> Some k20x_ecc_off
   | "K20m_eccon" -> Some k20m_ecc_on
   | _ -> None
+
+(* Worker-count resolution for the parallel VM back-end: explicit
+   argument > REPRO_VM_DOMAINS environment override > hardware count
+   reported by the back-end (1 on the sequential fallback). *)
+let host_domains ?vm_domains () =
+  let avail = Vm_backend.available_domains () in
+  let n =
+    match vm_domains with
+    | Some n -> n
+    | None -> (
+        match Sys.getenv_opt "REPRO_VM_DOMAINS" with
+        | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> avail)
+        | None -> avail)
+  in
+  max 1 (min n 64)

@@ -1,47 +1,110 @@
-(** Executable form of a PTX kernel and its interpreter.
+(** Pre-decoded executable form of a PTX kernel and its multicore
+    interpreter.
 
-    The back half of the simulated driver JIT: instructions are compiled
-    once into an array of closures over a register-file context; a launch
-    then runs the closure program for every thread of the grid.  Threads of
-    the streaming kernels generated by this library are independent, so
-    they execute sequentially in thread order.
+    The back half of the simulated driver JIT.  [compile] lowers a
+    validated kernel into a flat program: int-coded opcodes with operand
+    *indices* in four parallel arrays, labels compacted away (branch
+    targets are instruction indices), and immediates promoted into
+    constant-pool slots appended to the register files — so the hot loop
+    is a jump table over plain array reads, with no closures and no
+    per-operand dispatch.  Registers live in three flat files per worker
+    (floats: f32 then f64; ints: s32/u32/s64/u64 concatenated;
+    predicates), allocated once per worker slot on the program and
+    reused across threads and launches.
+
+    [run_grid] executes the grid either sequentially or split across
+    {!Vm_backend} workers in whole-cta chunks.  A decode-time provenance
+    analysis classifies every global access (uniform / affine-in-thread-
+    index / via-sitelist / gathered); launches whose stores all target
+    the issuing work item's own slot — and whose same-buffer read-backs
+    stay within the radix-8 reduction-tail contract — may split, because
+    chunks then touch disjoint output ranges and the result is
+    bit-identical to the sequential sweep.  Anything else (e.g. the
+    in-place [p = shift p] gather) runs sequentially.  Chunk boundaries
+    are aligned to multiples of 8 work items so a reduction tail always
+    aggregates partials its own chunk wrote.  Faults are recorded per
+    worker and the lowest (ctaid, tid) fault is re-raised on the
+    launching thread, enriched with kernel name and thread coordinates,
+    so error reporting stays deterministic.
 
     Modeling note: f32 register arithmetic is performed in double and
-    rounded only when stored through an f32 buffer — the same convention the
-    CPU reference evaluator uses — which makes CPU-vs-JIT comparisons exact
-    instead of differing in f32 rounding of intermediates.  Real Kepler
-    hardware rounds every f32 operation; the difference is far below the
-    tolerances of any physics in this library. *)
+    rounded only when stored through an f32 buffer — the same convention
+    the CPU reference evaluator uses — which makes CPU-vs-JIT
+    comparisons exact instead of differing in f32 rounding of
+    intermediates.  Real Kepler hardware rounds every f32 operation; the
+    difference is far below the tolerances of any physics in this
+    library. *)
 
 type param_value = Ptr of Buffer.t | Int of int | Float of float
-
-type ctx = {
-  f32 : float array;
-  f64 : float array;
-  s32 : int array;
-  u32 : int array;
-  s64 : int array;
-  u64 : int array;
-  pred : bool array;
-  mutable tid : int;
-  mutable ctaid : int;
-  mutable ntid : int;
-  mutable nctaid : int;
-  mutable args : param_value array;
-  mutable lookup : int -> Buffer.data;  (** buffer id -> storage *)
-}
-
-type program = {
-  kernel : Ptx.Types.kernel;
-  steps : (ctx -> int) array;
-  reg_counts : (Ptx.Types.dtype * int) list;  (** registers per class *)
-}
 
 exception Fault of string
 
 let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
 
 open Ptx.Types
+
+(* ------------------------------------------------------------------ *)
+(* Opcodes.  The interpreter matches on these literal values; keep the
+   two tables in sync.
+
+    0 ret
+    1 add.f    f[a] <- f[b] +. f[c]        7 add.i    i[a] <- i[b] + i[c]
+    2 sub.f                                8 sub.i
+    3 mul.f                                9 mul.i
+    4 div.f                               10 div.i  (faults on 0)
+    5 fma.f    f[a] <- f[b]*f[c] +. f[d]  11 fma.i
+    6 neg.f                               12 shl.i  i[a] <- i[b] lsl c (literal)
+                                          13 neg.i
+   14 mov.f    f[a] <- f[b]               15 mov.i
+   16 cvt.f32  f[a] <- round32 f[b]       17 cvt.i2f  18 cvt.f2i
+   19..24 setp.f  p[a] <- f[b] cmp f[c]   (eq ne lt le gt ge)
+   25..30 setp.i  p[a] <- i[b] cmp i[c]
+   31 bra pc<-a   32 bra.pred  if p[a] then pc<-b
+   33 tid  34 ntid  35 ctaid  36 nctaid   (i[a] <- sreg)
+   37 ld.param.ptr  38 ld.param.int  39 ld.param.f   (param slot b)
+   40 ld.g.f32  41 ld.g.f64  42 ld.g.i32  (addr i[b]+c)
+   43 st.g.f32  44 st.g.f64  45 st.g.i32  (addr i[a]+b, src reg c)
+   46 call.f64  f[a] <- fns[c] f[b]       47 call.f32 (rounds result) *)
+
+(* ------------------------------------------------------------------ *)
+(* Static provenance of global accesses, used to decide whether a launch
+   may be split across workers.  Classes form a lattice ordered by how
+   little we know about the address:
+
+   - [Uniform]: same for every thread (params, nctaid, constants).
+   - [Affine]:  derived from tid/ctaid arithmetic — the canonical
+     "my own work item" indexing of generated streaming kernels.
+   - [Slist]:   loaded from a parameter named [sitelist*] at an affine
+     index — the subset indirection; injective by construction.
+   - [Gather]:  any other memory-derived value (neighbour tables,
+     arbitrary indirection). *)
+
+type access_class = Uniform | Affine | Slist | Gather
+
+type access = {
+  a_param : int;  (** param slot the address derives from; -1 unknown *)
+  a_class : access_class;
+  a_store : bool;
+}
+
+type wctx = { wf : float array; wi : int array; wp : bool array }
+
+type program = {
+  kernel : kernel;
+  co : int array;  (** opcodes *)
+  ca : int array;
+  cb : int array;
+  cc : int array;
+  cd : int array;  (** operand indices / literals *)
+  nfreg : int;
+  nireg : int;
+  npred : int;
+  fpool : float array;  (** float constants, installed at [nfreg..] *)
+  ipool : int array;  (** int constants, installed at [nireg..] *)
+  fns : (float -> float) array;  (** call targets *)
+  accesses : access array;
+  mutable slots : wctx array;  (** per-worker register files, reused *)
+}
 
 let max_reg_ids body =
   let tbl = Hashtbl.create 8 in
@@ -55,47 +118,6 @@ let max_reg_ids body =
       List.iter see (Ptx.Dataflow.uses_of i))
     body;
   tbl
-
-(* Float getters/setters per class; integer classes share OCaml int. *)
-let float_get dtype =
-  match dtype with
-  | F32 -> fun (ctx : ctx) id -> ctx.f32.(id)
-  | F64 -> fun ctx id -> ctx.f64.(id)
-  | _ -> invalid_arg "Vm: float access to integer class"
-
-let float_set dtype =
-  match dtype with
-  | F32 -> fun (ctx : ctx) id v -> ctx.f32.(id) <- v
-  | F64 -> fun ctx id v -> ctx.f64.(id) <- v
-  | _ -> invalid_arg "Vm: float access to integer class"
-
-let int_get dtype =
-  match dtype with
-  | S32 -> fun (ctx : ctx) id -> ctx.s32.(id)
-  | U32 -> fun ctx id -> ctx.u32.(id)
-  | S64 -> fun ctx id -> ctx.s64.(id)
-  | U64 -> fun ctx id -> ctx.u64.(id)
-  | _ -> invalid_arg "Vm: integer access to float class"
-
-let int_set dtype =
-  match dtype with
-  | S32 -> fun (ctx : ctx) id v -> ctx.s32.(id) <- v
-  | U32 -> fun ctx id v -> ctx.u32.(id) <- v
-  | S64 -> fun ctx id v -> ctx.s64.(id) <- v
-  | U64 -> fun ctx id v -> ctx.u64.(id) <- v
-  | _ -> invalid_arg "Vm: integer access to float class"
-
-let float_operand dtype op =
-  match op with
-  | Reg r -> float_get dtype |> fun get -> fun ctx -> get ctx r.id
-  | Imm_float v -> fun _ -> v
-  | Imm_int i -> fun _ -> float_of_int i
-
-let int_operand dtype op =
-  match op with
-  | Reg r -> int_get dtype |> fun get -> fun ctx -> get ctx r.id
-  | Imm_int i -> fun _ -> i
-  | Imm_float _ -> invalid_arg "Vm: float immediate in integer instruction"
 
 let math_functions : (string * (float -> float)) list =
   [
@@ -114,357 +136,649 @@ let math_functions : (string * (float -> float)) list =
 
 let lookup_math func =
   (* Subroutine names: qdpjit_<fn>_<f32|f64>. *)
-  let known = List.find_opt (fun (n, _) -> "qdpjit_" ^ n ^ "_f32" = func || "qdpjit_" ^ n ^ "_f64" = func) math_functions in
-  match known with
-  | Some (_, f) -> f
-  | None -> fault "unknown math subroutine %S" func
+  let known =
+    List.find_opt
+      (fun (n, _) -> "qdpjit_" ^ n ^ "_f32" = func || "qdpjit_" ^ n ^ "_f64" = func)
+      math_functions
+  in
+  match known with Some (_, f) -> f | None -> fault "unknown math subroutine %S" func
 
-(* Memory access. *)
-let load dtype (ctx : ctx) addr =
-  let bid, off = Buffer.decode_address addr in
-  match (ctx.lookup bid, dtype) with
-  | Buffer.F32 a, F32 ->
-      if off land 3 <> 0 then fault "misaligned f32 load";
-      Bigarray.Array1.get a (off lsr 2)
-  | Buffer.F64 a, F64 ->
-      if off land 7 <> 0 then fault "misaligned f64 load";
-      Bigarray.Array1.get a (off lsr 3)
-  | _, (F32 | F64) -> fault "typed load does not match buffer kind"
-  | _, _ -> invalid_arg "Vm.load: float only"
+(* ------------------------------------------------------------------ *)
+(* Provenance analysis: a forward fixpoint over the body (generated
+   kernels only branch forward, so this converges in a couple of
+   passes).  Tracks per register (class, defining pointer param). *)
 
-let load_int dtype (ctx : ctx) addr =
-  let bid, off = Buffer.decode_address addr in
-  match (ctx.lookup bid, dtype) with
-  | Buffer.I32 a, (S32 | U32) ->
-      if off land 3 <> 0 then fault "misaligned i32 load";
-      Int32.to_int (Bigarray.Array1.get a (off lsr 2))
-  | _, _ -> fault "typed integer load does not match buffer kind"
+let rank = function Uniform -> 0 | Affine -> 1 | Slist -> 2 | Gather -> 3
+let join a b = if rank a >= rank b then a else b
 
-let store dtype (ctx : ctx) addr v =
-  let bid, off = Buffer.decode_address addr in
-  match (ctx.lookup bid, dtype) with
-  | Buffer.F32 a, F32 -> Bigarray.Array1.set a (off lsr 2) v
-  | Buffer.F64 a, F64 -> Bigarray.Array1.set a (off lsr 3) v
-  | _, _ -> fault "typed store does not match buffer kind"
+let analyze (k : kernel) =
+  let params = Array.of_list k.params in
+  let is_sitelist_param i =
+    i >= 0
+    && i < Array.length params
+    &&
+    let n = params.(i).pname in
+    String.length n >= 8 && String.sub n 0 8 = "sitelist"
+  in
+  let prov : (dtype * int, access_class) Hashtbl.t = Hashtbl.create 64 in
+  let base : (dtype * int, int option) Hashtbl.t = Hashtbl.create 16 in
+  let changed = ref true in
+  let getp r = match Hashtbl.find_opt prov (r.rtype, r.id) with Some c -> c | None -> Uniform in
+  let getb r = match Hashtbl.find_opt base (r.rtype, r.id) with Some b -> b | None -> None in
+  let setp_ r c =
+    if rank c > rank (getp r) then begin
+      Hashtbl.replace prov (r.rtype, r.id) c;
+      changed := true
+    end
+  in
+  (* Base lattice: unseen -> Some slot -> None (conflicting or derived). *)
+  let setb r b =
+    let key = (r.rtype, r.id) in
+    match Hashtbl.find_opt base key with
+    | None -> if b <> None then (Hashtbl.replace base key b; changed := true)
+    | Some cur when cur = b -> ()
+    | Some None -> ()
+    | Some (Some _) ->
+        Hashtbl.replace base key None;
+        changed := true
+  in
+  let op_prov = function Reg r -> getp r | Imm_float _ | Imm_int _ -> Uniform in
+  let op_base = function Reg r -> getb r | Imm_float _ | Imm_int _ -> None in
+  let merge_base a b =
+    match (a, b) with
+    | (Some _ as p), None | None, (Some _ as p) -> p
+    | None, None | Some _, Some _ -> None
+  in
+  let step instr =
+    match instr with
+    | Label _ | Ret | Bra _ | Setp _ | St_global _ -> ()
+    | Ld_param { dst; param_index } ->
+        setb dst
+          (if
+             param_index >= 0
+             && param_index < Array.length params
+             && params.(param_index).ptype = U64
+           then Some param_index
+           else None)
+    | Mov { dst; src } ->
+        setp_ dst (op_prov src);
+        setb dst (op_base src)
+    | Mov_sreg { dst; src } -> (
+        match src with Tid_x | Ctaid_x -> setp_ dst Affine | Ntid_x | Nctaid_x -> ())
+    | Add { dst; a; b; _ } ->
+        setp_ dst (join (op_prov a) (op_prov b));
+        setb dst (merge_base (op_base a) (op_base b))
+    | Sub { dst; a; b; _ } | Mul { dst; a; b; _ } | Div { dst; a; b; _ } ->
+        setp_ dst (join (op_prov a) (op_prov b))
+    | Fma { dst; a; b; c; _ } -> setp_ dst (join (op_prov a) (join (op_prov b) (op_prov c)))
+    | Shl { dst; a; _ } | Neg { dst; a; _ } -> setp_ dst (op_prov a)
+    | Cvt { dst; src } ->
+        setp_ dst (getp src);
+        setb dst (getb src)
+    | Call { ret; arg; _ } -> setp_ ret (getp arg)
+    | Ld_global { dst; addr; _ } ->
+        let cls =
+          match getb addr with
+          | Some p when is_sitelist_param p && rank (getp addr) <= rank Affine -> Slist
+          | _ -> Gather
+        in
+        setp_ dst cls
+  in
+  while !changed do
+    changed := false;
+    List.iter step k.body
+  done;
+  let accs = ref [] in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Ld_global { addr; _ } ->
+          accs :=
+            {
+              a_param = (match getb addr with Some p -> p | None -> -1);
+              a_class = getp addr;
+              a_store = false;
+            }
+            :: !accs
+      | St_global { addr; _ } ->
+          accs :=
+            {
+              a_param = (match getb addr with Some p -> p | None -> -1);
+              a_class = getp addr;
+              a_store = true;
+            }
+            :: !accs
+      | _ -> ())
+    k.body;
+  Array.of_list (List.rev !accs)
 
-let store_int dtype (ctx : ctx) addr v =
-  let bid, off = Buffer.decode_address addr in
-  match (ctx.lookup bid, dtype) with
-  | Buffer.I32 a, (S32 | U32) -> Bigarray.Array1.set a (off lsr 2) (Int32.of_int v)
-  | _, _ -> fault "typed integer store does not match buffer kind"
+(* ------------------------------------------------------------------ *)
+(* Decode. *)
 
 let compile (kernel : kernel) =
   Ptx.Validate.kernel kernel;
+  let tbl = max_reg_ids kernel.body in
+  let cnt dt = match Hashtbl.find_opt tbl dt with Some m -> m + 1 | None -> 0 in
+  let nf32 = cnt F32 and nf64 = cnt F64 in
+  let ns32 = cnt S32 and nu32 = cnt U32 and ns64 = cnt S64 and nu64 = cnt U64 in
+  let npred = max 1 (cnt Pred) in
+  let nfreg = nf32 + nf64 and nireg = ns32 + nu32 + ns64 + nu64 in
+  let freg r =
+    match r.rtype with
+    | F32 -> r.id
+    | F64 -> nf32 + r.id
+    | _ -> invalid_arg "Vm: float access to integer class"
+  in
+  let ireg r =
+    match r.rtype with
+    | S32 -> r.id
+    | U32 -> ns32 + r.id
+    | S64 -> ns32 + nu32 + r.id
+    | U64 -> ns32 + nu32 + ns64 + r.id
+    | _ -> invalid_arg "Vm: integer access to float class"
+  in
+  (* Immediates become constant-pool slots past the register files, so
+     every operand is a plain index into the same flat file. *)
+  let fpool = ref [] and fpool_n = ref 0 and fpool_tbl = Hashtbl.create 8 in
+  let fconst v =
+    let key = Int64.bits_of_float v in
+    match Hashtbl.find_opt fpool_tbl key with
+    | Some slot -> slot
+    | None ->
+        let slot = nfreg + !fpool_n in
+        incr fpool_n;
+        fpool := v :: !fpool;
+        Hashtbl.add fpool_tbl key slot;
+        slot
+  in
+  let ipool = ref [] and ipool_n = ref 0 and ipool_tbl = Hashtbl.create 8 in
+  let iconst v =
+    match Hashtbl.find_opt ipool_tbl v with
+    | Some slot -> slot
+    | None ->
+        let slot = nireg + !ipool_n in
+        incr ipool_n;
+        ipool := v :: !ipool;
+        Hashtbl.add ipool_tbl v slot;
+        slot
+  in
+  let fop = function
+    | Reg r -> freg r
+    | Imm_float v -> fconst v
+    | Imm_int i -> fconst (float_of_int i)
+  in
+  let iop = function
+    | Reg r -> ireg r
+    | Imm_int i -> iconst i
+    | Imm_float _ -> invalid_arg "Vm: float immediate in integer instruction"
+  in
+  (* Compact labels away; branch targets become instruction indices. *)
   let body = Array.of_list kernel.body in
-  (* Resolve labels to instruction indices. *)
+  let n = Array.length body in
+  let idx_of = Array.make n 0 in
   let labels = Hashtbl.create 8 in
-  Array.iteri (fun i instr -> match instr with Label l -> Hashtbl.replace labels l i | _ -> ()) body;
+  let ninstr = ref 0 in
+  for i = 0 to n - 1 do
+    idx_of.(i) <- !ninstr;
+    match body.(i) with Label l -> Hashtbl.replace labels l i | _ -> incr ninstr
+  done;
+  let ninstr = !ninstr in
   let label_pos l =
     match Hashtbl.find_opt labels l with
-    | Some i -> i
+    | Some i -> idx_of.(i)
     | None -> fault "undefined label %S" l
   in
-  let steps =
-    Array.mapi
-      (fun pc instr ->
-        let next = pc + 1 in
-        match instr with
-        | Label _ -> fun _ -> next
-        | Ret -> fun _ -> -1
-        | Ld_param { dst; param_index } -> (
-            match dst.rtype with
-            | U64 ->
-                fun ctx ->
-                  (match ctx.args.(param_index) with
-                  | Ptr b -> ctx.u64.(dst.id) <- Buffer.address b
-                  | Int _ | Float _ -> fault "ld.param.u64 on non-pointer parameter");
-                  next
-            | S32 | U32 ->
-                let set = int_set dst.rtype in
-                fun ctx ->
-                  (match ctx.args.(param_index) with
-                  | Int i -> set ctx dst.id i
-                  | Ptr _ | Float _ -> fault "ld.param.%%r on non-integer parameter");
-                  next
-            | F32 | F64 ->
-                let set = float_set dst.rtype in
-                fun ctx ->
-                  (match ctx.args.(param_index) with
-                  | Float f -> set ctx dst.id f
-                  | Ptr _ | Int _ -> fault "ld.param float on non-float parameter");
-                  next
-            | S64 | Pred -> fault "unsupported ld.param class")
-        | Ld_global { dtype; dst; addr; offset } -> (
-            match dtype with
-            | F32 | F64 ->
-                let set = float_set dtype in
-                fun ctx ->
-                  set ctx dst.id (load dtype ctx (ctx.u64.(addr.id) + offset));
-                  next
-            | S32 | U32 ->
-                let set = int_set dtype in
-                fun ctx ->
-                  set ctx dst.id (load_int dtype ctx (ctx.u64.(addr.id) + offset));
-                  next
-            | S64 | U64 | Pred -> fault "unsupported ld.global class")
-        | St_global { dtype; addr; offset; src } -> (
-            match dtype with
-            | F32 | F64 ->
-                let get = float_operand dtype src in
-                fun ctx ->
-                  store dtype ctx (ctx.u64.(addr.id) + offset) (get ctx);
-                  next
-            | S32 | U32 ->
-                let get = int_operand dtype src in
-                fun ctx ->
-                  store_int dtype ctx (ctx.u64.(addr.id) + offset) (get ctx);
-                  next
-            | S64 | U64 | Pred -> fault "unsupported st.global class")
-        | Mov { dst; src } -> (
-            match dst.rtype with
-            | F32 | F64 ->
-                let get = float_operand dst.rtype src in
-                let set = float_set dst.rtype in
-                fun ctx ->
-                  set ctx dst.id (get ctx);
-                  next
-            | S32 | U32 | S64 | U64 ->
-                let get = int_operand dst.rtype src in
-                let set = int_set dst.rtype in
-                fun ctx ->
-                  set ctx dst.id (get ctx);
-                  next
-            | Pred -> fault "mov on predicates unsupported")
-        | Mov_sreg { dst; src } -> (
-            let set = int_set dst.rtype in
-            match src with
-            | Tid_x ->
-                fun ctx ->
-                  set ctx dst.id ctx.tid;
-                  next
-            | Ntid_x ->
-                fun ctx ->
-                  set ctx dst.id ctx.ntid;
-                  next
-            | Ctaid_x ->
-                fun ctx ->
-                  set ctx dst.id ctx.ctaid;
-                  next
-            | Nctaid_x ->
-                fun ctx ->
-                  set ctx dst.id ctx.nctaid;
-                  next)
-        | Add { dtype; dst; a; b } ->
-            if is_float dtype then begin
-              let ga = float_operand dtype a and gb = float_operand dtype b in
-              let set = float_set dtype in
-              fun ctx ->
-                set ctx dst.id (ga ctx +. gb ctx);
-                next
-            end
-            else begin
-              let ga = int_operand dtype a and gb = int_operand dtype b in
-              let set = int_set dtype in
-              fun ctx ->
-                set ctx dst.id (ga ctx + gb ctx);
-                next
-            end
-        | Sub { dtype; dst; a; b } ->
-            if is_float dtype then begin
-              let ga = float_operand dtype a and gb = float_operand dtype b in
-              let set = float_set dtype in
-              fun ctx ->
-                set ctx dst.id (ga ctx -. gb ctx);
-                next
-            end
-            else begin
-              let ga = int_operand dtype a and gb = int_operand dtype b in
-              let set = int_set dtype in
-              fun ctx ->
-                set ctx dst.id (ga ctx - gb ctx);
-                next
-            end
-        | Mul { dtype; dst; a; b } ->
-            if is_float dtype then begin
-              let ga = float_operand dtype a and gb = float_operand dtype b in
-              let set = float_set dtype in
-              fun ctx ->
-                set ctx dst.id (ga ctx *. gb ctx);
-                next
-            end
-            else begin
-              let ga = int_operand dtype a and gb = int_operand dtype b in
-              let set = int_set dtype in
-              fun ctx ->
-                set ctx dst.id (ga ctx * gb ctx);
-                next
-            end
-        | Div { dtype; dst; a; b } ->
-            if is_float dtype then begin
-              let ga = float_operand dtype a and gb = float_operand dtype b in
-              let set = float_set dtype in
-              fun ctx ->
-                set ctx dst.id (ga ctx /. gb ctx);
-                next
-            end
-            else begin
-              let ga = int_operand dtype a and gb = int_operand dtype b in
-              let set = int_set dtype in
-              fun ctx ->
-                let d = gb ctx in
-                if d = 0 then fault "integer division by zero";
-                set ctx dst.id (ga ctx / d);
-                next
-            end
-        | Fma { dtype; dst; a; b; c } ->
-            if is_float dtype then begin
-              let ga = float_operand dtype a
-              and gb = float_operand dtype b
-              and gc = float_operand dtype c in
-              let set = float_set dtype in
-              fun ctx ->
-                set ctx dst.id ((ga ctx *. gb ctx) +. gc ctx);
-                next
-            end
-            else begin
-              let ga = int_operand dtype a and gb = int_operand dtype b and gc = int_operand dtype c in
-              let set = int_set dtype in
-              fun ctx ->
-                set ctx dst.id ((ga ctx * gb ctx) + gc ctx);
-                next
-            end
-        | Shl { dtype; dst; a; amount } ->
-            if is_float dtype then fault "shl on float registers"
-            else begin
-              let ga = int_operand dtype a in
-              let set = int_set dtype in
-              fun ctx ->
-                set ctx dst.id (ga ctx lsl amount);
-                next
-            end
-        | Neg { dtype; dst; a } ->
-            if is_float dtype then begin
-              let ga = float_operand dtype a in
-              let set = float_set dtype in
-              fun ctx ->
-                set ctx dst.id (-.(ga ctx));
-                next
-            end
-            else begin
-              let ga = int_operand dtype a in
-              let set = int_set dtype in
-              fun ctx ->
-                set ctx dst.id (-ga ctx);
-                next
-            end
-        | Cvt { dst; src } -> (
-            match (is_float dst.rtype, is_float src.rtype) with
-            | true, true ->
-                let get = float_get src.rtype and set = float_set dst.rtype in
-                if dst.rtype = F32 then fun ctx ->
-                  set ctx dst.id (Int32.float_of_bits (Int32.bits_of_float (get ctx src.id)));
-                  next
-                else fun ctx ->
-                  set ctx dst.id (get ctx src.id);
-                  next
-            | true, false ->
-                let get = int_get src.rtype and set = float_set dst.rtype in
-                fun ctx ->
-                  set ctx dst.id (float_of_int (get ctx src.id));
-                  next
-            | false, true ->
-                let get = float_get src.rtype and set = int_set dst.rtype in
-                fun ctx ->
-                  set ctx dst.id (int_of_float (get ctx src.id));
-                  next
-            | false, false ->
-                let get = int_get src.rtype and set = int_set dst.rtype in
-                fun ctx ->
-                  set ctx dst.id (get ctx src.id);
-                  next)
-        | Setp { cmp; dtype; dst; a; b } ->
-            let test : float -> float -> bool =
-              match cmp with
-              | Eq -> ( = )
-              | Ne -> ( <> )
-              | Lt -> ( < )
-              | Le -> ( <= )
-              | Gt -> ( > )
-              | Ge -> ( >= )
-            in
-            if is_float dtype then begin
-              let ga = float_operand dtype a and gb = float_operand dtype b in
-              fun ctx ->
-                ctx.pred.(dst.id) <- test (ga ctx) (gb ctx);
-                next
-            end
-            else begin
-              let ga = int_operand dtype a and gb = int_operand dtype b in
-              fun ctx ->
-                ctx.pred.(dst.id) <- test (float_of_int (ga ctx)) (float_of_int (gb ctx));
-                next
-            end
-        | Bra { label; pred } -> (
-            let target = label_pos label in
-            match pred with
-            | None -> fun _ -> target
-            | Some p -> fun ctx -> if ctx.pred.(p.id) then target else next)
-        | Call { func; ret; arg } ->
-            let f = lookup_math func in
-            let get = float_get arg.rtype and set = float_set ret.rtype in
-            if ret.rtype = F32 then fun ctx ->
-              set ctx ret.id (Int32.float_of_bits (Int32.bits_of_float (f (get ctx arg.id))));
-              next
-            else fun ctx ->
-              set ctx ret.id (f (get ctx arg.id));
-              next)
-      body
+  let sz = max 1 ninstr in
+  let co = Array.make sz 0
+  and ca = Array.make sz 0
+  and cb = Array.make sz 0
+  and cc = Array.make sz 0
+  and cd = Array.make sz 0 in
+  let fns = ref [] and fns_n = ref 0 in
+  let addfn f =
+    let i = !fns_n in
+    incr fns_n;
+    fns := f :: !fns;
+    i
   in
-  let tbl = max_reg_ids kernel.body in
-  let reg_counts =
-    List.filter_map
-      (fun dt -> match Hashtbl.find_opt tbl dt with Some m -> Some (dt, m + 1) | None -> None)
-      [ F32; F64; S32; U32; S64; U64; Pred ]
+  let j = ref 0 in
+  let emit o a b c d =
+    co.(!j) <- o;
+    ca.(!j) <- a;
+    cb.(!j) <- b;
+    cc.(!j) <- c;
+    cd.(!j) <- d;
+    incr j
   in
-  { kernel; steps; reg_counts }
-
-let make_ctx program =
-  let count dt = try List.assoc dt program.reg_counts with Not_found -> 0 in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Label _ -> ()
+      | Ret -> emit 0 0 0 0 0
+      | Add { dtype; dst; a; b } ->
+          if is_float dtype then emit 1 (freg dst) (fop a) (fop b) 0
+          else emit 7 (ireg dst) (iop a) (iop b) 0
+      | Sub { dtype; dst; a; b } ->
+          if is_float dtype then emit 2 (freg dst) (fop a) (fop b) 0
+          else emit 8 (ireg dst) (iop a) (iop b) 0
+      | Mul { dtype; dst; a; b } ->
+          if is_float dtype then emit 3 (freg dst) (fop a) (fop b) 0
+          else emit 9 (ireg dst) (iop a) (iop b) 0
+      | Div { dtype; dst; a; b } ->
+          if is_float dtype then emit 4 (freg dst) (fop a) (fop b) 0
+          else emit 10 (ireg dst) (iop a) (iop b) 0
+      | Fma { dtype; dst; a; b; c } ->
+          if is_float dtype then emit 5 (freg dst) (fop a) (fop b) (fop c)
+          else emit 11 (ireg dst) (iop a) (iop b) (iop c)
+      | Neg { dtype; dst; a } ->
+          if is_float dtype then emit 6 (freg dst) (fop a) 0 0 else emit 13 (ireg dst) (iop a) 0 0
+      | Shl { dtype; dst; a; amount } ->
+          if is_float dtype then fault "shl on float registers"
+          else emit 12 (ireg dst) (iop a) amount 0
+      | Mov { dst; src } -> (
+          match dst.rtype with
+          | F32 | F64 -> emit 14 (freg dst) (fop src) 0 0
+          | S32 | U32 | S64 | U64 -> emit 15 (ireg dst) (iop src) 0 0
+          | Pred -> fault "mov on predicates unsupported")
+      | Cvt { dst; src } -> (
+          match (is_float dst.rtype, is_float src.rtype) with
+          | true, true ->
+              if dst.rtype = F32 then emit 16 (freg dst) (freg src) 0 0
+              else emit 14 (freg dst) (freg src) 0 0
+          | true, false -> emit 17 (freg dst) (ireg src) 0 0
+          | false, true -> emit 18 (ireg dst) (freg src) 0 0
+          | false, false -> emit 15 (ireg dst) (ireg src) 0 0)
+      | Setp { cmp; dtype; dst; a; b } ->
+          let off = match cmp with Eq -> 0 | Ne -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5 in
+          if is_float dtype then emit (19 + off) dst.id (fop a) (fop b) 0
+          else emit (25 + off) dst.id (iop a) (iop b) 0
+      | Bra { label; pred } -> (
+          let target = label_pos label in
+          match pred with
+          | None -> emit 31 target 0 0 0
+          | Some p -> emit 32 p.id target 0 0)
+      | Mov_sreg { dst; src } ->
+          let code = match src with Tid_x -> 33 | Ntid_x -> 34 | Ctaid_x -> 35 | Nctaid_x -> 36 in
+          emit code (ireg dst) 0 0 0
+      | Ld_param { dst; param_index } -> (
+          match dst.rtype with
+          | U64 -> emit 37 (ireg dst) param_index 0 0
+          | S32 | U32 -> emit 38 (ireg dst) param_index 0 0
+          | F32 | F64 -> emit 39 (freg dst) param_index 0 0
+          | S64 | Pred -> fault "unsupported ld.param class")
+      | Ld_global { dtype; dst; addr; offset } -> (
+          match dtype with
+          | F32 -> emit 40 (freg dst) (ireg addr) offset 0
+          | F64 -> emit 41 (freg dst) (ireg addr) offset 0
+          | S32 | U32 -> emit 42 (ireg dst) (ireg addr) offset 0
+          | S64 | U64 | Pred -> fault "unsupported ld.global class")
+      | St_global { dtype; addr; offset; src } -> (
+          match dtype with
+          | F32 -> emit 43 (ireg addr) offset (fop src) 0
+          | F64 -> emit 44 (ireg addr) offset (fop src) 0
+          | S32 | U32 -> emit 45 (ireg addr) offset (iop src) 0
+          | S64 | U64 | Pred -> fault "unsupported st.global class")
+      | Call { func; ret; arg } ->
+          let fi = addfn (lookup_math func) in
+          if ret.rtype = F32 then emit 47 (freg ret) (freg arg) fi 0
+          else emit 46 (freg ret) (freg arg) fi 0)
+    body;
   {
-    f32 = Array.make (max 1 (count F32)) 0.0;
-    f64 = Array.make (max 1 (count F64)) 0.0;
-    s32 = Array.make (max 1 (count S32)) 0;
-    u32 = Array.make (max 1 (count U32)) 0;
-    s64 = Array.make (max 1 (count S64)) 0;
-    u64 = Array.make (max 1 (count U64)) 0;
-    pred = Array.make (max 1 (count Pred)) false;
-    tid = 0;
-    ctaid = 0;
-    ntid = 1;
-    nctaid = 1;
-    args = [||];
-    lookup = (fun _ -> fault "no buffer lookup bound");
+    kernel;
+    co;
+    ca;
+    cb;
+    cc;
+    cd;
+    nfreg;
+    nireg;
+    npred;
+    fpool = Array.of_list (List.rev !fpool);
+    ipool = Array.of_list (List.rev !ipool);
+    fns = Array.of_list (List.rev !fns);
+    accesses = analyze kernel;
+    slots = [||];
   }
 
-let run_thread program ctx =
+(* ------------------------------------------------------------------ *)
+(* Worker register files. *)
+
+let make_wctx p =
+  {
+    wf = Array.make (max 1 (p.nfreg + Array.length p.fpool)) 0.0;
+    wi = Array.make (max 1 (p.nireg + Array.length p.ipool)) 0;
+    wp = Array.make p.npred false;
+  }
+
+let ensure_slots p n =
+  let have = Array.length p.slots in
+  if n > have then
+    p.slots <- Array.init n (fun i -> if i < have then p.slots.(i) else make_wctx p)
+
+(* Fresh launch state: registers zeroed (matching the old per-launch
+   context), constant pools installed past the architectural
+   registers. *)
+let bind_slot p (w : wctx) =
+  Array.fill w.wf 0 p.nfreg 0.0;
+  Array.fill w.wi 0 p.nireg 0;
+  Array.fill w.wp 0 p.npred false;
+  Array.blit p.fpool 0 w.wf p.nfreg (Array.length p.fpool);
+  Array.blit p.ipool 0 w.wi p.nireg (Array.length p.ipool)
+
+(* ------------------------------------------------------------------ *)
+(* The interpreter. *)
+
+let round32 v = Int32.float_of_bits (Int32.bits_of_float v)
+
+let exec_thread p (lookup : int -> Buffer.data) (args : param_value array) (w : wctx) ~tid
+    ~ctaid ~ntid ~nctaid =
+  let co = p.co and ca = p.ca and cb = p.cb and cc = p.cc and cd = p.cd in
+  let f = w.wf and i = w.wi and pr = w.wp in
+  let fns = p.fns in
   let pc = ref 0 in
-  let steps = program.steps in
   while !pc >= 0 do
-    pc := steps.(!pc) ctx
+    let k = !pc in
+    let next = k + 1 in
+    match co.(k) with
+    | 0 -> pc := -1
+    | 1 ->
+        f.(ca.(k)) <- f.(cb.(k)) +. f.(cc.(k));
+        pc := next
+    | 2 ->
+        f.(ca.(k)) <- f.(cb.(k)) -. f.(cc.(k));
+        pc := next
+    | 3 ->
+        f.(ca.(k)) <- f.(cb.(k)) *. f.(cc.(k));
+        pc := next
+    | 4 ->
+        f.(ca.(k)) <- f.(cb.(k)) /. f.(cc.(k));
+        pc := next
+    | 5 ->
+        f.(ca.(k)) <- (f.(cb.(k)) *. f.(cc.(k))) +. f.(cd.(k));
+        pc := next
+    | 6 ->
+        f.(ca.(k)) <- -.f.(cb.(k));
+        pc := next
+    | 7 ->
+        i.(ca.(k)) <- i.(cb.(k)) + i.(cc.(k));
+        pc := next
+    | 8 ->
+        i.(ca.(k)) <- i.(cb.(k)) - i.(cc.(k));
+        pc := next
+    | 9 ->
+        i.(ca.(k)) <- i.(cb.(k)) * i.(cc.(k));
+        pc := next
+    | 10 ->
+        let d = i.(cc.(k)) in
+        if d = 0 then fault "integer division by zero";
+        i.(ca.(k)) <- i.(cb.(k)) / d;
+        pc := next
+    | 11 ->
+        i.(ca.(k)) <- (i.(cb.(k)) * i.(cc.(k))) + i.(cd.(k));
+        pc := next
+    | 12 ->
+        i.(ca.(k)) <- i.(cb.(k)) lsl cc.(k);
+        pc := next
+    | 13 ->
+        i.(ca.(k)) <- -i.(cb.(k));
+        pc := next
+    | 14 ->
+        f.(ca.(k)) <- f.(cb.(k));
+        pc := next
+    | 15 ->
+        i.(ca.(k)) <- i.(cb.(k));
+        pc := next
+    | 16 ->
+        f.(ca.(k)) <- round32 f.(cb.(k));
+        pc := next
+    | 17 ->
+        f.(ca.(k)) <- float_of_int i.(cb.(k));
+        pc := next
+    | 18 ->
+        i.(ca.(k)) <- int_of_float f.(cb.(k));
+        pc := next
+    | 19 ->
+        pr.(ca.(k)) <- f.(cb.(k)) = f.(cc.(k));
+        pc := next
+    | 20 ->
+        pr.(ca.(k)) <- f.(cb.(k)) <> f.(cc.(k));
+        pc := next
+    | 21 ->
+        pr.(ca.(k)) <- f.(cb.(k)) < f.(cc.(k));
+        pc := next
+    | 22 ->
+        pr.(ca.(k)) <- f.(cb.(k)) <= f.(cc.(k));
+        pc := next
+    | 23 ->
+        pr.(ca.(k)) <- f.(cb.(k)) > f.(cc.(k));
+        pc := next
+    | 24 ->
+        pr.(ca.(k)) <- f.(cb.(k)) >= f.(cc.(k));
+        pc := next
+    | 25 ->
+        pr.(ca.(k)) <- i.(cb.(k)) = i.(cc.(k));
+        pc := next
+    | 26 ->
+        pr.(ca.(k)) <- i.(cb.(k)) <> i.(cc.(k));
+        pc := next
+    | 27 ->
+        pr.(ca.(k)) <- i.(cb.(k)) < i.(cc.(k));
+        pc := next
+    | 28 ->
+        pr.(ca.(k)) <- i.(cb.(k)) <= i.(cc.(k));
+        pc := next
+    | 29 ->
+        pr.(ca.(k)) <- i.(cb.(k)) > i.(cc.(k));
+        pc := next
+    | 30 ->
+        pr.(ca.(k)) <- i.(cb.(k)) >= i.(cc.(k));
+        pc := next
+    | 31 -> pc := ca.(k)
+    | 32 -> pc := if pr.(ca.(k)) then cb.(k) else next
+    | 33 ->
+        i.(ca.(k)) <- tid;
+        pc := next
+    | 34 ->
+        i.(ca.(k)) <- ntid;
+        pc := next
+    | 35 ->
+        i.(ca.(k)) <- ctaid;
+        pc := next
+    | 36 ->
+        i.(ca.(k)) <- nctaid;
+        pc := next
+    | 37 ->
+        (match args.(cb.(k)) with
+        | Ptr b -> i.(ca.(k)) <- Buffer.address b
+        | Int _ | Float _ -> fault "ld.param.u64 on non-pointer parameter");
+        pc := next
+    | 38 ->
+        (match args.(cb.(k)) with
+        | Int v -> i.(ca.(k)) <- v
+        | Ptr _ | Float _ -> fault "ld.param.%%r on non-integer parameter");
+        pc := next
+    | 39 ->
+        (match args.(cb.(k)) with
+        | Float v -> f.(ca.(k)) <- v
+        | Ptr _ | Int _ -> fault "ld.param float on non-float parameter");
+        pc := next
+    | 40 ->
+        let addr = i.(cb.(k)) + cc.(k) in
+        let off = addr land Buffer.offset_mask in
+        (match lookup (addr lsr Buffer.offset_bits) with
+        | Buffer.F32 a ->
+            if off land 3 <> 0 then fault "misaligned f32 load";
+            f.(ca.(k)) <- Bigarray.Array1.get a (off lsr 2)
+        | _ -> fault "typed load does not match buffer kind");
+        pc := next
+    | 41 ->
+        let addr = i.(cb.(k)) + cc.(k) in
+        let off = addr land Buffer.offset_mask in
+        (match lookup (addr lsr Buffer.offset_bits) with
+        | Buffer.F64 a ->
+            if off land 7 <> 0 then fault "misaligned f64 load";
+            f.(ca.(k)) <- Bigarray.Array1.get a (off lsr 3)
+        | _ -> fault "typed load does not match buffer kind");
+        pc := next
+    | 42 ->
+        let addr = i.(cb.(k)) + cc.(k) in
+        let off = addr land Buffer.offset_mask in
+        (match lookup (addr lsr Buffer.offset_bits) with
+        | Buffer.I32 a ->
+            if off land 3 <> 0 then fault "misaligned i32 load";
+            i.(ca.(k)) <- Int32.to_int (Bigarray.Array1.get a (off lsr 2))
+        | _ -> fault "typed integer load does not match buffer kind");
+        pc := next
+    | 43 ->
+        let addr = i.(ca.(k)) + cb.(k) in
+        let off = addr land Buffer.offset_mask in
+        (match lookup (addr lsr Buffer.offset_bits) with
+        | Buffer.F32 a -> Bigarray.Array1.set a (off lsr 2) f.(cc.(k))
+        | _ -> fault "typed store does not match buffer kind");
+        pc := next
+    | 44 ->
+        let addr = i.(ca.(k)) + cb.(k) in
+        let off = addr land Buffer.offset_mask in
+        (match lookup (addr lsr Buffer.offset_bits) with
+        | Buffer.F64 a -> Bigarray.Array1.set a (off lsr 3) f.(cc.(k))
+        | _ -> fault "typed store does not match buffer kind");
+        pc := next
+    | 45 ->
+        let addr = i.(ca.(k)) + cb.(k) in
+        let off = addr land Buffer.offset_mask in
+        (match lookup (addr lsr Buffer.offset_bits) with
+        | Buffer.I32 a -> Bigarray.Array1.set a (off lsr 2) (Int32.of_int i.(cc.(k)))
+        | _ -> fault "typed integer store does not match buffer kind");
+        pc := next
+    | 46 ->
+        f.(ca.(k)) <- fns.(cc.(k)) f.(cb.(k));
+        pc := next
+    | 47 ->
+        f.(ca.(k)) <- round32 (fns.(cc.(k)) f.(cb.(k)));
+        pc := next
+    | _ -> fault "corrupt opcode"
   done
 
-(* Execute a full grid.  Threads are independent in the generated streaming
-   kernels, so a sequential sweep in (block, thread) order is faithful. *)
-let run_grid program ~grid ~block ~params ~lookup =
-  let ctx = make_ctx program in
-  ctx.args <- params;
-  ctx.lookup <- lookup;
-  ctx.ntid <- block;
-  ctx.nctaid <- grid;
-  for cta = 0 to grid - 1 do
-    ctx.ctaid <- cta;
-    for t = 0 to block - 1 do
-      ctx.tid <- t;
-      run_thread program ctx
+(* ------------------------------------------------------------------ *)
+(* Parallel-safety decision for one launch: every access's param slot is
+   resolved to the bound buffer, then per stored buffer (a) all stores
+   must use own-slot indexing (Affine or Slist — never Gather/Uniform),
+   and (b) any read-back of a stored buffer must use the *same*
+   per-work-item indexing on both sides, which the 8-aligned chunk
+   boundaries then keep chunk-local (the reduction-tail contract).  A
+   load whose target buffer is unknown could alias any store, so it
+   forces sequential execution whenever the kernel stores at all — this
+   is what keeps the in-place [p = shift p] gather on the sequential
+   path its wrap-around semantics depend on. *)
+
+let class_bit = function Uniform -> 1 | Affine -> 2 | Slist -> 4 | Gather -> 8
+
+let parallel_ok p (params : param_value array) =
+  Array.length p.accesses = 0
+  ||
+  let stores = Hashtbl.create 8 and loads = Hashtbl.create 8 in
+  let any_store = Array.exists (fun a -> a.a_store) p.accesses in
+  let ok = ref true in
+  Array.iter
+    (fun a ->
+      let bid =
+        if a.a_param < 0 || a.a_param >= Array.length params then None
+        else match params.(a.a_param) with Ptr b -> Some b.Buffer.id | Int _ | Float _ -> None
+      in
+      match bid with
+      | None -> if a.a_store || any_store then ok := false
+      | Some bid ->
+          let tbl = if a.a_store then stores else loads in
+          let cur = match Hashtbl.find_opt tbl bid with Some m -> m | None -> 0 in
+          Hashtbl.replace tbl bid (cur lor class_bit a.a_class))
+    p.accesses;
+  if !ok then
+    Hashtbl.iter
+      (fun bid smask ->
+        if smask land (class_bit Uniform lor class_bit Gather) <> 0 then ok := false;
+        match Hashtbl.find_opt loads bid with
+        | None -> ()
+        | Some lmask ->
+            let union = smask lor lmask in
+            if not (union = class_bit Affine || union = class_bit Slist) then ok := false)
+      stores;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Grid execution. *)
+
+let enrich p e ~ctaid ~tid =
+  match e with
+  | Fault msg ->
+      Fault (Printf.sprintf "%s [kernel %s, ctaid %d, tid %d]" msg p.kernel.kname ctaid tid)
+  | e -> e
+
+(* One worker's cta span, executed in (cta, tid) order.  The first fault
+   is recorded and lowers [stop] so higher-indexed workers (later ctas)
+   bail out; lower-indexed workers run to completion, which makes the
+   winning fault the same one the sequential sweep would hit first. *)
+let run_span p lookup args w ~block ~grid ~c0 ~c1 ~wid ~(stop : int Atomic.t)
+    (faults : (int * int * exn) option array) =
+  try
+    for cta = c0 to c1 - 1 do
+      if Atomic.get stop < wid then raise Exit;
+      for t = 0 to block - 1 do
+        try exec_thread p lookup args w ~tid:t ~ctaid:cta ~ntid:block ~nctaid:grid
+        with e ->
+          faults.(wid) <- Some (cta, t, e);
+          let rec lower () =
+            let cur = Atomic.get stop in
+            if wid < cur && not (Atomic.compare_and_set stop cur wid) then lower ()
+          in
+          lower ();
+          raise Exit
+      done
     done
-  done
+  with Exit -> ()
+
+(* Launches smaller than this run inline: the pool handoff costs more
+   than it buys on tiny grids (and keeps the default-parallel test suite
+   fast on many-core hosts). *)
+let min_parallel_threads = 1024
+
+let gcd a b =
+  let rec go a b = if b = 0 then a else go b (a mod b) in
+  go a b
+
+let run_grid ?(workers = 1) p ~grid ~block ~params ~lookup =
+  if grid > 0 && block > 0 then begin
+    (* Chunks are whole ctas and multiples of 8 work items, so a
+       reduction tail always aggregates partials its own chunk wrote. *)
+    let align = 8 / gcd block 8 in
+    let units = grid / align in
+    let w =
+      if
+        workers <= 1 || units < 2
+        || grid * block < min_parallel_threads
+        || not (parallel_ok p params)
+      then 1
+      else min workers units
+    in
+    ensure_slots p w;
+    for k = 0 to w - 1 do
+      bind_slot p p.slots.(k)
+    done;
+    let faults = Array.make w None in
+    let stop = Atomic.make max_int in
+    if w = 1 then
+      run_span p lookup params p.slots.(0) ~block ~grid ~c0:0 ~c1:grid ~wid:0 ~stop faults
+    else begin
+      let bound k = if k >= w then grid else units * k / w * align in
+      Vm_backend.run ~workers:w (fun k ->
+          run_span p lookup params p.slots.(k) ~block ~grid ~c0:(bound k)
+            ~c1:(bound (k + 1)) ~wid:k ~stop faults)
+    end;
+    let first = ref None in
+    Array.iter (fun fa -> if !first = None then first := fa) faults;
+    match !first with
+    | Some (cta, t, e) -> raise (enrich p e ~ctaid:cta ~tid:t)
+    | None -> ()
+  end
+
+let decoded_instructions p = Array.length p.co
+let parallelizable p ~params = parallel_ok p params

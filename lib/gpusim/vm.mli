@@ -1,0 +1,46 @@
+(** Pre-decoded executable form of a PTX kernel and its multicore
+    interpreter — the back half of the simulated driver JIT.
+
+    [compile] lowers a validated kernel into a flat program: int-coded
+    opcodes with operand indices in parallel arrays, branch targets
+    pre-resolved, immediates promoted into constant-pool register slots.
+    [run_grid] sweeps the grid, splitting whole-cta chunks across
+    {!Vm_backend} workers when a decode-time provenance analysis proves
+    the launch's stores are disjoint per work item — results are then
+    bit-identical to the sequential sweep.  See DESIGN.md "Parallel VM
+    back-end". *)
+
+type param_value = Ptr of Buffer.t | Int of int | Float of float
+
+exception Fault of string
+(** Raised on simulated device faults (type/alignment mismatches, stray
+    pointers, division by zero...).  Faults hit inside a launch are
+    re-raised on the launching thread with kernel name, ctaid and tid
+    appended; when several workers fault, the lowest (ctaid, tid) fault
+    wins deterministically. *)
+
+type program
+
+val compile : Ptx.Types.kernel -> program
+(** Validate and pre-decode.  Raises {!Fault} on malformed kernels
+    (undefined labels, unsupported operand classes). *)
+
+val run_grid :
+  ?workers:int ->
+  program ->
+  grid:int ->
+  block:int ->
+  params:param_value array ->
+  lookup:(int -> Buffer.data) ->
+  unit
+(** Execute the full grid.  [workers] (default 1) caps the number of
+    {!Vm_backend} workers; the effective count also respects the
+    parallel-safety analysis, chunk granularity (whole ctas, multiples
+    of 8 work items) and a small-launch threshold. *)
+
+val decoded_instructions : program -> int
+(** Flat instruction count after label compaction (introspection). *)
+
+val parallelizable : program -> params:param_value array -> bool
+(** Whether the safety analysis lets a launch with these parameter
+    bindings split across workers (exposed for tests and benches). *)

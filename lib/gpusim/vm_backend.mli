@@ -1,0 +1,23 @@
+(** Execution back-end for the VM's grid sweep.
+
+    The implementation is picked at build time by the dune rules in this
+    directory: on OCaml >= 5 a persistent [Domain] work pool
+    ([backends/vm_backend_multicore.ml]), on 4.x a sequential loop with
+    the same signature ([backends/vm_backend_sequential.ml]).  Both
+    execute worker functions over disjoint state, so results are
+    bit-identical across back-ends. *)
+
+val runtime : string
+(** ["multicore"] or ["sequential"]; surfaced in bench artifacts so CI
+    gates know whether a wall-clock speedup is even possible. *)
+
+val available_domains : unit -> int
+(** Hardware parallelism available to kernel launches:
+    [Domain.recommended_domain_count ()] on OCaml 5, [1] on 4.x. *)
+
+val run : workers:int -> (int -> unit) -> unit
+(** [run ~workers f] executes [f 0 .. f (workers-1)], worker [0] on the
+    calling thread, and returns when all have finished.  [f] must not
+    raise — the VM reports faults out of band — and calls must not be
+    nested (launches are synchronous).  The sequential back-end runs the
+    workers in index order on the calling thread. *)

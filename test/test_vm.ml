@@ -1,0 +1,265 @@
+(* The parallel pre-decoded VM must be invisible to results: any worker
+   count (including the sequential w=1 sweep and the OCaml 4.x fallback
+   back-end) has to produce bit-identical fields and reductions, and
+   faults raised inside worker domains must surface deterministically on
+   the launching thread, enriched with kernel name, ctaid and tid.
+
+   The lattice here is 8x8x4x4 = 1024 sites, on purpose: launches reach
+   the VM's small-launch threshold (1024 threads), so multi-worker
+   engines really execute across domains instead of quietly running
+   sequentially. *)
+
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+module Engine = Qdpjit.Engine
+module Device = Gpusim.Device
+module Machine = Gpusim.Machine
+module Jit = Gpusim.Jit
+module Buffer_ = Gpusim.Buffer
+
+let geom = Geometry.create [| 8; 8; 4; 4 |]
+let fm = Shape.lattice_fermion Shape.F64
+
+(* Signed zeros: same convention as test_fusion — the CPU reference
+   accumulates through fma from +0.0, the VM multiplies directly, both
+   are correct real arithmetic.  VM-vs-VM comparisons stay strict. *)
+let bits ~canon_zero v = if canon_zero && v = 0.0 then 0L else Int64.bits_of_float v
+
+type op =
+  | Scale of int * float * int
+  | Axpy of int * float * int * int
+  | Sub of int * int * int
+  | Shift of int * int * int * int
+
+let op_expr pool = function
+  | Scale (_, c, s) -> Expr.mul (Expr.const_real c) (Expr.field pool.(s))
+  | Axpy (_, c, a, b) ->
+      Expr.add (Expr.mul (Expr.const_real c) (Expr.field pool.(a))) (Expr.field pool.(b))
+  | Sub (_, a, b) -> Expr.sub (Expr.field pool.(a)) (Expr.field pool.(b))
+  | Shift (_, s, dim, dir) -> Expr.shift (Expr.field pool.(s)) ~dim ~dir
+
+let op_dest = function Scale (d, _, _) | Axpy (d, _, _, _) | Sub (d, _, _) | Shift (d, _, _, _) -> d
+
+let fresh_pool seed n =
+  let rng = Prng.create ~seed in
+  Array.init n (fun i ->
+      let f = Field.create fm geom in
+      Field.fill_gaussian ~site_key:(fun site -> site + (i * 1_000_003)) f rng;
+      f)
+
+(* Shared engines, one per worker count.  w=1 is the sequential sweep
+   the others must match bit-for-bit. *)
+let engines = [ (1, Engine.create ~vm_domains:1 ()); (2, Engine.create ~vm_domains:2 ()); (4, Engine.create ~vm_domains:4 ()) ]
+
+let run_jit eng seed prog =
+  let pool = fresh_pool seed 4 in
+  List.iter (fun op -> Engine.eval eng pool.(op_dest op) (op_expr pool op)) prog;
+  Engine.flush eng;
+  pool
+
+let run_cpu seed prog =
+  let pool = fresh_pool seed 4 in
+  List.iter (fun op -> Qdp.Eval_cpu.eval pool.(op_dest op) (op_expr pool op)) prog;
+  pool
+
+let gen_op =
+  QCheck.Gen.(
+    let idx = int_range 0 3 in
+    let coeff = oneofl [ 2.0; -0.5; 1.25; 3.0; -1.0 ] in
+    oneof
+      [
+        map3 (fun d c s -> Scale (d, c, s)) idx coeff idx;
+        (fun st -> Axpy (idx st, coeff st, idx st, idx st));
+        map3 (fun d a b -> Sub (d, a, b)) idx idx idx;
+        (fun st -> Shift (idx st, idx st, int_range 0 3 st, if bool st then 1 else -1));
+      ])
+
+let show_op = function
+  | Scale (d, c, s) -> Printf.sprintf "p%d = %g * p%d" d c s
+  | Axpy (d, c, a, b) -> Printf.sprintf "p%d = %g * p%d + p%d" d c a b
+  | Sub (d, a, b) -> Printf.sprintf "p%d = p%d - p%d" d a b
+  | Shift (d, s, dim, dir) -> Printf.sprintf "p%d = shift(p%d, dim %d, dir %+d)" d s dim dir
+
+let arb_prog =
+  QCheck.make
+    ~print:(fun p -> String.concat "; " (List.map show_op p))
+    QCheck.Gen.(list_size (int_range 2 8) gen_op)
+
+let beq a b = Int64.bits_of_float a = Int64.bits_of_float b
+let ceq a b = bits ~canon_zero:true a = bits ~canon_zero:true b
+
+let qcheck_worker_counts =
+  QCheck.Test.make ~count:20 ~name:"random kernels: 1 = 2 = 4 workers = cpu (bit)" arb_prog
+    (fun prog ->
+      let p1 = run_jit (List.assoc 1 engines) 7L prog in
+      let p2 = run_jit (List.assoc 2 engines) 7L prog in
+      let p4 = run_jit (List.assoc 4 engines) 7L prog in
+      let pc = run_cpu 7L prog in
+      let equal ~canon_zero a b =
+        let ok = ref true in
+        for site = 0 to Field.volume a - 1 do
+          let sa = Field.get_site a ~site and sb = Field.get_site b ~site in
+          Array.iteri
+            (fun i v -> if bits ~canon_zero v <> bits ~canon_zero sb.(i) then ok := false)
+            sa
+        done;
+        !ok
+      in
+      Array.for_all2 (equal ~canon_zero:false) p1 p2
+      && Array.for_all2 (equal ~canon_zero:false) p1 p4
+      && Array.for_all2 (equal ~canon_zero:true) p1 pc)
+
+let qcheck_reductions =
+  QCheck.Test.make ~count:15 ~name:"random chains + norm2/inner: all worker counts bit-equal"
+    arb_prog (fun prog ->
+      let run eng =
+        let pool = run_jit eng 13L prog in
+        let n = Engine.norm2 eng (Expr.sub (Expr.field pool.(0)) (Expr.field pool.(1))) in
+        let re, im = Engine.inner eng (Expr.field pool.(2)) (Expr.field pool.(3)) in
+        (n, re, im)
+      in
+      let n1, r1, i1 = run (List.assoc 1 engines) in
+      let n2, r2, i2 = run (List.assoc 2 engines) in
+      let n4, r4, i4 = run (List.assoc 4 engines) in
+      let pc = run_cpu 13L prog in
+      let nc = Qdp.Eval_cpu.norm2 (Expr.sub (Expr.field pc.(0)) (Expr.field pc.(1))) in
+      let rc, ic = Qdp.Eval_cpu.inner (Expr.field pc.(2)) (Expr.field pc.(3)) in
+      beq n1 n2 && beq n1 n4 && beq r1 r2 && beq r1 r4 && beq i1 i2 && beq i1 i4 && ceq n1 nc
+      && ceq r1 rc && ceq i1 ic)
+
+(* ------------------------------------------------------------------ *)
+(* Faults: raised in worker domains, reported on the launching thread *)
+
+(* Same shape as test_gpusim's daxpy, but an integer divide whose
+   divisor is loaded per thread: planting zeros in chosen sites faults
+   chosen (ctaid, tid) pairs only. *)
+let divk_text =
+  {|
+.version 3.1
+.target sm_35
+.address_size 64
+
+.visible .entry divk(
+	.param .u64 divk_param_0,
+	.param .u64 divk_param_1,
+	.param .s32 divk_param_2
+)
+{
+	ld.param.u64 	%rd1, [divk_param_0];
+	ld.param.u64 	%rd2, [divk_param_1];
+	ld.param.s32 	%r1, [divk_param_2];
+	mov.u32 	%r2, %tid.x;
+	mov.u32 	%r3, %ntid.x;
+	mov.u32 	%r4, %ctaid.x;
+	mad.lo.s32 	%r5, %r4, %r3, %r2;
+	setp.ge.s32 	%p1, %r5, %r1;
+	@%p1 bra 	EXIT;
+	mul.lo.s32 	%r6, %r5, 4;
+	cvt.s64.s32 	%rs1, %r6;
+	cvt.u64.s64 	%rd3, %rs1;
+	add.u64 	%rd4, %rd1, %rd3;
+	add.u64 	%rd5, %rd2, %rd3;
+	ld.global.s32 	%r7, [%rd4+0];
+	div.s32 	%r8, %r1, %r7;
+	st.global.s32 	[%rd5+0], %r8;
+EXIT:
+	ret;
+}
+|}
+
+let n_threads = 2048
+let block = 128
+
+(* Fill x with 1 except zeros at [sites]; launch and return the fault. *)
+let launch_divk ~vm_domains ~zero_sites =
+  let dev = Device.create ~vm_domains Machine.k20x_ecc_off in
+  let x = Device.alloc_i32 dev n_threads and y = Device.alloc_i32 dev n_threads in
+  (match x.Buffer_.data with
+  | Buffer_.I32 xa ->
+      Bigarray.Array1.fill xa 1l;
+      List.iter (fun s -> xa.{s} <- 0l) zero_sites
+  | _ -> assert false);
+  let compiled = Jit.compile divk_text in
+  match
+    Device.launch dev compiled ~nthreads:n_threads ~block
+      ~params:[| Gpusim.Vm.Ptr x; Gpusim.Vm.Ptr y; Gpusim.Vm.Int n_threads |]
+  with
+  | exception Gpusim.Vm.Fault msg -> Some msg
+  | _ -> None
+
+let contains msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+let check_fault what msg_opt =
+  match msg_opt with
+  | None -> Alcotest.failf "%s: launch did not fault" what
+  | Some msg ->
+      List.iter
+        (fun sub ->
+          if not (contains msg sub) then
+            Alcotest.failf "%s: fault %S does not mention %S" what msg sub)
+        [ "integer division by zero"; "kernel divk"; "ctaid 4"; "tid 88" ];
+      msg |> ignore
+
+(* Sites 600 and 1600 sit in different worker spans at 4 workers (ctas
+   4-7 and 12-15 of 16); neither belongs to worker 0, which runs on the
+   calling thread.  The fault must still surface here, and the lower
+   (ctaid, tid) — site 600 = (4, 88) — must win, exactly as the
+   sequential sweep reports it. *)
+let test_fault_from_worker_domain () =
+  check_fault "parallel" (launch_divk ~vm_domains:4 ~zero_sites:[ 1600; 600 ])
+
+let test_fault_deterministic_across_workers () =
+  let seq = launch_divk ~vm_domains:1 ~zero_sites:[ 1600; 600 ] in
+  let par = launch_divk ~vm_domains:4 ~zero_sites:[ 1600; 600 ] in
+  check_fault "sequential" seq;
+  match (seq, par) with
+  | Some a, Some b -> Alcotest.(check string) "same fault either way" a b
+  | _ -> Alcotest.fail "expected faults from both launches"
+
+let test_fault_names_first_thread () =
+  (* Every thread faults: the report must still be the deterministic
+     (ctaid 0, tid 0), kernel name included. *)
+  match launch_divk ~vm_domains:4 ~zero_sites:(List.init n_threads Fun.id) with
+  | None -> Alcotest.fail "all-zero divisors did not fault"
+  | Some msg ->
+      List.iter
+        (fun sub ->
+          if not (contains msg sub) then
+            Alcotest.failf "fault %S does not mention %S" msg sub)
+        [ "kernel divk"; "ctaid 0"; "tid 0" ]
+
+let test_divk_parallelizable () =
+  (* The safety analysis must recognize the streaming access pattern —
+     otherwise the fault tests above never leave the calling thread. *)
+  let dev = Device.create Machine.k20x_ecc_off in
+  let x = Device.alloc_i32 dev 8 and y = Device.alloc_i32 dev 8 in
+  let compiled = Jit.compile divk_text in
+  let params = [| Gpusim.Vm.Ptr x; Gpusim.Vm.Ptr y; Gpusim.Vm.Int 8 |] in
+  Alcotest.(check bool) "parallelizable" true
+    (Gpusim.Vm.parallelizable compiled.Jit.program ~params);
+  Alcotest.(check bool) "decoded" true
+    (Gpusim.Vm.decoded_instructions compiled.Jit.program > 0)
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "bit-exactness",
+        [
+          QCheck_alcotest.to_alcotest qcheck_worker_counts;
+          QCheck_alcotest.to_alcotest qcheck_reductions;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "worker-domain fault surfaces" `Quick test_fault_from_worker_domain;
+          Alcotest.test_case "deterministic across worker counts" `Quick
+            test_fault_deterministic_across_workers;
+          Alcotest.test_case "all-threads fault reports (0,0)" `Quick
+            test_fault_names_first_thread;
+          Alcotest.test_case "divk passes safety analysis" `Quick test_divk_parallelizable;
+        ] );
+    ]
