@@ -7,6 +7,7 @@ Each subcommand validates one artifact:
   check_bench.py jitopt     BENCH_jitopt.json
   check_bench.py fusion     BENCH_fusion.json
   check_bench.py fusion-eo  BENCH_fusion_eo.json
+  check_bench.py serve      BENCH_serve.json
 
 Exit status 0 means every gate held; any assertion failure prints the
 violated invariant and exits nonzero.  The gates are deliberately
@@ -107,11 +108,29 @@ def check_fusion(args):
     planner = data["planner"]
     assert planner["fused_groups"] > 0, "planner fused no groups"
     assert planner["fallbacks"] == 0, f"{planner['fallbacks']} fusion fallbacks"
+    # Persistent JIT cache: a warm-cache engine must replay every kernel
+    # (zero compiles, hits on disk) and its first solve must cost no more
+    # than a steady-state one — both sides are min-of-N resamples, so the
+    # 1.1x headroom covers only residual timer noise, not compile work.
+    jc = data["jit_cache"]
+    assert jc is not None, "jit_cache section missing (REPRO_JIT_CACHE=off during bench?)"
+    warm = jc["cache_warm"]
+    assert warm["kernels_built"] == 0, (
+        f"warm-cache engine compiled {warm['kernels_built']} kernels (want 0)"
+    )
+    assert warm["hits"] > 0, "warm-cache engine hit nothing in the cache"
+    assert jc["cache_cold"]["stores"] > 0 or warm["hits"] > 0, "cache never populated"
+    assert warm["cold_s"] <= 1.1 * warm["warm_s"], (
+        f"warm-cache first solve {warm['cold_s']}s exceeds 1.1x steady "
+        f"{warm['warm_s']}s — warm startup is doing compile-shaped work"
+    )
     print(
         f"fusion OK: CG {cg['iterations']} iters, launches {lu} -> {lf} -> {lr} "
         f"({per_iter:.1f}/iter, baseline {PR3_LAUNCHES_PER_ITER}), "
         f"sim {mu:.2f} -> {mf:.2f} -> {mr:.2f} ms, "
-        f"{planner['fused_groups']} groups, {planner['launches_saved']} launches saved"
+        f"{planner['fused_groups']} groups, {planner['launches_saved']} launches saved, "
+        f"warm cache: {warm['hits']} hits, 0 compiles, "
+        f"cold {warm['cold_s']:.2f}s vs steady {warm['warm_s']:.2f}s"
     )
 
 
@@ -159,12 +178,66 @@ def check_fusion_eo(args):
     )
 
 
+def check_serve(args):
+    data = load(args.file or "BENCH_serve.json")
+    n = data["sessions"]
+    assert n >= 2, f"serving bench ran only {n} sessions"
+    assert data["bit_identical"], "served solutions diverged from dedicated engines"
+    assert data["tasks"] == sum(s["tasks"] for s in data["sessions_detail"]), (
+        "executed task count does not match per-session totals"
+    )
+    serve = data["serve"]
+    serial = data["serial"]
+    # Aggregate modeled device time: sharing one engine (kernel pool +
+    # autotune state) must cost at most 20% over dedicated engines; in
+    # practice it is cheaper because tuning probes run once, not N times.
+    ratio = serve["sim_ms_total"] / serial["sim_ms_total"]
+    assert ratio <= 1.2, (
+        f"served aggregate sim time {serve['sim_ms_total']:.1f} ms is {ratio:.2f}x "
+        f"serial {serial['sim_ms_total']:.1f} ms (limit 1.2x)"
+    )
+    # The serial baseline populated the shared cache dir, so the serving
+    # engine must start fully warm: zero compiles, hits on disk.
+    jc = data["jit_cache"]
+    assert jc is not None, "jit_cache section missing (REPRO_JIT_CACHE=off during bench?)"
+    assert serve["kernels_built"] == 0, (
+        f"serving engine compiled {serve['kernels_built']} kernels against a warm cache"
+    )
+    assert jc["hits"] > 0, "serving engine hit nothing in the shared cache"
+    assert jc["corrupt"] == 0, f"{jc['corrupt']} corrupt cache entries"
+    assert data["resident_after_close"] == 0, (
+        f"{data['resident_after_close']} fields still device-resident after teardown"
+    )
+    for s in data["sessions_detail"]:
+        assert s["launches"] > 0, f"session {s['name']} launched nothing"
+        assert s["sim_ms"] > 0, f"session {s['name']} has no attributed device time"
+        assert s["queue_wait_s"] >= 0, f"session {s['name']} has negative queue wait"
+    if args.reused:
+        # Second bench invocation against a persistent REPRO_JIT_CACHE dir:
+        # every kernel, including the serial tenants' first engine, must
+        # come from the previous run's cache.
+        assert jc["misses"] == 0, (
+            f"{jc['misses']} cache misses on a reused cache dir (expected full reuse)"
+        )
+        assert serial["kernels_built_first"] == 0, (
+            f"first serial tenant compiled {serial['kernels_built_first']} kernels "
+            "on a reused cache dir"
+        )
+    print(
+        f"serve OK: {n} sessions, {data['tasks']} tasks, bit-identical, "
+        f"sim ratio {ratio:.3f} (limit 1.2), {jc['hits']} cache hits / "
+        f"{jc['misses']} misses, 0 compiles on the serving engine, "
+        f"0 resident after teardown" + (" [reused dir]" if args.reused else "")
+    )
+
+
 CHECKS = {
     "streams": check_streams,
     "jitopt": check_jitopt,
     "fusion": check_fusion,
     "fusion-eo": check_fusion_eo,
     "vmperf": check_vmperf,
+    "serve": check_serve,
 }
 
 
@@ -172,6 +245,12 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("check", choices=sorted(CHECKS))
     parser.add_argument("file", nargs="?", help="artifact path (defaults per check)")
+    parser.add_argument(
+        "--reused",
+        action="store_true",
+        help="serve: the bench ran against an already-populated REPRO_JIT_CACHE dir; "
+        "additionally require zero misses and zero compiles anywhere",
+    )
     args = parser.parse_args()
     try:
         CHECKS[args.check](args)

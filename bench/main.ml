@@ -513,6 +513,9 @@ let fusion_bench () =
        reported apart from execution, as in the paper) and report the
        per-solve deltas of the cumulative device counters. *)
     let _, _, cold = solve () in
+    (* Rewind the planner/scorecard counters so the reported fusion stats
+       cover exactly the measured steady-state solves, not the cold one. *)
+    Qdpjit.Engine.reset_stats eng;
     let l0 = st.Gpusim.Device.launches and ns0 = st.Gpusim.Device.kernel_ns in
     let b0 = Qdpjit.Engine.kernel_bytes_moved eng in
     let r, x, w1 = solve () in
@@ -553,6 +556,91 @@ let fusion_bench () =
     sr.Qdpjit.Engine.fused_groups sr.Qdpjit.Engine.launches_saved
     sr.Qdpjit.Engine.eliminated_load_bytes sr.Qdpjit.Engine.eliminated_store_bytes
     sr.Qdpjit.Engine.fallbacks;
+  (* Persistent JIT cache: the fused+reduction solve again, cache-cold
+     (fresh dir, this engine populates it) then cache-warm (a second
+     engine on the same dir replays every kernel without running the
+     emitter, middle-end or driver JIT) — the second-process startup
+     story.  REPRO_JIT_CACHE overrides the directory, which is how CI's
+     cache-reuse smoke job persists it across bench invocations. *)
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qdpjit-fusion-cache-%d" (Unix.getpid ()))
+  in
+  (* Wall clock on shared CI machines is noisy, so the cold-vs-warm
+     comparison is min-of-N against min-of-N: fresh engines are cheap to
+     create against a warm cache, so the "cold" side can be resampled
+     just like the steady side, and the two minima converge to the same
+     value unless warm startup really does extra work (compiles). *)
+  let run_cached ~steady () =
+    let eng =
+      Qdpjit.Engine.create ~fuse:true ~fuse_reductions:true
+        ~jit_cache:(Jitcache.create cache_dir) ()
+    in
+    let ops = Solvers.Ops.jit eng shape geom in
+    let u = Lqcd.Gauge.create_links geom in
+    Lqcd.Gauge.random_gauge ~epsilon:0.3 u (Prng.create ~seed:31L);
+    let nop = Solvers.Ops.normal_op ops ~apply_m:(Lqcd.Wilson.wilson_expr ~kappa u) in
+    let b = Field.create shape geom in
+    Field.fill_gaussian b (Prng.create ~seed:32L);
+    let solve () =
+      let x = Field.create shape geom in
+      let t0 = Unix.gettimeofday () in
+      let r = Solvers.Cg.solve ops nop ~b ~x ~tol:1e-8 () in
+      ignore (Qdpjit.Engine.synchronize eng);
+      (r, x, Unix.gettimeofday () -. t0)
+    in
+    let r, x, cold = solve () in
+    let steadies = List.init steady (fun _ -> let _, _, w = solve () in w) in
+    if not r.Solvers.Cg.converged then failwith "fusion: cached CG diverged";
+    (x, cold, steadies, Qdpjit.Engine.kernels_built eng, Qdpjit.Engine.jit_cache_stats eng)
+  in
+  let minimum = List.fold_left min infinity in
+  let cache_json =
+    match run_cached ~steady:2 () with
+    | _, _, _, _, None ->
+        Printf.printf "  persistent JIT cache disabled (REPRO_JIT_CACHE=off); skipping\n";
+        "null"
+    | x_cc, cold_cc, steadies_cc, built_cc, Some cs_cc ->
+        assert_bit_identical "fusion(cache-cold)" x_cc xu;
+        let hits_cc = cs_cc.Jitcache.hits and stores_cc = cs_cc.Jitcache.stores in
+        let warm_runs =
+          List.init 4 (fun i ->
+              match run_cached ~steady:(if i = 3 then 4 else 0) () with
+              | x, c, s, b, Some cs -> (x, c, s, b, cs)
+              | _ -> failwith "fusion: cache vanished between runs")
+        in
+        let cold_cw = minimum (List.map (fun (_, c, _, _, _) -> c) warm_runs) in
+        let warm_cw = minimum (List.concat_map (fun (_, _, s, _, _) -> s) warm_runs) in
+        let hits_cw = ref 0 and misses_cw = ref 0 and stores_cw = ref 0 in
+        List.iteri
+          (fun i (x, _, _, built, cs) ->
+            assert_bit_identical "fusion(cache-warm)" x xu;
+            if cs.Jitcache.hits = 0 then
+              failwith (Printf.sprintf "fusion: warm engine %d hit nothing in the cache" i);
+            if built <> 0 then
+              failwith
+                (Printf.sprintf "fusion: warm engine %d compiled %d kernels (want 0)" i built);
+            hits_cw := !hits_cw + cs.Jitcache.hits;
+            misses_cw := !misses_cw + cs.Jitcache.misses;
+            stores_cw := !stores_cw + cs.Jitcache.stores)
+          warm_runs;
+        Printf.printf "  persistent JIT cache:\n";
+        Printf.printf
+          "    cache-cold: first solve %.2f s, steady %.2f s, %d kernels built, %d stores\n"
+          cold_cc (minimum steadies_cc) built_cc stores_cc;
+        Printf.printf
+          "    cache-warm: first solve %.2f s (min of %d engines), steady %.2f s, 0 kernels \
+           built, %d hits\n"
+          cold_cw (List.length warm_runs) warm_cw !hits_cw;
+        Printf.sprintf
+          "{\n\
+          \    \"cache_cold\": {\"cold_s\": %.3f, \"warm_s\": %.3f, \"kernels_built\": %d, \
+           \"hits\": %d, \"misses\": %d, \"stores\": %d},\n\
+          \    \"cache_warm\": {\"cold_s\": %.3f, \"warm_s\": %.3f, \"kernels_built\": 0, \
+           \"hits\": %d, \"misses\": %d, \"stores\": %d}}"
+          cold_cc (minimum steadies_cc) built_cc hits_cc cs_cc.Jitcache.misses stores_cc
+          cold_cw warm_cw !hits_cw !misses_cw !stores_cw
+  in
   let oc = open_out "BENCH_fusion.json" in
   Printf.fprintf oc
     "{\n\
@@ -564,12 +652,13 @@ let fusion_bench () =
     \    \"fused_reduction\": {\"launches\": %d, \"kernel_bytes\": %d, \"sim_ms\": %.6f, \
      \"wall_s\": %.3f, \"cold_s\": %.3f}},\n\
     \  \"planner\": {\"fused_groups\": %d, \"launches_saved\": %d,\n\
-    \    \"eliminated_load_bytes\": %d, \"eliminated_store_bytes\": %d, \"fallbacks\": %d}\n\
+    \    \"eliminated_load_bytes\": %d, \"eliminated_store_bytes\": %d, \"fallbacks\": %d},\n\
+    \  \"jit_cache\": %s\n\
      }\n"
     rr.Solvers.Cg.iterations lu bu mu wu cu lf bf mf wf cf lr br mr wr cr
     sr.Qdpjit.Engine.fused_groups
     sr.Qdpjit.Engine.launches_saved sr.Qdpjit.Engine.eliminated_load_bytes
-    sr.Qdpjit.Engine.eliminated_store_bytes sr.Qdpjit.Engine.fallbacks;
+    sr.Qdpjit.Engine.eliminated_store_bytes sr.Qdpjit.Engine.fallbacks cache_json;
   close_out oc;
   Printf.printf "  wrote BENCH_fusion.json\n"
 
@@ -827,6 +916,175 @@ let vmperf () =
   Printf.printf "  wrote BENCH_vmperf.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Multi-tenant serving: N Wilson CG tenants round-robin over one engine
+   with a shared persistent JIT cache, against a dedicated engine per
+   tenant.  The tenants' solutions must be bit-identical to their serial
+   twins, the shared engine must start fully cache-warm (the serial
+   baseline populated the dir) and compile nothing, and closing every
+   session must release every field the tenants created. *)
+
+let serve_bench () =
+  section "Serving: Wilson CG tenants, one engine + shared JIT cache vs dedicated engines";
+  let geom = Geometry.create [| 4; 4; 4; 2 |] in
+  let shape = Shape.lattice_fermion Shape.F64 in
+  let kappa = 0.115 in
+  let nsessions = 8 in
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qdpjit-serve-cache-%d" (Unix.getpid ()))
+  in
+  let gauge_seed i = Int64.of_int (100 + i) and rhs_seed i = Int64.of_int (200 + i) in
+  (* One tenant's workload against the given ops; [adopt] claims every
+     field the tenant creates (the serving path points it at the
+     session's arena, so teardown can account for all of them). *)
+  let setup ops adopt i =
+    let u = Lqcd.Gauge.create_links geom in
+    Array.iter adopt u;
+    Lqcd.Gauge.random_gauge ~epsilon:0.3 u (Prng.create ~seed:(gauge_seed i));
+    let nop = Solvers.Ops.normal_op ops ~apply_m:(Lqcd.Wilson.wilson_expr ~kappa u) in
+    let b = ops.Solvers.Ops.fresh () in
+    Field.fill_gaussian b (Prng.create ~seed:(rhs_seed i));
+    (nop, b)
+  in
+  let solve ops (nop, b) =
+    let x = ops.Solvers.Ops.fresh () in
+    let r = Solvers.Cg.solve ops nop ~b ~x ~tol:1e-8 () in
+    if not r.Solvers.Cg.converged then failwith "serve: CG diverged";
+    (r.Solvers.Cg.iterations, field_checksum x)
+  in
+  (* Serial baseline: a dedicated engine per tenant, all sharing the
+     cache dir — tenant 0 populates it, the rest start warm. *)
+  let serial_tenant i =
+    let eng = Qdpjit.Engine.create ~jit_cache:(Jitcache.create cache_dir) () in
+    let ops = Solvers.Ops.jit eng shape geom in
+    let t0 = Unix.gettimeofday () in
+    let iters, ck = solve ops (setup ops (fun _ -> ()) i) in
+    ignore (Qdpjit.Engine.synchronize eng);
+    let wall = Unix.gettimeofday () -. t0 in
+    let st = Gpusim.Device.stats (Qdpjit.Engine.device eng) in
+    ( iters,
+      ck,
+      st.Gpusim.Device.launches,
+      st.Gpusim.Device.kernel_ns /. 1e6,
+      wall,
+      Qdpjit.Engine.kernels_built eng )
+  in
+  let serial = Array.init nsessions serial_tenant in
+  (* Served run: one engine, one session per tenant, two tasks each
+     (setup, solve) drained under fair round-robin. *)
+  let srv = Serve.create ~jit_cache:(Jitcache.create cache_dir) () in
+  let results = Array.make nsessions (0, 0L) in
+  let t0 = Unix.gettimeofday () in
+  let sessions =
+    Array.init nsessions (fun i ->
+        let sess = Serve.open_session ~name:(Printf.sprintf "tenant%d" i) srv in
+        let ops = Solvers.Ops.jit (Serve.engine srv) shape geom in
+        let ops =
+          { ops with Solvers.Ops.fresh = (fun () -> Serve.create_field sess shape geom) }
+        in
+        let work = ref None in
+        Serve.submit ~label:"setup" sess (fun () ->
+            work := Some (setup ops (Serve.adopt_field sess) i));
+        Serve.submit ~label:"solve" sess (fun () -> results.(i) <- solve ops (Option.get !work));
+        sess)
+  in
+  let tasks = Serve.run srv in
+  let serve_wall = Unix.gettimeofday () -. t0 in
+  let eng = Serve.engine srv in
+  let warm_built = Qdpjit.Engine.kernels_built eng in
+  let session_stats = Array.map Serve.stats sessions in
+  Array.iter Serve.close_session sessions;
+  let resident_after = Memcache.resident_count (Qdpjit.Engine.memcache eng) in
+  (* Every tenant must match its dedicated-engine twin bit for bit. *)
+  Array.iteri
+    (fun i (iters, ck) ->
+      let s_iters, s_ck, _, _, _, _ = serial.(i) in
+      if iters <> s_iters then failwith (Printf.sprintf "serve: tenant%d iteration drift" i);
+      if ck <> s_ck then failwith (Printf.sprintf "serve: tenant%d not bit-identical" i))
+    results;
+  let serial_sim = Array.fold_left (fun a (_, _, _, ms, _, _) -> a +. ms) 0.0 serial in
+  let serial_launches = Array.fold_left (fun a (_, _, l, _, _, _) -> a + l) 0 serial in
+  let serial_wall = Array.fold_left (fun a (_, _, _, _, w, _) -> a +. w) 0.0 serial in
+  let serve_sim =
+    Array.fold_left (fun a st -> a +. st.Serve.s_sim_ms) 0.0 session_stats
+  in
+  let serve_launches =
+    Array.fold_left (fun a st -> a + st.Serve.s_launches) 0 session_stats
+  in
+  let queue_wait =
+    Array.fold_left (fun a st -> a +. st.Serve.s_queue_wait_s) 0.0 session_stats
+  in
+  let sim_ratio = serve_sim /. serial_sim in
+  let _, _, _, _, _, first_built = serial.(0) in
+  Printf.printf "  %d tenants, %d tasks, solutions bit-identical to dedicated engines\n"
+    nsessions tasks;
+  Printf.printf "  %-10s %8s %10s %12s %10s %12s\n" "" "kernels" "launches" "sim ms" "wall s"
+    "queue-wait s";
+  Printf.printf "  %-10s %8d %10d %12.3f %10.2f %12s\n" "serial x8" first_built serial_launches
+    serial_sim serial_wall "-";
+  Printf.printf "  %-10s %8d %10d %12.3f %10.2f %12.3f\n" "served" warm_built serve_launches
+    serve_sim serve_wall queue_wait;
+  Printf.printf "  aggregate sim time ratio served/serial: %.3f (shared autotune + kernel pool)\n"
+    sim_ratio;
+  Printf.printf "  per session:\n";
+  Array.iter
+    (fun st ->
+      Printf.printf "    %-10s tasks %d, launches %4d, sim %7.3f ms, queue-wait %.3f s\n"
+        st.Serve.s_name st.Serve.s_tasks st.Serve.s_launches st.Serve.s_sim_ms
+        st.Serve.s_queue_wait_s)
+    session_stats;
+  let cache_json =
+    match Qdpjit.Engine.jit_cache_stats eng with
+    | None ->
+        Printf.printf "  persistent JIT cache disabled (REPRO_JIT_CACHE=off)\n";
+        "null"
+    | Some cs ->
+        if cs.Jitcache.hits = 0 then failwith "serve: shared engine hit nothing in the cache";
+        if warm_built <> 0 then
+          failwith
+            (Printf.sprintf "serve: cache-warm shared engine compiled %d kernels (want 0)"
+               warm_built);
+        Printf.printf "  jit cache: %d hits, %d misses, %d stores, %d corrupt, %d evictions\n"
+          cs.Jitcache.hits cs.Jitcache.misses cs.Jitcache.stores cs.Jitcache.corrupt
+          cs.Jitcache.evictions;
+        Printf.sprintf
+          "{\"hits\": %d, \"misses\": %d, \"stores\": %d, \"corrupt\": %d, \"evictions\": %d}"
+          cs.Jitcache.hits cs.Jitcache.misses cs.Jitcache.stores cs.Jitcache.corrupt
+          cs.Jitcache.evictions
+  in
+  if resident_after <> 0 then
+    failwith
+      (Printf.sprintf "serve: %d fields still resident after closing every session"
+         resident_after);
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"wilson_cg_%s_dp\", \"sessions\": %d, \"tasks\": %d,\n\
+    \  \"bit_identical\": true,\n\
+    \  \"serial\": {\"sim_ms_total\": %.6f, \"launches_total\": %d, \"wall_s_total\": %.3f, \
+     \"kernels_built_first\": %d},\n\
+    \  \"serve\": {\"sim_ms_total\": %.6f, \"launches_total\": %d, \"wall_s\": %.3f, \
+     \"kernels_built\": %d, \"queue_wait_s_total\": %.4f, \"sim_ratio_vs_serial\": %.4f},\n\
+    \  \"sessions_detail\": [\n"
+    (String.concat "x" (Array.to_list (Array.map string_of_int (Geometry.dims geom))))
+    nsessions tasks serial_sim serial_launches serial_wall first_built serve_sim serve_launches
+    serve_wall warm_built queue_wait sim_ratio;
+  Array.iteri
+    (fun i st ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"tasks\": %d, \"launches\": %d, \"sim_ms\": %.6f, \
+         \"queue_wait_s\": %.4f, \"run_s\": %.4f}%s\n"
+        st.Serve.s_name st.Serve.s_tasks st.Serve.s_launches st.Serve.s_sim_ms
+        st.Serve.s_queue_wait_s st.Serve.s_run_s
+        (if i = nsessions - 1 then "" else ","))
+    session_stats;
+  Printf.fprintf oc
+    "  ],\n  \"jit_cache\": %s,\n  \"resident_after_close\": %d\n}\n"
+    cache_json resident_after;
+  close_out oc;
+  Printf.printf "  wrote BENCH_serve.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -846,6 +1104,7 @@ let sections =
     ("fusion", fusion_bench);
     ("fusion-eo", fusion_eo_bench);
     ("vmperf", vmperf);
+    ("serve", serve_bench);
     ("micro", micro);
   ]
 

@@ -19,6 +19,8 @@ module Field = Qdp.Field
 module JSite = Linalg.Site.Make (Jit_scalar)
 open Ptx.Types
 
+let version = 1
+
 type param_plan =
   | Dest  (** destination field pointer *)
   | Leaf_ptr of int  (** nth distinct field of the expression *)

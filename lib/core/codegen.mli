@@ -14,6 +14,10 @@
 
 module Shape = Layout.Shape
 
+val version : int
+(** Bumped whenever generated PTX could change for the same expression
+    structure; persistent caches fold it into their keys. *)
+
 (** Launch-time parameter binding order. *)
 type param_plan =
   | Dest  (** destination field pointer *)

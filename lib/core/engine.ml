@@ -107,6 +107,9 @@ type t = {
   streams : Streams.t;  (** stream context over [device]; all launches go
                             through it (default stream unless told otherwise) *)
   cache : Memcache.t;
+  jit_cache : Jitcache.t option;
+      (** persistent store of compiled kernels, shared across engines and
+          processes; looked up before every compile *)
   kernels : (string, kernel_entry) Hashtbl.t;
   fused_kernels : (string, fused_entry) Hashtbl.t;
   raw_builts : (string, Codegen.built) Hashtbl.t;
@@ -254,21 +257,87 @@ let entry_of_built t built compiled =
     bytes_per_thread = a.Ptx.Analysis.load_bytes + a.Ptx.Analysis.store_bytes;
   }
 
-let compile_entry t ~reduction ~dest_shape ~expr ~nsites ~use_sitelist =
-  t.kernel_serial <- t.kernel_serial + 1;
-  let kname = Printf.sprintf "qdpjit_kernel_%d" t.kernel_serial in
-  let built =
-    Codegen.build ~optimize:t.optimize ~reduction ~kname ~dest_shape ~expr ~nsites ~use_sitelist
-      ()
-  in
-  (* Definite-assignment check on the real CFG — the middle-end moves
-     code, so the textual rule alone is no longer the whole story. *)
-  Ptx.Validate.dataflow built.Codegen.kernel;
-  record_stats t built;
-  let compiled = Jit.compile built.Codegen.text in
-  t.kernels_built <- t.kernels_built + 1;
-  t.jit_seconds <- t.jit_seconds +. compiled.Jit.compile_time;
-  entry_of_built t built compiled
+(* ------------------------------------------------------------------ *)
+(* The persistent JIT cache.
+
+   Disk keys capture everything a compiled artifact depends on: the
+   structural key of what is being compiled (the expression structure
+   key, a fused group's {!Ptx.Fuse.structural_key}, or the fixed fold
+   kernel), the optimize flag, and the versions of every stage that
+   shapes the bytes — code generator, middle-end, splicer, pre-decoder —
+   plus the OCaml version, since entries travel as [Marshal] images.
+   A hit restores the built kernel and the pre-decoded program without
+   running the emitter, the passes, the validator or the driver JIT;
+   [kernels_built] and [jit_seconds] count only real compiles, so a
+   fully warm engine reports zero kernels built. *)
+
+type cache_payload = {
+  cp_built : Codegen.built;
+  cp_prog : Jit.portable;
+  cp_report : Ptx.Fuse.report option;  (** fused kernels carry their savings report *)
+}
+
+let cache_tag =
+  Printf.sprintf "qdpjit|ml%s|cg%d|ps%d|fu%d|vm%d" Sys.ocaml_version Codegen.version
+    Ptx.Passes.version Ptx.Fuse.version Gpusim.Vm.decoder_version
+
+let disk_key ~opt ~kind skey = Printf.sprintf "%s|opt%b|%s|%s" cache_tag opt kind skey
+
+let cache_find t ~opt ~kind skey =
+  match t.jit_cache with
+  | None -> None
+  | Some c -> (
+      match Jitcache.find c ~key:(disk_key ~opt ~kind skey) with
+      | None -> None
+      | Some data -> (
+          try
+            let (p : cache_payload) = Marshal.from_string data 0 in
+            Some (p.cp_built, Jit.of_portable p.cp_prog, p.cp_report)
+          with _ -> None))
+
+let cache_store t ~opt ~kind skey (built : Codegen.built) (compiled : Jit.compiled) report =
+  match t.jit_cache with
+  | None -> ()
+  | Some c ->
+      let payload = { cp_built = built; cp_prog = Jit.to_portable compiled; cp_report = report } in
+      Jitcache.store c ~key:(disk_key ~opt ~kind skey) ~data:(Marshal.to_string payload [])
+
+(* Raw (pre-middle-end) fusion source material travels as a bare
+   [Codegen.built]: it never reaches the driver JIT directly, but a warm
+   start must still skip the emitter to stay near steady-state cost. *)
+let cache_find_built t ~kind skey =
+  match t.jit_cache with
+  | None -> None
+  | Some c -> (
+      match Jitcache.find c ~key:(disk_key ~opt:false ~kind skey) with
+      | None -> None
+      | Some data -> ( try Some (Marshal.from_string data 0 : Codegen.built) with _ -> None))
+
+let cache_store_built t ~kind skey (built : Codegen.built) =
+  match t.jit_cache with
+  | None -> ()
+  | Some c ->
+      Jitcache.store c ~key:(disk_key ~opt:false ~kind skey) ~data:(Marshal.to_string built [])
+
+let compile_entry t ~key ~reduction ~dest_shape ~expr ~nsites ~use_sitelist =
+  match cache_find t ~opt:t.optimize ~kind:"eval" key with
+  | Some (built, compiled, _) -> entry_of_built t built compiled
+  | None ->
+      t.kernel_serial <- t.kernel_serial + 1;
+      let kname = Printf.sprintf "qdpjit_kernel_%d" t.kernel_serial in
+      let built =
+        Codegen.build ~optimize:t.optimize ~reduction ~kname ~dest_shape ~expr ~nsites
+          ~use_sitelist ()
+      in
+      (* Definite-assignment check on the real CFG — the middle-end moves
+         code, so the textual rule alone is no longer the whole story. *)
+      Ptx.Validate.dataflow built.Codegen.kernel;
+      record_stats t built;
+      let compiled = Jit.compile built.Codegen.text in
+      t.kernels_built <- t.kernels_built + 1;
+      t.jit_seconds <- t.jit_seconds +. compiled.Jit.compile_time;
+      cache_store t ~opt:t.optimize ~kind:"eval" key built compiled None;
+      entry_of_built t built compiled
 
 let eval_key ~reduction ~dest_shape ~expr ~nsites ~use_sitelist =
   Printf.sprintf "%s|v%d|%s%s"
@@ -282,21 +351,30 @@ let lookup_kernel t ~reduction ~dest_shape ~expr ~nsites ~use_sitelist =
   match Hashtbl.find_opt t.kernels key with
   | Some e -> e
   | None ->
-      let entry = compile_entry t ~reduction ~dest_shape ~expr ~nsites ~use_sitelist in
+      let entry = compile_entry t ~key ~reduction ~dest_shape ~expr ~nsites ~use_sitelist in
       Hashtbl.replace t.kernels key entry;
       entry
 
 (* The unoptimized per-eval kernel, kept as fusion source material: the
    splicer needs the emitter's canonical instruction order, which the
-   middle-end (sink in particular) does not preserve. *)
+   middle-end (sink in particular) does not preserve.  The kernel name is
+   a constant, so the built text is engine-independent and disk-cacheable
+   under the same structural key. *)
 let raw_built t ~reduction ~dest_shape ~expr ~nsites ~use_sitelist =
   let key = eval_key ~reduction ~dest_shape ~expr ~nsites ~use_sitelist in
   match Hashtbl.find_opt t.raw_builts key with
   | Some b -> b
   | None ->
       let b =
-        Codegen.build ~optimize:false ~reduction ~kname:"qdpjit_member" ~dest_shape ~expr
-          ~nsites ~use_sitelist ()
+        match cache_find_built t ~kind:"raw" key with
+        | Some b -> b
+        | None ->
+            let b =
+              Codegen.build ~optimize:false ~reduction ~kname:"qdpjit_member" ~dest_shape
+                ~expr ~nsites ~use_sitelist ()
+            in
+            cache_store_built t ~kind:"raw" key b;
+            b
       in
       Hashtbl.replace t.raw_builts key b;
       b
@@ -639,36 +717,44 @@ let launch_fused t ~geom ~subset ~nsites ~use_sitelist (members : pending array)
                 reduction = members.(mi).p_red;
               })
         in
-        t.kernel_serial <- t.kernel_serial + 1;
-        let kname = Printf.sprintf "qdpjit_fused_%d" t.kernel_serial in
-        let fused_raw, report = Ptx.Fuse.fuse ~kname sources in
-        Ptx.Validate.kernel fused_raw;
-        let kernel, passes =
-          if t.optimize then begin
-            let r = Ptx.Passes.run fused_raw in
-            Ptx.Validate.kernel r.Ptx.Passes.kernel;
-            (r.Ptx.Passes.kernel, r.Ptx.Passes.applied)
-          end
-          else (fused_raw, [])
+        let skey = Ptx.Fuse.structural_key ~nsites sources in
+        let built, compiled, report =
+          match cache_find t ~opt:t.optimize ~kind:"fused" skey with
+          | Some (built, compiled, Some report) -> (built, compiled, report)
+          | Some (_, _, None) | None ->
+              t.kernel_serial <- t.kernel_serial + 1;
+              let kname = Printf.sprintf "qdpjit_fused_%d" t.kernel_serial in
+              let fused_raw, report = Ptx.Fuse.fuse ~kname sources in
+              Ptx.Validate.kernel fused_raw;
+              let kernel, passes =
+                if t.optimize then begin
+                  let r = Ptx.Passes.run fused_raw in
+                  Ptx.Validate.kernel r.Ptx.Passes.kernel;
+                  (r.Ptx.Passes.kernel, r.Ptx.Passes.applied)
+                end
+                else (fused_raw, [])
+              in
+              Ptx.Validate.dataflow kernel;
+              let text = Ptx.Print.kernel kernel in
+              let built =
+                {
+                  Codegen.kernel;
+                  raw = fused_raw;
+                  text;
+                  plan = [];
+                  dest_shape = members.(0).p_dest.Field.shape;
+                  passes;
+                }
+              in
+              record_stats ~fused_members:k
+                ~fused_subst_load_bytes:report.Ptx.Fuse.subst_load_bytes
+                ~fused_dropped_store_bytes:report.Ptx.Fuse.dropped_store_bytes t built;
+              let compiled = Jit.compile text in
+              t.kernels_built <- t.kernels_built + 1;
+              t.jit_seconds <- t.jit_seconds +. compiled.Jit.compile_time;
+              cache_store t ~opt:t.optimize ~kind:"fused" skey built compiled (Some report);
+              (built, compiled, report)
         in
-        Ptx.Validate.dataflow kernel;
-        let text = Ptx.Print.kernel kernel in
-        let built =
-          {
-            Codegen.kernel;
-            raw = fused_raw;
-            text;
-            plan = [];
-            dest_shape = members.(0).p_dest.Field.shape;
-            passes;
-          }
-        in
-        record_stats ~fused_members:k
-          ~fused_subst_load_bytes:report.Ptx.Fuse.subst_load_bytes
-          ~fused_dropped_store_bytes:report.Ptx.Fuse.dropped_store_bytes t built;
-        let compiled = Jit.compile text in
-        t.kernels_built <- t.kernels_built + 1;
-        t.jit_seconds <- t.jit_seconds +. compiled.Jit.compile_time;
         let fe =
           {
             f_entry = entry_of_built t built compiled;
@@ -811,7 +897,7 @@ let flush t =
   end
 
 let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional)
-    ?vm_domains ?(optimize = true) ?(fuse = true) ?(fuse_reductions = true) () =
+    ?vm_domains ?(optimize = true) ?(fuse = true) ?(fuse_reductions = true) ?jit_cache () =
   let device = Device.create ~mode ?vm_domains machine in
   let streams = Streams.create device in
   let t =
@@ -819,6 +905,7 @@ let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional)
       device;
       streams;
       cache = Memcache.create ~sched:streams device;
+      jit_cache = Jitcache.from_env ?default:jit_cache ();
       kernels = Hashtbl.create 64;
       fused_kernels = Hashtbl.create 16;
       raw_builts = Hashtbl.create 16;
@@ -881,6 +968,26 @@ let fusion_stats t =
     eliminated_store_bytes = t.fs_elim_store;
     fallbacks = t.fs_fallbacks;
   }
+
+let jit_cache t = t.jit_cache
+let jit_cache_stats t = Option.map Jitcache.stats t.jit_cache
+
+(* Rewind the per-interval reporting state (the compile scorecards and
+   the planner counters) without touching the kernel caches: benchmarks
+   call this between warm-up and measurement so per-solve deltas are
+   exact instead of accumulating across the warm-up pass.  Lifetime
+   counters ([kernels_built], [jit_seconds], [kernel_bytes_moved]) keep
+   counting — callers difference those explicitly. *)
+let reset_stats t =
+  flush t;
+  t.stats_rev <- [];
+  t.fs_deferred <- 0;
+  t.fs_flushes <- 0;
+  t.fs_groups <- 0;
+  t.fs_saved <- 0;
+  t.fs_elim_load <- 0;
+  t.fs_elim_store <- 0;
+  t.fs_fallbacks <- 0
 
 let synchronize t =
   flush t;
@@ -1038,7 +1145,13 @@ let build_reduce_kernel () =
 let reduce_entry t =
   match t.reduce_kernel with
   | Some entry -> entry
-  | None ->
+  | None -> (
+    match cache_find t ~opt:t.optimize ~kind:"reduce" "reduce8_f64" with
+    | Some (built, compiled, _) ->
+        let entry = entry_of_built t built compiled in
+        t.reduce_kernel <- Some entry;
+        entry
+    | None ->
       let raw, emitter = build_reduce_kernel () in
       Ptx.Validate.kernel raw;
       (* The hand-built kernel takes the same road as generated ones,
@@ -1068,9 +1181,10 @@ let reduce_entry t =
         }
       in
       record_stats t built;
+      cache_store t ~opt:t.optimize ~kind:"reduce" "reduce8_f64" built compiled None;
       let entry = entry_of_built t built compiled in
       t.reduce_kernel <- Some entry;
-      entry
+      entry)
 
 (* The host is about to read [bytes] of a reduction result: a blocking
    D2H copy on the default stream. *)

@@ -79,6 +79,7 @@ val create :
   ?optimize:bool ->
   ?fuse:bool ->
   ?fuse_reductions:bool ->
+  ?jit_cache:Jitcache.t ->
   unit ->
   t
 (** A fresh engine with its own simulated device, memory cache and kernel
@@ -94,7 +95,14 @@ val create :
     [fuse_reductions] (default on) lets a reduction payload join the
     trailing fused group; [~fuse_reductions:false] launches every
     reduction payload standalone (identical kernel body and identical
-    results, one extra launch per reduction). *)
+    results, one extra launch per reduction).  [jit_cache] attaches a
+    persistent on-disk kernel cache: every compile site (singleton,
+    fusion source material, fused group, fold kernel) checks the cache
+    before compiling and publishes what it compiles, so a second engine
+    — in this process or another — replays the kernels without running
+    the emitter, middle-end or driver JIT.  The [REPRO_JIT_CACHE]
+    environment variable overrides the argument: a path caches there,
+    [off]/[0]/[none]/[disabled] disables caching entirely. *)
 
 val jit_stats : t -> jit_stats list
 (** Scorecards of every kernel compiled so far, in compile order
@@ -102,6 +110,22 @@ val jit_stats : t -> jit_stats list
 
 val fusion_stats : t -> fusion_stats
 (** Deferred-queue counters so far (flushes the queue first). *)
+
+val reset_stats : t -> unit
+(** Rewind the per-interval reporting state — the {!jit_stats}
+    scorecards and every {!fusion_stats} counter — without touching the
+    kernel caches (flushes the queue first so pending work is attributed
+    to the old interval).  Benchmarks call this between warm-up and
+    measurement so per-solve deltas are exact.  Lifetime counters
+    ({!kernels_built}, {!jit_seconds}, {!kernel_bytes_moved}) keep
+    accumulating. *)
+
+val jit_cache : t -> Jitcache.t option
+(** The attached persistent kernel cache, after environment resolution. *)
+
+val jit_cache_stats : t -> Jitcache.stats option
+(** Hit/miss/store/corrupt/evict counters of the attached cache;
+    [None] when caching is disabled. *)
 
 val device : t -> Gpusim.Device.t
 

@@ -45,6 +45,40 @@ let dominant_prec analysis_body =
   in
   if has_f64 then Dp else Sp
 
+(* Marshal-safe image of a compiled kernel: everything is plain data
+   except the pre-decoded program, which delegates to {!Vm.portable}. *)
+type portable = {
+  p_program : Vm.portable;
+  p_analysis : Ptx.Analysis.t;
+  p_regs : int;
+  p_prec : prec;
+  p_compile_time : float;
+  p_instructions : int;
+  p_text : string;
+}
+
+let to_portable c =
+  {
+    p_program = Vm.to_portable c.program;
+    p_analysis = c.analysis;
+    p_regs = c.regs_per_thread;
+    p_prec = c.prec;
+    p_compile_time = c.compile_time;
+    p_instructions = c.instructions;
+    p_text = c.text;
+  }
+
+let of_portable p =
+  {
+    program = Vm.of_portable p.p_program;
+    analysis = p.p_analysis;
+    regs_per_thread = p.p_regs;
+    prec = p.p_prec;
+    compile_time = p.p_compile_time;
+    instructions = p.p_instructions;
+    text = p.p_text;
+  }
+
 let compile text =
   let kernel = Ptx.Parse.kernel text in
   Ptx.Validate.kernel kernel;

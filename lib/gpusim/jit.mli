@@ -25,3 +25,15 @@ val dominant_prec : Ptx.Types.instr list -> prec
 val compile : string -> compiled
 (** Parse, validate and compile PTX text; raises [Ptx.Parse.Error] or
     [Ptx.Validate.Invalid] on malformed input. *)
+
+type portable
+(** A {!compiled} stripped to plain [Marshal]-safe data (the pre-decoded
+    program travels as {!Vm.portable}).  This is what the persistent JIT
+    cache serializes. *)
+
+val to_portable : compiled -> portable
+
+val of_portable : portable -> compiled
+(** Rehydrate a cached kernel without re-parsing or re-decoding; the
+    result executes bit-identically to a fresh {!compile} of the same
+    text. *)

@@ -441,6 +441,30 @@ let compile (kernel : kernel) =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Serialization.  A program is plain data except for two fields: [fns]
+   holds math-subroutine closures and [slots] holds worker scratch.
+   Both are deterministic functions of the rest — [compile] fills [fns]
+   with one [lookup_math] per [Call] in body order, and [slots] grows on
+   demand — so the portable form simply strips them and rehydration
+   rebuilds [fns] by replaying the same walk.  A rehydrated program is
+   therefore indistinguishable from a fresh [compile] of the kernel. *)
+
+let decoder_version = 1
+
+type portable = program
+
+let to_portable p = { p with fns = [||]; slots = [||] }
+
+let of_portable (p : portable) =
+  let fns =
+    List.filter_map
+      (function Call { func; _ } -> Some (lookup_math func) | _ -> None)
+      p.kernel.body
+    |> Array.of_list
+  in
+  { p with fns; slots = [||] }
+
+(* ------------------------------------------------------------------ *)
 (* Worker register files. *)
 
 let make_wctx p =

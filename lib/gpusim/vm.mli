@@ -25,6 +25,23 @@ val compile : Ptx.Types.kernel -> program
 (** Validate and pre-decode.  Raises {!Fault} on malformed kernels
     (undefined labels, unsupported operand classes). *)
 
+val decoder_version : int
+(** Bumped whenever the pre-decoded representation changes; persistent
+    caches fold it into their keys so stale entries miss instead of
+    misexecuting. *)
+
+type portable
+(** A {!program} with its closure-valued fields stripped: plain data,
+    safe for [Marshal]. *)
+
+val to_portable : program -> portable
+
+val of_portable : portable -> program
+(** Rehydrate: the math-subroutine table is rebuilt deterministically
+    from the kernel body (the same walk {!compile} performs), so a
+    round-tripped program executes bit-identically to a fresh compile.
+    Raises {!Fault} if the body names an unknown subroutine. *)
+
 val run_grid :
   ?workers:int ->
   program ->

@@ -314,3 +314,47 @@ let is_inflight t (f : Field.t) =
 
 let is_device_dirty t (f : Field.t) =
   match Hashtbl.find_opt t.entries f.Field.id with Some e -> e.device_dirty | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Arenas: per-session field groups for the serving layer.  An arena is
+   only bookkeeping — registration does not touch residency — but it
+   remembers every field a session ever owned, so teardown can drop the
+   session's pins, retain counts and device allocations in one sweep
+   without the session having to track its temporaries. *)
+
+type arena = {
+  arena_name : string;
+  mutable arena_rev : Field.t list;  (** registered fields, newest first *)
+  arena_ids : (int, unit) Hashtbl.t;
+}
+
+let create_arena _t ~name = { arena_name = name; arena_rev = []; arena_ids = Hashtbl.create 16 }
+let arena_name a = a.arena_name
+
+let arena_register a (f : Field.t) =
+  if not (Hashtbl.mem a.arena_ids f.Field.id) then begin
+    Hashtbl.replace a.arena_ids f.Field.id ();
+    a.arena_rev <- f :: a.arena_rev
+  end
+
+let arena_size a = List.length a.arena_rev
+
+let arena_resident t a =
+  List.fold_left (fun acc f -> if is_resident t f then acc + 1 else acc) 0 a.arena_rev
+
+(* Graceful teardown: clear every protection the session's entries hold
+   (pins, retain counts) and evict them — a dirty entry pages out first,
+   so the host copy is current when the session's owner reads results
+   after close.  The arena is empty afterwards and may be reused. *)
+let release_arena t a =
+  List.iter
+    (fun (f : Field.t) ->
+      match Hashtbl.find_opt t.entries f.Field.id with
+      | Some e ->
+          e.pinned <- false;
+          e.retained <- 0;
+          evict t e
+      | None -> ())
+    (List.rev a.arena_rev);
+  a.arena_rev <- [];
+  Hashtbl.reset a.arena_ids

@@ -86,3 +86,29 @@ val settle : t -> unit
     completion events hold stale pre-reset timestamps. *)
 
 val is_device_dirty : t -> Qdp.Field.t -> bool
+
+(** {2 Arenas}
+
+    Per-session field groups for the serving layer: registration is pure
+    bookkeeping, and {!release_arena} is the one-call graceful teardown
+    that releases every protection the session's entries hold. *)
+
+type arena
+
+val create_arena : t -> name:string -> arena
+val arena_name : arena -> string
+
+val arena_register : arena -> Qdp.Field.t -> unit
+(** Remember the field as session-owned (idempotent; does not touch
+    residency). *)
+
+val arena_size : arena -> int
+(** Fields registered so far. *)
+
+val arena_resident : t -> arena -> int
+(** How many of the arena's fields currently hold device allocations. *)
+
+val release_arena : t -> arena -> unit
+(** Teardown: for every registered field, clear its pin and retain
+    count, page out dirty data (the owner may still read results) and
+    free the device allocation.  The arena is empty afterwards. *)

@@ -55,6 +55,17 @@ type source = {
           branches retarget the fused exit. *)
 }
 
+val version : int
+(** Bumped whenever the splice's output could change for the same
+    sources; persistent caches fold it into their keys. *)
+
+val structural_key : nsites:int -> source list -> string
+(** A content hash naming the fused artifact: digests of each member's
+    printed PTX plus its slot map, substitution edges and drop/reduction
+    flags.  Two groups with equal keys fuse to byte-identical kernels,
+    so the key is safe as a persistent-cache identity (the engine
+    prepends version tags). *)
+
 val fuse : kname:string -> source list -> Types.kernel * report
 (** Splice the sources, in order, into one kernel named [kname].  All
     sources must agree on [use_sitelist] (the engine only groups evals of

@@ -33,6 +33,8 @@
 open Types
 module D = Dataflow
 
+let version = 1
+
 (** Value provenance handed down by the emitting builder: the proof CSE
     needs that a register is an SSA value.  When absent, passes recompute
     it from the body; builder-recorded counts can only over-count (passes

@@ -3,6 +3,10 @@
     (simulated) driver JIT.  See the implementation header for the exact
     soundness constraints each pass obeys. *)
 
+val version : int
+(** Bumped whenever the pipeline's output could change for the same
+    input kernel; persistent caches fold it into their keys. *)
+
 (** Value provenance handed down by the emitting builder: the proof CSE
     needs that a register is an SSA value (single static definition).
     When absent, passes recompute it from the body. *)

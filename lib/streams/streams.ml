@@ -101,6 +101,16 @@ let issue t s ~engine ~name ~cat ~dur_ns ~args =
 let busy ?(cat = "op") t s ~engine ~name ~ns =
   ignore (issue t s ~engine ~name ~cat ~dur_ns:ns ~args: [ ("engine", engine_name engine) ])
 
+(* A zero-duration annotation at the stream's cursor: unlike [busy] it
+   occupies no engine and moves no timeline, so schedulers (the serving
+   layer's per-session task markers) can label a trace without
+   perturbing the model. *)
+let note ?(cat = "marker") t s ~name ~args =
+  t.spans <-
+    { span_name = name; cat; span_sid = s.sid; start_ns = s.cursor_ns; end_ns = s.cursor_ns;
+      args }
+    :: t.spans
+
 (* Asynchronous kernel launch: functional execution is immediate (issue
    order = program order, so results are exact); the modeled duration is
    scheduled on the compute engine.  Returns the kernel duration (what the

@@ -75,6 +75,12 @@ val busy : ?cat:string -> t -> stream -> engine:engine -> name:string -> ns:floa
 (** A generic modeled operation of [ns] on [engine] (e.g. the scatter of a
     received face). *)
 
+val note : ?cat:string -> t -> stream -> name:string -> args:(string * string) list -> unit
+(** A zero-duration span at the stream's cursor: a timeline annotation
+    that occupies no engine and delays nothing.  The serving layer marks
+    per-session task completions with it, so a Chrome trace shows each
+    session's timeline without perturbing the model. *)
+
 (** Events capture a point in a stream's timeline. *)
 module Event : sig
   type t

@@ -1,0 +1,149 @@
+(* The serving layer must be invisible to each tenant: N sessions
+   interleaved round-robin on one engine produce bit-identical results
+   to each session running alone on a dedicated engine, per-session
+   stats attribute the shared device's work, and closing a session
+   releases everything it held in the memory cache. *)
+
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+module Engine = Qdpjit.Engine
+
+let geom = Geometry.create [| 4; 4; 4; 2 |]
+let fm = Shape.lattice_fermion Shape.F64
+let nsteps = 5
+
+(* One tenant's workload: a seeded axpy/shift chain with a running norm
+   accumulator — enough evals per step to give the fusion planner work. *)
+let fill seed i f = Field.fill_gaussian ~site_key:(fun site -> site + (i * 1_000_003)) f (Prng.create ~seed)
+
+let workload_step eng (x, y, z) k acc =
+  Engine.eval eng z (Expr.add (Expr.mul (Expr.const_real (0.5 +. float_of_int k)) (Expr.field x)) (Expr.field y));
+  Engine.eval eng x (Expr.shift (Expr.field z) ~dim:(k mod 4) ~dir:(if k mod 2 = 0 then 1 else -1));
+  Engine.eval eng y (Expr.sub (Expr.field x) (Expr.field z));
+  acc +. Engine.norm2 eng (Expr.field y)
+
+let serial_run seed =
+  let eng = Engine.create () in
+  let x = Field.create fm geom and y = Field.create fm geom and z = Field.create fm geom in
+  fill seed 0 x;
+  fill seed 1 y;
+  let acc = ref 0.0 in
+  for k = 0 to nsteps - 1 do
+    acc := workload_step eng (x, y, z) k !acc
+  done;
+  Engine.flush eng;
+  (!acc, Field.get_site y ~site:0)
+
+let test_sessions_bit_identical () =
+  let srv = Serve.create () in
+  let nsessions = 4 in
+  let seeds = Array.init nsessions (fun i -> Int64.of_int (100 + i)) in
+  let accs = Array.make nsessions 0.0 in
+  let ys = Array.make nsessions None in
+  let sessions =
+    Array.init nsessions (fun i ->
+        let sess = Serve.open_session ~name:(Printf.sprintf "tenant%d" i) srv in
+        let x = Serve.create_field sess fm geom
+        and y = Serve.create_field sess fm geom
+        and z = Serve.create_field sess fm geom in
+        Serve.submit ~label:"setup" sess (fun () ->
+            fill seeds.(i) 0 x;
+            fill seeds.(i) 1 y);
+        for k = 0 to nsteps - 1 do
+          Serve.submit ~label:(Printf.sprintf "step%d" k) sess (fun () ->
+              accs.(i) <- workload_step (Serve.engine srv) (x, y, z) k accs.(i))
+        done;
+        Serve.submit ~label:"collect" sess (fun () -> ys.(i) <- Some (Field.get_site y ~site:0));
+        sess)
+  in
+  Alcotest.(check int) "active" nsessions (Serve.active_sessions srv);
+  let executed = Serve.run srv in
+  Alcotest.(check int) "all tasks ran" (nsessions * (nsteps + 2)) executed;
+  Array.iteri
+    (fun i sess ->
+      let serial_acc, serial_site = serial_run seeds.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "tenant%d norm bits" i)
+        true
+        (Int64.bits_of_float accs.(i) = Int64.bits_of_float serial_acc);
+      let site = Option.get ys.(i) in
+      Array.iteri
+        (fun j v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "tenant%d site word %d" i j)
+            true
+            (Int64.bits_of_float v = Int64.bits_of_float serial_site.(j)))
+        site;
+      let st = Serve.stats sess in
+      Alcotest.(check int) "tasks counted" (nsteps + 2) st.Serve.s_tasks;
+      Alcotest.(check bool) "launches attributed" true (st.Serve.s_launches > 0);
+      Alcotest.(check bool) "sim time attributed" true (st.Serve.s_sim_ms > 0.0);
+      Alcotest.(check bool) "bytes attributed" true (st.Serve.s_kernel_bytes > 0);
+      Alcotest.(check bool) "queue wait nonneg" true (st.Serve.s_queue_wait_s >= 0.0))
+    sessions;
+  (* Sessions share the engine's kernel pool: far fewer compiles than
+     running each tenant on its own engine. *)
+  Alcotest.(check bool) "shared kernel pool" true
+    (Engine.kernels_built (Serve.engine srv) < nsessions * 8)
+
+let serial_close_reference () =
+  let eng = Engine.create () in
+  let x = Field.create fm geom and y = Field.create fm geom in
+  fill 42L 0 x;
+  Engine.eval eng y (Expr.mul (Expr.const_real 2.0) (Expr.field x));
+  Engine.flush eng;
+  Field.get_site y ~site:0
+
+let test_close_session_releases () =
+  let srv = Serve.create () in
+  let mc = Engine.memcache (Serve.engine srv) in
+  let sess = Serve.open_session ~name:"ephemeral" srv in
+  let x = Serve.create_field sess fm geom and y = Serve.create_field sess fm geom in
+  Serve.submit sess (fun () ->
+      fill 42L 0 x;
+      Engine.eval (Serve.engine srv) y (Expr.mul (Expr.const_real 2.0) (Expr.field x)));
+  ignore (Serve.run srv);
+  Alcotest.(check bool) "fields resident" true (Memcache.resident_count mc > 0);
+  Serve.close_session sess;
+  Alcotest.(check int) "arena released" 0 (Memcache.resident_count mc);
+  Alcotest.(check int) "no longer active" 0 (Serve.active_sessions srv);
+  (* Teardown paged dirty results out: the host copy is current. *)
+  let expected = serial_close_reference () in
+  Array.iteri
+    (fun j v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "paged-out word %d" j)
+        true
+        (Int64.bits_of_float v = Int64.bits_of_float expected.(j)))
+    (Field.get_site y ~site:0);
+  Alcotest.check_raises "submit after close"
+    (Invalid_argument "Serve.submit: session is closed")
+    (fun () -> Serve.submit sess (fun () -> ()))
+
+let test_close_drains_queue () =
+  let srv = Serve.create () in
+  let sess = Serve.open_session srv in
+  let hit = ref 0 in
+  Serve.submit sess (fun () -> incr hit);
+  Serve.submit sess (fun () -> incr hit);
+  Alcotest.(check int) "pending" 2 (Serve.pending sess);
+  Serve.close_session sess;
+  Alcotest.(check int) "drained" 2 !hit;
+  Alcotest.(check int) "empty" 0 (Serve.pending sess);
+  (* Idempotent. *)
+  Serve.close_session sess
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "multi-tenant",
+        [
+          Alcotest.test_case "sessions bit-identical to serial" `Quick
+            test_sessions_bit_identical;
+          Alcotest.test_case "close releases arena, results survive" `Quick
+            test_close_session_releases;
+          Alcotest.test_case "close drains pending tasks" `Quick test_close_drains_queue;
+        ] );
+    ]
