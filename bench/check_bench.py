@@ -8,6 +8,7 @@ Each subcommand validates one artifact:
   check_bench.py fusion     BENCH_fusion.json
   check_bench.py fusion-eo  BENCH_fusion_eo.json
   check_bench.py serve      BENCH_serve.json
+  check_bench.py precision  BENCH_precision.json
 
 Exit status 0 means every gate held; any assertion failure prints the
 violated invariant and exits nonzero.  The gates are deliberately
@@ -231,6 +232,44 @@ def check_serve(args):
     )
 
 
+def check_precision(args):
+    data = load(args.file or "BENCH_precision.json")
+    assert data["bit_identical"], "a scheme diverged across VM worker counts / CPU"
+    tol = data["tol"]
+    schemes = {s["name"]: s for s in data["schemes"]}
+    for name in ("cg_f64", "dc_f32", "ru_f16"):
+        s = schemes[name]
+        assert s["converged"], f"{name} did not converge"
+        assert s["residual"] <= tol, f"{name} residual {s['residual']} above tol {tol}"
+        assert s["kernel_bytes"] > 0 and s["sim_ms"] > 0, f"{name} has no measured traffic"
+    f64, f32, f16 = schemes["cg_f64"], schemes["dc_f32"], schemes["ru_f16"]
+    # Storage tiers must land where they should: the f64 baseline moves no
+    # narrow traffic, each mixed scheme is dominated by its low tier with a
+    # nonzero f64 remainder (outer residuals / reliable updates).
+    assert f64["bytes_f16"] == 0 and f64["bytes_f32"] == 0, "f64 CG moved sub-f64 traffic"
+    assert f32["bytes_f32"] > f32["bytes_f64"] > 0, "defect-correction not f32-dominated"
+    assert f16["bytes_f16"] > f16["bytes_f64"] > 0, "reliable-update not f16-dominated"
+    ratio = data["bytes_ratio_f64_over_f16"]
+    assert ratio >= 1.8, (
+        f"f16 reliable-update saved only {ratio:.2f}x model traffic (need >= 1.8x)"
+    )
+    recomputed = f64["kernel_bytes"] / f16["kernel_bytes"]
+    assert abs(ratio - recomputed) <= 1e-3 * recomputed, (
+        f"reported ratio {ratio} inconsistent with per-scheme bytes ({recomputed:.4f})"
+    )
+    m = data["model_trajectory_s"]
+    assert m["f16"] < m["f32"] < m["f64"], (
+        "production model does not improve monotonically with narrower solver storage"
+    )
+    print(
+        f"precision OK: tol {tol:g} reached by all 3 schemes "
+        f"(f64 {f64['iterations']}, f32 {f32['iterations']}, f16 {f16['iterations']} iters, "
+        f"{f16['aux_iterations']} reliable updates), bit-identical, "
+        f"f16 traffic {ratio:.2f}x below f64 (gate 1.8x), "
+        f"modeled trajectory {m['f64']:.0f} -> {m['f16']:.0f} s"
+    )
+
+
 CHECKS = {
     "streams": check_streams,
     "jitopt": check_jitopt,
@@ -238,6 +277,7 @@ CHECKS = {
     "fusion-eo": check_fusion_eo,
     "vmperf": check_vmperf,
     "serve": check_serve,
+    "precision": check_precision,
 }
 
 

@@ -72,7 +72,9 @@ let table2 () =
 (* Figures 4 and 5: sustained bandwidth vs volume (model-mode sweeps) *)
 
 let bandwidth_sweep prec =
-  let name = match prec with Shape.F32 -> "single" | Shape.F64 -> "double" in
+  let name =
+    match prec with Shape.F16 -> "half" | Shape.F32 -> "single" | Shape.F64 -> "double"
+  in
   section
     (Printf.sprintf "Fig %s: K20x (ECC off) sustained GB/s vs V=L^4, %s precision"
        (match prec with Shape.F32 -> "4" | _ -> "5")
@@ -1029,9 +1031,12 @@ let serve_bench () =
   Printf.printf "  per session:\n";
   Array.iter
     (fun st ->
-      Printf.printf "    %-10s tasks %d, launches %4d, sim %7.3f ms, queue-wait %.3f s\n"
+      Printf.printf
+        "    %-10s tasks %d, launches %4d, sim %7.3f ms, queue-wait %.3f s, kernel bytes %d \
+         (f16 %d / f32 %d / f64 %d)\n"
         st.Serve.s_name st.Serve.s_tasks st.Serve.s_launches st.Serve.s_sim_ms
-        st.Serve.s_queue_wait_s)
+        st.Serve.s_queue_wait_s st.Serve.s_kernel_bytes st.Serve.s_kernel_bytes_f16
+        st.Serve.s_kernel_bytes_f32 st.Serve.s_kernel_bytes_f64)
     session_stats;
   let cache_json =
     match Qdpjit.Engine.jit_cache_stats eng with
@@ -1073,9 +1078,11 @@ let serve_bench () =
     (fun i st ->
       Printf.fprintf oc
         "    {\"name\": \"%s\", \"tasks\": %d, \"launches\": %d, \"sim_ms\": %.6f, \
-         \"queue_wait_s\": %.4f, \"run_s\": %.4f}%s\n"
+         \"queue_wait_s\": %.4f, \"run_s\": %.4f, \"kernel_bytes\": %d, \
+         \"kernel_bytes_f16\": %d, \"kernel_bytes_f32\": %d, \"kernel_bytes_f64\": %d}%s\n"
         st.Serve.s_name st.Serve.s_tasks st.Serve.s_launches st.Serve.s_sim_ms
-        st.Serve.s_queue_wait_s st.Serve.s_run_s
+        st.Serve.s_queue_wait_s st.Serve.s_run_s st.Serve.s_kernel_bytes
+        st.Serve.s_kernel_bytes_f16 st.Serve.s_kernel_bytes_f32 st.Serve.s_kernel_bytes_f64
         (if i = nsessions - 1 then "" else ","))
     session_stats;
   Printf.fprintf oc
@@ -1083,6 +1090,182 @@ let serve_bench () =
     cache_json resident_after;
   close_out oc;
   Printf.printf "  wrote BENCH_serve.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Precision tiers: the same Wilson normal-operator solve at f64, f32
+   and f16 storage.  Pure-f64 CG is the baseline; f32 runs QUDA-style
+   defect-correction; f16 runs reliable-update CG.  Every scheme must
+   reach the same f64 tolerance, be bit-identical across VM worker
+   counts and the CPU reference, and the f16 scheme must move markedly
+   less modeled global traffic than the f64 baseline. *)
+
+let precision_bench () =
+  section "Precision tiers: Wilson normal-op CG at f64 / f32 / f16 storage";
+  let geom = Geometry.create [| 4; 4; 4; 2 |] in
+  let shape64 = Shape.lattice_fermion Shape.F64 in
+  let kappa = 0.115 and tol = 1e-10 in
+  (* ±0 payloads differ harmlessly between Eval_cpu and the VM (the CPU
+     path reaches +0.0 through its fma convention), so canonicalize
+     zeros before hashing; everything else must match bit for bit. *)
+  let canon_checksum fld =
+    let h = ref 0xcbf29ce484222325L in
+    for site = 0 to Field.volume fld - 1 do
+      Array.iter
+        (fun v ->
+          let bits = if v = 0.0 then 0L else Int64.bits_of_float v in
+          h := Int64.mul (Int64.logxor !h bits) 0x100000001b3L)
+        (Field.get_site fld ~site)
+    done;
+    !h
+  in
+  (* One scheme on one backend: build the operator (plus its lowered-
+     precision twin where the scheme needs one), call [mark] once setup
+     is done so measured counters cover the solve alone, then solve. *)
+  let run_scheme backend scheme ~mark =
+    let ops shape =
+      match backend with
+      | `Cpu -> Solvers.Ops.cpu shape geom
+      | `Jit eng -> Solvers.Ops.jit eng shape geom
+    in
+    let evalf d e =
+      match backend with
+      | `Cpu -> Qdp.Eval_cpu.eval d e
+      | `Jit eng -> Qdpjit.Engine.eval eng d e
+    in
+    let u = Lqcd.Gauge.create_links geom in
+    Lqcd.Gauge.random_gauge ~epsilon:0.3 u (Prng.create ~seed:71L);
+    let ops64 = ops shape64 in
+    let nop64 = Solvers.Ops.normal_op ops64 ~apply_m:(Lqcd.Wilson.wilson_expr ~kappa u) in
+    let lowered prec =
+      let ul = Array.map (fun _ -> Field.create (Shape.lattice_color_matrix prec) geom) u in
+      Array.iteri (fun mu d -> evalf d (Expr.field u.(mu))) ul;
+      let opsl = ops (Shape.lattice_fermion prec) in
+      (opsl, Solvers.Ops.normal_op opsl ~apply_m:(Lqcd.Wilson.wilson_expr ~kappa ul))
+    in
+    let b = Field.create shape64 geom in
+    Field.fill_gaussian b (Prng.create ~seed:72L);
+    let x = Field.create shape64 geom in
+    mark ();
+    let iters, aux, residual, converged =
+      match scheme with
+      | `F64 ->
+          let r = Solvers.Cg.solve ops64 nop64 ~b ~x ~tol () in
+          (r.Solvers.Cg.iterations, 0, r.Solvers.Cg.residual, r.Solvers.Cg.converged)
+      | `F32 ->
+          let ops32, nop32 = lowered Shape.F32 in
+          let r = Solvers.Mixed.solve ops64 nop64 ops32 nop32 ~b ~x ~tol () in
+          ( r.Solvers.Mixed.inner_iterations,
+            r.Solvers.Mixed.outer_iterations,
+            r.Solvers.Mixed.residual,
+            r.Solvers.Mixed.converged )
+      | `F16 ->
+          let ops16, nop16 = lowered Shape.F16 in
+          let r = Solvers.Mixed.solve_reliable ops64 nop64 ops16 nop16 ~b ~x ~tol () in
+          ( r.Solvers.Mixed.iterations,
+            r.Solvers.Mixed.reliable_updates,
+            r.Solvers.Mixed.residual,
+            r.Solvers.Mixed.converged )
+    in
+    (match backend with
+    | `Jit eng -> ignore (Qdpjit.Engine.synchronize eng)
+    | `Cpu -> ());
+    (iters, aux, residual, converged, canon_checksum x)
+  in
+  let schemes =
+    [
+      ("cg_f64", `F64, "f64 CG");
+      ("dc_f32", `F32, "f32 defect-correction");
+      ("ru_f16", `F16, "f16 reliable-update");
+    ]
+  in
+  let measured =
+    List.map
+      (fun (name, scheme, desc) ->
+        let eng = Qdpjit.Engine.create () in
+        let st = Gpusim.Device.stats (Qdpjit.Engine.device eng) in
+        let b0 = ref 0 and t0 = ref (0, 0, 0) and ns0 = ref 0.0 in
+        let mark () =
+          b0 := Qdpjit.Engine.kernel_bytes_moved eng;
+          t0 := Qdpjit.Engine.kernel_bytes_by_prec eng;
+          ns0 := st.Gpusim.Device.kernel_ns
+        in
+        let iters, aux, residual, converged, ck = run_scheme (`Jit eng) scheme ~mark in
+        if not converged then failwith ("precision: " ^ name ^ " did not converge");
+        if residual > tol then
+          failwith
+            (Printf.sprintf "precision: %s missed the f64 tolerance (%.2e > %.0e)" name residual
+               tol);
+        let bytes = Qdpjit.Engine.kernel_bytes_moved eng - !b0 in
+        let f16a, f32a, f64a = Qdpjit.Engine.kernel_bytes_by_prec eng in
+        let f16z, f32z, f64z = !t0 in
+        let sim_ms = (st.Gpusim.Device.kernel_ns -. !ns0) /. 1e6 in
+        (* The identical solve at 1 worker, 4 workers and on the CPU
+           reference must be bit-identical to the measured run. *)
+        List.iter
+          (fun backend ->
+            let _, _, _, c2, ck2 = run_scheme backend scheme ~mark:(fun () -> ()) in
+            if not c2 then failwith ("precision: " ^ name ^ " diverged on a replay backend");
+            if ck2 <> ck then
+              failwith ("precision: " ^ name ^ " not bit-identical across backends"))
+          [
+            `Jit (Qdpjit.Engine.create ~vm_domains:1 ());
+            `Jit (Qdpjit.Engine.create ~vm_domains:4 ());
+            `Cpu;
+          ];
+        (name, desc, iters, aux, residual, bytes, (f16a - f16z, f32a - f32z, f64a - f64z), sim_ms))
+      schemes
+  in
+  let bytes_of n =
+    let _, _, _, _, _, b, _, _ = List.find (fun (m, _, _, _, _, _, _, _) -> m = n) measured in
+    b
+  in
+  let ratio = float_of_int (bytes_of "cg_f64") /. float_of_int (bytes_of "ru_f16") in
+  Printf.printf "  all schemes reach tol %.0e; solutions bit-identical across vm1/vm4/cpu\n" tol;
+  Printf.printf "  %-22s %6s %6s %10s %14s %32s %9s\n" "" "iters" "aux" "residual" "kernel bytes"
+    "f16 / f32 / f64 bytes" "sim ms";
+  List.iter
+    (fun (_, desc, iters, aux, residual, bytes, (bf16, bf32, bf64), sim_ms) ->
+      Printf.printf "  %-22s %6d %6d %10.1e %14d %12d/%9d/%9d %9.3f\n" desc iters aux residual
+        bytes bf16 bf32 bf64 sim_ms)
+    measured;
+  Printf.printf "  traffic: f16 reliable-update moves %.2fx less than pure f64 CG\n" ratio;
+  if ratio < 1.8 then
+    failwith (Printf.sprintf "precision: f16 scheme saved only %.2fx traffic (need >= 1.8x)" ratio);
+  (* Production-scale projection through the performance model: only the
+     solver's byte constants change with storage precision (iteration
+     counts are measured, not modeled). *)
+  let w = Perfmodel.Workload.production () in
+  let proj prec =
+    Perfmodel.Scaling.trajectory_time ~machine:Perfmodel.Nodes.blue_waters_xk
+      ~config:Perfmodel.Scaling.Qdpjit_quda
+      (Perfmodel.Workload.at_solver_precision prec w)
+      ~nodes:128
+  in
+  Printf.printf
+    "  production model (BW, 128 nodes): solver storage f64 %.0f s/traj, f32 %.0f, f16 %.0f\n"
+    (proj Shape.F64) (proj Shape.F32) (proj Shape.F16);
+  let oc = open_out "BENCH_precision.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"wilson_normal_cg_%s\", \"tol\": %.1e,\n\
+    \  \"bit_identical\": true,\n\
+    \  \"bytes_ratio_f64_over_f16\": %.4f,\n\
+    \  \"model_trajectory_s\": {\"f64\": %.3f, \"f32\": %.3f, \"f16\": %.3f},\n\
+    \  \"schemes\": [\n"
+    (String.concat "x" (Array.to_list (Array.map string_of_int (Geometry.dims geom))))
+    tol ratio (proj Shape.F64) (proj Shape.F32) (proj Shape.F16);
+  List.iteri
+    (fun i (name, _, iters, aux, residual, bytes, (bf16, bf32, bf64), sim_ms) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"iterations\": %d, \"aux_iterations\": %d, \"converged\": true, \
+         \"residual\": %.6e, \"kernel_bytes\": %d, \"bytes_f16\": %d, \"bytes_f32\": %d, \
+         \"bytes_f64\": %d, \"sim_ms\": %.6f}%s\n"
+        name iters aux residual bytes bf16 bf32 bf64 sim_ms
+        (if i = List.length measured - 1 then "" else ","))
+    measured;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_precision.json\n"
 
 (* ------------------------------------------------------------------ *)
 
@@ -1105,6 +1288,7 @@ let sections =
     ("fusion-eo", fusion_eo_bench);
     ("vmperf", vmperf);
     ("serve", serve_bench);
+    ("precision", precision_bench);
     ("micro", micro);
   ]
 

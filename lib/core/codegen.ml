@@ -19,7 +19,7 @@ module Field = Qdp.Field
 module JSite = Linalg.Site.Make (Jit_scalar)
 open Ptx.Types
 
-let version = 1
+let version = 2
 
 type param_plan =
   | Dest  (** destination field pointer *)
@@ -43,8 +43,12 @@ type built = {
   passes : Ptx.Passes.report list;
 }
 
-let elem_bytes = function Shape.F32 -> 4 | Shape.F64 -> 8
-let prec_dtype = function Shape.F32 -> F32 | Shape.F64 -> F64
+let elem_bytes = function Shape.F16 -> 2 | Shape.F32 -> 4 | Shape.F64 -> 8
+
+(* F16 is a storage format only: f16 fields are computed in f32 registers,
+   converting on load and rounding on store, so register pressure matches
+   the f32 kernels exactly. *)
+let prec_dtype = function Shape.F16 -> F32 | Shape.F32 -> F32 | Shape.F64 -> F64
 
 (* base + site * scale as a u64 address register. *)
 let byte_address e base site_reg ~scale =
@@ -174,8 +178,12 @@ let build ?(optimize = true) ?(reduction = false) ~kname ~dest_shape ~(expr : Ex
           let s, c, r = Index.component_of_linear shape lin in
           let word = ((((r * ic) + c) * Shape.spin_extent shape.Shape.spin) + s) * nsites in
           let dst = Emitter.fresh e (prec_dtype prec) in
-          Emitter.emit e
-            (Ld_global { dtype = prec_dtype prec; dst; addr; offset = word * elem_bytes prec });
+          (match prec with
+          | Shape.F16 ->
+              Emitter.emit e (Ld_global_f16 { dst; addr; offset = word * elem_bytes prec })
+          | Shape.F32 | Shape.F64 ->
+              Emitter.emit e
+                (Ld_global { dtype = prec_dtype prec; dst; addr; offset = word * elem_bytes prec }));
           Jit_scalar.Vreg dst)
     in
     JSite.of_array shape data
@@ -233,12 +241,27 @@ let build ?(optimize = true) ?(reduction = false) ~kname ~dest_shape ~(expr : Ex
         in
         for lin = 0 to dof - 1 do
           let word = plane lin * nsites in
-          let src = Jit_scalar.operand (prec_dtype prec) value.JSite.data.(lin) in
-          Emitter.emit e
-            (St_global
-               { dtype = prec_dtype prec; addr; offset = word * elem_bytes prec; src })
+          match prec with
+          | Shape.F16 ->
+              (* st.global.f16 rounds its source register — f32 or f64 —
+                 directly to binary16 (one RNE rounding, as the hardware's
+                 cvt.rn.f16.f32/f64 would).  Forcing the source through a
+                 Cvt to f32 first would double-round f64 values, breaking
+                 bit-exactness with [Eval_cpu]'s single rounding at the
+                 store. *)
+              let src = Jit_scalar.operand_native value.JSite.data.(lin) in
+              Emitter.emit e (St_global_f16 { addr; offset = word * elem_bytes prec; src })
+          | Shape.F32 | Shape.F64 ->
+              let src = Jit_scalar.operand (prec_dtype prec) value.JSite.data.(lin) in
+              Emitter.emit e
+                (St_global
+                   { dtype = prec_dtype prec; addr; offset = word * elem_bytes prec; src })
         done;
         if reduction then begin
+          (* The engine promotes every reduction destination to f64; the
+             aggregation tail re-reads its own partials with plain typed
+             loads, which have no f16 form. *)
+          if prec = Shape.F16 then invalid_arg "Codegen.build: f16 reduction destination";
           (* In-kernel block aggregation: the last thread of each group of 8
              work items (or the final thread of a short tail) re-reads the 8
              just-written partials and stores their balanced-tree sum into

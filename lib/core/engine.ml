@@ -35,6 +35,10 @@ type kernel_entry = {
   bytes_per_thread : int;
       (** modeled global load+store bytes one thread moves (drives the
           engine-wide traffic counter) *)
+  tier_bytes_per_thread : int * int * int;
+      (** the float portion of [bytes_per_thread] split by storage
+          precision (f16, f32, f64); integer index traffic is counted in
+          the total only *)
 }
 
 (** Per-kernel middle-end scorecard, recorded at compile time.  Register
@@ -129,6 +133,10 @@ type t = {
   mutable kernel_serial : int;
   mutable kernel_bytes : int;
       (** modeled global bytes moved by every launched kernel so far *)
+  mutable kernel_bytes_f16 : int;
+  mutable kernel_bytes_f32 : int;
+  mutable kernel_bytes_f64 : int;
+      (** the float portion of [kernel_bytes] split by storage precision *)
   mutable reduce_kernel : kernel_entry option;
   mutable reduce_scratch : (Buffer_.t * Buffer_.t) option;
       (** cached ping/pong buffers for {!reduce_plane} *)
@@ -249,12 +257,22 @@ let sitelist t geom subset =
 
 let entry_of_built t built compiled =
   let a = Ptx.Analysis.kernel built.Codegen.kernel in
+  let b16 = ref 0 and b32 = ref 0 and b64 = ref 0 in
+  List.iter
+    (fun i ->
+      match i with
+      | Ld_global_f16 _ | St_global_f16 _ -> b16 := !b16 + 2
+      | Ld_global { dtype = F32; _ } | St_global { dtype = F32; _ } -> b32 := !b32 + 4
+      | Ld_global { dtype = F64; _ } | St_global { dtype = F64; _ } -> b64 := !b64 + 8
+      | _ -> ())
+    built.Codegen.kernel.body;
   {
     built;
     compiled;
     tuner =
       Autotune.create ~max_block:t.device.Device.machine.Gpusim.Machine.max_threads_per_block ();
     bytes_per_thread = a.Ptx.Analysis.load_bytes + a.Ptx.Analysis.store_bytes;
+    tier_bytes_per_thread = (!b16, !b32, !b64);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -394,6 +412,10 @@ let tuned_launch t entry ~stream ~nthreads ~params =
   in
   if nthreads > 0 then begin
     t.kernel_bytes <- t.kernel_bytes + (entry.bytes_per_thread * nthreads);
+    let b16, b32, b64 = entry.tier_bytes_per_thread in
+    t.kernel_bytes_f16 <- t.kernel_bytes_f16 + (b16 * nthreads);
+    t.kernel_bytes_f32 <- t.kernel_bytes_f32 + (b32 * nthreads);
+    t.kernel_bytes_f64 <- t.kernel_bytes_f64 + (b64 * nthreads);
     attempt ()
   end
 
@@ -921,6 +943,9 @@ let create ?(machine = Gpusim.Machine.k20x_ecc_off) ?(mode = Device.Functional)
       jit_seconds = 0.0;
       kernel_serial = 0;
       kernel_bytes = 0;
+      kernel_bytes_f16 = 0;
+      kernel_bytes_f32 = 0;
+      kernel_bytes_f64 = 0;
       reduce_kernel = None;
       reduce_scratch = None;
       reduce_scratch_cap = 0;
@@ -956,6 +981,10 @@ let jit_seconds t =
 let kernel_bytes_moved t =
   flush t;
   t.kernel_bytes
+
+let kernel_bytes_by_prec t =
+  flush t;
+  (t.kernel_bytes_f16, t.kernel_bytes_f32, t.kernel_bytes_f64)
 
 let fusion_stats t =
   flush t;

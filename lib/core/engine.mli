@@ -36,6 +36,10 @@ type kernel_entry = {
   bytes_per_thread : int;
       (** modeled global load+store bytes one thread moves (drives
           {!kernel_bytes_moved}) *)
+  tier_bytes_per_thread : int * int * int;
+      (** the float portion of [bytes_per_thread] split by storage
+          precision (f16, f32, f64); integer index traffic is counted in
+          the total only *)
 }
 
 (** Per-kernel middle-end scorecard, recorded when a kernel is compiled.
@@ -123,6 +127,13 @@ val reset_stats : t -> unit
 val jit_cache : t -> Jitcache.t option
 (** The attached persistent kernel cache, after environment resolution. *)
 
+val cache_tag : string
+(** The version fence prefixed to every persistent-cache key: it embeds
+    the OCaml version and the {!Codegen}, {!Ptx.Passes}, {!Ptx.Fuse} and
+    {!Gpusim.Vm} format versions, so bumping any of them re-keys the
+    whole cache and entries written before the bump become misses
+    instead of deserialization attempts. *)
+
 val jit_cache_stats : t -> Jitcache.stats option
 (** Hit/miss/store/corrupt/evict counters of the attached cache;
     [None] when caching is disabled. *)
@@ -161,6 +172,12 @@ val kernel_bytes_moved : t -> int
 (** Modeled global-memory bytes moved by every kernel launched so far
     (per-thread load+store bytes × threads, summed over launches).
     Flushes the queue first. *)
+
+val kernel_bytes_by_prec : t -> int * int * int
+(** The float portion of {!kernel_bytes_moved} split by storage precision
+    as [(f16, f32, f64)] bytes; integer index traffic (site lists,
+    neighbour tables) appears only in the total.  Flushes the queue
+    first. *)
 
 val eval : ?subset:Qdp.Subset.t -> ?stream:Streams.stream -> t -> Qdp.Field.t -> Qdp.Expr.t -> unit
 (** [eval t dest expr]: dest = expr on the simulated device.  Functionally

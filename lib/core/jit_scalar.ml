@@ -50,6 +50,11 @@ let operand dtype v =
       Emitter.emit e (Cvt { dst; src = r });
       Reg dst
 
+(* The operand in its native register type, no implicit convert: f16
+   stores round their source directly whatever its width, so a Cvt here
+   would double-round f64 values. *)
+let operand_native = function Const x -> Imm_float x | Vreg r -> Reg r
+
 let is_zero = function Const 0.0 -> true | Const _ | Vreg _ -> false
 let is_one = function Const 1.0 -> true | Const _ | Vreg _ -> false
 let is_minus_one = function Const x -> x = -1.0 | Vreg _ -> false

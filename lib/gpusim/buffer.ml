@@ -7,6 +7,8 @@
     silently corrupting memory. *)
 
 type data =
+  | F16 of (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+      (** IEEE binary16 payloads; kernels convert to/from f32 at the access *)
   | F32 of (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
   | F64 of (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
   | I32 of (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
@@ -21,13 +23,19 @@ let offset_mask = (1 lsl offset_bits) - 1
 let address buf = buf.id lsl offset_bits
 let decode_address addr = (addr lsr offset_bits, addr land offset_mask)
 
-let elem_bytes = function F32 _ -> 4 | F64 _ -> 8 | I32 _ -> 4
+let elem_bytes = function F16 _ -> 2 | F32 _ -> 4 | F64 _ -> 8 | I32 _ -> 4
 
 let length buf =
   match buf.data with
+  | F16 a -> Bigarray.Array1.dim a
   | F32 a -> Bigarray.Array1.dim a
   | F64 a -> Bigarray.Array1.dim a
   | I32 a -> Bigarray.Array1.dim a
+
+let create_f16 id n =
+  let a = Bigarray.Array1.create Bigarray.int16_signed Bigarray.c_layout n in
+  Bigarray.Array1.fill a 0;
+  { id; data = F16 a; bytes = 2 * n }
 
 let create_f32 id n =
   let a = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout n in

@@ -6,6 +6,8 @@
     buffers fault instead of corrupting memory. *)
 
 type data =
+  | F16 of (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+      (** IEEE binary16 payloads; kernels convert to/from f32 at the access *)
   | F32 of (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
   | F64 of (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
   | I32 of (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
@@ -26,6 +28,10 @@ val decode_address : int -> int * int
 
 val elem_bytes : data -> int
 val length : t -> int
+
+val create_f16 : int -> int -> t
+(** [create_f16 id n]: n binary16 payloads (2 bytes each); allocate through
+    the device. *)
 
 val create_f32 : int -> int -> t
 (** [create_f32 id n]: used by {!Device}; allocate through the device. *)

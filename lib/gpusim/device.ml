@@ -80,6 +80,7 @@ let register t make bytes =
   t.stats.allocs <- t.stats.allocs + 1;
   buf
 
+let alloc_f16 t n = register t (fun id -> Buffer.create_f16 id n) (2 * n)
 let alloc_f32 t n = register t (fun id -> Buffer.create_f32 id n) (4 * n)
 let alloc_f64 t n = register t (fun id -> Buffer.create_f64 id n) (8 * n)
 let alloc_i32 t n = register t (fun id -> Buffer.create_i32 id n) (4 * n)

@@ -49,6 +49,9 @@ val used_bytes : t -> int
 val free_bytes : t -> int
 val stats : t -> stats
 
+val alloc_f16 : t -> int -> Buffer.t
+(** [alloc_f16 t n]: n-element binary16 buffer (2 bytes per element). *)
+
 val alloc_f32 : t -> int -> Buffer.t
 (** [alloc_f32 t n]: n-element f32 buffer; raises {!Out_of_device_memory}
     when the capacity is exhausted (the memory cache spills and retries). *)

@@ -64,7 +64,11 @@ open Ptx.Types
    37 ld.param.ptr  38 ld.param.int  39 ld.param.f   (param slot b)
    40 ld.g.f32  41 ld.g.f64  42 ld.g.i32  (addr i[b]+c)
    43 st.g.f32  44 st.g.f64  45 st.g.i32  (addr i[a]+b, src reg c)
-   46 call.f64  f[a] <- fns[c] f[b]       47 call.f32 (rounds result) *)
+   46 call.f64  f[a] <- fns[c] f[b]       47 call.f32 (rounds result)
+   48 ld.g.f16  f[a] <- decode16 mem      49 st.g.f16  mem <- encode16 f[c]
+      (binary16 payloads decode exactly on load; stores round to nearest,
+      ties to even — the same convention [Field.raw_set] uses, so CPU and
+      VM runs of an f16 kernel stay bit-identical) *)
 
 (* ------------------------------------------------------------------ *)
 (* Static provenance of global accesses, used to decide whether a launch
@@ -191,7 +195,7 @@ let analyze (k : kernel) =
   in
   let step instr =
     match instr with
-    | Label _ | Ret | Bra _ | Setp _ | St_global _ -> ()
+    | Label _ | Ret | Bra _ | Setp _ | St_global _ | St_global_f16 _ -> ()
     | Ld_param { dst; param_index } ->
         setb dst
           (if
@@ -216,7 +220,7 @@ let analyze (k : kernel) =
         setp_ dst (getp src);
         setb dst (getb src)
     | Call { ret; arg; _ } -> setp_ ret (getp arg)
-    | Ld_global { dst; addr; _ } ->
+    | Ld_global { dst; addr; _ } | Ld_global_f16 { dst; addr; _ } ->
         let cls =
           match getb addr with
           | Some p when is_sitelist_param p && rank (getp addr) <= rank Affine -> Slist
@@ -232,7 +236,7 @@ let analyze (k : kernel) =
   List.iter
     (fun instr ->
       match instr with
-      | Ld_global { addr; _ } ->
+      | Ld_global { addr; _ } | Ld_global_f16 { addr; _ } ->
           accs :=
             {
               a_param = (match getb addr with Some p -> p | None -> -1);
@@ -240,7 +244,7 @@ let analyze (k : kernel) =
               a_store = false;
             }
             :: !accs
-      | St_global { addr; _ } ->
+      | St_global { addr; _ } | St_global_f16 { addr; _ } ->
           accs :=
             {
               a_param = (match getb addr with Some p -> p | None -> -1);
@@ -418,6 +422,8 @@ let compile (kernel : kernel) =
           | F64 -> emit 44 (ireg addr) offset (fop src) 0
           | S32 | U32 -> emit 45 (ireg addr) offset (iop src) 0
           | S64 | U64 | Pred -> fault "unsupported st.global class")
+      | Ld_global_f16 { dst; addr; offset } -> emit 48 (freg dst) (ireg addr) offset 0
+      | St_global_f16 { addr; offset; src } -> emit 49 (ireg addr) offset (fop src) 0
       | Call { func; ret; arg } ->
           let fi = addfn (lookup_math func) in
           if ret.rtype = F32 then emit 47 (freg ret) (freg arg) fi 0
@@ -449,7 +455,7 @@ let compile (kernel : kernel) =
    rebuilds [fns] by replaying the same walk.  A rehydrated program is
    therefore indistinguishable from a fresh [compile] of the kernel. *)
 
-let decoder_version = 1
+let decoder_version = 2
 
 type portable = program
 
@@ -679,6 +685,24 @@ let exec_thread p (lookup : int -> Buffer.data) (args : param_value array) (w : 
         pc := next
     | 47 ->
         f.(ca.(k)) <- round32 (fns.(cc.(k)) f.(cb.(k)));
+        pc := next
+    | 48 ->
+        let addr = i.(cb.(k)) + cc.(k) in
+        let off = addr land Buffer.offset_mask in
+        (match lookup (addr lsr Buffer.offset_bits) with
+        | Buffer.F16 a ->
+            if off land 1 <> 0 then fault "misaligned f16 load";
+            f.(ca.(k)) <- Half.float_of_bits (Bigarray.Array1.get a (off lsr 1))
+        | _ -> fault "typed load does not match buffer kind");
+        pc := next
+    | 49 ->
+        let addr = i.(ca.(k)) + cb.(k) in
+        let off = addr land Buffer.offset_mask in
+        (match lookup (addr lsr Buffer.offset_bits) with
+        | Buffer.F16 a ->
+            if off land 1 <> 0 then fault "misaligned f16 store";
+            Bigarray.Array1.set a (off lsr 1) (Half.bits_of_float f.(cc.(k)))
+        | _ -> fault "typed store does not match buffer kind");
         pc := next
     | _ -> fault "corrupt opcode"
   done

@@ -1,0 +1,87 @@
+(* IEEE 754 binary16: 1 sign bit, 5 exponent bits (bias 15), 10
+   significand bits.  Encode rounds to nearest, ties to even; decode is
+   exact (binary16 is a subset of binary64).  Everything goes through
+   the double's bit pattern so the conversion is deterministic and
+   identical on every backend. *)
+
+let exp_mask = 0x7c00
+let sig_mask = 0x3ff
+
+let bits_of_float x =
+  let b = Int64.bits_of_float x in
+  let sign = Int64.to_int (Int64.shift_right_logical b 48) land 0x8000 in
+  let e = Int64.to_int (Int64.shift_right_logical b 52) land 0x7ff in
+  let m = Int64.logand b 0xF_FFFF_FFFF_FFFFL in
+  if e = 0x7ff then
+    if m = 0L then sign lor exp_mask (* infinity *)
+    else
+      (* NaN: carry the top ten payload bits; quieten an all-zero
+         payload so it stays a NaN. *)
+      let p = Int64.to_int (Int64.shift_right_logical m 42) in
+      sign lor exp_mask lor (if p = 0 then 0x200 else p)
+  else
+    let eu = e - 1023 in
+    if eu > 15 then sign lor exp_mask (* overflow to infinity *)
+    else if eu >= -14 then begin
+      (* Normal range: round the 52-bit significand to 10 bits.  A
+         carry out of the significand propagates into the exponent by
+         plain addition, and past the top exponent into infinity. *)
+      let frac = Int64.to_int (Int64.shift_right_logical m 42) in
+      let rem = Int64.logand m 0x3FF_FFFF_FFFFL in
+      let half = 0x200_0000_0000L in
+      let frac =
+        if rem > half || (rem = half && frac land 1 = 1) then frac + 1 else frac
+      in
+      let v = ((eu + 15) lsl 10) + frac in
+      if v >= exp_mask then sign lor exp_mask else sign lor v
+    end
+    else if eu >= -25 then begin
+      (* Subnormal range: the result is round(sig / 2^(28-eu)) units of
+         2^-24, sig being the full 53-bit significand. *)
+      let sig_ = Int64.logor (Int64.shift_left 1L 52) m in
+      let shift = 28 - eu in
+      let frac = Int64.to_int (Int64.shift_right_logical sig_ shift) in
+      let rem = Int64.logand sig_ (Int64.sub (Int64.shift_left 1L shift) 1L) in
+      let half = Int64.shift_left 1L (shift - 1) in
+      let frac =
+        if rem > half || (rem = half && frac land 1 = 1) then frac + 1 else frac
+      in
+      (* frac = 0x400 is exactly the smallest normal's encoding. *)
+      sign lor frac
+    end
+    else sign (* underflow (including double subnormals) to signed zero *)
+
+let float_of_bits h =
+  let h = h land 0xffff in
+  let sign = if h land 0x8000 <> 0 then Int64.min_int else 0L in
+  let e = (h lsr 10) land 0x1f in
+  let m = h land sig_mask in
+  let mag =
+    if e = 0x1f then
+      if m = 0 then 0x7FF0_0000_0000_0000L
+      else Int64.logor 0x7FF0_0000_0000_0000L (Int64.shift_left (Int64.of_int m) 42)
+    else if e = 0 then
+      if m = 0 then 0L
+      else begin
+        (* Subnormal: normalize the significand into 1.m form. *)
+        let e' = ref 1 and m' = ref m in
+        while !m' land 0x400 = 0 do
+          decr e';
+          m' := !m' lsl 1
+        done;
+        let de = !e' - 15 + 1023 in
+        Int64.logor
+          (Int64.shift_left (Int64.of_int de) 52)
+          (Int64.shift_left (Int64.of_int (!m' land sig_mask)) 42)
+      end
+    else
+      Int64.logor
+        (Int64.shift_left (Int64.of_int (e - 15 + 1023)) 52)
+        (Int64.shift_left (Int64.of_int m) 42)
+  in
+  Int64.float_of_bits (Int64.logor sign mag)
+
+let round x = float_of_bits (bits_of_float x)
+
+let is_exact x =
+  Int64.bits_of_float (round x) = Int64.bits_of_float x

@@ -1,0 +1,26 @@
+(** IEEE 754 binary16 conversion, in software.
+
+    The F16 storage tier keeps fields as 16-bit payloads and computes in
+    wider precision: loads decode the payload exactly (every binary16
+    value is representable as a double), stores round to
+    nearest-even.  Both the CPU evaluator and the device VM must round
+    through this one implementation — that identity is what makes F16
+    results bit-exact across backends. *)
+
+val bits_of_float : float -> int
+(** Round a double to binary16, to-nearest ties-to-even, returning the
+    16-bit payload.  Overflow goes to infinity, underflow through the
+    subnormal range to (signed) zero; NaNs stay NaNs (the top ten
+    significand bits are kept, or quietened to a nonzero payload). *)
+
+val float_of_bits : int -> float
+(** Exact decode of a 16-bit payload (only the low 16 bits are read).
+    Normals, subnormals, infinities and NaN payloads all map to the
+    corresponding double. *)
+
+val round : float -> float
+(** [float_of_bits (bits_of_float x)]: the value a binary16 store
+    followed by a load would produce. *)
+
+val is_exact : float -> bool
+(** Whether a double survives the binary16 round trip bit-for-bit. *)

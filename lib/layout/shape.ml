@@ -1,4 +1,4 @@
-type precision = F32 | F64
+type precision = F16 | F32 | F64
 type reality = Real | Cplx
 
 type spin = Spin_scalar | Spin_vector of int | Spin_matrix of int | Spin_block of int
@@ -30,10 +30,15 @@ let color_extent = function
 let reality_extent = function Real -> 1 | Cplx -> 2
 let components s = spin_extent s.spin * color_extent s.color
 let dof s = components s * reality_extent s.reality
-let bytes_per_site s = dof s * match s.prec with F32 -> 4 | F64 -> 8
+let prec_bytes = function F16 -> 2 | F32 -> 4 | F64 -> 8
+let bytes_per_site s = dof s * prec_bytes s.prec
 let equal = ( = )
 let equal_modulo_prec a b = { a with prec = F32 } = { b with prec = F32 }
-let promote_prec a b = match (a, b) with F32, F32 -> F32 | _ -> F64
+
+(* Promotion follows the total order F64 > F32 > F16: the wider operand
+   wins, so the operation is commutative, associative and monotone. *)
+let prec_rank = function F16 -> 0 | F32 -> 1 | F64 -> 2
+let promote_prec a b = if prec_rank a >= prec_rank b then a else b
 
 let spin_to_string = function
   | Spin_scalar -> "Ss"
@@ -52,7 +57,7 @@ let color_to_string = function
 let to_string s =
   Printf.sprintf "%s.%s.%s.%s" (spin_to_string s.spin) (color_to_string s.color)
     (match s.reality with Real -> "R" | Cplx -> "C")
-    (match s.prec with F32 -> "f32" | F64 -> "f64")
+    (match s.prec with F16 -> "f16" | F32 -> "f32" | F64 -> "f64")
 
 let validate s =
   let check n what = if n <= 0 then invalid_arg ("Shape.validate: non-positive " ^ what) in

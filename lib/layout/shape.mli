@@ -8,7 +8,7 @@
     (lower part) reuse the spin level for the two 6x6 Hermitian blocks and
     the color level for the packed diagonal/triangular storage. *)
 
-type precision = F32 | F64
+type precision = F16 | F32 | F64
 
 type reality = Real | Cplx
 
@@ -44,6 +44,9 @@ val components : t -> int
 val dof : t -> int
 (** Real degrees of freedom per site ([components * reality_extent]). *)
 
+val prec_bytes : precision -> int
+(** Storage bytes of one real word: 2 / 4 / 8 for F16 / F32 / F64. *)
+
 val bytes_per_site : t -> int
 
 val equal : t -> t -> bool
@@ -51,7 +54,9 @@ val equal : t -> t -> bool
 val equal_modulo_prec : t -> t -> bool
 
 val promote_prec : precision -> precision -> precision
-(** Implicit precision promotion (Sec. III-D): F64 wins. *)
+(** Implicit precision promotion (Sec. III-D): the wider operand wins
+    under the total order [F64 > F32 > F16], so promotion is
+    commutative, associative and monotone in either argument. *)
 
 val to_string : t -> string
 

@@ -125,6 +125,11 @@ let upload t entry =
      the paper-scale sweeps only need the clock. *)
   (if t.device.Device.mode = Device.Functional then
      match (Field.unsafe_storage f, entry.buf.Buffer_.data) with
+     | Field.S16 host, Buffer_.F16 dev ->
+         (* binary16 payloads travel as-is: both sides hold the same 16-bit
+            encodings, only the site ordering changes. *)
+         Index.convert ~src:host ~dst:dev ~from_scheme:Index.Aos ~to_scheme:Index.Soa
+           f.Field.shape ~nsites
      | Field.S32 host, Buffer_.F32 dev ->
          Index.convert ~src:host ~dst:dev ~from_scheme:Index.Aos ~to_scheme:Index.Soa
            f.Field.shape ~nsites
@@ -146,6 +151,9 @@ let page_out ?(sync = true) t entry =
   let nsites = Field.volume f in
   (if t.device.Device.mode = Device.Functional then
      match (Field.unsafe_storage f, entry.buf.Buffer_.data) with
+     | Field.S16 host, Buffer_.F16 dev ->
+         Index.convert ~src:dev ~dst:host ~from_scheme:Index.Soa ~to_scheme:Index.Aos
+           f.Field.shape ~nsites
      | Field.S32 host, Buffer_.F32 dev ->
          Index.convert ~src:dev ~dst:host ~from_scheme:Index.Soa ~to_scheme:Index.Aos
            f.Field.shape ~nsites
@@ -194,6 +202,7 @@ let alloc_with_spilling t f =
   let words = Field.volume f * Shape.dof f.Field.shape in
   let alloc () =
     match f.Field.shape.Shape.prec with
+    | Shape.F16 -> Device.alloc_f16 t.device words
     | Shape.F32 -> Device.alloc_f32 t.device words
     | Shape.F64 -> Device.alloc_f64 t.device words
   in

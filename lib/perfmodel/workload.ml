@@ -45,3 +45,18 @@ let production ?(solver_iterations = 127_000) ?(solves = 400) ?(md_force_evals =
    iteration counts are physics (kept), traffic scales with volume. *)
 let from_trace ~solver_iterations ~solves ~md_force_evals =
   production ~solver_iterations ~solves ~md_force_evals ()
+
+(* Re-derive the solver traffic constants for a sloppy storage precision:
+   the per-site field bytes of the dslash and solver linear algebra are
+   proportional to the element width (the baseline constants above are
+   double precision), while the non-solver QDP traffic stays at F64.
+   Iteration counts are left to the caller — a reliable-update or
+   defect-correction scheme pays extra iterations for the narrower
+   storage, and that trade is measured, not modeled. *)
+let at_solver_precision prec w =
+  let ratio = float_of_int (Layout.Shape.prec_bytes prec) /. 8.0 in
+  {
+    w with
+    dslash_bytes_per_site = w.dslash_bytes_per_site *. ratio;
+    solver_linalg_bytes_per_site = w.solver_linalg_bytes_per_site *. ratio;
+  }

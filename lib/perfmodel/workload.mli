@@ -22,3 +22,11 @@ val production : ?solver_iterations:int -> ?solves:int -> ?md_force_evals:int ->
 
 val from_trace : solver_iterations:int -> solves:int -> md_force_evals:int -> t
 (** Scale a trace measured on a small lattice to the production volume. *)
+
+val at_solver_precision : Layout.Shape.precision -> t -> t
+(** Re-derive the solver traffic constants for a sloppy storage precision
+    (the baseline constants are double precision): per-site dslash and
+    solver-linalg bytes scale with the element width, non-solver QDP
+    traffic stays at F64.  Iteration counts are deliberately untouched —
+    the extra iterations a mixed-precision scheme pays are measured, not
+    modeled. *)

@@ -24,6 +24,8 @@ let kernel (k : kernel) =
       match i with
       | Ld_global { dtype; _ } -> { acc with load_bytes = acc.load_bytes + dtype_bytes dtype }
       | St_global { dtype; _ } -> { acc with store_bytes = acc.store_bytes + dtype_bytes dtype }
+      | Ld_global_f16 _ -> { acc with load_bytes = acc.load_bytes + 2 }
+      | St_global_f16 _ -> { acc with store_bytes = acc.store_bytes + 2 }
       | Add { dtype; _ } | Sub { dtype; _ } | Mul { dtype; _ } ->
           if is_float dtype then { acc with flops = acc.flops + 1 }
           else { acc with int_ops = acc.int_ops + 1 }

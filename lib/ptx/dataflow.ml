@@ -25,6 +25,7 @@ end)
 let def_of = function
   | Ld_param { dst; _ }
   | Ld_global { dst; _ }
+  | Ld_global_f16 { dst; _ }
   | Mov { dst; _ }
   | Mov_sreg { dst; _ }
   | Add { dst; _ }
@@ -38,7 +39,7 @@ let def_of = function
   | Setp { dst; _ }
   | Call { ret = dst; _ } ->
       Some dst
-  | St_global _ | Bra _ | Label _ | Ret -> None
+  | St_global _ | St_global_f16 _ | Bra _ | Label _ | Ret -> None
 
 let op_reg = function Reg r -> Some r | Imm_float _ | Imm_int _ -> None
 
@@ -47,8 +48,8 @@ let uses_of i =
   let ops =
     match i with
     | Ld_param _ | Mov_sreg _ | Label _ | Ret -> []
-    | Ld_global { addr; _ } -> [ Reg addr ]
-    | St_global { addr; src; _ } -> [ Reg addr; src ]
+    | Ld_global { addr; _ } | Ld_global_f16 { addr; _ } -> [ Reg addr ]
+    | St_global { addr; src; _ } | St_global_f16 { addr; src; _ } -> [ Reg addr; src ]
     | Mov { src; _ } -> [ src ]
     | Add { a; b; _ } | Sub { a; b; _ } | Mul { a; b; _ } | Div { a; b; _ } | Setp { a; b; _ } ->
         [ a; b ]
@@ -63,9 +64,9 @@ let uses_of i =
 (** Instructions whose effect is not captured by their destination
     register: memory writes, control flow, the exit. *)
 let is_side_effecting = function
-  | St_global _ | Bra _ | Label _ | Ret -> true
-  | Ld_param _ | Ld_global _ | Mov _ | Mov_sreg _ | Add _ | Sub _ | Mul _ | Div _ | Fma _ | Shl _
-  | Neg _ | Cvt _ | Setp _ | Call _ ->
+  | St_global _ | St_global_f16 _ | Bra _ | Label _ | Ret -> true
+  | Ld_param _ | Ld_global _ | Ld_global_f16 _ | Mov _ | Mov_sreg _ | Add _ | Sub _ | Mul _
+  | Div _ | Fma _ | Shl _ | Neg _ | Cvt _ | Setp _ | Call _ ->
       false
 
 (* Hardware registers are 32-bit: 64-bit virtual registers occupy two; the

@@ -41,6 +41,10 @@ let map_regs f = function
       Ld_global { dtype; dst = f dst; addr = f addr; offset }
   | St_global { dtype; addr; offset; src } ->
       St_global { dtype; addr = f addr; offset; src = map_operand f src }
+  | Ld_global_f16 { dst; addr; offset } ->
+      Ld_global_f16 { dst = f dst; addr = f addr; offset }
+  | St_global_f16 { addr; offset; src } ->
+      St_global_f16 { addr = f addr; offset; src = map_operand f src }
   | Mov { dst; src } -> Mov { dst = f dst; src = map_operand f src }
   | Mov_sreg { dst; src } -> Mov_sreg { dst = f dst; src }
   | Add { dtype; dst; a; b } -> Add { dtype; dst = f dst; a = map_operand f a; b = map_operand f b }
@@ -363,6 +367,9 @@ let fuse ~kname sources =
               | St_global { dtype; _ } ->
                   dropped_store_bytes := !dropped_store_bytes + dtype_bytes dtype;
                   false
+              | St_global_f16 _ ->
+                  dropped_store_bytes := !dropped_store_bytes + 2;
+                  false
               | _ -> true)
             mid
         else mid)
@@ -385,7 +392,7 @@ let fuse ~kname sources =
    byte-identical fused kernel.  [version] is folded in by the engine's
    cache-key tag so a splicer change invalidates old entries. *)
 
-let version = 1
+let version = 2
 
 let structural_key ~nsites sources =
   let b = Buffer.create 512 in

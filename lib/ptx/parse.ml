@@ -137,6 +137,20 @@ let parse_instr ~param_index line text =
             Ld_param { dst; param_index = param_index line name }
           else fail line "bad param reference %S" addr
       | _ -> fail line "ld.param arity")
+  (* The f16 flavours are not a [dtype] (compute registers are F32), so
+     they must be matched before the generic suffix arms below. *)
+  | [ "ld"; "global"; "f16" ] -> (
+      match ops () with
+      | [ dst; addr ] ->
+          let a, offset = parse_address line addr in
+          Ld_global_f16 { dst = parse_reg line dst; addr = a; offset }
+      | _ -> fail line "ld.global.f16 arity")
+  | [ "st"; "global"; "f16" ] -> (
+      match ops () with
+      | [ addr; src ] ->
+          let a, offset = parse_address line addr in
+          St_global_f16 { addr = a; offset; src = parse_operand line src }
+      | _ -> fail line "st.global.f16 arity")
   | [ "ld"; "global"; t ] -> (
       match ops () with
       | [ dst; addr ] ->

@@ -33,7 +33,7 @@
 open Types
 module D = Dataflow
 
-let version = 1
+let version = 2
 
 (** Value provenance handed down by the emitting builder: the proof CSE
     needs that a register is an SSA value.  When absent, passes recompute
@@ -61,6 +61,9 @@ let rewrite ~(op : operand -> operand) ~(reg : reg -> reg) (i : instr) =
   | Ld_global { dtype; dst; addr; offset } -> Ld_global { dtype; dst; addr = reg addr; offset }
   | St_global { dtype; addr; offset; src } ->
       St_global { dtype; addr = reg addr; offset; src = op src }
+  | Ld_global_f16 { dst; addr; offset } -> Ld_global_f16 { dst; addr = reg addr; offset }
+  | St_global_f16 { addr; offset; src } ->
+      St_global_f16 { addr = reg addr; offset; src = op src }
   | Mov { dst; src } -> Mov { dst; src = op src }
   | Add { dtype; dst; a; b } -> Add { dtype; dst; a = op a; b = op b }
   | Sub { dtype; dst; a; b } -> Sub { dtype; dst; a = op a; b = op b }
@@ -80,6 +83,7 @@ let with_dst (d : reg) (i : instr) =
   match i with
   | Ld_param x -> Ld_param { x with dst = d }
   | Ld_global { dtype; dst = _; addr; offset } -> Ld_global { dtype; dst = d; addr; offset }
+  | Ld_global_f16 { dst = _; addr; offset } -> Ld_global_f16 { dst = d; addr; offset }
   | Mov { dst = _; src } -> Mov { dst = d; src }
   | Mov_sreg { dst = _; src } -> Mov_sreg { dst = d; src }
   | Add { dtype; dst = _; a; b } -> Add { dtype; dst = d; a; b }
@@ -92,7 +96,7 @@ let with_dst (d : reg) (i : instr) =
   | Cvt { dst = _; src } -> Cvt { dst = d; src }
   | Setp { cmp; dtype; dst = _; a; b } -> Setp { cmp; dtype; dst = d; a; b }
   | Call { func; ret = _; arg } -> Call { func; ret = d; arg }
-  | St_global _ | Bra _ | Label _ | Ret -> i
+  | St_global _ | St_global_f16 _ | Bra _ | Label _ | Ret -> i
 
 (* ------------------------------------------------------------------ *)
 (* Constant folding + copy propagation                                 *)
@@ -193,7 +197,7 @@ let cse ?provenance (k : kernel) =
           Hashtbl.reset vn_pure;
           Hashtbl.reset vn_load;
           keep i
-      | St_global _ ->
+      | St_global _ | St_global_f16 _ ->
           (* The store may alias any loaded location (in-place updates
              do): every remembered load value dies. *)
           Hashtbl.reset vn_load;
@@ -211,10 +215,14 @@ let cse ?provenance (k : kernel) =
                  Loads of any type are fair game — dedup there is the
                  bandwidth win. *)
               let cseable =
-                match i with Ld_global _ -> true | _ -> not (is_float dst.rtype)
+                match i with
+                | Ld_global _ | Ld_global_f16 _ -> true
+                | _ -> not (is_float dst.rtype)
               in
               if cseable && sd dst && List.for_all sd (D.uses_of i) then begin
-                let tbl = match i with Ld_global _ -> vn_load | _ -> vn_pure in
+                let tbl =
+                  match i with Ld_global _ | Ld_global_f16 _ -> vn_load | _ -> vn_pure
+                in
                 let key_i = with_dst { rtype = dst.rtype; id = -1 } i in
                 match Hashtbl.find_opt tbl key_i with
                 | Some prior -> Hashtbl.replace subst (D.key dst) prior (* drop [i] *)
@@ -398,11 +406,13 @@ let sink (k : kernel) =
       match D.uses_of_reg ch d with
       | first :: _ when first > i + 1 ->
           let barrier = ref false in
-          let is_load = match body.(i) with Ld_global _ -> true | _ -> false in
+          let is_load =
+            match body.(i) with Ld_global _ | Ld_global_f16 _ -> true | _ -> false
+          in
           for j = i + 1 to first - 1 do
             match body.(j) with
             | Label _ | Bra _ | Call _ | Ret -> barrier := true
-            | St_global _ when is_load -> barrier := true
+            | (St_global _ | St_global_f16 _) when is_load -> barrier := true
             | _ -> ()
           done;
           (* Weight of operands the move would stretch: any input whose

@@ -40,6 +40,15 @@ let instr ~params buf i =
   | St_global { dtype; addr; offset; src } ->
       p "st.global.%s \t[%s+%d], %s;" (dtype_suffix dtype) (reg_name addr) offset
         (operand dtype src)
+  (* The f16 flavours carry the widening/narrowing convert: the data
+     register is F32, the memory word is a 16-bit binary16 payload. *)
+  | Ld_global_f16 { dst; addr; offset } ->
+      p "ld.global.f16 \t%s, [%s+%d];" (reg_name dst) (reg_name addr) offset
+  | St_global_f16 { addr; offset; src } ->
+      (* Immediates print in the 0d double form: the store's own rounding
+         is the only one allowed, so the text round-trip must not narrow
+         the value to f32 first. *)
+      p "st.global.f16 \t[%s+%d], %s;" (reg_name addr) offset (operand F64 src)
   | Mov { dst; src } ->
       p "mov.%s \t%s, %s;" (dtype_suffix dst.rtype) (reg_name dst) (operand dst.rtype src)
   | Mov_sreg { dst; src } -> p "mov.u32 \t%s, %s;" (reg_name dst) (sreg_name src)

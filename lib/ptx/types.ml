@@ -26,6 +26,15 @@ type instr =
   | Ld_global of { dtype : dtype; dst : reg; addr : reg; offset : int }
       (** ld.global.<t> %r, [%rd + offset]; *)
   | St_global of { dtype : dtype; addr : reg; offset : int; src : operand }
+  | Ld_global_f16 of { dst : reg; addr : reg; offset : int }
+      (** ld.global.f16 with widening convert: reads a 16-bit binary16
+          payload, decodes it exactly into an F32 register.  Half-precision
+          is a storage format only — compute stays F32, so register
+          pressure matches the F32 kernel. *)
+  | St_global_f16 of { addr : reg; offset : int; src : operand }
+      (** st.global.f16 with narrowing convert: rounds the F32 source to
+          binary16 (to nearest, ties to even) and stores the 16-bit
+          payload. *)
   | Mov of { dst : reg; src : operand }
   | Mov_sreg of { dst : reg; src : sreg }
   | Add of { dtype : dtype; dst : reg; a : operand; b : operand }

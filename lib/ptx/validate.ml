@@ -55,6 +55,24 @@ let kernel (k : kernel) =
           if offset < 0 then fail "negative ld.global offset";
           use addr;
           def dst
+      | Ld_global_f16 { dst; addr; offset } ->
+          if addr.rtype <> U64 then fail "ld.global.f16 address %s is not u64" (reg_name addr);
+          if dst.rtype <> F32 then
+            fail "ld.global.f16 destination %s is not f32" (reg_name dst);
+          if offset < 0 then fail "negative ld.global.f16 offset";
+          use addr;
+          def dst
+      | St_global_f16 { addr; offset; src } ->
+          if addr.rtype <> U64 then fail "st.global.f16 address %s is not u64" (reg_name addr);
+          (* The source may be f32 or f64: the store itself narrows with a
+             single rounding, like cvt.rn.f16.f32/f64. *)
+          (match src with
+          | Reg r when r.rtype <> F32 && r.rtype <> F64 ->
+              fail "st.global.f16 source %s is not a float register" (reg_name r)
+          | Reg _ | Imm_float _ | Imm_int _ -> ());
+          if offset < 0 then fail "negative st.global.f16 offset";
+          use addr;
+          use_op src
       | St_global { dtype; addr; offset; src } ->
           if addr.rtype <> U64 then fail "st.global address %s is not u64" (reg_name addr);
           check_operand_type dtype src;

@@ -15,6 +15,8 @@ module Geometry = Layout.Geometry
 module Index = Layout.Index
 
 type storage =
+  | S16 of (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+      (** binary16 payloads; {!Half} converts at the access boundary *)
   | S32 of (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
   | S64 of (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
@@ -36,6 +38,10 @@ let create ?(name = "") shape geom =
   let n = Geometry.volume geom * Shape.dof shape in
   let storage =
     match shape.Shape.prec with
+    | Shape.F16 ->
+        let a = Bigarray.Array1.create Bigarray.int16_signed Bigarray.c_layout n in
+        Bigarray.Array1.fill a 0;
+        S16 a
     | Shape.F32 ->
         let a = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout n in
         Bigarray.Array1.fill a 0.0;
@@ -63,8 +69,18 @@ let volume t = Geometry.volume t.geom
 let dof t = Shape.dof t.shape
 let bytes t = volume t * Shape.bytes_per_site t.shape
 
-let raw_get t i = match t.storage with S32 a -> a.{i} | S64 a -> a.{i}
-let raw_set t i v = match t.storage with S32 a -> a.{i} <- v | S64 a -> a.{i} <- v
+(* Loads decode exactly; stores round at the storage precision (the
+   Bigarray does it for f32, {!Half} for binary16) — the same contract
+   the VM's typed load/store opcodes implement, which is what keeps CPU
+   and device results bit-identical at every precision. *)
+let raw_get t i =
+  match t.storage with S16 a -> Half.float_of_bits a.{i} | S32 a -> a.{i} | S64 a -> a.{i}
+
+let raw_set t i v =
+  match t.storage with
+  | S16 a -> a.{i} <- Half.bits_of_float v
+  | S32 a -> a.{i} <- v
+  | S64 a -> a.{i} <- v
 
 let offset t ~site ~spin ~color ~reality =
   Index.offset Index.Aos t.shape ~nsites:(volume t) ~site ~spin ~color ~reality
@@ -94,7 +110,10 @@ let set_site t ~site comps =
 let fill_constant t v =
   t.before_host_write t;
   t.version <- t.version + 1;
-  match t.storage with S32 a -> Bigarray.Array1.fill a v | S64 a -> Bigarray.Array1.fill a v
+  match t.storage with
+  | S16 a -> Bigarray.Array1.fill a (Half.bits_of_float v)
+  | S32 a -> Bigarray.Array1.fill a v
+  | S64 a -> Bigarray.Array1.fill a v
 
 (* Reproducible noise: each site draws from its own split stream keyed by
    the site index, so the content is decomposition-independent when keyed
@@ -117,6 +136,7 @@ let copy_from ~dst ~src =
   dst.before_host_write dst;
   dst.version <- dst.version + 1;
   match (dst.storage, src.storage) with
+  | S16 d, S16 s -> Bigarray.Array1.blit s d
   | S32 d, S32 s -> Bigarray.Array1.blit s d
   | S64 d, S64 s -> Bigarray.Array1.blit s d
   | _ -> assert false

@@ -15,6 +15,8 @@ module Geometry = Layout.Geometry
 module Index = Layout.Index
 
 type storage =
+  | S16 of (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+      (** binary16 payloads; {!Half} converts at the access boundary *)
   | S32 of (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
   | S64 of (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
@@ -62,7 +64,10 @@ val copy_from : dst:t -> src:t -> unit
 
 val raw_get : t -> int -> float
 (** Direct storage access in AoS word order, bypassing coherence hooks;
-    for evaluators that manage coherence themselves. *)
+    for evaluators that manage coherence themselves.  Reads decode the
+    stored word exactly; writes round to the field's storage precision
+    (to nearest, ties to even), so assigning across precisions rounds at
+    the store. *)
 
 val raw_set : t -> int -> float -> unit
 

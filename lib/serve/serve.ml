@@ -34,6 +34,9 @@ type session = {
   mutable tasks : int;
   mutable launches : int;
   mutable kernel_bytes : int;
+  mutable kernel_bytes_f16 : int;
+  mutable kernel_bytes_f32 : int;
+  mutable kernel_bytes_f64 : int;
   mutable sim_ns : float;
   mutable queue_wait_s : float;
   mutable run_s : float;
@@ -53,6 +56,9 @@ type session_stats = {
   s_tasks : int;
   s_launches : int;
   s_kernel_bytes : int;
+  s_kernel_bytes_f16 : int;
+  s_kernel_bytes_f32 : int;
+  s_kernel_bytes_f64 : int;
   s_sim_ms : float;
   s_queue_wait_s : float;
   s_run_s : float;
@@ -83,6 +89,9 @@ let open_session ?name t =
       tasks = 0;
       launches = 0;
       kernel_bytes = 0;
+      kernel_bytes_f16 = 0;
+      kernel_bytes_f32 = 0;
+      kernel_bytes_f64 = 0;
       sim_ns = 0.0;
       queue_wait_s = 0.0;
       run_s = 0.0;
@@ -121,6 +130,7 @@ let run_task sess task =
   let launches0 = dstats.Device.launches in
   let kns0 = dstats.Device.kernel_ns in
   let bytes0 = Engine.kernel_bytes_moved eng in
+  let f16_0, f32_0, f64_0 = Engine.kernel_bytes_by_prec eng in
   task.fn ();
   Engine.flush eng;
   let ctx = Engine.streams eng in
@@ -134,6 +144,10 @@ let run_task sess task =
   sess.launches <- sess.launches + (dstats.Device.launches - launches0);
   sess.sim_ns <- sess.sim_ns +. (dstats.Device.kernel_ns -. kns0);
   sess.kernel_bytes <- sess.kernel_bytes + (Engine.kernel_bytes_moved eng - bytes0);
+  let f16_1, f32_1, f64_1 = Engine.kernel_bytes_by_prec eng in
+  sess.kernel_bytes_f16 <- sess.kernel_bytes_f16 + (f16_1 - f16_0);
+  sess.kernel_bytes_f32 <- sess.kernel_bytes_f32 + (f32_1 - f32_0);
+  sess.kernel_bytes_f64 <- sess.kernel_bytes_f64 + (f64_1 - f64_0);
   sess.run_s <- sess.run_s +. (Unix.gettimeofday () -. t0)
 
 let run t =
@@ -168,6 +182,9 @@ let stats sess =
     s_tasks = sess.tasks;
     s_launches = sess.launches;
     s_kernel_bytes = sess.kernel_bytes;
+    s_kernel_bytes_f16 = sess.kernel_bytes_f16;
+    s_kernel_bytes_f32 = sess.kernel_bytes_f32;
+    s_kernel_bytes_f64 = sess.kernel_bytes_f64;
     s_sim_ms = sess.sim_ns /. 1e6;
     s_queue_wait_s = sess.queue_wait_s;
     s_run_s = sess.run_s;

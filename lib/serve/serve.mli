@@ -34,6 +34,10 @@ type session_stats = {
   s_tasks : int;  (** tasks executed *)
   s_launches : int;  (** kernel launches attributed to this session *)
   s_kernel_bytes : int;  (** modeled global bytes its kernels moved *)
+  s_kernel_bytes_f16 : int;  (** the f16 portion of [s_kernel_bytes] *)
+  s_kernel_bytes_f32 : int;  (** the f32 portion *)
+  s_kernel_bytes_f64 : int;
+      (** the f64 portion (integer index traffic appears only in the total) *)
   s_sim_ms : float;  (** modeled device time of its kernels, ms *)
   s_queue_wait_s : float;  (** wall time tasks sat queued before starting *)
   s_run_s : float;  (** wall time spent executing its tasks *)

@@ -49,3 +49,92 @@ let solve (ops64 : Ops.t) (op64 : Ops.linop) (ops32 : Ops.t) (op32 : Ops.linop) 
     if !res <= tol *. scale then converged := true
   done;
   { outer_iterations = !outer; inner_iterations = !inner; residual = !res /. scale; converged = !converged }
+
+type reliable_result = {
+  iterations : int;  (** total half-precision CG iterations *)
+  reliable_updates : int;
+  residual : float;
+  converged : bool;
+}
+
+(* Reliable-update CG (the QUDA half-precision strategy): the Krylov
+   iteration runs entirely on f16-storage vectors (computed in f32
+   registers), and whenever the iterated residual has dropped by the
+   factor [delta] the true residual is recomputed in f64 and the
+   iteration restarts from it.  Two scalings make half precision viable
+   down to f64 tolerances: the solution is accumulated in f64 across
+   reliable updates (the f16 vectors only ever hold one cycle's
+   correction), and each cycle solves against the *normalized* residual
+   r/|r| so the f16 exponent range sees O(1) data no matter how small
+   the true residual has become. *)
+let solve_reliable (ops64 : Ops.t) (op64 : Ops.linop) (ops16 : Ops.t) (op16 : Ops.linop) ~b ~x
+    ?(tol = 1e-10) ?(delta = 0.1) ?(max_iter = 1000) () =
+  if ops16.Ops.shape.Shape.prec <> Shape.F16 then
+    invalid_arg "Mixed.solve_reliable: inner ops must be half precision";
+  if not (delta > 0.0 && delta < 1.0) then
+    invalid_arg "Mixed.solve_reliable: delta must be in (0,1)";
+  let f = Expr.field in
+  let r64 = ops64.Ops.fresh () and tmp64 = ops64.Ops.fresh () and e64 = ops64.Ops.fresh () in
+  let r16 = ops16.Ops.fresh ()
+  and p16 = ops16.Ops.fresh ()
+  and ap16 = ops16.Ops.fresh ()
+  and xs16 = ops16.Ops.fresh () in
+  let b_norm = sqrt (ops64.Ops.norm2 (f b)) in
+  let scale = if b_norm > 0.0 then b_norm else 1.0 in
+  op64.Ops.apply tmp64 x;
+  ops64.Ops.assign r64 (Expr.sub (f b) (f tmp64));
+  let true_res = ref (sqrt (ops64.Ops.norm2 (f r64))) in
+  let converged = ref (!true_res <= tol *. scale) in
+  let stagnated = ref false in
+  let iters = ref 0 and reliable = ref 0 in
+  while (not !converged) && (not !stagnated) && !iters < max_iter do
+    (* One reliable cycle on the normalized residual: solve A e = r/|r|
+       in half precision until the iterated residual falls below
+       [delta] (or below what f64 convergence itself requires). *)
+    let nr = !true_res in
+    ops16.Ops.assign r16 (Expr.mul (Expr.const_real (1.0 /. nr)) (f r64));
+    ops16.Ops.assign p16 (f r16);
+    Field.fill_constant xs16 0.0;
+    let rr = ref (ops16.Ops.norm2 (f r16)) in
+    let inner_target = Float.max delta (tol *. scale /. nr) in
+    let cycle_done = ref (sqrt !rr <= inner_target) in
+    while (not !cycle_done) && !iters < max_iter do
+      incr iters;
+      op16.Ops.apply ap16 p16;
+      let pap, _ = ops16.Ops.inner (f p16) (f ap16) in
+      if pap <= 0.0 then
+        (* The half-precision floor broke positive definiteness: fold
+           what this cycle gathered and let the f64 residual decide. *)
+        cycle_done := true
+      else begin
+        let alpha = !rr /. pap in
+        ops16.Ops.assign xs16 (Ops.rxpy ~alpha p16 xs16);
+        ops16.Ops.assign r16 (Ops.rxpy ~alpha:(-.alpha) ap16 r16);
+        let rr_new = ops16.Ops.norm2 (f r16) in
+        let beta = rr_new /. !rr in
+        rr := rr_new;
+        if sqrt !rr <= inner_target then cycle_done := true
+        else ops16.Ops.assign p16 (Ops.rxpy ~alpha:beta p16 r16)
+      end
+    done;
+    (* Reliable update: promote the cycle's correction, accumulate into
+       the f64 solution at the cycle's scale, recompute the residual
+       from scratch in f64. *)
+    incr reliable;
+    ops64.Ops.assign e64 (f xs16);
+    ops64.Ops.assign x (Ops.rxpy ~alpha:nr e64 x);
+    op64.Ops.apply tmp64 x;
+    ops64.Ops.assign r64 (Expr.sub (f b) (f tmp64));
+    let tr = sqrt (ops64.Ops.norm2 (f r64)) in
+    if tr <= tol *. scale then converged := true
+    else if tr >= nr then
+      (* No progress over a whole cycle: the half-precision floor. *)
+      stagnated := true;
+    true_res := tr
+  done;
+  {
+    iterations = !iters;
+    reliable_updates = !reliable;
+    residual = !true_res /. scale;
+    converged = !converged;
+  }

@@ -29,3 +29,32 @@ val solve :
 (** [solve ops64 op64 ops32 op32 ...]: the f32 instances must act on the
     same geometry at F32.  Stagnation at the single-precision floor stops
     the iteration honestly. *)
+
+type reliable_result = {
+  iterations : int;  (** total half-precision CG iterations *)
+  reliable_updates : int;  (** f64 true-residual recomputations *)
+  residual : float;
+  converged : bool;
+}
+
+val solve_reliable :
+  Ops.t ->
+  Ops.linop ->
+  Ops.t ->
+  Ops.linop ->
+  b:Qdp.Field.t ->
+  x:Qdp.Field.t ->
+  ?tol:float ->
+  ?delta:float ->
+  ?max_iter:int ->
+  unit ->
+  reliable_result
+(** [solve_reliable ops64 op64 ops16 op16 ...]: reliable-update CG, the
+    QUDA half-precision strategy.  The Krylov iteration runs on
+    f16-storage vectors (f32 compute registers); whenever the iterated
+    residual drops by the factor [delta] (default 0.1) a reliable update
+    recomputes the true residual in f64 and restarts the iteration from
+    it.  The solution accumulates in f64 and each cycle solves against
+    the normalized residual, so the method reaches full f64 tolerances
+    despite the narrow f16 exponent range.  The f16 instances must act on
+    the same geometry at F16; [delta] must lie in (0,1). *)

@@ -1,0 +1,236 @@
+(* Binary16: the Half codec and the f16 storage path.  The codec is the
+   single rounding point every backend shares — Eval_cpu rounds at
+   [Field.raw_set], the VM rounds in the f16 store opcode — so CPU
+   evaluation and the VM at any worker count must agree bit for bit on
+   f16 fields, including NaN payloads, infinities and subnormals. *)
+
+module Shape = Layout.Shape
+module Geometry = Layout.Geometry
+module Field = Qdp.Field
+module Expr = Qdp.Expr
+module Engine = Qdpjit.Engine
+
+(* ------------------------- codec properties ------------------------ *)
+
+let test_roundtrip_exhaustive () =
+  (* Every 16-bit pattern decodes to a double that encodes back to the
+     same pattern: zeros, subnormals, normals, infinities and all NaN
+     payloads.  This is the "payloads survive the convert" guarantee. *)
+  for h = 0 to 0xffff do
+    let h' = Half.bits_of_float (Half.float_of_bits h) in
+    if h' <> h then Alcotest.failf "pattern %#x re-encoded as %#x" h h'
+  done
+
+let test_special_values () =
+  Alcotest.(check int) "+inf" 0x7c00 (Half.bits_of_float infinity);
+  Alcotest.(check int) "-inf" 0xfc00 (Half.bits_of_float neg_infinity);
+  Alcotest.(check int) "+0" 0x0000 (Half.bits_of_float 0.0);
+  Alcotest.(check int) "-0" 0x8000 (Half.bits_of_float (-0.0));
+  Alcotest.(check int) "one" 0x3c00 (Half.bits_of_float 1.0);
+  Alcotest.(check int) "max normal" 0x7bff (Half.bits_of_float 65504.0);
+  Alcotest.(check int) "overflow threshold" 0x7c00 (Half.bits_of_float 65520.0);
+  Alcotest.(check int) "just under the threshold" 0x7bff (Half.bits_of_float 65519.999);
+  Alcotest.(check int) "min subnormal" 0x0001 (Half.bits_of_float (ldexp 1.0 (-24)));
+  Alcotest.(check int) "tie below min subnormal is even" 0x0000 (Half.bits_of_float (ldexp 1.0 (-25)));
+  Alcotest.(check int) "underflow" 0x0000 (Half.bits_of_float (ldexp 1.0 (-26)));
+  Alcotest.(check bool) "nan stays nan" true (Float.is_nan (Half.round nan));
+  Alcotest.(check bool) "0.5 exact" true (Half.is_exact 0.5);
+  Alcotest.(check bool) "0.1 inexact" true (not (Half.is_exact 0.1))
+
+(* f64 -> f16 -> f64 is the identity on every representable double;
+   subsumed by the exhaustive sweep above but stated as the property the
+   solvers lean on. *)
+let qcheck_exact_representable =
+  QCheck.Test.make ~name:"f64 -> f16 -> f64 is the identity on representables" ~count:300
+    QCheck.(int_bound 0xffff)
+    (fun h ->
+      let x = Half.float_of_bits h in
+      QCheck.assume (not (Float.is_nan x));
+      Half.is_exact x
+      && Int64.bits_of_float (Half.round x) = Int64.bits_of_float x)
+
+(* Round-to-nearest-even, checked against the two bracketing
+   representables: pick consecutive finite encodings, a point between
+   them, and demand the encoder lands on the nearer one (either on an
+   exact tie, which must then be the even encoding). *)
+let qcheck_nearest_even =
+  QCheck.Test.make ~name:"encode rounds to nearest, ties to even" ~count:500
+    QCheck.(pair (int_bound 0x7bfe) (float_bound_inclusive 1.0))
+    (fun (h, t) ->
+      let lo = Half.float_of_bits h and hi = Half.float_of_bits (h + 1) in
+      let x = lo +. (t *. (hi -. lo)) in
+      let r = Half.bits_of_float x in
+      let dlo = x -. lo and dhi = hi -. x in
+      if dlo < dhi then r = h
+      else if dhi < dlo then r = h + 1
+      else (r = h || r = h + 1) && r land 1 = 0)
+
+(* --------------------- f16 fields on the backends ------------------- *)
+
+(* Same scheme as test_vm: random op chains over a field pool, run on
+   the CPU evaluator and on engines with 1 / 2 / 4 VM workers, compared
+   bit for bit.  The pool mixes f16 and f64 fields and the ops include
+   both cross-precision directions, so the convert-on-load (exact) and
+   convert-on-store (RNE) paths are exercised along with plain f16
+   arithmetic.  The coefficient menu forces f16 subnormals (1e-6 times
+   O(1) data) and overflow to infinity (1e6), whose NaN fallout from
+   subtraction must also match. *)
+
+let geom = Geometry.create [| 8; 8; 4; 4 |]
+let fm16 = Shape.lattice_fermion Shape.F16
+let fm64 = Shape.lattice_fermion Shape.F64
+
+type op =
+  | Scale of int * float * int  (* f16 = c * f16 *)
+  | Axpy of int * float * int * int  (* f16 = c * f16 + f16 *)
+  | Sub of int * int * int  (* f16 = f16 - f16 *)
+  | Shift of int * int * int * int  (* f16 = shift f16 *)
+  | Promote of int * int  (* f64 = f16 *)
+  | Truncate of int * int  (* f16 = f64 *)
+
+let n16 = 4
+let n64 = 2
+
+let op_dest_expr pool16 pool64 = function
+  | Scale (d, c, s) -> (pool16.(d), Expr.mul (Expr.const_real c) (Expr.field pool16.(s)))
+  | Axpy (d, c, a, b) ->
+      ( pool16.(d),
+        Expr.add (Expr.mul (Expr.const_real c) (Expr.field pool16.(a))) (Expr.field pool16.(b)) )
+  | Sub (d, a, b) -> (pool16.(d), Expr.sub (Expr.field pool16.(a)) (Expr.field pool16.(b)))
+  | Shift (d, s, dim, dir) -> (pool16.(d), Expr.shift (Expr.field pool16.(s)) ~dim ~dir)
+  | Promote (d, s) -> (pool64.(d), Expr.field pool16.(s))
+  | Truncate (d, s) -> (pool16.(d), Expr.field pool64.(s))
+
+let fresh_pools seed =
+  let rng = Prng.create ~seed in
+  let p16 =
+    Array.init n16 (fun i ->
+        let f = Field.create fm16 geom in
+        Field.fill_gaussian ~site_key:(fun site -> site + (i * 1_000_003)) f rng;
+        f)
+  in
+  let p64 =
+    Array.init n64 (fun i ->
+        let f = Field.create fm64 geom in
+        Field.fill_gaussian ~site_key:(fun site -> site + ((n16 + i) * 1_000_003)) f rng;
+        f)
+  in
+  (p16, p64)
+
+let run_jit eng seed prog =
+  let p16, p64 = fresh_pools seed in
+  List.iter
+    (fun op ->
+      let dest, expr = op_dest_expr p16 p64 op in
+      Engine.eval eng dest expr)
+    prog;
+  Engine.flush eng;
+  (p16, p64)
+
+let run_cpu seed prog =
+  let p16, p64 = fresh_pools seed in
+  List.iter
+    (fun op ->
+      let dest, expr = op_dest_expr p16 p64 op in
+      Qdp.Eval_cpu.eval dest expr)
+    prog;
+  (p16, p64)
+
+let gen_op =
+  QCheck.Gen.(
+    let i16 = int_range 0 (n16 - 1) and i64 = int_range 0 (n64 - 1) in
+    let coeff = oneofl [ 2.0; -0.5; 1.25; 1e-6; 1e6; -1.0 ] in
+    oneof
+      [
+        map3 (fun d c s -> Scale (d, c, s)) i16 coeff i16;
+        (fun st -> Axpy (i16 st, coeff st, i16 st, i16 st));
+        map3 (fun d a b -> Sub (d, a, b)) i16 i16 i16;
+        (fun st -> Shift (i16 st, i16 st, int_range 0 3 st, if bool st then 1 else -1));
+        map2 (fun d s -> Promote (d, s)) i64 i16;
+        map2 (fun d s -> Truncate (d, s)) i16 i64;
+      ])
+
+let show_op = function
+  | Scale (d, c, s) -> Printf.sprintf "h%d = %g * h%d" d c s
+  | Axpy (d, c, a, b) -> Printf.sprintf "h%d = %g * h%d + h%d" d c a b
+  | Sub (d, a, b) -> Printf.sprintf "h%d = h%d - h%d" d a b
+  | Shift (d, s, dim, dir) -> Printf.sprintf "h%d = shift(h%d, dim %d, dir %+d)" d s dim dir
+  | Promote (d, s) -> Printf.sprintf "d%d = h%d" d s
+  | Truncate (d, s) -> Printf.sprintf "h%d = d%d" d s
+
+let arb_prog =
+  QCheck.make
+    ~print:(fun p -> String.concat "; " (List.map show_op p))
+    QCheck.Gen.(list_size (int_range 2 8) gen_op)
+
+let bits ~canon_zero v = if canon_zero && v = 0.0 then 0L else Int64.bits_of_float v
+
+let fields_equal ~canon_zero a b =
+  let ok = ref true in
+  for site = 0 to Field.volume a - 1 do
+    let sa = Field.get_site a ~site and sb = Field.get_site b ~site in
+    Array.iteri (fun i v -> if bits ~canon_zero v <> bits ~canon_zero sb.(i) then ok := false) sa
+  done;
+  !ok
+
+let pools_equal ~canon_zero (a16, a64) (b16, b64) =
+  Array.for_all2 (fields_equal ~canon_zero) a16 b16
+  && Array.for_all2 (fields_equal ~canon_zero) a64 b64
+
+(* Shared engines, one per worker count; w=1 is the sequential sweep the
+   others must match bit for bit.  The 1024-site lattice reaches the
+   VM's small-launch threshold, so the multi-worker engines really do
+   split launches across domains. *)
+let engines =
+  [ (1, Engine.create ~vm_domains:1 ()); (2, Engine.create ~vm_domains:2 ()); (4, Engine.create ~vm_domains:4 ()) ]
+
+let qcheck_f16_worker_counts =
+  QCheck.Test.make ~count:15 ~name:"f16 chains: 1 = 2 = 4 workers = cpu (bit)" arb_prog
+    (fun prog ->
+      let p1 = run_jit (List.assoc 1 engines) 7L prog in
+      let p2 = run_jit (List.assoc 2 engines) 7L prog in
+      let p4 = run_jit (List.assoc 4 engines) 7L prog in
+      let pc = run_cpu 7L prog in
+      pools_equal ~canon_zero:false p1 p2
+      && pools_equal ~canon_zero:false p1 p4
+      && pools_equal ~canon_zero:true p1 pc)
+
+let qcheck_f16_reductions =
+  QCheck.Test.make ~count:10 ~name:"f16 chains + norm2/inner: all worker counts bit-equal"
+    arb_prog (fun prog ->
+      (* Reductions read the f16 payloads through the exact decode; the
+         accumulation itself is promoted to f64 by the engine. *)
+      let run eng =
+        let p16, _ = run_jit eng 13L prog in
+        let n = Engine.norm2 eng (Expr.sub (Expr.field p16.(0)) (Expr.field p16.(1))) in
+        let re, im = Engine.inner eng (Expr.field p16.(2)) (Expr.field p16.(3)) in
+        (n, re, im)
+      in
+      let n1, r1, i1 = run (List.assoc 1 engines) in
+      let n2, r2, i2 = run (List.assoc 2 engines) in
+      let n4, r4, i4 = run (List.assoc 4 engines) in
+      let pc16, _ = run_cpu 13L prog in
+      let nc = Qdp.Eval_cpu.norm2 (Expr.sub (Expr.field pc16.(0)) (Expr.field pc16.(1))) in
+      let rc, ic = Qdp.Eval_cpu.inner (Expr.field pc16.(2)) (Expr.field pc16.(3)) in
+      let beq a b = Int64.bits_of_float a = Int64.bits_of_float b in
+      let ceq a b = bits ~canon_zero:true a = bits ~canon_zero:true b in
+      QCheck.assume (not (Float.is_nan n1 || Float.is_nan r1 || Float.is_nan i1));
+      beq n1 n2 && beq n1 n4 && beq r1 r2 && beq r1 r4 && beq i1 i2 && beq i1 i4 && ceq n1 nc
+      && ceq r1 rc && ceq i1 ic)
+
+let () =
+  Alcotest.run "half"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "exhaustive roundtrip" `Quick test_roundtrip_exhaustive;
+          Alcotest.test_case "special values" `Quick test_special_values;
+          QCheck_alcotest.to_alcotest qcheck_exact_representable;
+          QCheck_alcotest.to_alcotest qcheck_nearest_even;
+        ] );
+      ( "backends",
+        [
+          QCheck_alcotest.to_alcotest qcheck_f16_worker_counts;
+          QCheck_alcotest.to_alcotest qcheck_f16_reductions;
+        ] );
+    ]

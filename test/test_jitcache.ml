@@ -188,6 +188,60 @@ let test_corrupt_entries_recompile () =
   let s = Option.get (Engine.jit_cache_stats warm) in
   Alcotest.(check bool) "corruption detected" true (s.Jitcache.corrupt > 0)
 
+(* Every entry file stores its full key (magic 4 | version 4 | key_len 4
+   | key ...); read them back so the test can re-key entries the way an
+   older release would have written them. *)
+let entry_keys dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n -> Filename.check_suffix n ".jc")
+  |> List.map (fun n ->
+         let raw = In_channel.with_open_bin (Filename.concat dir n) In_channel.input_all in
+         let key_len = Int32.to_int (String.get_int32_be raw 8) in
+         String.sub raw 12 key_len)
+
+let is_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let test_version_bump_misses () =
+  (* The cache tag is the version fence: it must spell out the current
+     component versions, and every key must carry it as a prefix. *)
+  Alcotest.(check string) "tag embeds every component version"
+    (Printf.sprintf "qdpjit|ml%s|cg%d|ps%d|fu%d|vm%d" Sys.ocaml_version Qdpjit.Codegen.version
+       Ptx.Passes.version Ptx.Fuse.version Gpusim.Vm.decoder_version)
+    Engine.cache_tag;
+  let dir = fresh_dir "stale" in
+  let prog = [ Axpy (2, 1.25, 0, 1); Shift (3, 2, 1, 1); Sub (0, 3, 2) ] in
+  let cold = Engine.create ~jit_cache:(Jitcache.create dir) () in
+  let pc, nc = run_program cold prog in
+  let keys = entry_keys dir in
+  Alcotest.(check bool) "captured warm keys" true (keys <> []);
+  List.iter
+    (fun k -> Alcotest.(check bool) "key is version-fenced" true (is_prefix Engine.cache_tag k))
+    keys;
+  (* Rebuild the directory as the previous release would have left it:
+     the same key structure under the decremented version tag, with
+     payloads the current formats could not deserialize.  A correct
+     engine never even opens them — they must be plain misses, not
+     corruption fallbacks or crashes. *)
+  let old_tag =
+    Printf.sprintf "qdpjit|ml%s|cg%d|ps%d|fu%d|vm%d" Sys.ocaml_version
+      (Qdpjit.Codegen.version - 1) (Ptx.Passes.version - 1) (Ptx.Fuse.version - 1)
+      (Gpusim.Vm.decoder_version - 1)
+  in
+  let stale_key k =
+    old_tag ^ String.sub k (String.length Engine.cache_tag) (String.length k - String.length Engine.cache_tag)
+  in
+  let c = Jitcache.create dir in
+  Jitcache.clear c;
+  List.iter (fun k -> Jitcache.store c ~key:(stale_key k) ~data:"pre-bump marshal format") keys;
+  let warm = Engine.create ~jit_cache:(Jitcache.create dir) () in
+  let pw, nw = run_program warm prog in
+  Alcotest.(check bool) "results bit-equal after full recompile" true
+    (Array.for_all2 fields_bit_equal pc pw && Int64.bits_of_float nc = Int64.bits_of_float nw);
+  Alcotest.(check bool) "recompiled everything" true (Engine.kernels_built warm > 0);
+  let s = Option.get (Engine.jit_cache_stats warm) in
+  Alcotest.(check int) "zero hits on pre-bump entries" 0 s.Jitcache.hits;
+  Alcotest.(check int) "pre-bump entries never deserialized" 0 s.Jitcache.corrupt
+
 let test_concurrent_engines_share_dir () =
   let dir = fresh_dir "shared" in
   let prog = [ Scale (1, 2.0, 0); Axpy (2, -0.5, 1, 0); Sub (3, 2, 1); Shift (0, 3, 0, -1) ] in
@@ -259,6 +313,8 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_warm_engine_bit_exact;
           Alcotest.test_case "damaged cache falls back to recompile" `Quick
             test_corrupt_entries_recompile;
+          Alcotest.test_case "pre-bump entries miss, not deserialize" `Quick
+            test_version_bump_misses;
           Alcotest.test_case "concurrent engines share a directory" `Quick
             test_concurrent_engines_share_dir;
         ] );

@@ -20,7 +20,31 @@ let test_bytes_per_site () =
 
 let test_promote () =
   Alcotest.(check bool) "f32+f32" true (Shape.promote_prec Shape.F32 Shape.F32 = Shape.F32);
-  Alcotest.(check bool) "f32+f64" true (Shape.promote_prec Shape.F32 Shape.F64 = Shape.F64)
+  Alcotest.(check bool) "f32+f64" true (Shape.promote_prec Shape.F32 Shape.F64 = Shape.F64);
+  Alcotest.(check bool) "f16+f32" true (Shape.promote_prec Shape.F16 Shape.F32 = Shape.F32);
+  Alcotest.(check bool) "f64+f16" true (Shape.promote_prec Shape.F64 Shape.F16 = Shape.F64);
+  Alcotest.(check bool) "f16+f16" true (Shape.promote_prec Shape.F16 Shape.F16 = Shape.F16)
+
+(* qcheck: promotion is the join of the total order F64 > F32 > F16 —
+   commutative, associative, idempotent and monotone in either argument. *)
+let arb_prec =
+  QCheck.oneofl
+    ~print:(function Shape.F16 -> "f16" | Shape.F32 -> "f32" | Shape.F64 -> "f64")
+    [ Shape.F16; Shape.F32; Shape.F64 ]
+
+let rank = function Shape.F16 -> 0 | Shape.F32 -> 1 | Shape.F64 -> 2
+
+let qcheck_promote =
+  QCheck.Test.make ~name:"promote_prec is a commutative monotone join" ~count:200
+    QCheck.(triple arb_prec arb_prec arb_prec)
+    (fun (a, b, c) ->
+      let ( + ) = Shape.promote_prec in
+      a + b = b + a
+      && a + (b + c) = a + b + c
+      && a + a = a
+      && rank (a + b) >= rank a
+      && rank (a + b) >= rank b
+      && (rank a <= rank b) = (a + b = b))
 
 let test_validate () =
   Alcotest.check_raises "negative extent" (Invalid_argument "Shape.validate: non-positive spin extent")
@@ -192,6 +216,7 @@ let () =
           Alcotest.test_case "Table I dof" `Quick test_table1_dofs;
           Alcotest.test_case "bytes per site" `Quick test_bytes_per_site;
           Alcotest.test_case "precision promotion" `Quick test_promote;
+          QCheck_alcotest.to_alcotest qcheck_promote;
           Alcotest.test_case "validation" `Quick test_validate;
         ] );
       ( "geometry",

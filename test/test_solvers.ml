@@ -123,6 +123,35 @@ let test_mixed_precision () =
   Alcotest.(check bool) "dp residual from sp inner solves" true (true_residual nop b x <= 1e-8);
   Alcotest.(check bool) "took more than one outer" true (r.Solvers.Mixed.outer_iterations >= 2)
 
+let test_reliable_half () =
+  (* Half-precision storage for every Krylov vector and the gauge links;
+     the reliable updates must still reach the full f64 tolerance. *)
+  let shape16 = Shape.lattice_fermion Shape.F16 in
+  let u16 = Array.map (fun _ -> Field.create (Shape.lattice_color_matrix Shape.F16) geom) u in
+  Array.iteri (fun mu d -> Qdpjit.Engine.eval eng d (Expr.field u.(mu))) u16;
+  let ops16 = Solvers.Ops.jit eng shape16 geom in
+  let apply16 src = Lqcd.Wilson.wilson_expr ~kappa u16 src in
+  let nop16 = Solvers.Ops.normal_op ops16 ~apply_m:apply16 in
+  let b = rhs () in
+  let x = Field.create shape geom in
+  let r = Solvers.Mixed.solve_reliable ops nop ops16 nop16 ~b ~x ~tol:1e-10 () in
+  Alcotest.(check bool) "converged" true r.Solvers.Mixed.converged;
+  Alcotest.(check bool)
+    (Printf.sprintf "claimed residual %.2e" r.Solvers.Mixed.residual)
+    true
+    (r.Solvers.Mixed.residual <= 1e-10);
+  Alcotest.(check bool) "true dp residual from hp iterations" true (true_residual nop b x <= 1e-9);
+  Alcotest.(check bool) "took several reliable updates" true (r.Solvers.Mixed.reliable_updates >= 2)
+
+let test_reliable_half_rejects_f32 () =
+  let shape32 = Shape.lattice_fermion Shape.F32 in
+  let ops32 = Solvers.Ops.jit eng shape32 geom in
+  let b = rhs () in
+  let x = Field.create shape geom in
+  Alcotest.check_raises "guards inner precision"
+    (Invalid_argument "Mixed.solve_reliable: inner ops must be half precision") (fun () ->
+      ignore (Solvers.Mixed.solve_reliable ops nop ops32 nop ~b ~x ()))
+
 let test_eo_preconditioned_matches_full () =
   let b = rhs () in
   let x_eo = Field.create shape geom in
@@ -193,7 +222,11 @@ let () =
           Alcotest.test_case "shift ordering" `Quick test_multishift_larger_shifts_converge_faster;
         ] );
       ( "mixed",
-        [ Alcotest.test_case "sp-inner dp-outer" `Quick test_mixed_precision ] );
+        [
+          Alcotest.test_case "sp-inner dp-outer" `Quick test_mixed_precision;
+          Alcotest.test_case "hp reliable-update" `Quick test_reliable_half;
+          Alcotest.test_case "hp guard" `Quick test_reliable_half_rejects_f32;
+        ] );
       ( "even-odd",
         [
           Alcotest.test_case "matches full solve" `Quick test_eo_preconditioned_matches_full;
