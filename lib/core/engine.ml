@@ -907,14 +907,24 @@ let flush t =
         let group_of = Array.make (Array.length evs) (-1) in
         List.iteri (fun gi g -> Array.iter (fun i -> group_of.(i) <- gi) g) groups;
         let drop = plan_drops evs group_of in
-        List.iter
-          (fun g ->
-            let head = evs.(g.(0)) in
-            let geom = head.p_geom and subset = head.p_subset in
-            let nsites = Geometry.volume geom in
-            let use_sitelist = not (Subset.is_all subset) in
-            launch_group t ~geom ~subset ~nsites ~use_sitelist evs drop g)
-          groups;
+        (* Batched launch sweep: the whole flushed run is handed to the
+           VM work pool as one schedule instead of one blocking handoff
+           per launch.  Group assembly (residency, pins, fused JIT)
+           stays eager; only functional execution defers.  Spills and
+           page-outs inside the batch window drain the queue first, so
+           host-visible contents are always as-of-program-point. *)
+        Device.begin_batch t.device;
+        Fun.protect
+          ~finally:(fun () -> Device.end_batch t.device)
+          (fun () ->
+            List.iter
+              (fun g ->
+                let head = evs.(g.(0)) in
+                let geom = head.p_geom and subset = head.p_subset in
+                let nsites = Geometry.volume geom in
+                let use_sitelist = not (Subset.is_all subset) in
+                launch_group t ~geom ~subset ~nsites ~use_sitelist evs drop g)
+              groups);
         ignore (Streams.stream_synchronize t.streams (Streams.default_stream t.streams)))
   end
 

@@ -39,6 +39,10 @@ type t = {
       (** per-rank dedicated stream for face exchange traffic *)
   mutable overlap : bool;
   mutable comm_bytes : int;
+  rank_domains : int;
+      (** compute-loop workers: ranks execute concurrently on real
+          domains when > 1 (each rank's engine then runs its own
+          launches single-worker, so the VM pool is never nested) *)
   shift_pool : (string, dfield * dfield) Hashtbl.t;
       (** reused (tmp, shifted) temporaries per (dim, dir, shape,
           occurrence) — the communication buffers of a real implementation
@@ -49,11 +53,42 @@ type t = {
 
 and dfield = { shape : Layout.Shape.t; locals : Qdp.Field.t array }
 
+(* Rank-parallelism resolution: explicit argument > REPRO_MULTI_DOMAINS
+   environment override > 1 (sequential, the deterministic default).
+   Like REPRO_VM_DOMAINS, a malformed override is never trusted. *)
+let resolve_rank_domains ?rank_domains () =
+  let n =
+    match rank_domains with
+    | Some n -> n
+    | None -> (
+        match Sys.getenv_opt "REPRO_MULTI_DOMAINS" with
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some v when v >= 1 -> v
+            | Some _ | None ->
+                Printf.eprintf
+                  "multi: REPRO_MULTI_DOMAINS=%S is not a positive integer; running ranks \
+                   sequentially\n\
+                   %!"
+                  s;
+                1)
+        | None -> 1)
+  in
+  max 1 (min n 64)
+
 let create ?(machine = Gpusim.Machine.k20m_ecc_on) ?(mode = Gpusim.Device.Functional)
-    ?(network = Comms.Network.infiniband_qdr) ~global_dims ~rank_dims () =
+    ?(network = Comms.Network.infiniband_qdr) ?rank_domains ~global_dims ~rank_dims () =
   let grid = Comms.Grid.create ~global_dims ~rank_dims in
   let nranks = Comms.Grid.nranks grid in
-  let engines = Array.init nranks (fun _ -> Engine.create ~machine ~mode ()) in
+  let rank_domains = resolve_rank_domains ?rank_domains () in
+  (* With parallel ranks the domain *is* the unit of parallelism: each
+     rank's launches run single-worker so a rank's engine never re-enters
+     the shared VM pool from inside a pool worker. *)
+  let engines =
+    Array.init nranks (fun _ ->
+        if rank_domains > 1 then Engine.create ~machine ~mode ~vm_domains:1 ()
+        else Engine.create ~machine ~mode ())
+  in
   {
     grid;
     fabric = Comms.Fabric.create ~network ~nranks;
@@ -62,6 +97,7 @@ let create ?(machine = Gpusim.Machine.k20m_ecc_on) ?(mode = Gpusim.Device.Functi
       Array.map (fun eng -> Streams.create_stream ~name:"comm" (Engine.streams eng)) engines;
     overlap = true;
     comm_bytes = 0;
+    rank_domains;
     shift_pool = Hashtbl.create 16;
     shift_seq = 0;
   }
@@ -69,7 +105,41 @@ let create ?(machine = Gpusim.Machine.k20m_ecc_on) ?(mode = Gpusim.Device.Functi
 let nranks t = Comms.Grid.nranks t.grid
 let local_geom t = t.grid.Comms.Grid.local
 let engine t rank = t.engines.(rank)
+let rank_domains t = t.rank_domains
 let set_overlap t flag = t.overlap <- flag
+
+(* Run rank-local compute ([f worker rank] touches only rank [rank]'s
+   engine/cache/streams) across the configured domains: ranks are dealt
+   round-robin to workers, so the assignment — and every rank's own
+   execution order — is deterministic.  Cross-rank steps (fabric
+   transfers, functional face fills, reduction sums) stay on the calling
+   thread, between sweeps.  Sequential when [rank_domains <= 1]: the
+   exact loop this replaces. *)
+let par_ranks t f =
+  let n = nranks t in
+  let w = min t.rank_domains n in
+  if w <= 1 then
+    for rank = 0 to n - 1 do
+      f 0 rank
+    done
+  else
+    Gpusim.Vm_backend.run ~workers:w (fun k ->
+        let rank = ref k in
+        while !rank < n do
+          f k !rank;
+          rank := !rank + w
+        done)
+
+(* Fields Multi itself materializes (the shift pool's temporaries) are
+   bookkept in the executing domain's arena slice of the rank's cache, so
+   concurrent ranks never contend on a shared arena and [drop_temps] can
+   release every temporary's device allocation in one sweep. *)
+let register_temp t ~worker ~rank (f : Field.t) =
+  let mc = Engine.memcache t.engines.(rank) in
+  Memcache.arena_register (Memcache.domain_slice mc ~worker) f
+
+let drop_temps t =
+  Array.iter (fun eng -> Memcache.release_domain_slices (Engine.memcache eng)) t.engines
 
 let max_clock t =
   Array.fold_left (fun acc eng -> Float.max acc (Streams.horizon (Engine.streams eng))) 0.0
@@ -195,18 +265,18 @@ let materialize_shift t (low : lowering) (subs : Expr.t array) ~dim ~dir ~depth 
         done;
         tmp
     | _ ->
-        for rank = 0 to n - 1 do
-          Engine.eval ~stream:(s0 t rank) t.engines.(rank) pooled_tmp.locals.(rank) subs.(rank);
-          Streams.record_event (ctx t rank) (s0 t rank) g_done.(rank)
-        done;
+        par_ranks t (fun k rank ->
+            Engine.eval ~stream:(s0 t rank) t.engines.(rank) pooled_tmp.locals.(rank) subs.(rank);
+            register_temp t ~worker:k ~rank pooled_tmp.locals.(rank);
+            Streams.record_event (ctx t rank) (s0 t rank) g_done.(rank));
         pooled_tmp
   in
   if not (split_along t dim) then begin
     (* Whole direction lives on-rank: a single local kernel suffices. *)
-    for rank = 0 to n - 1 do
-      Engine.eval ~stream:(s0 t rank) t.engines.(rank) shifted.locals.(rank)
-        (Expr.shift (Expr.field tmp.locals.(rank)) ~dim ~dir);
-    done;
+    par_ranks t (fun k rank ->
+        Engine.eval ~stream:(s0 t rank) t.engines.(rank) shifted.locals.(rank)
+          (Expr.shift (Expr.field tmp.locals.(rank)) ~dim ~dir);
+        register_temp t ~worker:k ~rank shifted.locals.(rank));
     shifted
   end
   else begin
@@ -271,11 +341,11 @@ let materialize_shift t (low : lowering) (subs : Expr.t array) ~dim ~dir ~depth 
        compute stream — this is the work that hides the messages (with
        overlap off the compute stream just stalled on [face_ready], so
        nothing hides). *)
-    for rank = 0 to n - 1 do
-      Engine.eval ~stream:(s0 t rank) ~subset:(Subset.Custom inner) t.engines.(rank)
-        shifted.locals.(rank)
-        (Expr.shift (Expr.field tmp.locals.(rank)) ~dim ~dir)
-    done;
+    par_ranks t (fun k rank ->
+        Engine.eval ~stream:(s0 t rank) ~subset:(Subset.Custom inner) t.engines.(rank)
+          shifted.locals.(rank)
+          (Expr.shift (Expr.field tmp.locals.(rank)) ~dim ~dir);
+        register_temp t ~worker:k ~rank shifted.locals.(rank));
     if depth = 0 then low.face_sets <- (dim, dir) :: low.face_sets else low.nested <- true;
     shifted
   end
@@ -324,9 +394,8 @@ let eval ?(subset = Subset.All) t (dest : dfield) (mk : int -> Expr.t) =
   let had_exchange = low.face_sets <> [] || low.nested in
   if not had_exchange then begin
     (* No off-node data: single launch per rank. *)
-    for rank = 0 to n - 1 do
-      Engine.eval ~subset ~stream:(s0 t rank) t.engines.(rank) dest.locals.(rank) lowered.(rank)
-    done;
+    par_ranks t (fun _ rank ->
+        Engine.eval ~subset ~stream:(s0 t rank) t.engines.(rank) dest.locals.(rank) lowered.(rank));
     { total_ns = max_clock t; comm_overlapped = false }
   end
   else begin
@@ -347,42 +416,45 @@ let eval ?(subset = Subset.All) t (dest : dfield) (mk : int -> Expr.t) =
     let face_sites =
       Array.of_list (List.filter (fun s -> Hashtbl.mem face_set s) (Array.to_list requested))
     in
-    for rank = 0 to n - 1 do
-      let stream = s0 t rank in
-      if Array.length inner_sites > 0 then
-        Engine.eval ~subset:(Subset.Custom inner_sites) ~stream t.engines.(rank)
-          dest.locals.(rank) lowered.(rank);
-      List.iter (Streams.wait_event (ctx t rank) stream) (List.rev low.face_ready.(rank));
-      if Array.length face_sites > 0 then
-        Engine.eval ~subset:(Subset.Custom face_sites) ~stream t.engines.(rank)
-          dest.locals.(rank) lowered.(rank)
-    done;
+    par_ranks t (fun _ rank ->
+        let stream = s0 t rank in
+        if Array.length inner_sites > 0 then
+          Engine.eval ~subset:(Subset.Custom inner_sites) ~stream t.engines.(rank)
+            dest.locals.(rank) lowered.(rank);
+        List.iter (Streams.wait_event (ctx t rank) stream) (List.rev low.face_ready.(rank));
+        if Array.length face_sites > 0 then
+          Engine.eval ~subset:(Subset.Custom face_sites) ~stream t.engines.(rank)
+            dest.locals.(rank) lowered.(rank));
     { total_ns = max_clock t; comm_overlapped = t.overlap }
   end
 
 (* Reductions: per-rank engine reductions, summed over ranks (the MPI
-   all-reduce of the real implementation). *)
+   all-reduce of the real implementation).  The device reductions run
+   concurrently across rank domains; the cross-rank sum happens on the
+   calling thread in rank order, so the accumulation order — and the
+   floating-point result — is identical to the sequential sweep.  The
+   per-rank expressions are built on the calling thread first: [mk] is
+   user code and owes us no thread-safety. *)
 let norm2 t (mk : int -> Expr.t) =
-  let acc = ref 0.0 in
-  for rank = 0 to nranks t - 1 do
-    acc := !acc +. Engine.norm2 t.engines.(rank) (mk rank)
-  done;
-  !acc
+  let n = nranks t in
+  let es = Array.init n mk in
+  let partial = Array.make n 0.0 in
+  par_ranks t (fun _ rank -> partial.(rank) <- Engine.norm2 t.engines.(rank) es.(rank));
+  Array.fold_left ( +. ) 0.0 partial
 
 let sum_real t (mk : int -> Expr.t) =
-  let acc = ref 0.0 in
-  for rank = 0 to nranks t - 1 do
-    acc := !acc +. Engine.sum_real t.engines.(rank) (mk rank)
-  done;
-  !acc
+  let n = nranks t in
+  let es = Array.init n mk in
+  let partial = Array.make n 0.0 in
+  par_ranks t (fun _ rank -> partial.(rank) <- Engine.sum_real t.engines.(rank) es.(rank));
+  Array.fold_left ( +. ) 0.0 partial
 
 let inner t (mka : int -> Expr.t) (mkb : int -> Expr.t) =
-  let re = ref 0.0 and im = ref 0.0 in
-  for rank = 0 to nranks t - 1 do
-    let r, i = Engine.inner t.engines.(rank) (mka rank) (mkb rank) in
-    re := !re +. r;
-    im := !im +. i
-  done;
-  (!re, !im)
+  let n = nranks t in
+  let eas = Array.init n mka and ebs = Array.init n mkb in
+  let partial = Array.make n (0.0, 0.0) in
+  par_ranks t (fun _ rank ->
+      partial.(rank) <- Engine.inner t.engines.(rank) eas.(rank) ebs.(rank));
+  Array.fold_left (fun (re, im) (r, i) -> (re +. r, im +. i)) (0.0, 0.0) partial
 
 let fabric_stats t = Comms.Fabric.stats t.fabric

@@ -25,12 +25,21 @@ val create :
   ?machine:Gpusim.Machine.t ->
   ?mode:Gpusim.Device.mode ->
   ?network:Comms.Network.t ->
+  ?rank_domains:int ->
   global_dims:int array ->
   rank_dims:int array ->
   unit ->
   t
 (** A rank grid of [rank_dims] (must divide [global_dims]) with one
-    simulated device per rank. *)
+    simulated device per rank.  [rank_domains] (default via
+    [REPRO_MULTI_DOMAINS], else 1) > 1 executes rank-local compute
+    concurrently on that many OCaml 5 domains: ranks are dealt
+    round-robin to workers, each rank's engine runs its own launches
+    single-worker, and every cross-rank step (fabric transfers, face
+    fills, reduction sums) stays on the calling thread — results are
+    bit-identical to the sequential rank sweep.  On the OCaml 4.x
+    back-end the workers run sequentially.  A malformed environment
+    override falls back to 1 with a note on stderr. *)
 
 val nranks : t -> int
 val local_geom : t -> Layout.Geometry.t
@@ -38,6 +47,17 @@ val local_geom : t -> Layout.Geometry.t
 val engine : t -> int -> Engine.t
 (** The rank's engine — its device, memory cache and stream context (the
     latter holds the rank's recorded timeline for trace export). *)
+
+val rank_domains : t -> int
+(** Workers rank-local compute is spread across (1 = sequential). *)
+
+val drop_temps : t -> unit
+(** Release every shift-pool temporary's device allocation: each rank's
+    temporaries are bookkept in per-domain arena slices of its memory
+    cache ({!Memcache.domain_slice}), and this releases all of them in
+    one sweep (dirty ones page out first, so contents survive and
+    re-upload on next use).  Call between solves to return device
+    memory; must not run concurrently with {!eval}. *)
 
 val set_overlap : t -> bool -> unit
 (** Toggle communication/computation overlap (functional no-op). *)

@@ -1,101 +1,121 @@
-(** Multicore grid-sweep back-end (OCaml >= 5): a small persistent pool
-    of domains fed through per-worker mailboxes.
+(** Multicore grid-sweep back-end (OCaml >= 5): a persistent pool of
+    domains woken once per sweep by a single generation broadcast.
 
-    The pool grows on demand up to the largest worker count any launch
+    The old pool fed each worker through its own mailbox, which meant
+    every launch paid one mutex/condvar handoff per worker — fatal for
+    batched sweeps whose whole point is that the schedule is drained
+    cooperatively off a shared cursor.  Here the pool shares one mutex,
+    one "new sweep" condition and a generation counter: [run] publishes
+    the worker function, bumps the generation and broadcasts once; every
+    domain wakes, claims its fixed index, runs the function and counts
+    down a completion latch.  Domains whose index is outside the
+    requested width simply go back to sleep until the next generation.
+
+    The pool grows on demand up to the largest worker count any sweep
     requests and is torn down from [at_exit], so domains never outlive
     the runtime.  [run] hands worker [0] to the calling thread — a
-    one-worker sweep never pays a dispatch — and blocks until every
-    worker returns, which keeps kernel launches synchronous exactly like
-    the sequential interpreter.  Completion is signalled through a
-    condition variable rather than a spin loop so oversubscribed hosts
-    (more workers than cores) context-switch instead of burning a
-    scheduler quantum per handoff.
+    one-worker sweep never touches the pool — and blocks until every
+    worker returns, which keeps sweeps synchronous exactly like the
+    sequential interpreter.
 
-    Not reentrant: launches are synchronous and issued from one thread
-    at a time, so at most one [run] is in flight. *)
+    Not reentrant: sweeps are synchronous and issued from one thread at
+    a time, so at most one [run] is in flight. *)
 
 let runtime = "multicore"
 let available_domains () = Domain.recommended_domain_count ()
 
-type slot = {
+type pool = {
   m : Mutex.t;
-  cv : Condition.t;
-  mutable job : (unit -> unit) option;
+  work : Condition.t; (* a new generation was published *)
+  finished : Condition.t; (* the latch reached zero *)
+  mutable gen : int;
+  mutable job : (int -> unit) option;
+  mutable width : int; (* workers participating in the current sweep *)
+  mutable remaining : int; (* participating helpers still running *)
   mutable stop : bool;
 }
 
-let slots : slot array ref = ref [||]
+let pool =
+  {
+    m = Mutex.create ();
+    work = Condition.create ();
+    finished = Condition.create ();
+    gen = 0;
+    job = None;
+    width = 0;
+    remaining = 0;
+    stop = false;
+  }
+
 let spawned : unit Domain.t list ref = ref []
 
-let worker_loop slot =
+(* [seen0] is the generation current when the domain was created, read
+   by the spawning thread before it publishes the sweep the domain is
+   being grown for — a late-starting domain can therefore never miss
+   the sweep that counts on it. *)
+let worker_loop d seen0 =
+  let seen = ref seen0 in
   let rec next () =
-    Mutex.lock slot.m;
-    while slot.job = None && not slot.stop do
-      Condition.wait slot.cv slot.m
+    Mutex.lock pool.m;
+    while pool.gen = !seen && not pool.stop do
+      Condition.wait pool.work pool.m
     done;
-    let job = slot.job in
-    slot.job <- None;
-    Mutex.unlock slot.m;
-    match job with
-    | Some f ->
-        f ();
-        next ()
-    | None -> ()
+    if pool.stop then Mutex.unlock pool.m
+    else begin
+      seen := pool.gen;
+      let job = pool.job and width = pool.width in
+      Mutex.unlock pool.m;
+      if d < width then begin
+        (* [f] must not raise (the VM records faults out of band); the
+           guard keeps a buggy worker from wedging the pool forever. *)
+        (match job with Some f -> ( try f d with _ -> ()) | None -> ());
+        Mutex.lock pool.m;
+        pool.remaining <- pool.remaining - 1;
+        if pool.remaining = 0 then Condition.signal pool.finished;
+        Mutex.unlock pool.m
+      end;
+      next ()
+    end
   in
   next ()
 
 let shutdown () =
-  Array.iter
-    (fun s ->
-      Mutex.lock s.m;
-      s.stop <- true;
-      Condition.signal s.cv;
-      Mutex.unlock s.m)
-    !slots;
+  Mutex.lock pool.m;
+  pool.stop <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.m;
   List.iter Domain.join !spawned;
-  slots := [||];
-  spawned := []
+  spawned := [];
+  pool.stop <- false
 
 let ensure extra =
-  let have = Array.length !slots in
+  let have = List.length !spawned in
   if extra > have then begin
     if have = 0 then at_exit shutdown;
-    let fresh =
-      Array.init (extra - have) (fun _ ->
-          { m = Mutex.create (); cv = Condition.create (); job = None; stop = false })
-    in
-    slots := Array.append !slots fresh;
-    Array.iter (fun s -> spawned := Domain.spawn (fun () -> worker_loop s) :: !spawned) fresh
+    let seen0 = pool.gen in
+    for d = have + 1 to extra do
+      spawned := Domain.spawn (fun () -> worker_loop d seen0) :: !spawned
+    done
   end
 
 let run ~workers f =
   if workers <= 1 then f 0
   else begin
-    let extra = workers - 1 in
-    ensure extra;
-    let pool = !slots in
-    let m = Mutex.create () and cv = Condition.create () in
-    let remaining = ref extra in
-    for k = 1 to extra do
-      let s = pool.(k - 1) in
-      let job () =
-        (* [f] must not raise (the VM records faults out of band); the
-           guard keeps a buggy worker from wedging the pool forever. *)
-        (try f k with _ -> ());
-        Mutex.lock m;
-        decr remaining;
-        if !remaining = 0 then Condition.signal cv;
-        Mutex.unlock m
-      in
-      Mutex.lock s.m;
-      s.job <- Some job;
-      Condition.signal s.cv;
-      Mutex.unlock s.m
-    done;
-    f 0;
-    Mutex.lock m;
-    while !remaining > 0 do
-      Condition.wait cv m
-    done;
-    Mutex.unlock m
+    ensure (workers - 1);
+    Mutex.lock pool.m;
+    pool.job <- Some f;
+    pool.width <- workers;
+    pool.remaining <- workers - 1;
+    pool.gen <- pool.gen + 1;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.m;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock pool.m;
+        while pool.remaining > 0 do
+          Condition.wait pool.finished pool.m
+        done;
+        pool.job <- None;
+        Mutex.unlock pool.m)
+      (fun () -> f 0)
   end

@@ -1,9 +1,10 @@
 (** Sequential grid-sweep back-end (OCaml 4.x fallback).
 
-    Chunks run one after another on the calling thread, in worker-index
-    order.  Workers own disjoint cta spans and disjoint register files,
-    so this produces bit-identical results to the multicore back-end —
-    it is the same schedule with the parallelism removed. *)
+    Workers run one after another on the calling thread, in index
+    order.  Under batched sweeps worker [0] then drains the entire
+    flat (launch, cta-span) schedule in order before workers [1..] find
+    the cursor exhausted — exactly the sequential reference sweep the
+    multicore back-end must match bit-for-bit. *)
 
 let runtime = "sequential"
 let available_domains () = 1

@@ -30,6 +30,7 @@ type t = {
   mutable used_bytes : int;
   mutable buffers : Buffer.t option array;
   mutable next_id : int;
+  mutable batch : Vm.launch list option; (* open batch, launches reversed *)
   stats : stats;
 }
 
@@ -42,6 +43,7 @@ let create ?(mode = Functional) ?vm_domains machine =
     used_bytes = 0;
     buffers = Array.make 64 None;
     next_id = 0;
+    batch = None;
     stats =
       {
         launches = 0;
@@ -85,20 +87,48 @@ let alloc_f32 t n = register t (fun id -> Buffer.create_f32 id n) (4 * n)
 let alloc_f64 t n = register t (fun id -> Buffer.create_f64 id n) (8 * n)
 let alloc_i32 t n = register t (fun id -> Buffer.create_i32 id n) (4 * n)
 
-let free t (buf : Buffer.t) =
-  match t.buffers.(buf.Buffer.id) with
-  | Some b when b == buf ->
-      t.buffers.(buf.Buffer.id) <- None;
-      t.used_bytes <- t.used_bytes - buf.Buffer.bytes;
-      t.stats.frees <- t.stats.frees + 1
-  | Some _ | None -> invalid_arg "Device.free: stale buffer"
-
 let lookup t id =
   if id < 0 || id >= t.next_id then raise (Vm.Fault "buffer id out of range")
   else
     match t.buffers.(id) with
     | Some b -> b.Buffer.data
     | None -> raise (Vm.Fault "use of freed device buffer")
+
+(* Batched launch sweeps: between [begin_batch] and [end_batch],
+   functional execution is deferred — [execute] queues the decoded
+   launch and [flush_batch] hands the whole run to [Vm.run_batch] as
+   one sweep.  The clock model, stats and launch-fit checks stay eager
+   (they don't depend on buffer contents), so only the VM interpreter
+   work moves.  [free] and host-side blits (memcache spills/uploads)
+   call [flush_batch] first: deferred launches must observe buffer
+   contents as of their program point. *)
+
+let flush_batch t =
+  match t.batch with
+  | None -> ()
+  | Some [] -> ()
+  | Some rev ->
+      t.batch <- Some [];
+      Vm.run_batch ~workers:t.vm_domains ~lookup:(lookup t)
+        (Array.of_list (List.rev rev))
+
+let begin_batch t =
+  if t.batch <> None then invalid_arg "Device.begin_batch: batch already open";
+  t.batch <- Some []
+
+let end_batch t =
+  Fun.protect ~finally:(fun () -> t.batch <- None) (fun () -> flush_batch t)
+
+let batching t = t.batch <> None
+
+let free t (buf : Buffer.t) =
+  flush_batch t;
+  match t.buffers.(buf.Buffer.id) with
+  | Some b when b == buf ->
+      t.buffers.(buf.Buffer.id) <- None;
+      t.used_bytes <- t.used_bytes - buf.Buffer.bytes;
+      t.stats.frees <- t.stats.frees + 1
+  | Some _ | None -> invalid_arg "Device.free: stale buffer"
 
 (* Host<->device transfers: account PCIe time; the data movement itself is a
    host-side blit performed by the caller (host and device memory are both
@@ -136,8 +166,18 @@ let execute t (c : Jit.compiled) ~nthreads ~block ~params =
   end;
   let grid = (nthreads + block - 1) / block in
   (match t.mode with
-  | Functional ->
-      Vm.run_grid ~workers:t.vm_domains c.Jit.program ~grid ~block ~params ~lookup:(lookup t)
+  | Functional -> (
+      match t.batch with
+      | Some rev ->
+          (* Callers hand over [params] freshly allocated per launch;
+             the deferred sweep captures the array as-is. *)
+          t.batch <-
+            Some
+              ({ Vm.l_prog = c.Jit.program; l_grid = grid; l_block = block; l_params = params }
+              :: rev)
+      | None ->
+          Vm.run_grid ~workers:t.vm_domains c.Jit.program ~grid ~block ~params
+            ~lookup:(lookup t))
   | Model_only -> ());
   let ns =
     Timing.kernel_time_ns t.machine ~analysis:c.Jit.analysis

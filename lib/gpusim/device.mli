@@ -32,6 +32,8 @@ type t = {
   mutable used_bytes : int;
   mutable buffers : Buffer.t option array;
   mutable next_id : int;
+  mutable batch : Vm.launch list option;
+      (** open batched sweep: deferred launches, most recent first *)
   stats : stats;
 }
 
@@ -60,7 +62,32 @@ val alloc_f64 : t -> int -> Buffer.t
 val alloc_i32 : t -> int -> Buffer.t
 
 val free : t -> Buffer.t -> unit
-(** Raises [Invalid_argument] on double free / stale buffers. *)
+(** Raises [Invalid_argument] on double free / stale buffers.  Flushes
+    any open batch first so deferred launches never observe a freed
+    buffer. *)
+
+val begin_batch : t -> unit
+(** Open a batched launch sweep: until {!end_batch}, functional
+    execution in {!execute} is deferred and queued; modeled timing,
+    stats and launch-fit checks stay eager.  Raises [Invalid_argument]
+    if a batch is already open. *)
+
+val flush_batch : t -> unit
+(** Run every queued launch as one {!Vm.run_batch} sweep (workers pull
+    (launch, cta-span) items cooperatively; independent launches
+    overlap).  The batch stays open.  No-op when the queue is empty or
+    no batch is open.  Host-side readers/writers of device buffer
+    contents (memcache spills, page-outs, re-uploads) must call this
+    first.  A VM fault propagates from here — deterministically the
+    lowest (launch index, ctaid, tid) across the batch, with the same
+    message a sequential sweep would raise. *)
+
+val end_batch : t -> unit
+(** {!flush_batch}, then close the batch (closes it even if the flush
+    faults). *)
+
+val batching : t -> bool
+(** Whether a batch is currently open (introspection for tests). *)
 
 val lookup : t -> int -> Buffer.data
 (** Buffer id -> storage, for the VM; faults on freed buffers. *)

@@ -73,7 +73,11 @@ let by_name = function
 
 (* Worker-count resolution for the parallel VM back-end: explicit
    argument > REPRO_VM_DOMAINS environment override > hardware count
-   reported by the back-end (1 on the sequential fallback). *)
+   reported by the back-end (1 on the sequential fallback).  A
+   malformed override (zero, negative, non-numeric) is never trusted:
+   it falls back to the hardware count with a note on stderr, so a
+   typo'd CI pin degrades loudly instead of silently serializing (or
+   crashing) every launch. *)
 let host_domains ?vm_domains () =
   let avail = Vm_backend.available_domains () in
   let n =
@@ -81,7 +85,16 @@ let host_domains ?vm_domains () =
     | Some n -> n
     | None -> (
         match Sys.getenv_opt "REPRO_VM_DOMAINS" with
-        | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> avail)
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some v when v >= 1 -> v
+            | Some _ | None ->
+                Printf.eprintf
+                  "gpusim: REPRO_VM_DOMAINS=%S is not a positive integer; using the hardware \
+                   count (%d)\n\
+                   %!"
+                  s avail;
+                avail)
         | None -> avail)
   in
   max 1 (min n 64)

@@ -761,22 +761,24 @@ let enrich p e ~ctaid ~tid =
       Fault (Printf.sprintf "%s [kernel %s, ctaid %d, tid %d]" msg p.kernel.kname ctaid tid)
   | e -> e
 
-(* One worker's cta span, executed in (cta, tid) order.  The first fault
-   is recorded and lowers [stop] so higher-indexed workers (later ctas)
-   bail out; lower-indexed workers run to completion, which makes the
-   winning fault the same one the sequential sweep would hit first. *)
-let run_span p lookup args w ~block ~grid ~c0 ~c1 ~wid ~(stop : int Atomic.t)
+(* One cta span, executed in (cta, tid) order.  [key] is the span's
+   position in the flat batch schedule (launch-major, cta-ordered), so
+   the first fault recorded at the lowest key is exactly the fault a
+   sequential sweep of the whole batch would hit first.  Recording a
+   fault lowers [stop] so spans with higher keys (later ctas / later
+   launches) bail out; lower-keyed spans run to completion. *)
+let run_span p lookup args w ~block ~grid ~c0 ~c1 ~key ~(stop : int Atomic.t)
     (faults : (int * int * exn) option array) =
   try
     for cta = c0 to c1 - 1 do
-      if Atomic.get stop < wid then raise Exit;
+      if Atomic.get stop < key then raise Exit;
       for t = 0 to block - 1 do
         try exec_thread p lookup args w ~tid:t ~ctaid:cta ~ntid:block ~nctaid:grid
         with e ->
-          faults.(wid) <- Some (cta, t, e);
+          faults.(key) <- Some (cta, t, e);
           let rec lower () =
             let cur = Atomic.get stop in
-            if wid < cur && not (Atomic.compare_and_set stop cur wid) then lower ()
+            if key < cur && not (Atomic.compare_and_set stop cur key) then lower ()
           in
           lower ();
           raise Exit
@@ -793,40 +795,193 @@ let gcd a b =
   let rec go a b = if b = 0 then a else go b (a mod b) in
   go a b
 
-let run_grid ?(workers = 1) p ~grid ~block ~params ~lookup =
-  if grid > 0 && block > 0 then begin
-    (* Chunks are whole ctas and multiples of 8 work items, so a
-       reduction tail always aggregates partials its own chunk wrote. *)
-    let align = 8 / gcd block 8 in
-    let units = grid / align in
+(* ------------------------------------------------------------------ *)
+(* Batched launch sweeps.  A batch is an ordered run of launches (the
+   engine's flushed queue).  Each launch is pre-partitioned into cta
+   spans — whole ctas, multiples of 8 work items, exactly the chunks
+   [run_grid] used — and the flattened (launch, span) schedule is
+   drained by workers pulling items off a single atomic cursor, so the
+   pool is woken once per batch instead of once per launch.
+
+   A launch may start before its predecessors complete iff its loads
+   don't alias any predecessor's pending stores.  The per-launch
+   read/write buffer sets come from the same decode-time provenance
+   the per-launch analysis uses ([p.accesses], each access's param slot
+   resolved against the bound parameters); edges are conservative
+   per-buffer RAW, WAW and WAR — WAR included because a later writer
+   overtaking an in-flight reader is just as racy.  Accesses whose base
+   buffer can't be resolved make the launch a full barrier in both
+   directions. *)
+
+type launch = {
+  l_prog : program;
+  l_grid : int;
+  l_block : int;
+  l_params : param_value array;
+}
+
+type rw_set = {
+  rs_reads : (int, unit) Hashtbl.t;
+  rs_writes : (int, unit) Hashtbl.t;
+  rs_unknown : bool; (* some access's base buffer is unresolvable *)
+}
+
+let rw_set p (params : param_value array) =
+  let reads = Hashtbl.create 8 and writes = Hashtbl.create 8 in
+  let unknown = ref false in
+  Array.iter
+    (fun a ->
+      let bid =
+        if a.a_param < 0 || a.a_param >= Array.length params then None
+        else match params.(a.a_param) with Ptr b -> Some b.Buffer.id | Int _ | Float _ -> None
+      in
+      match bid with
+      | None -> unknown := true
+      | Some bid -> Hashtbl.replace (if a.a_store then writes else reads) bid ())
+    p.accesses;
+  { rs_reads = reads; rs_writes = writes; rs_unknown = !unknown }
+
+(* Must launch [j] wait for earlier launch [i]?  RAW / WAW / WAR on any
+   shared buffer, or either side touching memory it can't account for. *)
+let conflicts i j =
+  i.rs_unknown || j.rs_unknown
+  || Hashtbl.fold
+       (fun b () acc -> acc || Hashtbl.mem j.rs_reads b || Hashtbl.mem j.rs_writes b)
+       i.rs_writes false
+  || Hashtbl.fold (fun b () acc -> acc || Hashtbl.mem i.rs_reads b) j.rs_writes false
+
+(* Spans for one launch: the same alignment, small-launch threshold and
+   store-disjointness gate as the old per-launch path, so a launch that
+   must run as one sequential sweep still overlaps *other* independent
+   launches in the batch. *)
+let spans_of workers l =
+  if l.l_grid <= 0 || l.l_block <= 0 then [||]
+  else begin
+    let align = 8 / gcd l.l_block 8 in
+    let units = l.l_grid / align in
     let w =
       if
         workers <= 1 || units < 2
-        || grid * block < min_parallel_threads
-        || not (parallel_ok p params)
+        || l.l_grid * l.l_block < min_parallel_threads
+        || not (parallel_ok l.l_prog l.l_params)
       then 1
       else min workers units
     in
-    ensure_slots p w;
-    for k = 0 to w - 1 do
-      bind_slot p p.slots.(k)
-    done;
-    let faults = Array.make w None in
-    let stop = Atomic.make max_int in
-    if w = 1 then
-      run_span p lookup params p.slots.(0) ~block ~grid ~c0:0 ~c1:grid ~wid:0 ~stop faults
-    else begin
-      let bound k = if k >= w then grid else units * k / w * align in
-      Vm_backend.run ~workers:w (fun k ->
-          run_span p lookup params p.slots.(k) ~block ~grid ~c0:(bound k)
-            ~c1:(bound (k + 1)) ~wid:k ~stop faults)
-    end;
-    let first = ref None in
-    Array.iter (fun fa -> if !first = None then first := fa) faults;
-    match !first with
-    | Some (cta, t, e) -> raise (enrich p e ~ctaid:cta ~tid:t)
-    | None -> ()
+    let bound k = if k >= w then l.l_grid else units * k / w * align in
+    Array.init w (fun k -> (bound k, bound (k + 1)))
   end
+
+let run_batch ?(workers = 1) ~lookup (launches : launch array) =
+  let nl = Array.length launches in
+  if nl > 0 then begin
+    let spans = Array.map (spans_of workers) launches in
+    (* Flat schedule: launch-major, cta-ordered — item index IS the
+       deterministic fault priority. *)
+    let items =
+      Array.concat
+        (Array.to_list
+           (Array.mapi (fun li s -> Array.map (fun (c0, c1) -> (li, c0, c1)) s) spans))
+    in
+    let nitems = Array.length items in
+    if nitems > 0 then begin
+      (* Dependency edges; skipped for singleton batches (the common
+         [run_grid] path pays nothing for the generalization). *)
+      let preds =
+        if nl = 1 then [| [||] |]
+        else begin
+          let sets =
+            Array.map (fun l -> rw_set l.l_prog l.l_params) launches
+          in
+          Array.init nl (fun j ->
+              let acc = ref [] in
+              for i = j - 1 downto 0 do
+                if conflicts sets.(i) sets.(j) then acc := i :: !acc
+              done;
+              Array.of_list !acc)
+        end
+      in
+      (* remaining.(l) counts l's unfinished spans; <= 0 means done.
+         Atomic reads double as the release/acquire edge that makes a
+         predecessor's buffer stores visible to its dependents. *)
+      let remaining = Array.map (fun s -> Atomic.make (Array.length s)) spans in
+      let m = Mutex.create () and cv = Condition.create () in
+      let launch_done l = Atomic.get remaining.(l) <= 0 in
+      let deps_met j = Array.for_all launch_done preds.(j) in
+      let wait_deps j =
+        if not (deps_met j) then begin
+          Mutex.lock m;
+          while not (deps_met j) do
+            Condition.wait cv m
+          done;
+          Mutex.unlock m
+        end
+      in
+      let complete l =
+        if Atomic.fetch_and_add remaining.(l) (-1) = 1 then begin
+          Mutex.lock m;
+          Condition.broadcast cv;
+          Mutex.unlock m
+        end
+      in
+      let w = min workers nitems in
+      (* Register files are per (program, worker); growing the slot
+         table isn't thread-safe, so size it up front.  A program that
+         appears in several concurrent launches is fine: distinct
+         workers use distinct slots and [bind_slot] re-installs the
+         launch state (zeroed registers + constant pools) per span. *)
+      Array.iter (fun l -> ensure_slots l.l_prog w) launches;
+      let stop = Atomic.make max_int in
+      let faults = Array.make nitems None in
+      let cursor = Atomic.make 0 in
+      let worker k =
+        let rec loop () =
+          let idx = Atomic.fetch_and_add cursor 1 in
+          if idx < nitems then begin
+            let li, c0, c1 = items.(idx) in
+            let l = launches.(li) in
+            (* Never deadlocks: spans are claimed in flat order and
+               every predecessor's spans precede this one, so the
+               lowest unclaimed item always has its deps running or
+               done.  Bailed-out spans (fault upstream) still count
+               down [remaining], so waiters always wake. *)
+            wait_deps li;
+            let p = l.l_prog in
+            let wctx = p.slots.(k) in
+            bind_slot p wctx;
+            run_span p lookup l.l_params wctx ~block:l.l_block ~grid:l.l_grid
+              ~c0 ~c1 ~key:idx ~stop faults;
+            complete li;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      if w <= 1 then worker 0 else Vm_backend.run ~workers:w worker;
+      (* Lowest (launch index, ctaid, tid) wins, batch-wide: the flat
+         schedule is launch-major and cta-ordered, and within a span the
+         sweep is sequential, so the first recorded fault in item order
+         is the sequential batch's first fault — same message, same
+         site. *)
+      let first = ref None and fli = ref 0 in
+      Array.iteri
+        (fun idx fa ->
+          if !first = None then
+            match fa with
+            | Some _ ->
+                first := fa;
+                let li, _, _ = items.(idx) in
+                fli := li
+            | None -> ())
+        faults;
+      match !first with
+      | Some (cta, t, e) -> raise (enrich launches.(!fli).l_prog e ~ctaid:cta ~tid:t)
+      | None -> ()
+    end
+  end
+
+let run_grid ?(workers = 1) p ~grid ~block ~params ~lookup =
+  run_batch ~workers ~lookup
+    [| { l_prog = p; l_grid = grid; l_block = block; l_params = params } |]
 
 let decoded_instructions p = Array.length p.co
 let parallelizable p ~params = parallel_ok p params

@@ -53,7 +53,34 @@ val run_grid :
 (** Execute the full grid.  [workers] (default 1) caps the number of
     {!Vm_backend} workers; the effective count also respects the
     parallel-safety analysis, chunk granularity (whole ctas, multiples
-    of 8 work items) and a small-launch threshold. *)
+    of 8 work items) and a small-launch threshold.  Equivalent to
+    {!run_batch} with a single launch. *)
+
+type launch = {
+  l_prog : program;
+  l_grid : int;
+  l_block : int;
+  l_params : param_value array;
+}
+(** One deferred launch of a batched sweep. *)
+
+val run_batch :
+  ?workers:int -> lookup:(int -> Buffer.data) -> launch array -> unit
+(** Execute an ordered run of launches as one sweep: the whole flat
+    (launch, cta-span) schedule is handed to the {!Vm_backend} pool at
+    once and workers pull spans off a shared cursor, so the pool is
+    woken once per batch rather than once per launch.  A launch starts
+    before its predecessors complete only when the decode-time
+    provenance proves its loads can't alias any predecessor's pending
+    stores (conservative per-buffer RAW/WAW/WAR edges; an access with
+    an unresolvable base buffer makes its launch a full barrier).
+    Results are bit-identical to running the launches one by one on the
+    sequential interpreter at every worker count, and faults are
+    deterministic: the lowest (launch index, ctaid, tid) fault wins
+    batch-wide and is raised with the same message the sequential
+    sweep would produce.  On a fault, launches/spans scheduled after
+    the winning fault may or may not have executed — exactly the
+    contract a faulting device leaves memory in. *)
 
 val decoded_instructions : program -> int
 (** Flat instruction count after label compaction (introspection). *)

@@ -1,11 +1,14 @@
-(** Execution back-end for the VM's grid sweep.
+(** Execution back-end for the VM's batched grid sweeps.
 
     The implementation is picked at build time by the dune rules in this
-    directory: on OCaml >= 5 a persistent [Domain] work pool
+    directory: on OCaml >= 5 a persistent [Domain] pool woken by a
+    single generation broadcast per sweep
     ([backends/vm_backend_multicore.ml]), on 4.x a sequential loop with
-    the same signature ([backends/vm_backend_sequential.ml]).  Both
-    execute worker functions over disjoint state, so results are
-    bit-identical across back-ends. *)
+    the same signature ([backends/vm_backend_sequential.ml]).  [run] is
+    called once per *batch* of launches, not once per launch: the
+    worker function drains a shared schedule, so the handoff cost is
+    paid once per flush.  Both back-ends execute worker functions over
+    disjoint state, so results are bit-identical across back-ends. *)
 
 val runtime : string
 (** ["multicore"] or ["sequential"]; surfaced in bench artifacts so CI
@@ -19,5 +22,6 @@ val run : workers:int -> (int -> unit) -> unit
 (** [run ~workers f] executes [f 0 .. f (workers-1)], worker [0] on the
     calling thread, and returns when all have finished.  [f] must not
     raise — the VM reports faults out of band — and calls must not be
-    nested (launches are synchronous).  The sequential back-end runs the
-    workers in index order on the calling thread. *)
+    nested (sweeps are synchronous; nested work must run with
+    [workers = 1], which never touches the pool).  The sequential
+    back-end runs the workers in index order on the calling thread. *)

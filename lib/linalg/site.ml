@@ -122,15 +122,29 @@ module Make (S : Scalar.S) = struct
     let result_shape = Algebra.mul_shape a.shape b.shape in
     let _, spin_con = Algebra.spin_contraction a.shape.Shape.spin b.shape.Shape.spin in
     let _, color_con = Algebra.color_contraction a.shape.Shape.color b.shape.Shape.color in
+    (* A structurally Real operand has no imaginary component, so the
+       cross terms of the complex product are dropped rather than
+       multiplied by a promoted 0: the JIT scalar folds 0-products away
+       at emission, and the concrete evaluator must match it even for
+       non-finite data (0 * inf would otherwise inject a NaN the
+       generated kernel never computes). *)
+    let a_real = a.shape.Shape.reality = Shape.Real in
+    let b_real = b.shape.Shape.reality = Shape.Real in
     map_components ~result_shape
       (fun ~spin ~color ->
         List.fold_left
           (fun acc (sa, sb) ->
             List.fold_left
               (fun acc (ca, cb) ->
-                let x = get a ~spin:sa ~color:ca in
-                let y = get b ~spin:sb ~color:cb in
-                c_fma x y acc)
+                let ((xr, xi) as x) = get a ~spin:sa ~color:ca in
+                let ((yr, yi) as y) = get b ~spin:sb ~color:cb in
+                if a_real then
+                  let cr, ci = acc in
+                  (S.fma xr yr cr, S.fma xr yi ci)
+                else if b_real then
+                  let cr, ci = acc in
+                  (S.fma xr yr cr, S.fma xi yr ci)
+                else c_fma x y acc)
               acc color_con.Algebra.pairs.(color))
           c_zero spin_con.Algebra.pairs.(spin))
 
@@ -267,10 +281,20 @@ module Make (S : Scalar.S) = struct
     let result_shape = Shape.complex_scalar prec in
     let is_ = Shape.spin_extent a.shape.Shape.spin in
     let ic = Shape.color_extent a.shape.Shape.color in
+    (* Same structural-Real rule as [mul]: a Real operand contributes no
+       imaginary cross terms (its promoted 0 never multiplies data). *)
+    let a_real = a.shape.Shape.reality = Shape.Real in
+    let b_real = b.shape.Shape.reality = Shape.Real in
     let acc = ref c_zero in
     for s = 0 to is_ - 1 do
       for c = 0 to ic - 1 do
-        acc := c_fma (c_conj (get a ~spin:s ~color:c)) (get b ~spin:s ~color:c) !acc
+        let xr, xi = get a ~spin:s ~color:c in
+        let yr, yi = get b ~spin:s ~color:c in
+        let cr, ci = !acc in
+        acc :=
+          (if a_real then (S.fma xr yr cr, S.fma xr yi ci)
+           else if b_real then (S.fma xr yr cr, S.fma (S.neg xi) yr ci)
+           else c_fma (c_conj (xr, xi)) (yr, yi) !acc)
       done
     done;
     let out = create result_shape in

@@ -39,6 +39,12 @@ type stats = {
       (** spill candidates passed over because a transfer was in flight *)
 }
 
+type arena = {
+  arena_name : string;
+  mutable arena_rev : Field.t list;  (** registered fields, newest first *)
+  arena_ids : (int, unit) Hashtbl.t;
+}
+
 type t = {
   device : Device.t;
   sched : (Streams.t * Streams.stream) option;
@@ -49,6 +55,8 @@ type t = {
       (** called before any host access to a cached field, ahead of the
           dirty-copy page-out — the engine flushes its deferred launch
           queue here so the device copy is current first *)
+  domain_lock : bool Atomic.t;  (** guards [domain_arenas] creation *)
+  domain_arenas : (int, arena) Hashtbl.t;
   stats : stats;
 }
 
@@ -62,6 +70,8 @@ let create ?sched device =
     entries = Hashtbl.create 64;
     tick = 0;
     pre_access = None;
+    domain_lock = Atomic.make false;
+    domain_arenas = Hashtbl.create 8;
     stats = { hits = 0; uploads = 0; pageouts = 0; spills = 0; inflight_skips = 0 };
   }
 
@@ -121,6 +131,9 @@ let issue_transfer t entry ~to_device ~sync =
 let upload t entry =
   let f = entry.field in
   let nsites = Field.volume f in
+  (* A deferred batched sweep may still be reading this entry's current
+     device contents; drain it before the blit overwrites them. *)
+  Device.flush_batch t.device;
   (* Model-only devices account the transfer but skip the data movement:
      the paper-scale sweeps only need the clock. *)
   (if t.device.Device.mode = Device.Functional then
@@ -149,6 +162,9 @@ let upload t entry =
 let page_out ?(sync = true) t entry =
   let f = entry.field in
   let nsites = Field.volume f in
+  (* The device copy being read back may be the output of launches still
+     deferred in an open batched sweep; run them first. *)
+  Device.flush_batch t.device;
   (if t.device.Device.mode = Device.Functional then
      match (Field.unsafe_storage f, entry.buf.Buffer_.data) with
      | Field.S16 host, Buffer_.F16 dev ->
@@ -331,12 +347,6 @@ let is_device_dirty t (f : Field.t) =
    session's pins, retain counts and device allocations in one sweep
    without the session having to track its temporaries. *)
 
-type arena = {
-  arena_name : string;
-  mutable arena_rev : Field.t list;  (** registered fields, newest first *)
-  arena_ids : (int, unit) Hashtbl.t;
-}
-
 let create_arena _t ~name = { arena_name = name; arena_rev = []; arena_ids = Hashtbl.create 16 }
 let arena_name a = a.arena_name
 
@@ -367,3 +377,47 @@ let release_arena t a =
     (List.rev a.arena_rev);
   a.arena_rev <- [];
   Hashtbl.reset a.arena_ids
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain arena slices.  When rank work executes concurrently on
+   OCaml 5 domains (Multi's parallel rank sweep), each domain tracks
+   the fields it materializes in its own slice: slice lookup/creation
+   is the only shared-table touch and is guarded by a tiny spinlock
+   (Mutex lives in the threads library on OCaml 4.x, where there are
+   no domains to contend anyway), while registration into a slice
+   stays lock-free because exactly one domain owns it.  Teardown
+   ([release_domain_slices]) is single-threaded — it evicts through
+   the cache like any arena release. *)
+
+let with_domain_lock t f =
+  let rec acquire () =
+    if not (Atomic.compare_and_set t.domain_lock false true) then acquire ()
+  in
+  acquire ();
+  Fun.protect ~finally:(fun () -> Atomic.set t.domain_lock false) f
+
+let domain_slice t ~worker =
+  with_domain_lock t (fun () ->
+      match Hashtbl.find_opt t.domain_arenas worker with
+      | Some a -> a
+      | None ->
+          let a =
+            {
+              arena_name = Printf.sprintf "domain:%d" worker;
+              arena_rev = [];
+              arena_ids = Hashtbl.create 16;
+            }
+          in
+          Hashtbl.replace t.domain_arenas worker a;
+          a)
+
+let domain_slices t = with_domain_lock t (fun () -> Hashtbl.length t.domain_arenas)
+
+let release_domain_slices t =
+  let slices =
+    with_domain_lock t (fun () ->
+        let acc = Hashtbl.fold (fun _ a acc -> a :: acc) t.domain_arenas [] in
+        Hashtbl.reset t.domain_arenas;
+        acc)
+  in
+  List.iter (release_arena t) slices

@@ -31,7 +31,10 @@ type t = {
   mutable before_host_write : t -> unit;
 }
 
-let next_id = ref 0
+(* Atomic so fields may be created from concurrent domains (Multi's
+   parallel rank sweep materializes reduction temporaries per rank);
+   ids must stay unique — the device-side software caches key on them. *)
+let next_id = Atomic.make 0
 
 let create ?(name = "") shape geom =
   Shape.validate shape;
@@ -51,8 +54,7 @@ let create ?(name = "") shape geom =
         Bigarray.Array1.fill a 0.0;
         S64 a
   in
-  incr next_id;
-  let id = !next_id in
+  let id = Atomic.fetch_and_add next_id 1 + 1 in
   let name = if name = "" then Printf.sprintf "field%d" id else name in
   {
     id;

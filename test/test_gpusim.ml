@@ -256,6 +256,32 @@ EXIT:
           done
       | _ -> assert false)
 
+(* REPRO_VM_DOMAINS parsing: a malformed override (zero, negative,
+   non-numeric, empty) must fall back to the hardware count instead of
+   serializing or crashing every launch; a valid one is trimmed,
+   parsed and clamped; an explicit argument always wins. *)
+let test_host_domains_env () =
+  let avail = Gpusim.Vm_backend.available_domains () in
+  let orig = Sys.getenv_opt "REPRO_VM_DOMAINS" in
+  let with_env v = Unix.putenv "REPRO_VM_DOMAINS" v; Machine.host_domains () in
+  Fun.protect
+    ~finally:(fun () ->
+      (* putenv cannot unset: restore the original pin, or re-pin the
+         hardware count (the same value an unset variable resolves to). *)
+      Unix.putenv "REPRO_VM_DOMAINS"
+        (match orig with Some v -> v | None -> string_of_int avail))
+    (fun () ->
+      Alcotest.(check int) "valid" 3 (with_env "3");
+      Alcotest.(check int) "trimmed" 8 (with_env " 8 ");
+      Alcotest.(check int) "clamped to 64" 64 (with_env "999");
+      Alcotest.(check int) "zero falls back" avail (with_env "0");
+      Alcotest.(check int) "negative falls back" avail (with_env "-3");
+      Alcotest.(check int) "non-numeric falls back" avail (with_env "nope");
+      Alcotest.(check int) "empty falls back" avail (with_env "");
+      Alcotest.(check int) "explicit argument wins" 2
+        (Unix.putenv "REPRO_VM_DOMAINS" "7";
+         Machine.host_domains ~vm_domains:2 ()))
+
 let () =
   Alcotest.run "gpusim"
     [
@@ -274,6 +300,8 @@ let () =
           Alcotest.test_case "typed buffers" `Quick test_type_mismatch_faults;
           Alcotest.test_case "clock and stats" `Quick test_clock_and_stats;
         ] );
+      ( "machine",
+        [ Alcotest.test_case "REPRO_VM_DOMAINS parse" `Quick test_host_domains_env ] );
       ( "timing",
         [
           Alcotest.test_case "monotone in volume" `Quick test_timing_monotone_in_volume;

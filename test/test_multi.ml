@@ -56,6 +56,60 @@ let check_against_reference ~global_dims ~rank_dims build =
 
 let dslash u psi = Lqcd.Wilson.hopping_expr u psi
 
+(* Parallel rank sweep: dealing ranks to OCaml domains must be invisible
+   in results — the gathered field and the cross-rank reductions are
+   bit-identical to the sequential rank sweep, and drop_temps (which
+   releases the per-domain shift-pool arena slices) must leave later
+   evals unchanged. *)
+let test_rank_domains_bit_identical () =
+  let global_dims = [| 8; 8; 4; 4 |] and rank_dims = [| 2; 2; 1; 1 |] in
+  let u, psi, _ = global_reference global_dims dslash in
+  let fm = Shape.lattice_fermion Shape.F64 in
+  let run rank_domains =
+    let m = Multi.create ~rank_domains ~global_dims ~rank_dims () in
+    let du =
+      Array.map
+        (fun uf ->
+          let df = Multi.create_field m (Shape.lattice_color_matrix Shape.F64) in
+          Multi.scatter m ~global:uf df;
+          df)
+        u
+    in
+    let dpsi = Multi.create_field m fm in
+    Multi.scatter m ~global:psi dpsi;
+    let dout = Multi.create_field m fm in
+    let mk rank =
+      dslash (Array.map (fun (df : Multi.dfield) -> df.Multi.locals.(rank)) du)
+        dpsi.Multi.locals.(rank)
+    in
+    ignore (Multi.eval m dout mk);
+    let n2 = Multi.norm2 m (fun rank -> Expr.field dout.Multi.locals.(rank)) in
+    Multi.drop_temps m;
+    ignore (Multi.eval m dout mk);
+    let n2' = Multi.norm2 m (fun rank -> Expr.field dout.Multi.locals.(rank)) in
+    let got = Field.create fm (Geometry.create global_dims) in
+    Multi.gather m dout ~global:got;
+    (m, got, n2, n2')
+  in
+  let m1, got1, n1, n1' = run 1 in
+  let m4, got4, n4, n4' = run 4 in
+  Alcotest.(check int) "sequential sweep" 1 (Multi.rank_domains m1);
+  Alcotest.(check int) "parallel sweep" 4 (Multi.rank_domains m4);
+  if Int64.bits_of_float n1 <> Int64.bits_of_float n4 then
+    Alcotest.failf "norm2 differs: %h vs %h" n1 n4;
+  if Int64.bits_of_float n1 <> Int64.bits_of_float n1' then
+    Alcotest.failf "norm2 changed across drop_temps (sequential): %h vs %h" n1 n1';
+  if Int64.bits_of_float n4 <> Int64.bits_of_float n4' then
+    Alcotest.failf "norm2 changed across drop_temps (parallel): %h vs %h" n4 n4';
+  for site = 0 to Field.volume got1 - 1 do
+    let a = Field.get_site got1 ~site and b = Field.get_site got4 ~site in
+    Array.iteri
+      (fun c x ->
+        if Int64.bits_of_float x <> Int64.bits_of_float b.(c) then
+          Alcotest.failf "site %d comp %d: %h (1 worker) vs %h (4 workers)" site c x b.(c))
+      a
+  done
+
 let test_dslash_2ranks_dim0 () =
   check_against_reference ~global_dims:[| 8; 4; 4; 4 |] ~rank_dims:[| 2; 1; 1; 1 |] dslash
 
@@ -193,6 +247,8 @@ let () =
           Alcotest.test_case "plaquette" `Quick test_plaquette_distributed;
           Alcotest.test_case "scatter/gather" `Quick test_scatter_gather_roundtrip;
           Alcotest.test_case "reductions" `Quick test_reductions_across_ranks;
+          Alcotest.test_case "rank domains bit-identical" `Quick
+            test_rank_domains_bit_identical;
         ] );
       ( "overlap",
         [

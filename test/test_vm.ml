@@ -51,7 +51,13 @@ let fresh_pool seed n =
 
 (* Shared engines, one per worker count.  w=1 is the sequential sweep
    the others must match bit-for-bit. *)
-let engines = [ (1, Engine.create ~vm_domains:1 ()); (2, Engine.create ~vm_domains:2 ()); (4, Engine.create ~vm_domains:4 ()) ]
+let engines =
+  [
+    (1, Engine.create ~vm_domains:1 ());
+    (2, Engine.create ~vm_domains:2 ());
+    (4, Engine.create ~vm_domains:4 ());
+    (8, Engine.create ~vm_domains:8 ());
+  ]
 
 let run_jit eng seed prog =
   let pool = fresh_pool seed 4 in
@@ -91,11 +97,12 @@ let beq a b = Int64.bits_of_float a = Int64.bits_of_float b
 let ceq a b = bits ~canon_zero:true a = bits ~canon_zero:true b
 
 let qcheck_worker_counts =
-  QCheck.Test.make ~count:20 ~name:"random kernels: 1 = 2 = 4 workers = cpu (bit)" arb_prog
+  QCheck.Test.make ~count:20 ~name:"random kernels: 1 = 2 = 4 = 8 workers = cpu (bit)" arb_prog
     (fun prog ->
       let p1 = run_jit (List.assoc 1 engines) 7L prog in
       let p2 = run_jit (List.assoc 2 engines) 7L prog in
       let p4 = run_jit (List.assoc 4 engines) 7L prog in
+      let p8 = run_jit (List.assoc 8 engines) 7L prog in
       let pc = run_cpu 7L prog in
       let equal ~canon_zero a b =
         let ok = ref true in
@@ -109,6 +116,7 @@ let qcheck_worker_counts =
       in
       Array.for_all2 (equal ~canon_zero:false) p1 p2
       && Array.for_all2 (equal ~canon_zero:false) p1 p4
+      && Array.for_all2 (equal ~canon_zero:false) p1 p8
       && Array.for_all2 (equal ~canon_zero:true) p1 pc)
 
 let qcheck_reductions =
@@ -233,6 +241,193 @@ let test_fault_names_first_thread () =
             Alcotest.failf "fault %S does not mention %S" msg sub)
         [ "kernel divk"; "ctaid 0"; "tid 0" ]
 
+(* ------------------------------------------------------------------ *)
+(* Batched launch sweeps: random chains of dependent and independent
+   launches queued through Device.begin_batch/end_batch must match the
+   unbatched sequential schedule bit-for-bit at every worker count, and
+   a faulting batch must report the lowest (launch index, ctaid, tid)
+   with the exact message the sequential sweep raises. *)
+
+(* y[i] = x[i] + c — the streaming sibling of divk; chaining adds over
+   the buffer pool manufactures RAW/WAW/WAR edges between launches, and
+   an add that lands on 0 plants a divisor for a later divk fault. *)
+let addk_text =
+  {|
+.version 3.1
+.target sm_35
+.address_size 64
+
+.visible .entry addk(
+	.param .u64 addk_param_0,
+	.param .u64 addk_param_1,
+	.param .s32 addk_param_2,
+	.param .s32 addk_param_3
+)
+{
+	ld.param.u64 	%rd1, [addk_param_0];
+	ld.param.u64 	%rd2, [addk_param_1];
+	ld.param.s32 	%r1, [addk_param_2];
+	ld.param.s32 	%r9, [addk_param_3];
+	mov.u32 	%r2, %tid.x;
+	mov.u32 	%r3, %ntid.x;
+	mov.u32 	%r4, %ctaid.x;
+	mad.lo.s32 	%r5, %r4, %r3, %r2;
+	setp.ge.s32 	%p1, %r5, %r1;
+	@%p1 bra 	EXIT;
+	mul.lo.s32 	%r6, %r5, 4;
+	cvt.s64.s32 	%rs1, %r6;
+	cvt.u64.s64 	%rd3, %rs1;
+	add.u64 	%rd4, %rd1, %rd3;
+	add.u64 	%rd5, %rd2, %rd3;
+	ld.global.s32 	%r7, [%rd4+0];
+	add.s32 	%r8, %r7, %r9;
+	st.global.s32 	[%rd5+0], %r8;
+EXIT:
+	ret;
+}
+|}
+
+let addk_compiled = lazy (Jit.compile addk_text)
+let divk_compiled = lazy (Jit.compile divk_text)
+
+type bkind = Badd of int | Bdiv
+type blaunch = { bl_dst : int; bl_src : int; bl_kind : bkind }
+
+let npool = 4
+
+(* Zero-free seed data in [-11, -3]; only add-chains can manufacture a
+   zero divisor, so random programs mix faulting and clean sweeps. *)
+let fill_pool bufs =
+  Array.iteri
+    (fun b buf ->
+      match buf.Buffer_.data with
+      | Buffer_.I32 a ->
+          for i = 0 to n_threads - 1 do
+            a.{i} <- Int32.of_int ((i * (b + 3) mod 9) - 11)
+          done
+      | _ -> assert false)
+    bufs
+
+let snapshot buf =
+  match buf.Buffer_.data with
+  | Buffer_.I32 a -> Array.init n_threads (fun i -> a.{i})
+  | _ -> assert false
+
+let run_batch_prog ~vm_domains ~batched prog =
+  let dev = Device.create ~vm_domains Machine.k20x_ecc_off in
+  let bufs = Array.init npool (fun _ -> Device.alloc_i32 dev n_threads) in
+  fill_pool bufs;
+  let go l =
+    let x = Gpusim.Vm.Ptr bufs.(l.bl_src) and y = Gpusim.Vm.Ptr bufs.(l.bl_dst) in
+    ignore
+      (match l.bl_kind with
+      | Badd c ->
+          Device.execute dev (Lazy.force addk_compiled) ~nthreads:n_threads ~block
+            ~params:[| x; y; Gpusim.Vm.Int n_threads; Gpusim.Vm.Int c |]
+      | Bdiv ->
+          Device.execute dev (Lazy.force divk_compiled) ~nthreads:n_threads ~block
+            ~params:[| x; y; Gpusim.Vm.Int n_threads |])
+  in
+  match
+    if batched then begin
+      Device.begin_batch dev;
+      List.iter go prog;
+      Device.end_batch dev
+    end
+    else List.iter go prog
+  with
+  | () -> (None, Some (Array.map snapshot bufs))
+  | exception Gpusim.Vm.Fault m ->
+      (* After a fault only the fault identity is specified (launches
+         past the faulting index may or may not have run). *)
+      (Some m, None)
+
+let show_blaunch l =
+  match l.bl_kind with
+  | Badd c -> Printf.sprintf "b%d = b%d + %d" l.bl_dst l.bl_src c
+  | Bdiv -> Printf.sprintf "b%d = n / b%d" l.bl_dst l.bl_src
+
+let arb_batch_prog =
+  let gen =
+    QCheck.Gen.(
+      let idx = int_range 0 (npool - 1) in
+      let kind =
+        oneof [ map (fun c -> Badd c) (oneofl [ 3; 5; -4; 11; 0 ]); return Bdiv ]
+      in
+      list_size (int_range 2 10)
+        (map3 (fun d s k -> { bl_dst = d; bl_src = s; bl_kind = k }) idx idx kind))
+  in
+  QCheck.make ~print:(fun p -> String.concat "; " (List.map show_blaunch p)) gen
+
+let qcheck_batched_sweeps =
+  QCheck.Test.make ~count:30
+    ~name:"batched sweeps: 1 = 2 = 4 = 8 workers = unbatched (contents and faults)"
+    arb_batch_prog (fun prog ->
+      let ref_fault, ref_bufs = run_batch_prog ~vm_domains:1 ~batched:false prog in
+      List.for_all
+        (fun w ->
+          let fault, bufs = run_batch_prog ~vm_domains:w ~batched:true prog in
+          match ((ref_fault, ref_bufs), (fault, bufs)) with
+          | (None, Some rb), (None, Some b) ->
+              Array.for_all2 (fun ra a -> ra = a) rb b
+          | (Some rm, None), (Some m, None) -> rm = m
+          | _ -> false)
+        [ 1; 2; 4; 8 ])
+
+(* Two independent faulting launches (disjoint buffer pairs, so the
+   sweep may genuinely overlap them): the batch must report launch 0's
+   own lowest site — (ctaid 12, tid 64) — even though launch 1 faults
+   at a lower (ctaid, tid), because the launch index dominates the
+   batch-wide order.  The message must equal the sequential one. *)
+let run_two_faults ~vm_domains ~batched =
+  let dev = Device.create ~vm_domains Machine.k20x_ecc_off in
+  let mkx zero =
+    let b = Device.alloc_i32 dev n_threads in
+    (match b.Buffer_.data with
+    | Buffer_.I32 a ->
+        Bigarray.Array1.fill a 1l;
+        a.{zero} <- 0l
+    | _ -> assert false);
+    b
+  in
+  let x0 = mkx 1600 and x1 = mkx 600 in
+  let y0 = Device.alloc_i32 dev n_threads and y1 = Device.alloc_i32 dev n_threads in
+  let go x y =
+    ignore
+      (Device.execute dev (Lazy.force divk_compiled) ~nthreads:n_threads ~block
+         ~params:[| Gpusim.Vm.Ptr x; Gpusim.Vm.Ptr y; Gpusim.Vm.Int n_threads |])
+  in
+  match
+    if batched then begin
+      Device.begin_batch dev;
+      go x0 y0;
+      go x1 y1;
+      Device.end_batch dev
+    end
+    else begin
+      go x0 y0;
+      go x1 y1
+    end
+  with
+  | () -> None
+  | exception Gpusim.Vm.Fault m -> Some m
+
+let test_batched_two_faults () =
+  match run_two_faults ~vm_domains:1 ~batched:false with
+  | None -> Alcotest.fail "sequential reference did not fault"
+  | Some seq ->
+      List.iter
+        (fun sub ->
+          if not (contains seq sub) then
+            Alcotest.failf "fault %S does not mention %S" seq sub)
+        [ "kernel divk"; "ctaid 12"; "tid 64" ];
+      List.iter
+        (fun w ->
+          match run_two_faults ~vm_domains:w ~batched:true with
+          | None -> Alcotest.failf "batched sweep at %d workers did not fault" w
+          | Some m -> Alcotest.(check string) (Printf.sprintf "fault at w=%d" w) seq m)
+        [ 1; 2; 4; 8 ]
+
 let test_divk_parallelizable () =
   (* The safety analysis must recognize the streaming access pattern —
      otherwise the fault tests above never leave the calling thread. *)
@@ -252,6 +447,12 @@ let () =
         [
           QCheck_alcotest.to_alcotest qcheck_worker_counts;
           QCheck_alcotest.to_alcotest qcheck_reductions;
+        ] );
+      ( "batched sweeps",
+        [
+          QCheck_alcotest.to_alcotest qcheck_batched_sweeps;
+          Alcotest.test_case "independent faults: lowest launch index wins" `Quick
+            test_batched_two_faults;
         ] );
       ( "faults",
         [
