@@ -7,17 +7,33 @@ Each subcommand validates one artifact:
   check_bench.py jitopt     BENCH_jitopt.json
   check_bench.py fusion     BENCH_fusion.json
   check_bench.py fusion-eo  BENCH_fusion_eo.json
+  check_bench.py vmperf     BENCH_vmperf.json
   check_bench.py serve      BENCH_serve.json
   check_bench.py precision  BENCH_precision.json
 
-Exit status 0 means every gate held; any assertion failure prints the
-violated invariant and exits nonzero.  The gates are deliberately
-data-driven (no hardcoded kernel counts): they assert relations the
-runtime must preserve, not the exact workload the bench happens to run.
+Exit status is uniform across subcommands:
+
+  0  every gate held
+  1  a gate failed (the violated invariant is printed)
+  2  malformed input (missing/unparseable artifact, missing keys)
+
+`--baseline <dir>` additionally compares the fresh artifact against the
+committed one in <dir> (same canonical file name): deterministic
+counters (launches, iterations, instruction counts, modeled bytes) must
+match exactly, modeled timings (sim_ms and friends) within a relative
+tolerance; host wall-clock numbers are never compared.  When
+GITHUB_STEP_SUMMARY is set, the comparison is also appended there as a
+markdown table of metric deltas.
+
+The gates are deliberately data-driven (no hardcoded kernel counts):
+they assert relations the runtime must preserve, not the exact workload
+the bench happens to run.  A missing "degraded" key means the run was
+not degraded — every subcommand goes through the same helper.
 """
 
 import argparse
 import json
+import os
 import sys
 
 # PR 3 shipped the CG solve at 25.2 launches per iteration (fused groups
@@ -25,10 +41,25 @@ import sys
 # radix-8 fold must land strictly below that.
 PR3_LAUNCHES_PER_ITER = 25.2
 
+DEFAULT_FILES = {
+    "streams": "BENCH_streams.json",
+    "jitopt": "BENCH_jitopt.json",
+    "fusion": "BENCH_fusion.json",
+    "fusion-eo": "BENCH_fusion_eo.json",
+    "vmperf": "BENCH_vmperf.json",
+    "serve": "BENCH_serve.json",
+    "precision": "BENCH_precision.json",
+}
+
 
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def is_degraded(data):
+    """Uniform degraded semantics: a missing key means not degraded."""
+    return bool(data.get("degraded", False))
 
 
 def check_streams(args):
@@ -139,20 +170,46 @@ def check_vmperf(args):
     data = load(args.file or "BENCH_vmperf.json")
     for k in data["kernels"]:
         assert k["bit_identical"], f"kernel {k['name']} diverged across worker counts"
+        assert k["scalar_bit_identical"], (
+            f"kernel {k['name']}: superinstruction checksum diverged from the "
+            "scalar interpreter"
+        )
     cg = data["cg"]
     assert cg["bit_identical"], "CG solution diverged across worker counts"
+    assert cg["scalar_bit_identical"], (
+        "CG: superinstruction solution diverged from the scalar interpreter"
+    )
     ws = data["workers"]
     walls = cg["wall_s"]
     w1 = walls[ws.index(1)]
     best_w = ws[walls.index(min(walls))]
     speedup = w1 / min(walls)
-    degraded = data.get("degraded", False)
+    degraded = is_degraded(data)
     line = (
         f"cg {cg['iterations']} iters: {w1:.2f}s at 1 worker, best "
         f"{min(walls):.2f}s at {best_w} ({speedup:.2f}x), runtime "
         f"{data['runtime']}, {data['available_domains']} domains"
         + (" [DEGRADED]" if degraded else "")
     )
+    # The superinstruction dispatch gate: the A/B is single-worker and
+    # interleaved on one engine (host noise hits both strategies), so
+    # it holds even on degraded multicore sweeps.
+    if args.min_dslash_speedup is not None:
+        kd = {k["name"]: k for k in data["kernels"]}
+        assert "dslash" in kd, "no dslash kernel in the vmperf sweep"
+        d = kd["dslash"]
+        assert d["superinsns"] >= 1, "dslash decoded to no superinstruction spans"
+        assert d["dispatch_ratio"] < 1.0, (
+            f"dslash dispatch ratio {d['dispatch_ratio']} not below 1 "
+            "(superinstructions fused nothing)"
+        )
+        sp = d["scalar_ms"] / d["soa_ms"]
+        assert sp >= args.min_dslash_speedup, (
+            f"dslash superinstruction speedup is {sp:.2f}x "
+            f"({d['scalar_ms']:.2f} -> {d['soa_ms']:.2f} ms), below the "
+            f"{args.min_dslash_speedup:.2f}x gate"
+        )
+        line += f", dslash superinsn {sp:.2f}x"
     # Timing gates only make sense when the multicore back-end was built
     # (OCaml >= 5) and the host actually has spare cores; the sequential
     # fallback, single-core runners and degraded sweeps (more workers
@@ -186,7 +243,7 @@ def check_vmperf(args):
         assert args.min_cg_speedup is None, (
             f"--min-cg-speedup asserted on an ineligible run: {line}"
         )
-        print(f"vmperf OK (bit-identical; speedup informational): {line}")
+        print(f"vmperf OK (bit-identical; scaling informational): {line}")
 
 
 def check_fusion_eo(args):
@@ -298,6 +355,147 @@ def check_precision(args):
     )
 
 
+# ---------------------------------------------------------------------------
+# Baseline regression comparison.
+#
+# Deterministic counters must match the committed artifact exactly;
+# modeled timings within a relative tolerance (they depend on the block
+# autotuner, which measures the host); host wall-clock metrics and
+# environment descriptors are never compared.
+
+EXACT_KEYS = {
+    "launches",
+    "iterations",
+    "aux_iterations",
+    "max_iter",
+    "raw_instructions",
+    "opt_instructions",
+    "raw_registers",
+    "opt_registers",
+    "raw_load_bytes",
+    "opt_load_bytes",
+    "kernel_bytes",
+    "bytes_f16",
+    "bytes_f32",
+    "bytes_f64",
+    "superinsns",
+    "fused_units",
+    "covered_instrs",
+    "decoded_instrs",
+    "fused_groups",
+    "launches_saved",
+    "fallbacks",
+    "sessions",
+    "tasks",
+}
+
+TOLERANT_KEYS = {
+    "sim_ms",
+    "sim_ms_total",
+    "sync_ns",
+    "overlap_ns",
+    "saved_fraction",
+    "dispatch_ratio",
+    "bytes_ratio_f64_over_f16",
+    "avg_members_per_fused_group",
+}
+
+BASELINE_TOLERANCE = 0.25
+
+
+def compare_baseline(check, fresh, base):
+    """Returns (rows, failures): rows for the step-summary table, and
+    human-readable failure strings (empty when the baseline holds)."""
+    rows = []
+    failures = []
+
+    def scalar(path, key, bv, fv):
+        if not isinstance(bv, (int, float)) or isinstance(bv, bool):
+            return
+        if not isinstance(fv, (int, float)) or isinstance(fv, bool):
+            failures.append(f"{path}: baseline {bv!r} but fresh value {fv!r}")
+            return
+        delta = fv - bv
+        rel = delta / bv if bv else (0.0 if fv == 0 else float("inf"))
+        if key in EXACT_KEYS:
+            ok = bv == fv
+            kind = "exact"
+        else:
+            ok = abs(delta) <= BASELINE_TOLERANCE * max(abs(bv), 1e-12)
+            kind = f"±{100 * BASELINE_TOLERANCE:.0f}%"
+        rows.append((path, bv, fv, rel, kind, ok))
+        if not ok:
+            failures.append(
+                f"{path}: baseline {bv} vs fresh {fv} ({100 * rel:+.1f}%, {kind})"
+            )
+
+    def walk(path, b, f):
+        if isinstance(b, dict):
+            if not isinstance(f, dict):
+                failures.append(f"{path or '<root>'}: not an object in fresh artifact")
+                return
+            for key, bv in b.items():
+                p = f"{path}.{key}" if path else key
+                if key in EXACT_KEYS or key in TOLERANT_KEYS:
+                    if key not in f:
+                        failures.append(f"{p}: missing from fresh artifact")
+                    else:
+                        scalar(p, key, bv, f[key])
+                elif isinstance(bv, (dict, list)):
+                    if key in f:
+                        walk(p, bv, f[key])
+        elif isinstance(b, list):
+            named = [x for x in b if isinstance(x, dict) and "name" in x]
+            if named and isinstance(f, list):
+                fmap = {x.get("name"): x for x in f if isinstance(x, dict)}
+                for x in named:
+                    p = f"{path}[{x['name']}]"
+                    if x["name"] in fmap:
+                        walk(p, x, fmap[x["name"]])
+                    else:
+                        failures.append(f"{p}: missing from fresh artifact")
+
+    walk("", base, fresh)
+    if not rows and not failures:
+        failures.append(f"{check}: baseline comparison matched no metrics at all")
+    return rows, failures
+
+
+def write_step_summary(check, rows, failures):
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a") as f:
+        verdict = "✅ within tolerance" if not failures else "❌ regression"
+        f.write(f"### `{check}` vs committed baseline — {verdict}\n\n")
+        f.write("| metric | baseline | fresh | delta | gate | ok |\n")
+        f.write("|---|---:|---:|---:|---|---|\n")
+        for path_, bv, fv, rel, kind, ok in rows:
+            f.write(
+                f"| `{path_}` | {bv:g} | {fv:g} | {100 * rel:+.1f}% | {kind} | "
+                f"{'✅' if ok else '❌'} |\n"
+            )
+        for msg in failures:
+            f.write(f"- ❌ {msg}\n")
+        f.write("\n")
+
+
+def run_baseline(args):
+    fresh_path = args.file or DEFAULT_FILES[args.check]
+    base_path = os.path.join(args.baseline, DEFAULT_FILES[args.check])
+    fresh = load(fresh_path)
+    base = load(base_path)
+    rows, failures = compare_baseline(args.check, fresh, base)
+    write_step_summary(args.check, rows, failures)
+    assert not failures, (
+        f"baseline regression vs {base_path}:\n  " + "\n  ".join(failures)
+    )
+    print(
+        f"baseline OK: {len(rows)} metrics within tolerance of {base_path} "
+        f"(counters exact, modeled timings ±{100 * BASELINE_TOLERANCE:.0f}%)"
+    )
+
+
 CHECKS = {
     "streams": check_streams,
     "jitopt": check_jitopt,
@@ -314,11 +512,25 @@ def main():
     parser.add_argument("check", choices=sorted(CHECKS))
     parser.add_argument("file", nargs="?", help="artifact path (defaults per check)")
     parser.add_argument(
+        "--baseline",
+        metavar="DIR",
+        default=None,
+        help="compare the fresh artifact against the committed one in DIR "
+        "(deterministic counters exact, modeled timings within tolerance)",
+    )
+    parser.add_argument(
         "--min-cg-speedup",
         type=float,
         default=None,
         help="vmperf: require at least this CG speedup at 4 workers; only valid "
         "on non-degraded multicore runs with >= 4 available domains",
+    )
+    parser.add_argument(
+        "--min-dslash-speedup",
+        type=float,
+        default=None,
+        help="vmperf: require at least this single-worker dslash speedup with "
+        "superinstructions on vs off (the interleaved A/B timings)",
     )
     parser.add_argument(
         "--reused",
@@ -329,9 +541,18 @@ def main():
     args = parser.parse_args()
     try:
         CHECKS[args.check](args)
+        if args.baseline is not None:
+            run_baseline(args)
     except AssertionError as e:
         print(f"GATE FAILED ({args.check}): {e}", file=sys.stderr)
         sys.exit(1)
+    except (FileNotFoundError, KeyError, IndexError, TypeError, ValueError) as e:
+        # json.JSONDecodeError is a ValueError; .index() misses are
+        # ValueErrors; missing keys are KeyErrors — all of these mean the
+        # artifact (or the committed baseline) is malformed, not that a
+        # gate failed.
+        print(f"MALFORMED INPUT ({args.check}): {type(e).__name__}: {e}", file=sys.stderr)
+        sys.exit(2)
 
 
 if __name__ == "__main__":

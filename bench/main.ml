@@ -862,6 +862,79 @@ let vmperf () =
     (r.Solvers.Cg.iterations, field_checksum x, wall)
   in
   let results = List.map (fun w -> (w, run_kernels w, run_cg w)) workers in
+  (* Superinstruction A/B: re-time each kernel single-worker with the
+     SoA executor forced on and forced off, interleaved on one engine
+     (best of three timed blocks per strategy) so host noise hits both
+     strategies alike — these are the numbers the --min-dslash-speedup
+     CI gate holds, independent of the sweep timings above.  The two
+     strategies' checksums must bit-match each other and the sweep. *)
+  let soa_enabled = Gpusim.Vm.superinstructions_enabled () in
+  let ab_blocks = 3 in
+  let scalar_k, soa_k =
+    let both =
+      List.map
+        (fun (name, expr, shape) ->
+          let eng = Qdpjit.Engine.create ~vm_domains:1 ~fuse:false () in
+          let dest = Field.create shape geom in
+          for _ = 1 to 6 do
+            Qdpjit.Engine.eval eng dest expr
+          done;
+          ignore (Qdpjit.Engine.synchronize eng);
+          let time_block on =
+            Gpusim.Vm.set_superinstructions on;
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to reps do
+              Qdpjit.Engine.eval eng dest expr
+            done;
+            ignore (Qdpjit.Engine.synchronize eng);
+            (Unix.gettimeofday () -. t0) *. 1e3 /. float_of_int reps
+          in
+          let soa_ms = ref infinity and sc_ms = ref infinity in
+          for _ = 1 to ab_blocks do
+            soa_ms := min !soa_ms (time_block true);
+            sc_ms := min !sc_ms (time_block false)
+          done;
+          Gpusim.Vm.set_superinstructions true;
+          Qdpjit.Engine.eval eng dest expr;
+          ignore (Qdpjit.Engine.synchronize eng);
+          let ck_soa = field_checksum dest in
+          Gpusim.Vm.set_superinstructions false;
+          Qdpjit.Engine.eval eng dest expr;
+          ignore (Qdpjit.Engine.synchronize eng);
+          let ck_sc = field_checksum dest in
+          Gpusim.Vm.set_superinstructions soa_enabled;
+          ((name, !sc_ms, ck_sc), (name, !soa_ms, ck_soa)))
+        cases
+    in
+    (List.map fst both, List.map snd both)
+  in
+  let scalar_it, scalar_ck, scalar_cg_wall =
+    Gpusim.Vm.set_superinstructions false;
+    let r = run_cg 1 in
+    Gpusim.Vm.set_superinstructions soa_enabled;
+    r
+  in
+  (* Decode-time superinstruction plans for the same six kernels: how
+     much of each body lives in fused spans, and the per-cta dispatch
+     units per scalar per-item dispatch. *)
+  let soa_stats =
+    List.map
+      (fun (name, expr, shape) ->
+        let dest = Field.create shape geom in
+        let b =
+          Qdpjit.Codegen.build ~kname:("vp_" ^ name) ~dest_shape:dest.Field.shape ~expr
+            ~nsites:(Geometry.volume geom) ~use_sitelist:false ()
+        in
+        let c = Gpusim.Jit.compile b.Qdpjit.Codegen.text in
+        (name, Gpusim.Vm.superinsn_stats c.Gpusim.Jit.program))
+      cases
+  in
+  let dispatch_ratio (s : Gpusim.Vm.soa_stats) =
+    if s.Gpusim.Vm.total = 0 then 1.0
+    else
+      float_of_int (s.Gpusim.Vm.units + (s.Gpusim.Vm.total - s.Gpusim.Vm.covered))
+      /. float_of_int s.Gpusim.Vm.total
+  in
   let _, base_k, (base_it, base_ck, _) = List.hd results in
   let kernels_identical =
     List.map
@@ -876,6 +949,15 @@ let vmperf () =
   let cg_identical =
     List.for_all (fun (_, _, (it, ck, _)) -> it = base_it && ck = base_ck) results
   in
+  let scalar_identical =
+    List.map
+      (fun (name, _, ck0) ->
+        ( name,
+          List.exists (fun (n, _, ck) -> n = name && ck = ck0) scalar_k
+          && List.exists (fun (n, _, ck) -> n = name && ck = ck0) soa_k ))
+      base_k
+  in
+  let cg_scalar_identical = scalar_it = base_it && scalar_ck = base_ck in
   Printf.printf "  %s back-end, %d domain(s) available; workers swept: %s\n"
     Gpusim.Vm_backend.runtime avail
     (String.concat " " (List.map string_of_int workers));
@@ -895,17 +977,42 @@ let vmperf () =
   Printf.printf "  %-10s" (Printf.sprintf "cg(%d it)" base_it);
   List.iter (fun (_, _, (_, _, wall)) -> Printf.printf " %7.0f" (wall *. 1e3)) results;
   Printf.printf "  %b\n" cg_identical;
+  Printf.printf "\n  superinstructions %s (w=1 A/B vs scalar interpreter)\n"
+    (if soa_enabled then "ON" else "OFF (REPRO_VM_SUPERINSN)");
+  Printf.printf "  %-10s %9s %9s %8s %7s %7s %10s  identical\n" "kernel" "soa ms"
+    "scalar ms" "speedup" "spans" "units" "disp.ratio";
+  List.iter
+    (fun (name, _, _) ->
+      let _, soa_ms, _ = List.find (fun (n, _, _) -> n = name) soa_k in
+      let _, sc_ms, _ = List.find (fun (n, _, _) -> n = name) scalar_k in
+      let st = List.assoc name soa_stats in
+      Printf.printf "  %-10s %9.2f %9.2f %7.2fx %7d %7d %10.4f  %b\n" name soa_ms sc_ms
+        (sc_ms /. soa_ms) st.Gpusim.Vm.spans st.Gpusim.Vm.units (dispatch_ratio st)
+        (List.assoc name scalar_identical))
+    base_k;
+  Printf.printf "  %-10s %9.0f %9.0f %7.2fx %36b\n"
+    (Printf.sprintf "cg(%d it)" base_it)
+    (let _, _, (_, _, wall) = List.hd results in
+     wall *. 1e3)
+    (scalar_cg_wall *. 1e3)
+    (let _, _, (_, _, wall) = List.hd results in
+     scalar_cg_wall /. wall)
+    cg_scalar_identical;
   if not (cg_identical && List.for_all snd kernels_identical) then
     failwith "vmperf: results not bit-identical across worker counts";
+  if not (cg_scalar_identical && List.for_all snd scalar_identical) then
+    failwith "vmperf: superinstruction results not bit-identical to scalar interpreter";
   let oc = open_out "BENCH_vmperf.json" in
   let flist fmt xs = String.concat ", " (List.map (Printf.sprintf fmt) xs) in
   Printf.fprintf oc
     "{\n\
     \  \"runtime\": \"%s\", \"available_domains\": %d, \"degraded\": %b, \"geometry\": \"%s\",\n\
+    \  \"superinsn_enabled\": %b,\n\
     \  \"workers\": [%s],\n\
     \  \"kernels\": [\n"
     Gpusim.Vm_backend.runtime avail degraded
     (String.concat "x" (Array.to_list (Array.map string_of_int (Geometry.dims geom))))
+    soa_enabled
     (flist "%d" (List.map (fun (w, _, _) -> w) results));
   List.iteri
     (fun i (name, _, _) ->
@@ -916,18 +1023,30 @@ let vmperf () =
             ms)
           results
       in
-      Printf.fprintf oc "    {\"name\": \"%s\", \"wall_ms\": [%s], \"bit_identical\": %b}%s\n"
+      let _, scalar_ms, _ = List.find (fun (n, _, _) -> n = name) scalar_k in
+      let _, soa_ms, _ = List.find (fun (n, _, _) -> n = name) soa_k in
+      let st = List.assoc name soa_stats in
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"wall_ms\": [%s], \"bit_identical\": %b, \"soa_ms\": %.4f, \
+         \"scalar_ms\": %.4f, \"scalar_bit_identical\": %b, \"superinsns\": %d, \
+         \"fused_units\": %d, \"covered_instrs\": %d, \"decoded_instrs\": %d, \
+         \"dispatch_ratio\": %.4f}%s\n"
         name (flist "%.4f" walls)
         (List.assoc name kernels_identical)
+        soa_ms scalar_ms
+        (List.assoc name scalar_identical)
+        st.Gpusim.Vm.spans st.Gpusim.Vm.units st.Gpusim.Vm.covered st.Gpusim.Vm.total
+        (dispatch_ratio st)
         (if i = List.length base_k - 1 then "" else ","))
     base_k;
   Printf.fprintf oc
     "  ],\n\
-    \  \"cg\": {\"iterations\": %d, \"max_iter\": %d, \"wall_s\": [%s], \"bit_identical\": %b}\n\
+    \  \"cg\": {\"iterations\": %d, \"max_iter\": %d, \"wall_s\": [%s], \"bit_identical\": \
+     %b, \"scalar_wall_s\": %.4f, \"scalar_bit_identical\": %b}\n\
      }\n"
     base_it max_iter
     (flist "%.4f" (List.map (fun (_, _, (_, _, w)) -> w) results))
-    cg_identical;
+    cg_identical scalar_cg_wall cg_scalar_identical;
   close_out oc;
   Printf.printf "  wrote BENCH_vmperf.json\n"
 

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Selftest for check_bench.py against canned fixtures.
+
+Runs the gate script as a subprocess (exactly as CI does) and asserts
+the normalized exit-code contract on good, gate-failing and malformed
+artifacts: 0 pass / 1 gate fail / 2 malformed input.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CHECK = os.path.join(HERE, "check_bench.py")
+FIX = os.path.join(HERE, "fixtures")
+
+
+def run(argv, env_extra=None):
+    env = dict(os.environ)
+    env.pop("GITHUB_STEP_SUMMARY", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, CHECK] + argv,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def expect(expected, argv, why, env_extra=None):
+    r = run(argv, env_extra)
+    assert r.returncode == expected, (
+        f"{why}: check_bench {' '.join(argv)} exited {r.returncode}, "
+        f"expected {expected}\nstdout: {r.stdout}\nstderr: {r.stderr}"
+    )
+    return r
+
+
+def fx(name):
+    return os.path.join(FIX, name)
+
+
+def main():
+    # 0: a healthy artifact passes, with and without the perf gates.
+    expect(0, ["vmperf", fx("vmperf_good.json")], "good artifact")
+    expect(
+        0,
+        ["vmperf", fx("vmperf_good.json"),
+         "--min-cg-speedup", "1.5", "--min-dslash-speedup", "2.0"],
+        "good artifact with both perf gates",
+    )
+
+    # Normalized degraded semantics: a missing "degraded" key means not
+    # degraded, so the scaling gates apply (and hold) exactly as they do
+    # when the key is present and false.
+    expect(
+        0,
+        ["vmperf", fx("vmperf_no_degraded_key.json"), "--min-cg-speedup", "1.5"],
+        "missing degraded key treated as not degraded",
+    )
+
+    # 1: gate failures.  A degraded sweep stays informational, but
+    # asserting a scaling gate on it is itself a gate failure...
+    expect(0, ["vmperf", fx("vmperf_degraded.json")], "degraded artifact, no gates")
+    r = expect(
+        1,
+        ["vmperf", fx("vmperf_degraded.json"), "--min-cg-speedup", "1.5"],
+        "scaling gate on a degraded run",
+    )
+    assert "GATE FAILED" in r.stderr, f"no GATE FAILED banner: {r.stderr}"
+    # ...and the dslash superinstruction gate still applies on degraded
+    # runs (the A/B is single-worker and interleaved).
+    expect(
+        1,
+        ["vmperf", fx("vmperf_slow_dslash.json"), "--min-dslash-speedup", "2.0"],
+        "dslash superinstruction speedup below the gate",
+    )
+
+    # 2: malformed input is never reported as a gate failure.
+    r = expect(2, ["vmperf", fx("vmperf_truncated.json")], "truncated JSON")
+    assert "MALFORMED INPUT" in r.stderr, f"no MALFORMED INPUT banner: {r.stderr}"
+    expect(2, ["vmperf", fx("no_such_artifact.json")], "missing artifact file")
+
+    # Baseline comparison: matching baseline passes, drifted deterministic
+    # counters fail with exit 1, a missing baseline dir is malformed input.
+    with tempfile.TemporaryDirectory() as td:
+        summary = os.path.join(td, "summary.md")
+        expect(
+            0,
+            ["vmperf", fx("vmperf_good.json"), "--baseline", fx("baseline_ok")],
+            "artifact matching its committed baseline",
+            env_extra={"GITHUB_STEP_SUMMARY": summary},
+        )
+        with open(summary) as f:
+            text = f.read()
+        assert "| metric | baseline | fresh |" in text, (
+            f"step summary has no metric table:\n{text}"
+        )
+        r = expect(
+            1,
+            ["vmperf", fx("vmperf_good.json"), "--baseline", fx("baseline_drift")],
+            "drifted superinstruction counters vs baseline",
+            env_extra={"GITHUB_STEP_SUMMARY": summary},
+        )
+        assert "superinsns" in r.stderr, f"drift not attributed to superinsns: {r.stderr}"
+    expect(
+        2,
+        ["vmperf", fx("vmperf_good.json"), "--baseline", fx("no_such_dir")],
+        "missing baseline dir",
+    )
+
+    print("check_bench selftest OK: 11 cases (exit codes 0/1/2, degraded "
+          "normalization, dslash gate, baseline compare + step summary)")
+
+
+if __name__ == "__main__":
+    main()

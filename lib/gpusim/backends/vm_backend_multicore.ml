@@ -19,7 +19,14 @@
     sequential interpreter.
 
     Not reentrant: sweeps are synchronous and issued from one thread at
-    a time, so at most one [run] is in flight. *)
+    a time, so at most one [run] is in flight.
+
+    The pool is execution-strategy agnostic: workers claim (launch,
+    cta-span) items off the VM's shared cursor exactly the same whether
+    a span then runs through the scalar interpreter or the
+    superinstruction (SoA) executor — both strategies are per-cta and
+    bit-identical, so the schedule, the dependency edges and the fault
+    protocol are unchanged. *)
 
 let runtime = "multicore"
 let available_domains () = Domain.recommended_domain_count ()

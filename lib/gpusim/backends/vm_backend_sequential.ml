@@ -4,7 +4,10 @@
     order.  Under batched sweeps worker [0] then drains the entire
     flat (launch, cta-span) schedule in order before workers [1..] find
     the cursor exhausted — exactly the sequential reference sweep the
-    multicore back-end must match bit-for-bit. *)
+    multicore back-end must match bit-for-bit.  Spans of
+    superinstruction (SoA) programs drain through the same schedule:
+    the execution strategy is chosen per launch inside the VM and is
+    invisible to the back-end. *)
 
 let runtime = "sequential"
 let available_domains () = 1

@@ -93,6 +93,46 @@ type access = {
 
 type wctx = { wf : float array; wi : int array; wp : bool array }
 
+(* ------------------------------------------------------------------ *)
+(* Superinstruction plan: decode-time structure for the SoA executor.
+
+   A program is *eligible* when its control flow is the canonical
+   pointwise shape the generators emit: straight-line code whose only
+   branches are forward [bra.pred] guards that jump directly to a [ret]
+   (the "lane exit" idiom — bounds guards, subset guards).  For such a
+   program textual order is execution order on every lane's path, so
+   the maximal runs of non-control opcodes ("spans") can be executed as
+   superinstructions: one dispatch per decoded instruction per *cta*,
+   with an inner loop applying it across the cta's active lanes over
+   flat unboxed register rows (register [r]'s value for lane [l] lives
+   at [r * cap + l]).  Homogeneous runs of add/sub/mul/fma collapse
+   further into single fused-ladder dispatches.
+
+   [span_end.(k)] is the index of the next control instruction at or
+   after [k] ([ret]/[bra]/[bra.pred]); a span starting at a non-control
+   [k] covers [k, span_end.(k)).  The counters summarize the plan for
+   the dispatch-rate metric: [s_spans] spans containing [s_covered]
+   instructions in [s_units] fused dispatch units. *)
+
+type soa_plan = {
+  span_end : int array;
+  s_spans : int;
+  s_units : int;
+  s_covered : int;
+}
+
+(* Per-worker SoA register files: one row of [cap] lanes per register,
+   constant pools broadcast across their rows once at allocation.
+   [act] holds the ids of the lanes still running (faulted lanes and
+   lanes that took an exit branch are removed). *)
+type soa_ctx = {
+  mutable sf : float array;
+  mutable si : int array;
+  mutable sp : bool array;
+  mutable act : int array;
+  mutable cap : int;
+}
+
 type program = {
   kernel : kernel;
   co : int array;  (** opcodes *)
@@ -107,8 +147,34 @@ type program = {
   ipool : int array;  (** int constants, installed at [nireg..] *)
   fns : (float -> float) array;  (** call targets *)
   accesses : access array;
+  soa : soa_plan option;  (** superinstruction plan; [None] = scalar only *)
   mutable slots : wctx array;  (** per-worker register files, reused *)
+  mutable soa_slots : soa_ctx array;  (** per-worker SoA register rows *)
 }
+
+(* Runtime escape hatch: REPRO_VM_SUPERINSN=off forces every launch
+   back onto the scalar interpreter (the same off/0/none/disabled
+   spellings the jit-cache override accepts).  The programmatic setter
+   lets the bench time both strategies in one process. *)
+let superinsn_on =
+  ref
+    (match Sys.getenv_opt "REPRO_VM_SUPERINSN" with
+    | Some v -> (
+        match String.lowercase_ascii (String.trim v) with
+        | "off" | "0" | "none" | "disabled" | "false" -> false
+        | _ -> true)
+    | None -> true)
+
+let set_superinstructions b = superinsn_on := b
+let superinstructions_enabled () = !superinsn_on
+
+type soa_stats = { spans : int; units : int; covered : int; total : int }
+
+let superinsn_stats p =
+  let total = Array.length p.co in
+  match p.soa with
+  | None -> { spans = 0; units = 0; covered = 0; total }
+  | Some s -> { spans = s.s_spans; units = s.s_units; covered = s.s_covered; total }
 
 let max_reg_ids body =
   let tbl = Hashtbl.create 8 in
@@ -255,6 +321,62 @@ let analyze (k : kernel) =
       | _ -> ())
     k.body;
   Array.of_list (List.rev !accs)
+
+(* ------------------------------------------------------------------ *)
+(* Superinstruction eligibility.  Accepts exactly the straight-line +
+   exit-guard shape: the program ends in [ret], contains no
+   unconditional branches, and every [bra.pred] jumps forward to a
+   [ret].  That shape makes textual order the execution order of every
+   lane, which is what (a) lets spans run lock-step across lanes and
+   (b) upgrades the validator's textual def-before-use check into a
+   path-exact one, so SoA register rows never need zeroing between
+   ctas.  Reduction tails (their guarded-load diamonds and aggregate
+   joins) are rejected and keep the scalar interpreter. *)
+
+let plan_soa co cb ninstr =
+  if ninstr = 0 || co.(ninstr - 1) <> 0 then None
+  else begin
+    let ok = ref true in
+    for k = 0 to ninstr - 1 do
+      match co.(k) with
+      | 31 -> ok := false
+      | 32 -> if cb.(k) <= k || co.(cb.(k)) <> 0 then ok := false
+      | _ -> ()
+    done;
+    if not !ok then None
+    else begin
+      let span_end = Array.make ninstr 0 in
+      let next_ctrl = ref ninstr in
+      for k = ninstr - 1 downto 0 do
+        span_end.(k) <- !next_ctrl;
+        match co.(k) with 0 | 31 | 32 -> next_ctrl := k | _ -> ()
+      done;
+      let spans = ref 0 and units = ref 0 and covered = ref 0 in
+      let k = ref 0 in
+      while !k < ninstr do
+        match co.(!k) with
+        | 0 | 31 | 32 -> incr k
+        | _ ->
+            let e = span_end.(!k) in
+            incr spans;
+            covered := !covered + (e - !k);
+            let j = ref !k in
+            while !j < e do
+              let o = co.(!j) in
+              incr j;
+              (match o with
+              | 1 | 2 | 3 | 5 ->
+                  (* fused ladder: a homogeneous float add/sub/mul/fma
+                     run is one dispatch unit *)
+                  while !j < e && co.(!j) = o do incr j done
+              | _ -> ());
+              incr units
+            done;
+            k := e
+      done;
+      Some { span_end; s_spans = !spans; s_units = !units; s_covered = !covered }
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Decode. *)
@@ -443,7 +565,9 @@ let compile (kernel : kernel) =
     ipool = Array.of_list (List.rev !ipool);
     fns = Array.of_list (List.rev !fns);
     accesses = analyze kernel;
+    soa = plan_soa co cb ninstr;
     slots = [||];
+    soa_slots = [||];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -455,11 +579,14 @@ let compile (kernel : kernel) =
    rebuilds [fns] by replaying the same walk.  A rehydrated program is
    therefore indistinguishable from a fresh [compile] of the kernel. *)
 
-let decoder_version = 2
+(* Version 3: programs carry a superinstruction plan ([soa]); cached
+   version-2 entries decode to a record missing it, so the bump makes
+   stale jitcache entries miss instead of loading a plan-less layout. *)
+let decoder_version = 3
 
 type portable = program
 
-let to_portable p = { p with fns = [||]; slots = [||] }
+let to_portable p = { p with fns = [||]; slots = [||]; soa_slots = [||] }
 
 let of_portable (p : portable) =
   let fns =
@@ -468,7 +595,7 @@ let of_portable (p : portable) =
       p.kernel.body
     |> Array.of_list
   in
-  { p with fns; slots = [||] }
+  { p with fns; slots = [||]; soa_slots = [||] }
 
 (* ------------------------------------------------------------------ *)
 (* Worker register files. *)
@@ -484,6 +611,47 @@ let ensure_slots p n =
   let have = Array.length p.slots in
   if n > have then
     p.slots <- Array.init n (fun i -> if i < have then p.slots.(i) else make_wctx p)
+
+(* SoA register rows: [cap] lanes per register, constant pools
+   broadcast across their rows at allocation.  No zeroing is ever
+   needed afterwards: eligible programs define every register before
+   reading it on each executed path (see [plan_soa]), mirroring how the
+   scalar path reuses one [wctx] across all threads of a span. *)
+let make_soa_ctx p cap =
+  let nf = max 1 (p.nfreg + Array.length p.fpool) in
+  let ni = max 1 (p.nireg + Array.length p.ipool) in
+  let s =
+    {
+      sf = Array.make (nf * cap) 0.0;
+      si = Array.make (ni * cap) 0;
+      sp = Array.make (p.npred * cap) false;
+      act = Array.make cap 0;
+      cap;
+    }
+  in
+  Array.iteri (fun pi v -> Array.fill s.sf ((p.nfreg + pi) * cap) cap v) p.fpool;
+  Array.iteri (fun pi v -> Array.fill s.si ((p.nireg + pi) * cap) cap v) p.ipool;
+  s
+
+(* Sized before workers start (growing is not thread-safe), like
+   [ensure_slots]; [cap] must cover the largest block the program is
+   launched with in the batch. *)
+let ensure_soa_slots p n cap =
+  let have = Array.length p.soa_slots in
+  if n > have then
+    p.soa_slots <-
+      Array.init n (fun i -> if i < have then p.soa_slots.(i) else make_soa_ctx p cap);
+  Array.iter
+    (fun s ->
+      if s.cap < cap then begin
+        let fresh = make_soa_ctx p cap in
+        s.sf <- fresh.sf;
+        s.si <- fresh.si;
+        s.sp <- fresh.sp;
+        s.act <- fresh.act;
+        s.cap <- cap
+      end)
+    p.soa_slots
 
 (* Fresh launch state: registers zeroed (matching the old per-launch
    context), constant pools installed past the architectural
@@ -708,6 +876,604 @@ let exec_thread p (lookup : int -> Buffer.data) (args : param_value array) (w : 
   done
 
 (* ------------------------------------------------------------------ *)
+(* Superinstruction (structure-of-arrays) execution of one cta.
+
+   Every lane of the cta advances through the program lock-step: one
+   dispatch per decoded instruction (per homogeneous ladder for
+   add/sub/mul/fma runs), with an inner loop over the active lanes
+   reading and writing flat register rows.  For launches admitted by
+   [parallel_ok] this is bit-identical to the scalar (lane-major)
+   sweep: lanes are independent except for the radix-8 reduction-tail
+   contract, whose only cross-lane reads-after-writes flow from lower
+   lanes at earlier program points to a later lane at a later program
+   point — an order both schedules preserve (and reduction tails are
+   branchy, so they are rejected by [plan_soa] anyway and never reach
+   this path; the argument covers any future straight-line shape).
+
+   Fault determinism: lanes that fault are recorded and deactivated,
+   the rest of the cta runs on, and the *lowest* faulted lane is
+   reported.  Lanes below the lowest lock-step fault complete and
+   behave exactly as in the scalar sweep (they read nothing from
+   higher lanes), so the lowest lock-step fault is the fault the
+   scalar sweep would hit first — same lane, same message.  Memory
+   past that fault is unspecified, as in the scalar contract.  Faults
+   raised outside a per-lane handler (parameter-class mismatches,
+   corrupt opcodes — conditions uniform across lanes) are charged to
+   the lowest active lane, which is the lane the scalar sweep would
+   fault on.
+
+   Returns the lowest faulted [(lane, exn)], or [None]. *)
+
+let exec_cta_soa p (lookup : int -> Buffer.data) (args : param_value array) (s : soa_ctx)
+    ~ctaid ~block ~grid =
+  let plan = match p.soa with Some pl -> pl | None -> assert false in
+  let co = p.co and ca = p.ca and cb = p.cb and cc = p.cc and cd = p.cd in
+  let sf = s.sf and si = s.si and sp = s.sp and act = s.act in
+  let nl = s.cap in
+  let fns = p.fns in
+  for l = 0 to block - 1 do
+    Array.unsafe_set act l l
+  done;
+  let nact = ref block in
+  (* [act] stays sorted (it starts as the identity and compaction
+     preserves order), so it is the identity prefix — and the hot arms
+     can skip the indirection — exactly when its last entry equals its
+     index.  That is the common case: a full cta whose bounds guard
+     retires no lane stays dense for the whole program. *)
+  let dense = ref true in
+  let fmin = ref max_int and fexn = ref None in
+  let faulted = ref false in
+  let record l e =
+    if l < !fmin then begin
+      fmin := l;
+      fexn := Some e
+    end;
+    faulted := true
+  in
+  (* Drop lanes a per-lane fault handler marked with -1. *)
+  let compact () =
+    let keep = ref 0 in
+    for ai = 0 to !nact - 1 do
+      let l = act.(ai) in
+      if l >= 0 then begin
+        act.(!keep) <- l;
+        incr keep
+      end
+    done;
+    nact := !keep;
+    dense := !keep = 0 || act.(!keep - 1) = !keep - 1;
+    faulted := false
+  in
+  let exec_span k0 k1 =
+    let j = ref k0 in
+    while !j < k1 && !nact > 0 do
+      let k = !j in
+      j := k + 1;
+      let n = !nact in
+      (try
+         match co.(k) with
+         | 1 ->
+             let e = ref (k + 1) in
+             while !e < k1 && co.(!e) = 1 do incr e done;
+             for q = k to !e - 1 do
+               let ba = ca.(q) * nl and bb = cb.(q) * nl and bc = cc.(q) * nl in
+               if !dense then
+                 for l = 0 to n - 1 do
+                   Array.unsafe_set sf (ba + l)
+                     (Array.unsafe_get sf (bb + l) +. Array.unsafe_get sf (bc + l))
+                 done
+               else
+                 for ai = 0 to n - 1 do
+                   let l = Array.unsafe_get act ai in
+                   Array.unsafe_set sf (ba + l)
+                     (Array.unsafe_get sf (bb + l) +. Array.unsafe_get sf (bc + l))
+                 done
+             done;
+             j := !e
+         | 2 ->
+             let e = ref (k + 1) in
+             while !e < k1 && co.(!e) = 2 do incr e done;
+             for q = k to !e - 1 do
+               let ba = ca.(q) * nl and bb = cb.(q) * nl and bc = cc.(q) * nl in
+               if !dense then
+                 for l = 0 to n - 1 do
+                   Array.unsafe_set sf (ba + l)
+                     (Array.unsafe_get sf (bb + l) -. Array.unsafe_get sf (bc + l))
+                 done
+               else
+                 for ai = 0 to n - 1 do
+                   let l = Array.unsafe_get act ai in
+                   Array.unsafe_set sf (ba + l)
+                     (Array.unsafe_get sf (bb + l) -. Array.unsafe_get sf (bc + l))
+                 done
+             done;
+             j := !e
+         | 3 ->
+             let e = ref (k + 1) in
+             while !e < k1 && co.(!e) = 3 do incr e done;
+             for q = k to !e - 1 do
+               let ba = ca.(q) * nl and bb = cb.(q) * nl and bc = cc.(q) * nl in
+               if !dense then
+                 for l = 0 to n - 1 do
+                   Array.unsafe_set sf (ba + l)
+                     (Array.unsafe_get sf (bb + l) *. Array.unsafe_get sf (bc + l))
+                 done
+               else
+                 for ai = 0 to n - 1 do
+                   let l = Array.unsafe_get act ai in
+                   Array.unsafe_set sf (ba + l)
+                     (Array.unsafe_get sf (bb + l) *. Array.unsafe_get sf (bc + l))
+                 done
+             done;
+             j := !e
+         | 4 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sf (ba + l)
+                 (Array.unsafe_get sf (bb + l) /. Array.unsafe_get sf (bc + l))
+             done
+         | 5 ->
+             (* the hot one: dslash/clover bodies are mostly fma
+                ladders — one dispatch for the whole run *)
+             let e = ref (k + 1) in
+             while !e < k1 && co.(!e) = 5 do incr e done;
+             for q = k to !e - 1 do
+               let ba = ca.(q) * nl
+               and bb = cb.(q) * nl
+               and bc = cc.(q) * nl
+               and bd = cd.(q) * nl in
+               if !dense then
+                 for l = 0 to n - 1 do
+                   Array.unsafe_set sf (ba + l)
+                     ((Array.unsafe_get sf (bb + l) *. Array.unsafe_get sf (bc + l))
+                     +. Array.unsafe_get sf (bd + l))
+                 done
+               else
+                 for ai = 0 to n - 1 do
+                   let l = Array.unsafe_get act ai in
+                   Array.unsafe_set sf (ba + l)
+                     ((Array.unsafe_get sf (bb + l) *. Array.unsafe_get sf (bc + l))
+                     +. Array.unsafe_get sf (bd + l))
+                 done
+             done;
+             j := !e
+         | 6 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sf (ba + l) (-.Array.unsafe_get sf (bb + l))
+             done
+         | 7 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set si (ba + l)
+                 (Array.unsafe_get si (bb + l) + Array.unsafe_get si (bc + l))
+             done
+         | 8 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set si (ba + l)
+                 (Array.unsafe_get si (bb + l) - Array.unsafe_get si (bc + l))
+             done
+         | 9 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set si (ba + l)
+                 (Array.unsafe_get si (bb + l) * Array.unsafe_get si (bc + l))
+             done
+         | 10 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               try
+                 let d = Array.unsafe_get si (bc + l) in
+                 if d = 0 then fault "integer division by zero";
+                 Array.unsafe_set si (ba + l) (Array.unsafe_get si (bb + l) / d)
+               with e ->
+                 record l e;
+                 act.(ai) <- -1
+             done
+         | 11 ->
+             let ba = ca.(k) * nl
+             and bb = cb.(k) * nl
+             and bc = cc.(k) * nl
+             and bd = cd.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set si (ba + l)
+                 ((Array.unsafe_get si (bb + l) * Array.unsafe_get si (bc + l))
+                 + Array.unsafe_get si (bd + l))
+             done
+         | 12 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and amount = cc.(k) in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set si (ba + l) (Array.unsafe_get si (bb + l) lsl amount)
+             done
+         | 13 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set si (ba + l) (-Array.unsafe_get si (bb + l))
+             done
+         | 14 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sf (ba + l) (Array.unsafe_get sf (bb + l))
+             done
+         | 15 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set si (ba + l) (Array.unsafe_get si (bb + l))
+             done
+         | 16 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sf (ba + l) (round32 (Array.unsafe_get sf (bb + l)))
+             done
+         | 17 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sf (ba + l) (float_of_int (Array.unsafe_get si (bb + l)))
+             done
+         | 18 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set si (ba + l) (int_of_float (Array.unsafe_get sf (bb + l)))
+             done
+         | 19 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sp (ba + l)
+                 (Array.unsafe_get sf (bb + l) = Array.unsafe_get sf (bc + l))
+             done
+         | 20 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sp (ba + l)
+                 (Array.unsafe_get sf (bb + l) <> Array.unsafe_get sf (bc + l))
+             done
+         | 21 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sp (ba + l)
+                 (Array.unsafe_get sf (bb + l) < Array.unsafe_get sf (bc + l))
+             done
+         | 22 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sp (ba + l)
+                 (Array.unsafe_get sf (bb + l) <= Array.unsafe_get sf (bc + l))
+             done
+         | 23 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sp (ba + l)
+                 (Array.unsafe_get sf (bb + l) > Array.unsafe_get sf (bc + l))
+             done
+         | 24 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sp (ba + l)
+                 (Array.unsafe_get sf (bb + l) >= Array.unsafe_get sf (bc + l))
+             done
+         | 25 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sp (ba + l)
+                 (Array.unsafe_get si (bb + l) = Array.unsafe_get si (bc + l))
+             done
+         | 26 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sp (ba + l)
+                 (Array.unsafe_get si (bb + l) <> Array.unsafe_get si (bc + l))
+             done
+         | 27 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sp (ba + l)
+                 (Array.unsafe_get si (bb + l) < Array.unsafe_get si (bc + l))
+             done
+         | 28 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sp (ba + l)
+                 (Array.unsafe_get si (bb + l) <= Array.unsafe_get si (bc + l))
+             done
+         | 29 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sp (ba + l)
+                 (Array.unsafe_get si (bb + l) > Array.unsafe_get si (bc + l))
+             done
+         | 30 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sp (ba + l)
+                 (Array.unsafe_get si (bb + l) >= Array.unsafe_get si (bc + l))
+             done
+         | 33 ->
+             let ba = ca.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set si (ba + l) l
+             done
+         | 34 ->
+             let ba = ca.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set si (ba + l) block
+             done
+         | 35 ->
+             let ba = ca.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set si (ba + l) ctaid
+             done
+         | 36 ->
+             let ba = ca.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set si (ba + l) grid
+             done
+         | 37 -> (
+             match args.(cb.(k)) with
+             | Ptr b ->
+                 let v = Buffer.address b and ba = ca.(k) * nl in
+                 for ai = 0 to n - 1 do
+                   let l = Array.unsafe_get act ai in
+                   Array.unsafe_set si (ba + l) v
+                 done
+             | Int _ | Float _ -> fault "ld.param.u64 on non-pointer parameter")
+         | 38 -> (
+             match args.(cb.(k)) with
+             | Int v ->
+                 let ba = ca.(k) * nl in
+                 for ai = 0 to n - 1 do
+                   let l = Array.unsafe_get act ai in
+                   Array.unsafe_set si (ba + l) v
+                 done
+             | Ptr _ | Float _ -> fault "ld.param.%%r on non-integer parameter")
+         | 39 -> (
+             match args.(cb.(k)) with
+             | Float v ->
+                 let ba = ca.(k) * nl in
+                 for ai = 0 to n - 1 do
+                   let l = Array.unsafe_get act ai in
+                   Array.unsafe_set sf (ba + l) v
+                 done
+             | Ptr _ | Int _ -> fault "ld.param float on non-float parameter")
+         | 40 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and off0 = cc.(k) in
+             for ai = 0 to n - 1 do
+               let l = if !dense then ai else Array.unsafe_get act ai in
+               try
+                 let addr = Array.unsafe_get si (bb + l) + off0 in
+                 let off = addr land Buffer.offset_mask in
+                 match lookup (addr lsr Buffer.offset_bits) with
+                 | Buffer.F32 a ->
+                     if off land 3 <> 0 then fault "misaligned f32 load";
+                     Array.unsafe_set sf (ba + l) (Bigarray.Array1.get a (off lsr 2))
+                 | _ -> fault "typed load does not match buffer kind"
+               with e ->
+                 record l e;
+                 act.(ai) <- -1
+             done
+         | 41 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and off0 = cc.(k) in
+             if !dense then
+               for l = 0 to n - 1 do
+                 try
+                   let addr = Array.unsafe_get si (bb + l) + off0 in
+                   let off = addr land Buffer.offset_mask in
+                   match lookup (addr lsr Buffer.offset_bits) with
+                   | Buffer.F64 a ->
+                       if off land 7 <> 0 then fault "misaligned f64 load";
+                       Array.unsafe_set sf (ba + l) (Bigarray.Array1.get a (off lsr 3))
+                   | _ -> fault "typed load does not match buffer kind"
+                 with e ->
+                   record l e;
+                   act.(l) <- -1
+               done
+             else
+               for ai = 0 to n - 1 do
+                 let l = Array.unsafe_get act ai in
+                 try
+                   let addr = Array.unsafe_get si (bb + l) + off0 in
+                   let off = addr land Buffer.offset_mask in
+                   match lookup (addr lsr Buffer.offset_bits) with
+                   | Buffer.F64 a ->
+                       if off land 7 <> 0 then fault "misaligned f64 load";
+                       Array.unsafe_set sf (ba + l) (Bigarray.Array1.get a (off lsr 3))
+                   | _ -> fault "typed load does not match buffer kind"
+                 with e ->
+                   record l e;
+                   act.(ai) <- -1
+               done
+         | 42 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and off0 = cc.(k) in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               try
+                 let addr = Array.unsafe_get si (bb + l) + off0 in
+                 let off = addr land Buffer.offset_mask in
+                 match lookup (addr lsr Buffer.offset_bits) with
+                 | Buffer.I32 a ->
+                     if off land 3 <> 0 then fault "misaligned i32 load";
+                     Array.unsafe_set si (ba + l)
+                       (Int32.to_int (Bigarray.Array1.get a (off lsr 2)))
+                 | _ -> fault "typed integer load does not match buffer kind"
+               with e ->
+                 record l e;
+                 act.(ai) <- -1
+             done
+         | 43 ->
+             let ba = ca.(k) * nl and off0 = cb.(k) and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = if !dense then ai else Array.unsafe_get act ai in
+               try
+                 let addr = Array.unsafe_get si (ba + l) + off0 in
+                 let off = addr land Buffer.offset_mask in
+                 match lookup (addr lsr Buffer.offset_bits) with
+                 | Buffer.F32 a -> Bigarray.Array1.set a (off lsr 2) (Array.unsafe_get sf (bc + l))
+                 | _ -> fault "typed store does not match buffer kind"
+               with e ->
+                 record l e;
+                 act.(ai) <- -1
+             done
+         | 44 ->
+             let ba = ca.(k) * nl and off0 = cb.(k) and bc = cc.(k) * nl in
+             if !dense then
+               for l = 0 to n - 1 do
+                 try
+                   let addr = Array.unsafe_get si (ba + l) + off0 in
+                   let off = addr land Buffer.offset_mask in
+                   match lookup (addr lsr Buffer.offset_bits) with
+                   | Buffer.F64 a ->
+                       Bigarray.Array1.set a (off lsr 3) (Array.unsafe_get sf (bc + l))
+                   | _ -> fault "typed store does not match buffer kind"
+                 with e ->
+                   record l e;
+                   act.(l) <- -1
+               done
+             else
+               for ai = 0 to n - 1 do
+                 let l = Array.unsafe_get act ai in
+                 try
+                   let addr = Array.unsafe_get si (ba + l) + off0 in
+                   let off = addr land Buffer.offset_mask in
+                   match lookup (addr lsr Buffer.offset_bits) with
+                   | Buffer.F64 a ->
+                       Bigarray.Array1.set a (off lsr 3) (Array.unsafe_get sf (bc + l))
+                   | _ -> fault "typed store does not match buffer kind"
+                 with e ->
+                   record l e;
+                   act.(ai) <- -1
+               done
+         | 45 ->
+             let ba = ca.(k) * nl and off0 = cb.(k) and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               try
+                 let addr = Array.unsafe_get si (ba + l) + off0 in
+                 let off = addr land Buffer.offset_mask in
+                 match lookup (addr lsr Buffer.offset_bits) with
+                 | Buffer.I32 a ->
+                     Bigarray.Array1.set a (off lsr 2)
+                       (Int32.of_int (Array.unsafe_get si (bc + l)))
+                 | _ -> fault "typed integer store does not match buffer kind"
+               with e ->
+                 record l e;
+                 act.(ai) <- -1
+             done
+         | 46 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl in
+             let fn = fns.(cc.(k)) in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sf (ba + l) (fn (Array.unsafe_get sf (bb + l)))
+             done
+         | 47 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl in
+             let fn = fns.(cc.(k)) in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               Array.unsafe_set sf (ba + l) (round32 (fn (Array.unsafe_get sf (bb + l))))
+             done
+         | 48 ->
+             let ba = ca.(k) * nl and bb = cb.(k) * nl and off0 = cc.(k) in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               try
+                 let addr = Array.unsafe_get si (bb + l) + off0 in
+                 let off = addr land Buffer.offset_mask in
+                 match lookup (addr lsr Buffer.offset_bits) with
+                 | Buffer.F16 a ->
+                     if off land 1 <> 0 then fault "misaligned f16 load";
+                     Array.unsafe_set sf (ba + l)
+                       (Half.float_of_bits (Bigarray.Array1.get a (off lsr 1)))
+                 | _ -> fault "typed load does not match buffer kind"
+               with e ->
+                 record l e;
+                 act.(ai) <- -1
+             done
+         | 49 ->
+             let ba = ca.(k) * nl and off0 = cb.(k) and bc = cc.(k) * nl in
+             for ai = 0 to n - 1 do
+               let l = Array.unsafe_get act ai in
+               try
+                 let addr = Array.unsafe_get si (ba + l) + off0 in
+                 let off = addr land Buffer.offset_mask in
+                 match lookup (addr lsr Buffer.offset_bits) with
+                 | Buffer.F16 a ->
+                     if off land 1 <> 0 then fault "misaligned f16 store";
+                     Bigarray.Array1.set a (off lsr 1)
+                       (Half.bits_of_float (Array.unsafe_get sf (bc + l)))
+                 | _ -> fault "typed store does not match buffer kind"
+               with e ->
+                 record l e;
+                 act.(ai) <- -1
+             done
+         | _ -> fault "corrupt opcode"
+       with e ->
+         (* Lane-uniform fault: the scalar sweep would hit it on the
+            lowest active lane first. *)
+         record act.(0) e;
+         nact := 0);
+      if !faulted then compact ()
+    done
+  in
+  let pc = ref 0 in
+  while !pc >= 0 && !nact > 0 do
+    let k = !pc in
+    match co.(k) with
+    | 0 -> pc := -1
+    | 32 ->
+        (* exit branch: lanes whose predicate holds retire *)
+        let pb = ca.(k) * nl in
+        let n = !nact in
+        let keep = ref 0 in
+        for ai = 0 to n - 1 do
+          let l = Array.unsafe_get act ai in
+          if not (Array.unsafe_get sp (pb + l)) then begin
+            Array.unsafe_set act !keep l;
+            incr keep
+          end
+        done;
+        nact := !keep;
+        dense := !keep = 0 || act.(!keep - 1) = !keep - 1;
+        pc := k + 1
+    | 31 -> pc := ca.(k) (* unreachable: [plan_soa] rejects bra *)
+    | _ ->
+        let e = plan.span_end.(k) in
+        exec_span k e;
+        pc := e
+  done;
+  match !fexn with None -> None | Some e -> Some (!fmin, e)
+
+(* ------------------------------------------------------------------ *)
 (* Parallel-safety decision for one launch: every access's param slot is
    resolved to the bound buffer, then per stored buffer (a) all stores
    must use own-slot indexing (Affine or Slist — never Gather/Uniform),
@@ -783,6 +1549,28 @@ let run_span p lookup args w ~block ~grid ~c0 ~c1 ~key ~(stop : int Atomic.t)
           lower ();
           raise Exit
       done
+    done
+  with Exit -> ()
+
+(* Same span contract, superinstruction execution: whole ctas in
+   order, each run lock-step across its lanes by [exec_cta_soa].  The
+   fault protocol is identical — lowest (cta, lane) recorded under the
+   span's key, [stop] lowered so higher-keyed spans bail. *)
+let run_span_soa p lookup args s ~block ~grid ~c0 ~c1 ~key ~(stop : int Atomic.t)
+    (faults : (int * int * exn) option array) =
+  try
+    for cta = c0 to c1 - 1 do
+      if Atomic.get stop < key then raise Exit;
+      match exec_cta_soa p lookup args s ~ctaid:cta ~block ~grid with
+      | None -> ()
+      | Some (lane, e) ->
+          faults.(key) <- Some (cta, lane, e);
+          let rec lower () =
+            let cur = Atomic.get stop in
+            if key < cur && not (Atomic.compare_and_set stop cur key) then lower ()
+          in
+          lower ();
+          raise Exit
     done
   with Exit -> ()
 
@@ -883,6 +1671,19 @@ let run_batch ?(workers = 1) ~lookup (launches : launch array) =
            (Array.mapi (fun li s -> Array.map (fun (c0, c1) -> (li, c0, c1)) s) spans))
     in
     let nitems = Array.length items in
+    (* Per-launch execution strategy: superinstructions when the flag
+       is on, the program decoded to an eligible plan, and the launch
+       passes the same store-disjointness gate that admits worker
+       splitting — [parallel_ok] is exactly the cross-lane independence
+       the lock-step sweep relies on.  Tiny blocks stay scalar: there
+       is nothing to amortize the per-cta dispatch over. *)
+    let use_soa =
+      Array.map
+        (fun l ->
+          superinstructions_enabled () && l.l_block >= 8 && l.l_prog.soa <> None
+          && parallel_ok l.l_prog l.l_params)
+        launches
+    in
     if nitems > 0 then begin
       (* Dependency edges; skipped for singleton batches (the common
          [run_grid] path pays nothing for the generalization). *)
@@ -929,7 +1730,11 @@ let run_batch ?(workers = 1) ~lookup (launches : launch array) =
          appears in several concurrent launches is fine: distinct
          workers use distinct slots and [bind_slot] re-installs the
          launch state (zeroed registers + constant pools) per span. *)
-      Array.iter (fun l -> ensure_slots l.l_prog w) launches;
+      Array.iteri
+        (fun li l ->
+          if use_soa.(li) then ensure_soa_slots l.l_prog w l.l_block
+          else ensure_slots l.l_prog w)
+        launches;
       let stop = Atomic.make max_int in
       let faults = Array.make nitems None in
       let cursor = Atomic.make 0 in
@@ -946,10 +1751,15 @@ let run_batch ?(workers = 1) ~lookup (launches : launch array) =
                down [remaining], so waiters always wake. *)
             wait_deps li;
             let p = l.l_prog in
-            let wctx = p.slots.(k) in
-            bind_slot p wctx;
-            run_span p lookup l.l_params wctx ~block:l.l_block ~grid:l.l_grid
-              ~c0 ~c1 ~key:idx ~stop faults;
+            if use_soa.(li) then
+              run_span_soa p lookup l.l_params p.soa_slots.(k) ~block:l.l_block
+                ~grid:l.l_grid ~c0 ~c1 ~key:idx ~stop faults
+            else begin
+              let wctx = p.slots.(k) in
+              bind_slot p wctx;
+              run_span p lookup l.l_params wctx ~block:l.l_block ~grid:l.l_grid
+                ~c0 ~c1 ~key:idx ~stop faults
+            end;
             complete li;
             loop ()
           end

@@ -8,7 +8,18 @@
     {!Vm_backend} workers when a decode-time provenance analysis proves
     the launch's stores are disjoint per work item — results are then
     bit-identical to the sequential sweep.  See DESIGN.md "Parallel VM
-    back-end". *)
+    back-end".
+
+    Straight-line pointwise programs additionally decode to a
+    *superinstruction plan*: maximal non-control spans execute
+    structure-of-arrays, one dispatch per instruction per cta applied
+    across the cta's lanes in inner loops over unboxed register rows,
+    with homogeneous add/sub/mul/fma ladders fused into single
+    dispatch units.  Launches admitted by the same parallel-safety
+    analysis run lock-step bit-identically to the scalar interpreter
+    at every worker count; everything else (reduction tails, gathers
+    that force sequential sweeps) stays on the scalar path.  See
+    DESIGN.md "Superinstruction dispatch". *)
 
 type param_value = Ptr of Buffer.t | Int of int | Float of float
 
@@ -84,6 +95,22 @@ val run_batch :
 
 val decoded_instructions : program -> int
 (** Flat instruction count after label compaction (introspection). *)
+
+val set_superinstructions : bool -> unit
+(** Toggle superinstruction (SoA) execution process-wide.  The initial
+    value honours [REPRO_VM_SUPERINSN] (off/0/none/disabled turn it
+    off); results are bit-identical either way, so this is a perf
+    escape hatch and an A/B lever for benches. *)
+
+val superinstructions_enabled : unit -> bool
+
+type soa_stats = { spans : int; units : int; covered : int; total : int }
+(** Superinstruction plan summary: [spans] fused regions covering
+    [covered] of the [total] decoded instructions, executed as [units]
+    dispatch units per cta (homogeneous add/sub/mul/fma ladders count
+    once).  All zeros except [total] when the program is ineligible. *)
+
+val superinsn_stats : program -> soa_stats
 
 val parallelizable : program -> params:param_value array -> bool
 (** Whether the safety analysis lets a launch with these parameter

@@ -138,6 +138,36 @@ let qcheck_reductions =
       && ceq r1 rc && ceq i1 ic)
 
 (* ------------------------------------------------------------------ *)
+(* Superinstruction (SoA) dispatch: toggling the executor must be
+   invisible — same bits, same faults — at every worker count. *)
+
+let with_superinsn b f =
+  let prev = Gpusim.Vm.superinstructions_enabled () in
+  Gpusim.Vm.set_superinstructions b;
+  Fun.protect ~finally:(fun () -> Gpusim.Vm.set_superinstructions prev) f
+
+let qcheck_superinsn_onoff =
+  QCheck.Test.make ~count:15
+    ~name:"superinstructions on/off: bit-identical at 1/2/4/8 workers" arb_prog (fun prog ->
+      let off = with_superinsn false (fun () -> run_jit (List.assoc 1 engines) 29L prog) in
+      let equal a b =
+        let ok = ref true in
+        for site = 0 to Field.volume a - 1 do
+          let sa = Field.get_site a ~site and sb = Field.get_site b ~site in
+          Array.iteri
+            (fun i v ->
+              if Int64.bits_of_float v <> Int64.bits_of_float sb.(i) then ok := false)
+            sa
+        done;
+        !ok
+      in
+      List.for_all
+        (fun w ->
+          let on = with_superinsn true (fun () -> run_jit (List.assoc w engines) 29L prog) in
+          Array.for_all2 equal off on)
+        [ 1; 2; 4; 8 ])
+
+(* ------------------------------------------------------------------ *)
 (* Faults: raised in worker domains, reported on the launching thread *)
 
 (* Same shape as test_gpusim's daxpy, but an integer divide whose
@@ -374,6 +404,29 @@ let qcheck_batched_sweeps =
           | _ -> false)
         [ 1; 2; 4; 8 ])
 
+(* The same random launch chains, scalar interpreter vs superinstruction
+   executor: buffer contents must match bit-for-bit and a faulting chain
+   must report the exact same message — kernel name, ctaid and tid — at
+   every worker count.  divk/addk are SoA-eligible (straight-line bodies
+   with one forward exit branch), so the SoA executor really runs here. *)
+let qcheck_superinsn_faults =
+  QCheck.Test.make ~count:20
+    ~name:"superinstructions on/off: identical contents and fault reports at 1/2/4/8 workers"
+    arb_batch_prog (fun prog ->
+      let ref_fault, ref_bufs =
+        with_superinsn false (fun () -> run_batch_prog ~vm_domains:1 ~batched:false prog)
+      in
+      List.for_all
+        (fun w ->
+          let fault, bufs =
+            with_superinsn true (fun () -> run_batch_prog ~vm_domains:w ~batched:true prog)
+          in
+          match ((ref_fault, ref_bufs), (fault, bufs)) with
+          | (None, Some rb), (None, Some b) -> Array.for_all2 (fun ra a -> ra = a) rb b
+          | (Some rm, None), (Some m, None) -> rm = m
+          | _ -> false)
+        [ 1; 2; 4; 8 ])
+
 (* Two independent faulting launches (disjoint buffer pairs, so the
    sweep may genuinely overlap them): the batch must report launch 0's
    own lowest site — (ctaid 12, tid 64) — even though launch 1 faults
@@ -453,6 +506,11 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_batched_sweeps;
           Alcotest.test_case "independent faults: lowest launch index wins" `Quick
             test_batched_two_faults;
+        ] );
+      ( "superinstructions",
+        [
+          QCheck_alcotest.to_alcotest qcheck_superinsn_onoff;
+          QCheck_alcotest.to_alcotest qcheck_superinsn_faults;
         ] );
       ( "faults",
         [
