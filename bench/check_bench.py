@@ -210,6 +210,19 @@ def check_vmperf(args):
             f"{args.min_dslash_speedup:.2f}x gate"
         )
         line += f", dslash superinsn {sp:.2f}x"
+    # The fusion-coverage gate: dispatch_ratio is a pure decode-time
+    # metric ((units + uncovered instrs) / decoded instrs), so like the
+    # A/B above it is asserted on every run, degraded or not.
+    if args.max_dispatch_ratio is not None:
+        worst = max(data["kernels"], key=lambda k: k["dispatch_ratio"])
+        assert worst["dispatch_ratio"] <= args.max_dispatch_ratio, (
+            f"kernel {worst['name']} dispatch ratio {worst['dispatch_ratio']:.4f} "
+            f"exceeds the {args.max_dispatch_ratio:.2f} gate (planner fusing "
+            "too little per unit)"
+        )
+        line += (
+            f", worst dispatch ratio {worst['dispatch_ratio']:.3f} ({worst['name']})"
+        )
     # Timing gates only make sense when the multicore back-end was built
     # (OCaml >= 5) and the host actually has spare cores; the sequential
     # fallback, single-core runners and degraded sweeps (more workers
@@ -531,6 +544,14 @@ def main():
         default=None,
         help="vmperf: require at least this single-worker dslash speedup with "
         "superinstructions on vs off (the interleaved A/B timings)",
+    )
+    parser.add_argument(
+        "--max-dispatch-ratio",
+        type=float,
+        default=None,
+        help="vmperf: require every kernel's superinstruction dispatch ratio "
+        "((units + uncovered instrs) / decoded instrs) at or below this bound; "
+        "decode-time metric, valid on degraded runs",
     )
     parser.add_argument(
         "--reused",

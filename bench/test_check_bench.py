@@ -78,6 +78,26 @@ def main():
         "dslash superinstruction speedup below the gate",
     )
 
+    # The dispatch-ratio gate is decode-time, so it holds (and fails)
+    # independently of degraded status, and it covers every kernel —
+    # the high-dispatch fixture drifts only the non-dslash kernel.
+    expect(
+        0,
+        ["vmperf", fx("vmperf_good.json"), "--max-dispatch-ratio", "0.35"],
+        "dispatch ratios under the gate",
+    )
+    expect(
+        0,
+        ["vmperf", fx("vmperf_degraded.json"), "--max-dispatch-ratio", "0.35"],
+        "dispatch-ratio gate applies on a degraded run",
+    )
+    r = expect(
+        1,
+        ["vmperf", fx("vmperf_high_dispatch.json"), "--max-dispatch-ratio", "0.35"],
+        "worst-kernel dispatch ratio above the gate",
+    )
+    assert "lcm" in r.stderr, f"violation not attributed to the worst kernel: {r.stderr}"
+
     # 2: malformed input is never reported as a gate failure.
     r = expect(2, ["vmperf", fx("vmperf_truncated.json")], "truncated JSON")
     assert "MALFORMED INPUT" in r.stderr, f"no MALFORMED INPUT banner: {r.stderr}"
@@ -111,8 +131,9 @@ def main():
         "missing baseline dir",
     )
 
-    print("check_bench selftest OK: 11 cases (exit codes 0/1/2, degraded "
-          "normalization, dslash gate, baseline compare + step summary)")
+    print("check_bench selftest OK: 14 cases (exit codes 0/1/2, degraded "
+          "normalization, dslash + dispatch-ratio gates, baseline compare "
+          "+ step summary)")
 
 
 if __name__ == "__main__":

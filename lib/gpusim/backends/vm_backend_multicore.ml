@@ -23,10 +23,12 @@
 
     The pool is execution-strategy agnostic: workers claim (launch,
     cta-span) items off the VM's shared cursor exactly the same whether
-    a span then runs through the scalar interpreter or the
-    superinstruction (SoA) executor — both strategies are per-cta and
-    bit-identical, so the schedule, the dependency edges and the fault
-    protocol are unchanged. *)
+    a span then runs through the scalar interpreter or the lane-blocked
+    superinstruction (SoA) executor — fused units, column-resident
+    memory ops and division islands all retire inside one cta before
+    the worker claims its next span, so the schedule, the dependency
+    edges and the lowest-(launch, ctaid, tid)-wins fault protocol are
+    unchanged by the dispatch strategy. *)
 
 let runtime = "multicore"
 let available_domains () = Domain.recommended_domain_count ()

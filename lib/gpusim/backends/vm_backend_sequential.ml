@@ -5,9 +5,10 @@
     flat (launch, cta-span) schedule in order before workers [1..] find
     the cursor exhausted — exactly the sequential reference sweep the
     multicore back-end must match bit-for-bit.  Spans of
-    superinstruction (SoA) programs drain through the same schedule:
-    the execution strategy is chosen per launch inside the VM and is
-    invisible to the back-end. *)
+    superinstruction (SoA) programs — including their lane-blocked
+    fused units and column-resident memory ops — drain through the same
+    schedule: the execution strategy is chosen per launch inside the VM
+    and is invisible to the back-end. *)
 
 let runtime = "sequential"
 let available_domains () = 1

@@ -102,20 +102,41 @@ type wctx = { wf : float array; wi : int array; wp : bool array }
    (the "lane exit" idiom — bounds guards, subset guards).  For such a
    program textual order is execution order on every lane's path, so
    the maximal runs of non-control opcodes ("spans") can be executed as
-   superinstructions: one dispatch per decoded instruction per *cta*,
-   with an inner loop applying it across the cta's active lanes over
-   flat unboxed register rows (register [r]'s value for lane [l] lives
-   at [r * cap + l]).  Homogeneous runs of add/sub/mul/fma collapse
-   further into single fused-ladder dispatches.
+   superinstructions over flat unboxed register rows (register [r]'s
+   value for lane [l] lives at [r * cap + l]).
+
+   Each span is further partitioned into fused dispatch *units*:
+
+   - a *chain* (kind 0): a maximal mixed run of lane-local ALU work —
+     float and integer arithmetic, address mad/shl/add chains, cvt,
+     setp, mov, sreg and parameter reads, math calls.  One fault scope
+     and one dispatch per chain; the per-instruction inner loops walk
+     the lanes in [lane_block]-wide unrolled blocks on the dense fast
+     path.  Only lane-uniform faults can occur inside a chain
+     (parameter-class mismatches), so a single [try] per unit replaces
+     the old per-instruction one.
+   - a *memory-terminated chain* (kind 1): a chain whose last
+     instruction is a global load/store.  The terminator executes
+     column-resident: lane addresses are snapshotted into a scratch
+     column, the buffer is resolved *once* for the whole cta, and the
+     gather/scatter runs as a tight per-lane loop, falling back to the
+     per-lane slow path (bit-identical fault reporting) on any
+     cross-buffer divergence.
+   - an *island* (kind 2): a single per-lane-faultable non-memory op
+     (integer division), kept under its own per-lane fault handler.
 
    [span_end.(k)] is the index of the next control instruction at or
    after [k] ([ret]/[bra]/[bra.pred]); a span starting at a non-control
-   [k] covers [k, span_end.(k)).  The counters summarize the plan for
-   the dispatch-rate metric: [s_spans] spans containing [s_covered]
-   instructions in [s_units] fused dispatch units. *)
+   [k] covers [k, span_end.(k)).  [u_end.(s)]/[u_kind.(s)] are valid at
+   unit-start indices [s] and give the unit's end (exclusive) and kind.
+   The counters summarize the plan for the dispatch-rate metric:
+   [s_spans] spans containing [s_covered] instructions in [s_units]
+   fused dispatch units. *)
 
 type soa_plan = {
   span_end : int array;
+  u_end : int array;
+  u_kind : int array;
   s_spans : int;
   s_units : int;
   s_covered : int;
@@ -124,12 +145,18 @@ type soa_plan = {
 (* Per-worker SoA register files: one row of [cap] lanes per register,
    constant pools broadcast across their rows once at allocation.
    [act] holds the ids of the lanes still running (faulted lanes and
-   lanes that took an exit branch are removed). *)
+   lanes that took an exit branch are removed).  [sa] is the address
+   scratch column for memory-terminated units: lane addresses are
+   snapshotted there before the gather/scatter runs, which makes the
+   column pass restartable (the slow fallback re-reads the same
+   addresses even when a load's destination aliases its address
+   register). *)
 type soa_ctx = {
   mutable sf : float array;
   mutable si : int array;
   mutable sp : bool array;
   mutable act : int array;
+  mutable sa : int array;
   mutable cap : int;
 }
 
@@ -153,17 +180,20 @@ type program = {
 }
 
 (* Runtime escape hatch: REPRO_VM_SUPERINSN=off forces every launch
-   back onto the scalar interpreter (the same off/0/none/disabled
-   spellings the jit-cache override accepts).  The programmatic setter
-   lets the bench time both strategies in one process. *)
-let superinsn_on =
-  ref
-    (match Sys.getenv_opt "REPRO_VM_SUPERINSN" with
-    | Some v -> (
-        match String.lowercase_ascii (String.trim v) with
-        | "off" | "0" | "none" | "disabled" | "false" -> false
-        | _ -> true)
-    | None -> true)
+   back onto the scalar interpreter.  The recognized off-spellings are
+   exactly the ones the REPRO_JIT_CACHE override accepts —
+   off/0/none/disabled, case-insensitive, whitespace-trimmed — and
+   anything else (including unset) leaves the executor on.  The
+   programmatic setter lets the bench time both strategies in one
+   process. *)
+let superinsn_of_env = function
+  | None -> true
+  | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "off" | "0" | "none" | "disabled" -> false
+      | _ -> true)
+
+let superinsn_on = ref (superinsn_of_env (Sys.getenv_opt "REPRO_VM_SUPERINSN"))
 
 let set_superinstructions b = superinsn_on := b
 let superinstructions_enabled () = !superinsn_on
@@ -351,6 +381,14 @@ let plan_soa co cb ninstr =
         span_end.(k) <- !next_ctrl;
         match co.(k) with 0 | 31 | 32 -> next_ctrl := k | _ -> ()
       done;
+      (* Unit partition.  Within a span, everything except integer
+         division fuses into mixed chains; a global load/store
+         terminates the chain it feeds (absorbing its address
+         arithmetic) as a memory-terminated unit, and div.i sits in a
+         one-instruction island under its own per-lane fault
+         handler. *)
+      let is_mem o = (o >= 40 && o <= 45) || o = 48 || o = 49 in
+      let u_end = Array.make ninstr 0 and u_kind = Array.make ninstr 0 in
       let spans = ref 0 and units = ref 0 and covered = ref 0 in
       let k = ref 0 in
       while !k < ninstr do
@@ -362,19 +400,33 @@ let plan_soa co cb ninstr =
             covered := !covered + (e - !k);
             let j = ref !k in
             while !j < e do
-              let o = co.(!j) in
-              incr j;
-              (match o with
-              | 1 | 2 | 3 | 5 ->
-                  (* fused ladder: a homogeneous float add/sub/mul/fma
-                     run is one dispatch unit *)
-                  while !j < e && co.(!j) = o do incr j done
-              | _ -> ());
+              let s = !j in
+              if co.(s) = 10 then begin
+                u_end.(s) <- s + 1;
+                u_kind.(s) <- 2;
+                j := s + 1
+              end
+              else begin
+                let q = ref s and stop = ref false and kind = ref 0 in
+                while (not !stop) && !q < e do
+                  let o = co.(!q) in
+                  if o = 10 then stop := true
+                  else if is_mem o then begin
+                    incr q;
+                    kind := 1;
+                    stop := true
+                  end
+                  else incr q
+                done;
+                u_end.(s) <- !q;
+                u_kind.(s) <- !kind;
+                j := !q
+              end;
               incr units
             done;
             k := e
       done;
-      Some { span_end; s_spans = !spans; s_units = !units; s_covered = !covered }
+      Some { span_end; u_end; u_kind; s_spans = !spans; s_units = !units; s_covered = !covered }
     end
   end
 
@@ -579,10 +631,12 @@ let compile (kernel : kernel) =
    rebuilds [fns] by replaying the same walk.  A rehydrated program is
    therefore indistinguishable from a fresh [compile] of the kernel. *)
 
-(* Version 3: programs carry a superinstruction plan ([soa]); cached
-   version-2 entries decode to a record missing it, so the bump makes
-   stale jitcache entries miss instead of loading a plan-less layout. *)
-let decoder_version = 3
+(* Version 4: the superinstruction plan gained the unit partition
+   ([u_end]/[u_kind]) for mixed-chain fusion and column-resident
+   memory units; cached version-3 entries decode to a record missing
+   those arrays, so the bump makes stale jitcache entries miss instead
+   of loading an unpartitioned plan. *)
+let decoder_version = 4
 
 type portable = program
 
@@ -626,6 +680,7 @@ let make_soa_ctx p cap =
       si = Array.make (ni * cap) 0;
       sp = Array.make (p.npred * cap) false;
       act = Array.make cap 0;
+      sa = Array.make cap 0;
       cap;
     }
   in
@@ -649,6 +704,7 @@ let ensure_soa_slots p n cap =
         s.si <- fresh.si;
         s.sp <- fresh.sp;
         s.act <- fresh.act;
+        s.sa <- fresh.sa;
         s.cap <- cap
       end)
     p.soa_slots
@@ -878,17 +934,21 @@ let exec_thread p (lookup : int -> Buffer.data) (args : param_value array) (w : 
 (* ------------------------------------------------------------------ *)
 (* Superinstruction (structure-of-arrays) execution of one cta.
 
-   Every lane of the cta advances through the program lock-step: one
-   dispatch per decoded instruction (per homogeneous ladder for
-   add/sub/mul/fma runs), with an inner loop over the active lanes
-   reading and writing flat register rows.  For launches admitted by
-   [parallel_ok] this is bit-identical to the scalar (lane-major)
-   sweep: lanes are independent except for the radix-8 reduction-tail
-   contract, whose only cross-lane reads-after-writes flow from lower
-   lanes at earlier program points to a later lane at a later program
-   point — an order both schedules preserve (and reduction tails are
-   branchy, so they are rejected by [plan_soa] anyway and never reach
-   this path; the argument covers any future straight-line shape).
+   Every lane of the cta advances through the program lock-step, one
+   fused dispatch per plan unit (see [soa_plan]): mixed ALU chains run
+   their instructions back-to-back over the flat register rows, with
+   the dense fast path walking lanes in [lane_block]-wide unrolled
+   blocks; memory-terminated chains snapshot lane addresses into the
+   [sa] scratch column and resolve the target buffer once per cta; and
+   integer-division islands keep their per-lane fault handler.  For
+   launches admitted by [parallel_ok] this is bit-identical to the
+   scalar (lane-major) sweep: lanes are independent except for the
+   radix-8 reduction-tail contract, whose only cross-lane
+   reads-after-writes flow from lower lanes at earlier program points
+   to a later lane at a later program point — an order both schedules
+   preserve (and reduction tails are branchy, so they are rejected by
+   [plan_soa] anyway and never reach this path; the argument covers
+   any future straight-line shape).
 
    Fault determinism: lanes that fault are recorded and deactivated,
    the rest of the cta runs on, and the *lowest* faulted lane is
@@ -900,17 +960,155 @@ let exec_thread p (lookup : int -> Buffer.data) (args : param_value array) (w : 
    raised outside a per-lane handler (parameter-class mismatches,
    corrupt opcodes — conditions uniform across lanes) are charged to
    the lowest active lane, which is the lane the scalar sweep would
-   fault on.
+   fault on.  The column-resident fast pass of a memory unit may
+   partially execute before bailing to the per-lane slow pass; that is
+   safe because the unit is idempotent once [sa] is snapshotted —
+   re-running a lane's load or store reads the same address and the
+   same unchanged source column, so the slow pass reproduces the exact
+   per-lane outcomes (values and fault messages) of the scalar sweep.
 
    Returns the lowest faulted [(lane, exn)], or [None]. *)
+
+let lane_block = 8
+
+(* Lane-blocked dense float ladder bodies.  On the dense fast path the
+   active set is the identity prefix [0, n), so these run over
+   contiguous column segments in [lane_block]-wide unrolled blocks of
+   unsafe accesses — no per-lane indirection or branching, the bounds
+   reasoning amortized across the block.  Callers pass row origins
+   ([reg * cap]) and guarantee [n <= cap], so every touched index is in
+   bounds.  Lanes are independent columns, so a block is safe even when
+   the destination row aliases a source row. *)
+
+let add_dense sf ba bb bc n =
+  let nb = n - (n land (lane_block - 1)) in
+  let l = ref 0 in
+  while !l < nb do
+    let i = !l in
+    Array.unsafe_set sf (ba + i)
+      (Array.unsafe_get sf (bb + i) +. Array.unsafe_get sf (bc + i));
+    Array.unsafe_set sf (ba + i + 1)
+      (Array.unsafe_get sf (bb + i + 1) +. Array.unsafe_get sf (bc + i + 1));
+    Array.unsafe_set sf (ba + i + 2)
+      (Array.unsafe_get sf (bb + i + 2) +. Array.unsafe_get sf (bc + i + 2));
+    Array.unsafe_set sf (ba + i + 3)
+      (Array.unsafe_get sf (bb + i + 3) +. Array.unsafe_get sf (bc + i + 3));
+    Array.unsafe_set sf (ba + i + 4)
+      (Array.unsafe_get sf (bb + i + 4) +. Array.unsafe_get sf (bc + i + 4));
+    Array.unsafe_set sf (ba + i + 5)
+      (Array.unsafe_get sf (bb + i + 5) +. Array.unsafe_get sf (bc + i + 5));
+    Array.unsafe_set sf (ba + i + 6)
+      (Array.unsafe_get sf (bb + i + 6) +. Array.unsafe_get sf (bc + i + 6));
+    Array.unsafe_set sf (ba + i + 7)
+      (Array.unsafe_get sf (bb + i + 7) +. Array.unsafe_get sf (bc + i + 7));
+    l := i + lane_block
+  done;
+  for i = nb to n - 1 do
+    Array.unsafe_set sf (ba + i)
+      (Array.unsafe_get sf (bb + i) +. Array.unsafe_get sf (bc + i))
+  done
+
+let sub_dense sf ba bb bc n =
+  let nb = n - (n land (lane_block - 1)) in
+  let l = ref 0 in
+  while !l < nb do
+    let i = !l in
+    Array.unsafe_set sf (ba + i)
+      (Array.unsafe_get sf (bb + i) -. Array.unsafe_get sf (bc + i));
+    Array.unsafe_set sf (ba + i + 1)
+      (Array.unsafe_get sf (bb + i + 1) -. Array.unsafe_get sf (bc + i + 1));
+    Array.unsafe_set sf (ba + i + 2)
+      (Array.unsafe_get sf (bb + i + 2) -. Array.unsafe_get sf (bc + i + 2));
+    Array.unsafe_set sf (ba + i + 3)
+      (Array.unsafe_get sf (bb + i + 3) -. Array.unsafe_get sf (bc + i + 3));
+    Array.unsafe_set sf (ba + i + 4)
+      (Array.unsafe_get sf (bb + i + 4) -. Array.unsafe_get sf (bc + i + 4));
+    Array.unsafe_set sf (ba + i + 5)
+      (Array.unsafe_get sf (bb + i + 5) -. Array.unsafe_get sf (bc + i + 5));
+    Array.unsafe_set sf (ba + i + 6)
+      (Array.unsafe_get sf (bb + i + 6) -. Array.unsafe_get sf (bc + i + 6));
+    Array.unsafe_set sf (ba + i + 7)
+      (Array.unsafe_get sf (bb + i + 7) -. Array.unsafe_get sf (bc + i + 7));
+    l := i + lane_block
+  done;
+  for i = nb to n - 1 do
+    Array.unsafe_set sf (ba + i)
+      (Array.unsafe_get sf (bb + i) -. Array.unsafe_get sf (bc + i))
+  done
+
+let mul_dense sf ba bb bc n =
+  let nb = n - (n land (lane_block - 1)) in
+  let l = ref 0 in
+  while !l < nb do
+    let i = !l in
+    Array.unsafe_set sf (ba + i)
+      (Array.unsafe_get sf (bb + i) *. Array.unsafe_get sf (bc + i));
+    Array.unsafe_set sf (ba + i + 1)
+      (Array.unsafe_get sf (bb + i + 1) *. Array.unsafe_get sf (bc + i + 1));
+    Array.unsafe_set sf (ba + i + 2)
+      (Array.unsafe_get sf (bb + i + 2) *. Array.unsafe_get sf (bc + i + 2));
+    Array.unsafe_set sf (ba + i + 3)
+      (Array.unsafe_get sf (bb + i + 3) *. Array.unsafe_get sf (bc + i + 3));
+    Array.unsafe_set sf (ba + i + 4)
+      (Array.unsafe_get sf (bb + i + 4) *. Array.unsafe_get sf (bc + i + 4));
+    Array.unsafe_set sf (ba + i + 5)
+      (Array.unsafe_get sf (bb + i + 5) *. Array.unsafe_get sf (bc + i + 5));
+    Array.unsafe_set sf (ba + i + 6)
+      (Array.unsafe_get sf (bb + i + 6) *. Array.unsafe_get sf (bc + i + 6));
+    Array.unsafe_set sf (ba + i + 7)
+      (Array.unsafe_get sf (bb + i + 7) *. Array.unsafe_get sf (bc + i + 7));
+    l := i + lane_block
+  done;
+  for i = nb to n - 1 do
+    Array.unsafe_set sf (ba + i)
+      (Array.unsafe_get sf (bb + i) *. Array.unsafe_get sf (bc + i))
+  done
+
+let fma_dense sf ba bb bc bd n =
+  let nb = n - (n land (lane_block - 1)) in
+  let l = ref 0 in
+  while !l < nb do
+    let i = !l in
+    Array.unsafe_set sf (ba + i)
+      ((Array.unsafe_get sf (bb + i) *. Array.unsafe_get sf (bc + i))
+      +. Array.unsafe_get sf (bd + i));
+    Array.unsafe_set sf (ba + i + 1)
+      ((Array.unsafe_get sf (bb + i + 1) *. Array.unsafe_get sf (bc + i + 1))
+      +. Array.unsafe_get sf (bd + i + 1));
+    Array.unsafe_set sf (ba + i + 2)
+      ((Array.unsafe_get sf (bb + i + 2) *. Array.unsafe_get sf (bc + i + 2))
+      +. Array.unsafe_get sf (bd + i + 2));
+    Array.unsafe_set sf (ba + i + 3)
+      ((Array.unsafe_get sf (bb + i + 3) *. Array.unsafe_get sf (bc + i + 3))
+      +. Array.unsafe_get sf (bd + i + 3));
+    Array.unsafe_set sf (ba + i + 4)
+      ((Array.unsafe_get sf (bb + i + 4) *. Array.unsafe_get sf (bc + i + 4))
+      +. Array.unsafe_get sf (bd + i + 4));
+    Array.unsafe_set sf (ba + i + 5)
+      ((Array.unsafe_get sf (bb + i + 5) *. Array.unsafe_get sf (bc + i + 5))
+      +. Array.unsafe_get sf (bd + i + 5));
+    Array.unsafe_set sf (ba + i + 6)
+      ((Array.unsafe_get sf (bb + i + 6) *. Array.unsafe_get sf (bc + i + 6))
+      +. Array.unsafe_get sf (bd + i + 6));
+    Array.unsafe_set sf (ba + i + 7)
+      ((Array.unsafe_get sf (bb + i + 7) *. Array.unsafe_get sf (bc + i + 7))
+      +. Array.unsafe_get sf (bd + i + 7));
+    l := i + lane_block
+  done;
+  for i = nb to n - 1 do
+    Array.unsafe_set sf (ba + i)
+      ((Array.unsafe_get sf (bb + i) *. Array.unsafe_get sf (bc + i))
+      +. Array.unsafe_get sf (bd + i))
+  done
 
 let exec_cta_soa p (lookup : int -> Buffer.data) (args : param_value array) (s : soa_ctx)
     ~ctaid ~block ~grid =
   let plan = match p.soa with Some pl -> pl | None -> assert false in
   let co = p.co and ca = p.ca and cb = p.cb and cc = p.cc and cd = p.cd in
-  let sf = s.sf and si = s.si and sp = s.sp and act = s.act in
+  let sf = s.sf and si = s.si and sp = s.sp and act = s.act and sa = s.sa in
   let nl = s.cap in
   let fns = p.fns in
+  let obits = Buffer.offset_bits and omask = Buffer.offset_mask in
   for l = 0 to block - 1 do
     Array.unsafe_set act l l
   done;
@@ -944,505 +1142,743 @@ let exec_cta_soa p (lookup : int -> Buffer.data) (args : param_value array) (s :
     dense := !keep = 0 || act.(!keep - 1) = !keep - 1;
     faulted := false
   in
+  (* One mixed ALU chain: instructions [k0, k1) executed back-to-back.
+     Every chain op is either non-faulting or lane-uniform
+     (parameter-class mismatches), so the caller wraps the whole chain
+     in a single uniform-fault scope and no per-lane handler runs on
+     this path.  [n] and [d] are chain-invariant: nothing inside a
+     chain retires or faults individual lanes. *)
+  let exec_chain k0 k1 =
+    let n = !nact in
+    let d = !dense in
+    for k = k0 to k1 - 1 do
+      match co.(k) with
+      | 1 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then add_dense sf ba bb bc n
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sf (ba + l)
+                (Array.unsafe_get sf (bb + l) +. Array.unsafe_get sf (bc + l))
+            done
+      | 2 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then sub_dense sf ba bb bc n
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sf (ba + l)
+                (Array.unsafe_get sf (bb + l) -. Array.unsafe_get sf (bc + l))
+            done
+      | 3 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then mul_dense sf ba bb bc n
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sf (ba + l)
+                (Array.unsafe_get sf (bb + l) *. Array.unsafe_get sf (bc + l))
+            done
+      | 4 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sf (ba + l)
+                (Array.unsafe_get sf (bb + l) /. Array.unsafe_get sf (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sf (ba + l)
+                (Array.unsafe_get sf (bb + l) /. Array.unsafe_get sf (bc + l))
+            done
+      | 5 ->
+          (* the hot one: dslash/clover bodies are mostly fma chains *)
+          let ba = ca.(k) * nl
+          and bb = cb.(k) * nl
+          and bc = cc.(k) * nl
+          and bd = cd.(k) * nl in
+          if d then fma_dense sf ba bb bc bd n
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sf (ba + l)
+                ((Array.unsafe_get sf (bb + l) *. Array.unsafe_get sf (bc + l))
+                +. Array.unsafe_get sf (bd + l))
+            done
+      | 6 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sf (ba + l) (-.Array.unsafe_get sf (bb + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sf (ba + l) (-.Array.unsafe_get sf (bb + l))
+            done
+      | 7 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set si (ba + l)
+                (Array.unsafe_get si (bb + l) + Array.unsafe_get si (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set si (ba + l)
+                (Array.unsafe_get si (bb + l) + Array.unsafe_get si (bc + l))
+            done
+      | 8 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set si (ba + l)
+                (Array.unsafe_get si (bb + l) - Array.unsafe_get si (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set si (ba + l)
+                (Array.unsafe_get si (bb + l) - Array.unsafe_get si (bc + l))
+            done
+      | 9 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set si (ba + l)
+                (Array.unsafe_get si (bb + l) * Array.unsafe_get si (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set si (ba + l)
+                (Array.unsafe_get si (bb + l) * Array.unsafe_get si (bc + l))
+            done
+      | 11 ->
+          let ba = ca.(k) * nl
+          and bb = cb.(k) * nl
+          and bc = cc.(k) * nl
+          and bd = cd.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set si (ba + l)
+                ((Array.unsafe_get si (bb + l) * Array.unsafe_get si (bc + l))
+                + Array.unsafe_get si (bd + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set si (ba + l)
+                ((Array.unsafe_get si (bb + l) * Array.unsafe_get si (bc + l))
+                + Array.unsafe_get si (bd + l))
+            done
+      | 12 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and amount = cc.(k) in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set si (ba + l) (Array.unsafe_get si (bb + l) lsl amount)
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set si (ba + l) (Array.unsafe_get si (bb + l) lsl amount)
+            done
+      | 13 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set si (ba + l) (-Array.unsafe_get si (bb + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set si (ba + l) (-Array.unsafe_get si (bb + l))
+            done
+      | 14 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl in
+          if d then Array.blit sf bb sf ba n
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sf (ba + l) (Array.unsafe_get sf (bb + l))
+            done
+      | 15 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl in
+          if d then Array.blit si bb si ba n
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set si (ba + l) (Array.unsafe_get si (bb + l))
+            done
+      | 16 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sf (ba + l) (round32 (Array.unsafe_get sf (bb + l)))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sf (ba + l) (round32 (Array.unsafe_get sf (bb + l)))
+            done
+      | 17 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sf (ba + l) (float_of_int (Array.unsafe_get si (bb + l)))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sf (ba + l) (float_of_int (Array.unsafe_get si (bb + l)))
+            done
+      | 18 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set si (ba + l) (int_of_float (Array.unsafe_get sf (bb + l)))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set si (ba + l) (int_of_float (Array.unsafe_get sf (bb + l)))
+            done
+      | 19 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get sf (bb + l) = Array.unsafe_get sf (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get sf (bb + l) = Array.unsafe_get sf (bc + l))
+            done
+      | 20 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get sf (bb + l) <> Array.unsafe_get sf (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get sf (bb + l) <> Array.unsafe_get sf (bc + l))
+            done
+      | 21 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get sf (bb + l) < Array.unsafe_get sf (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get sf (bb + l) < Array.unsafe_get sf (bc + l))
+            done
+      | 22 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get sf (bb + l) <= Array.unsafe_get sf (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get sf (bb + l) <= Array.unsafe_get sf (bc + l))
+            done
+      | 23 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get sf (bb + l) > Array.unsafe_get sf (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get sf (bb + l) > Array.unsafe_get sf (bc + l))
+            done
+      | 24 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get sf (bb + l) >= Array.unsafe_get sf (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get sf (bb + l) >= Array.unsafe_get sf (bc + l))
+            done
+      | 25 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get si (bb + l) = Array.unsafe_get si (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get si (bb + l) = Array.unsafe_get si (bc + l))
+            done
+      | 26 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get si (bb + l) <> Array.unsafe_get si (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get si (bb + l) <> Array.unsafe_get si (bc + l))
+            done
+      | 27 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get si (bb + l) < Array.unsafe_get si (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get si (bb + l) < Array.unsafe_get si (bc + l))
+            done
+      | 28 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get si (bb + l) <= Array.unsafe_get si (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get si (bb + l) <= Array.unsafe_get si (bc + l))
+            done
+      | 29 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get si (bb + l) > Array.unsafe_get si (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get si (bb + l) > Array.unsafe_get si (bc + l))
+            done
+      | 30 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get si (bb + l) >= Array.unsafe_get si (bc + l))
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set sp (ba + l)
+                (Array.unsafe_get si (bb + l) >= Array.unsafe_get si (bc + l))
+            done
+      | 33 ->
+          let ba = ca.(k) * nl in
+          if d then
+            for l = 0 to n - 1 do
+              Array.unsafe_set si (ba + l) l
+            done
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set si (ba + l) l
+            done
+      | 34 ->
+          let ba = ca.(k) * nl in
+          if d then Array.fill si ba n block
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set si (ba + l) block
+            done
+      | 35 ->
+          let ba = ca.(k) * nl in
+          if d then Array.fill si ba n ctaid
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set si (ba + l) ctaid
+            done
+      | 36 ->
+          let ba = ca.(k) * nl in
+          if d then Array.fill si ba n grid
+          else
+            for ai = 0 to n - 1 do
+              let l = Array.unsafe_get act ai in
+              Array.unsafe_set si (ba + l) grid
+            done
+      | 37 -> (
+          match args.(cb.(k)) with
+          | Ptr b ->
+              let v = Buffer.address b and ba = ca.(k) * nl in
+              if d then Array.fill si ba n v
+              else
+                for ai = 0 to n - 1 do
+                  let l = Array.unsafe_get act ai in
+                  Array.unsafe_set si (ba + l) v
+                done
+          | Int _ | Float _ -> fault "ld.param.u64 on non-pointer parameter")
+      | 38 -> (
+          match args.(cb.(k)) with
+          | Int v ->
+              let ba = ca.(k) * nl in
+              if d then Array.fill si ba n v
+              else
+                for ai = 0 to n - 1 do
+                  let l = Array.unsafe_get act ai in
+                  Array.unsafe_set si (ba + l) v
+                done
+          | Ptr _ | Float _ -> fault "ld.param.%%r on non-integer parameter")
+      | 39 -> (
+          match args.(cb.(k)) with
+          | Float v ->
+              let ba = ca.(k) * nl in
+              if d then Array.fill sf ba n v
+              else
+                for ai = 0 to n - 1 do
+                  let l = Array.unsafe_get act ai in
+                  Array.unsafe_set sf (ba + l) v
+                done
+          | Ptr _ | Int _ -> fault "ld.param float on non-float parameter")
+      | 46 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl in
+          let fn = fns.(cc.(k)) in
+          for ai = 0 to n - 1 do
+            let l = Array.unsafe_get act ai in
+            Array.unsafe_set sf (ba + l) (fn (Array.unsafe_get sf (bb + l)))
+          done
+      | 47 ->
+          let ba = ca.(k) * nl and bb = cb.(k) * nl in
+          let fn = fns.(cc.(k)) in
+          for ai = 0 to n - 1 do
+            let l = Array.unsafe_get act ai in
+            Array.unsafe_set sf (ba + l) (round32 (fn (Array.unsafe_get sf (bb + l))))
+          done
+      | _ -> fault "corrupt opcode"
+    done
+  in
+  (* Integer-division island: the only per-lane-faultable non-memory
+     op, kept under its own handler exactly as the scalar sweep would
+     fault it. *)
+  let exec_div k =
+    let n = !nact in
+    let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
+    for ai = 0 to n - 1 do
+      let l = Array.unsafe_get act ai in
+      try
+        let d = Array.unsafe_get si (bc + l) in
+        if d = 0 then fault "integer division by zero";
+        Array.unsafe_set si (ba + l) (Array.unsafe_get si (bb + l) / d)
+      with e ->
+        record l e;
+        act.(ai) <- -1
+    done
+  in
+  (* Column-resident memory unit, two passes over the active lanes.
+     Pass 1 snapshots every lane's effective address into the [sa]
+     scratch column — after that the unit is idempotent, so the fast
+     pass may bail at any point and the slow pass restart from
+     scratch.  Pass 2 resolves the *first* active lane's buffer once
+     for the whole cta and runs the gather/scatter as a tight per-lane
+     loop; any lane addressing a different buffer, misaligning, or
+     indexing out of bounds aborts to [mem_slow], the per-lane generic
+     loop with exactly the scalar sweep's fault messages. *)
+  let snap ab off0 n =
+    if !dense then
+      for l = 0 to n - 1 do
+        Array.unsafe_set sa l (Array.unsafe_get si (ab + l) + off0)
+      done
+    else
+      for ai = 0 to n - 1 do
+        let l = Array.unsafe_get act ai in
+        Array.unsafe_set sa l (Array.unsafe_get si (ab + l) + off0)
+      done
+  in
+  let mem_slow k n =
+    match co.(k) with
+    | 40 ->
+        let ba = ca.(k) * nl in
+        for ai = 0 to n - 1 do
+          let l = Array.unsafe_get act ai in
+          try
+            let addr = Array.unsafe_get sa l in
+            let off = addr land omask in
+            match lookup (addr lsr obits) with
+            | Buffer.F32 a ->
+                if off land 3 <> 0 then fault "misaligned f32 load";
+                Array.unsafe_set sf (ba + l) (Bigarray.Array1.get a (off lsr 2))
+            | _ -> fault "typed load does not match buffer kind"
+          with e ->
+            record l e;
+            act.(ai) <- -1
+        done
+    | 41 ->
+        let ba = ca.(k) * nl in
+        for ai = 0 to n - 1 do
+          let l = Array.unsafe_get act ai in
+          try
+            let addr = Array.unsafe_get sa l in
+            let off = addr land omask in
+            match lookup (addr lsr obits) with
+            | Buffer.F64 a ->
+                if off land 7 <> 0 then fault "misaligned f64 load";
+                Array.unsafe_set sf (ba + l) (Bigarray.Array1.get a (off lsr 3))
+            | _ -> fault "typed load does not match buffer kind"
+          with e ->
+            record l e;
+            act.(ai) <- -1
+        done
+    | 42 ->
+        let ba = ca.(k) * nl in
+        for ai = 0 to n - 1 do
+          let l = Array.unsafe_get act ai in
+          try
+            let addr = Array.unsafe_get sa l in
+            let off = addr land omask in
+            match lookup (addr lsr obits) with
+            | Buffer.I32 a ->
+                if off land 3 <> 0 then fault "misaligned i32 load";
+                Array.unsafe_set si (ba + l)
+                  (Int32.to_int (Bigarray.Array1.get a (off lsr 2)))
+            | _ -> fault "typed integer load does not match buffer kind"
+          with e ->
+            record l e;
+            act.(ai) <- -1
+        done
+    | 43 ->
+        let bc = cc.(k) * nl in
+        for ai = 0 to n - 1 do
+          let l = Array.unsafe_get act ai in
+          try
+            let addr = Array.unsafe_get sa l in
+            let off = addr land omask in
+            match lookup (addr lsr obits) with
+            | Buffer.F32 a -> Bigarray.Array1.set a (off lsr 2) (Array.unsafe_get sf (bc + l))
+            | _ -> fault "typed store does not match buffer kind"
+          with e ->
+            record l e;
+            act.(ai) <- -1
+        done
+    | 44 ->
+        let bc = cc.(k) * nl in
+        for ai = 0 to n - 1 do
+          let l = Array.unsafe_get act ai in
+          try
+            let addr = Array.unsafe_get sa l in
+            let off = addr land omask in
+            match lookup (addr lsr obits) with
+            | Buffer.F64 a -> Bigarray.Array1.set a (off lsr 3) (Array.unsafe_get sf (bc + l))
+            | _ -> fault "typed store does not match buffer kind"
+          with e ->
+            record l e;
+            act.(ai) <- -1
+        done
+    | 45 ->
+        let bc = cc.(k) * nl in
+        for ai = 0 to n - 1 do
+          let l = Array.unsafe_get act ai in
+          try
+            let addr = Array.unsafe_get sa l in
+            let off = addr land omask in
+            match lookup (addr lsr obits) with
+            | Buffer.I32 a ->
+                Bigarray.Array1.set a (off lsr 2) (Int32.of_int (Array.unsafe_get si (bc + l)))
+            | _ -> fault "typed integer store does not match buffer kind"
+          with e ->
+            record l e;
+            act.(ai) <- -1
+        done
+    | 48 ->
+        let ba = ca.(k) * nl in
+        for ai = 0 to n - 1 do
+          let l = Array.unsafe_get act ai in
+          try
+            let addr = Array.unsafe_get sa l in
+            let off = addr land omask in
+            match lookup (addr lsr obits) with
+            | Buffer.F16 a ->
+                if off land 1 <> 0 then fault "misaligned f16 load";
+                Array.unsafe_set sf (ba + l)
+                  (Half.float_of_bits (Bigarray.Array1.get a (off lsr 1)))
+            | _ -> fault "typed load does not match buffer kind"
+          with e ->
+            record l e;
+            act.(ai) <- -1
+        done
+    | 49 ->
+        let bc = cc.(k) * nl in
+        for ai = 0 to n - 1 do
+          let l = Array.unsafe_get act ai in
+          try
+            let addr = Array.unsafe_get sa l in
+            let off = addr land omask in
+            match lookup (addr lsr obits) with
+            | Buffer.F16 a ->
+                if off land 1 <> 0 then fault "misaligned f16 store";
+                Bigarray.Array1.set a (off lsr 1)
+                  (Half.bits_of_float (Array.unsafe_get sf (bc + l)))
+            | _ -> fault "typed store does not match buffer kind"
+          with e ->
+            record l e;
+            act.(ai) <- -1
+        done
+    | _ -> fault "corrupt opcode"
+  in
+  let exec_mem k =
+    let n = !nact in
+    let o = co.(k) in
+    let store = (o >= 43 && o <= 45) || o = 49 in
+    let ab = (if store then ca.(k) else cb.(k)) * nl
+    and off0 = if store then cb.(k) else cc.(k) in
+    snap ab off0 n;
+    let bid0 = Array.unsafe_get sa (Array.unsafe_get act 0) lsr obits in
+    let fast =
+      match lookup bid0 with
+      | exception _ -> false
+      | data -> (
+          try
+            match (o, data) with
+            | 40, Buffer.F32 a ->
+                let ba = ca.(k) * nl in
+                for ai = 0 to n - 1 do
+                  let l = Array.unsafe_get act ai in
+                  let addr = Array.unsafe_get sa l in
+                  if addr lsr obits <> bid0 || addr land 3 <> 0 then raise Exit;
+                  Array.unsafe_set sf (ba + l)
+                    (Bigarray.Array1.get a ((addr land omask) lsr 2))
+                done;
+                true
+            | 41, Buffer.F64 a ->
+                let ba = ca.(k) * nl in
+                for ai = 0 to n - 1 do
+                  let l = Array.unsafe_get act ai in
+                  let addr = Array.unsafe_get sa l in
+                  if addr lsr obits <> bid0 || addr land 7 <> 0 then raise Exit;
+                  Array.unsafe_set sf (ba + l)
+                    (Bigarray.Array1.get a ((addr land omask) lsr 3))
+                done;
+                true
+            | 42, Buffer.I32 a ->
+                let ba = ca.(k) * nl in
+                for ai = 0 to n - 1 do
+                  let l = Array.unsafe_get act ai in
+                  let addr = Array.unsafe_get sa l in
+                  if addr lsr obits <> bid0 || addr land 3 <> 0 then raise Exit;
+                  Array.unsafe_set si (ba + l)
+                    (Int32.to_int (Bigarray.Array1.get a ((addr land omask) lsr 2)))
+                done;
+                true
+            | 43, Buffer.F32 a ->
+                let bc = cc.(k) * nl in
+                for ai = 0 to n - 1 do
+                  let l = Array.unsafe_get act ai in
+                  let addr = Array.unsafe_get sa l in
+                  if addr lsr obits <> bid0 then raise Exit;
+                  Bigarray.Array1.set a ((addr land omask) lsr 2) (Array.unsafe_get sf (bc + l))
+                done;
+                true
+            | 44, Buffer.F64 a ->
+                let bc = cc.(k) * nl in
+                for ai = 0 to n - 1 do
+                  let l = Array.unsafe_get act ai in
+                  let addr = Array.unsafe_get sa l in
+                  if addr lsr obits <> bid0 then raise Exit;
+                  Bigarray.Array1.set a ((addr land omask) lsr 3) (Array.unsafe_get sf (bc + l))
+                done;
+                true
+            | 45, Buffer.I32 a ->
+                let bc = cc.(k) * nl in
+                for ai = 0 to n - 1 do
+                  let l = Array.unsafe_get act ai in
+                  let addr = Array.unsafe_get sa l in
+                  if addr lsr obits <> bid0 then raise Exit;
+                  Bigarray.Array1.set a ((addr land omask) lsr 2)
+                    (Int32.of_int (Array.unsafe_get si (bc + l)))
+                done;
+                true
+            | 48, Buffer.F16 a ->
+                let ba = ca.(k) * nl in
+                for ai = 0 to n - 1 do
+                  let l = Array.unsafe_get act ai in
+                  let addr = Array.unsafe_get sa l in
+                  if addr lsr obits <> bid0 || addr land 1 <> 0 then raise Exit;
+                  Array.unsafe_set sf (ba + l)
+                    (Half.float_of_bits (Bigarray.Array1.get a ((addr land omask) lsr 1)))
+                done;
+                true
+            | 49, Buffer.F16 a ->
+                let bc = cc.(k) * nl in
+                for ai = 0 to n - 1 do
+                  let l = Array.unsafe_get act ai in
+                  let addr = Array.unsafe_get sa l in
+                  if addr lsr obits <> bid0 || addr land 1 <> 0 then raise Exit;
+                  Bigarray.Array1.set a ((addr land omask) lsr 1)
+                    (Half.bits_of_float (Array.unsafe_get sf (bc + l)))
+                done;
+                true
+            | _ -> false
+          with _ -> false)
+    in
+    if not fast then mem_slow k n
+  in
+  (* Walk a span unit by unit: one uniform-fault scope per chain, the
+     per-lane handlers confined to memory terminators and islands,
+     compaction once per faulted unit (units never re-execute a lane's
+     instruction non-idempotently, so deferring compaction to unit
+     boundaries preserves the scalar sweep's outcomes). *)
   let exec_span k0 k1 =
-    let j = ref k0 in
-    while !j < k1 && !nact > 0 do
-      let k = !j in
-      j := k + 1;
-      let n = !nact in
-      (try
-         match co.(k) with
-         | 1 ->
-             let e = ref (k + 1) in
-             while !e < k1 && co.(!e) = 1 do incr e done;
-             for q = k to !e - 1 do
-               let ba = ca.(q) * nl and bb = cb.(q) * nl and bc = cc.(q) * nl in
-               if !dense then
-                 for l = 0 to n - 1 do
-                   Array.unsafe_set sf (ba + l)
-                     (Array.unsafe_get sf (bb + l) +. Array.unsafe_get sf (bc + l))
-                 done
-               else
-                 for ai = 0 to n - 1 do
-                   let l = Array.unsafe_get act ai in
-                   Array.unsafe_set sf (ba + l)
-                     (Array.unsafe_get sf (bb + l) +. Array.unsafe_get sf (bc + l))
-                 done
-             done;
-             j := !e
-         | 2 ->
-             let e = ref (k + 1) in
-             while !e < k1 && co.(!e) = 2 do incr e done;
-             for q = k to !e - 1 do
-               let ba = ca.(q) * nl and bb = cb.(q) * nl and bc = cc.(q) * nl in
-               if !dense then
-                 for l = 0 to n - 1 do
-                   Array.unsafe_set sf (ba + l)
-                     (Array.unsafe_get sf (bb + l) -. Array.unsafe_get sf (bc + l))
-                 done
-               else
-                 for ai = 0 to n - 1 do
-                   let l = Array.unsafe_get act ai in
-                   Array.unsafe_set sf (ba + l)
-                     (Array.unsafe_get sf (bb + l) -. Array.unsafe_get sf (bc + l))
-                 done
-             done;
-             j := !e
-         | 3 ->
-             let e = ref (k + 1) in
-             while !e < k1 && co.(!e) = 3 do incr e done;
-             for q = k to !e - 1 do
-               let ba = ca.(q) * nl and bb = cb.(q) * nl and bc = cc.(q) * nl in
-               if !dense then
-                 for l = 0 to n - 1 do
-                   Array.unsafe_set sf (ba + l)
-                     (Array.unsafe_get sf (bb + l) *. Array.unsafe_get sf (bc + l))
-                 done
-               else
-                 for ai = 0 to n - 1 do
-                   let l = Array.unsafe_get act ai in
-                   Array.unsafe_set sf (ba + l)
-                     (Array.unsafe_get sf (bb + l) *. Array.unsafe_get sf (bc + l))
-                 done
-             done;
-             j := !e
-         | 4 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sf (ba + l)
-                 (Array.unsafe_get sf (bb + l) /. Array.unsafe_get sf (bc + l))
-             done
-         | 5 ->
-             (* the hot one: dslash/clover bodies are mostly fma
-                ladders — one dispatch for the whole run *)
-             let e = ref (k + 1) in
-             while !e < k1 && co.(!e) = 5 do incr e done;
-             for q = k to !e - 1 do
-               let ba = ca.(q) * nl
-               and bb = cb.(q) * nl
-               and bc = cc.(q) * nl
-               and bd = cd.(q) * nl in
-               if !dense then
-                 for l = 0 to n - 1 do
-                   Array.unsafe_set sf (ba + l)
-                     ((Array.unsafe_get sf (bb + l) *. Array.unsafe_get sf (bc + l))
-                     +. Array.unsafe_get sf (bd + l))
-                 done
-               else
-                 for ai = 0 to n - 1 do
-                   let l = Array.unsafe_get act ai in
-                   Array.unsafe_set sf (ba + l)
-                     ((Array.unsafe_get sf (bb + l) *. Array.unsafe_get sf (bc + l))
-                     +. Array.unsafe_get sf (bd + l))
-                 done
-             done;
-             j := !e
-         | 6 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sf (ba + l) (-.Array.unsafe_get sf (bb + l))
-             done
-         | 7 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set si (ba + l)
-                 (Array.unsafe_get si (bb + l) + Array.unsafe_get si (bc + l))
-             done
-         | 8 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set si (ba + l)
-                 (Array.unsafe_get si (bb + l) - Array.unsafe_get si (bc + l))
-             done
-         | 9 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set si (ba + l)
-                 (Array.unsafe_get si (bb + l) * Array.unsafe_get si (bc + l))
-             done
-         | 10 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               try
-                 let d = Array.unsafe_get si (bc + l) in
-                 if d = 0 then fault "integer division by zero";
-                 Array.unsafe_set si (ba + l) (Array.unsafe_get si (bb + l) / d)
-               with e ->
-                 record l e;
-                 act.(ai) <- -1
-             done
-         | 11 ->
-             let ba = ca.(k) * nl
-             and bb = cb.(k) * nl
-             and bc = cc.(k) * nl
-             and bd = cd.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set si (ba + l)
-                 ((Array.unsafe_get si (bb + l) * Array.unsafe_get si (bc + l))
-                 + Array.unsafe_get si (bd + l))
-             done
-         | 12 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and amount = cc.(k) in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set si (ba + l) (Array.unsafe_get si (bb + l) lsl amount)
-             done
-         | 13 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set si (ba + l) (-Array.unsafe_get si (bb + l))
-             done
-         | 14 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sf (ba + l) (Array.unsafe_get sf (bb + l))
-             done
-         | 15 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set si (ba + l) (Array.unsafe_get si (bb + l))
-             done
-         | 16 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sf (ba + l) (round32 (Array.unsafe_get sf (bb + l)))
-             done
-         | 17 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sf (ba + l) (float_of_int (Array.unsafe_get si (bb + l)))
-             done
-         | 18 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set si (ba + l) (int_of_float (Array.unsafe_get sf (bb + l)))
-             done
-         | 19 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sp (ba + l)
-                 (Array.unsafe_get sf (bb + l) = Array.unsafe_get sf (bc + l))
-             done
-         | 20 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sp (ba + l)
-                 (Array.unsafe_get sf (bb + l) <> Array.unsafe_get sf (bc + l))
-             done
-         | 21 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sp (ba + l)
-                 (Array.unsafe_get sf (bb + l) < Array.unsafe_get sf (bc + l))
-             done
-         | 22 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sp (ba + l)
-                 (Array.unsafe_get sf (bb + l) <= Array.unsafe_get sf (bc + l))
-             done
-         | 23 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sp (ba + l)
-                 (Array.unsafe_get sf (bb + l) > Array.unsafe_get sf (bc + l))
-             done
-         | 24 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sp (ba + l)
-                 (Array.unsafe_get sf (bb + l) >= Array.unsafe_get sf (bc + l))
-             done
-         | 25 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sp (ba + l)
-                 (Array.unsafe_get si (bb + l) = Array.unsafe_get si (bc + l))
-             done
-         | 26 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sp (ba + l)
-                 (Array.unsafe_get si (bb + l) <> Array.unsafe_get si (bc + l))
-             done
-         | 27 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sp (ba + l)
-                 (Array.unsafe_get si (bb + l) < Array.unsafe_get si (bc + l))
-             done
-         | 28 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sp (ba + l)
-                 (Array.unsafe_get si (bb + l) <= Array.unsafe_get si (bc + l))
-             done
-         | 29 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sp (ba + l)
-                 (Array.unsafe_get si (bb + l) > Array.unsafe_get si (bc + l))
-             done
-         | 30 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sp (ba + l)
-                 (Array.unsafe_get si (bb + l) >= Array.unsafe_get si (bc + l))
-             done
-         | 33 ->
-             let ba = ca.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set si (ba + l) l
-             done
-         | 34 ->
-             let ba = ca.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set si (ba + l) block
-             done
-         | 35 ->
-             let ba = ca.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set si (ba + l) ctaid
-             done
-         | 36 ->
-             let ba = ca.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set si (ba + l) grid
-             done
-         | 37 -> (
-             match args.(cb.(k)) with
-             | Ptr b ->
-                 let v = Buffer.address b and ba = ca.(k) * nl in
-                 for ai = 0 to n - 1 do
-                   let l = Array.unsafe_get act ai in
-                   Array.unsafe_set si (ba + l) v
-                 done
-             | Int _ | Float _ -> fault "ld.param.u64 on non-pointer parameter")
-         | 38 -> (
-             match args.(cb.(k)) with
-             | Int v ->
-                 let ba = ca.(k) * nl in
-                 for ai = 0 to n - 1 do
-                   let l = Array.unsafe_get act ai in
-                   Array.unsafe_set si (ba + l) v
-                 done
-             | Ptr _ | Float _ -> fault "ld.param.%%r on non-integer parameter")
-         | 39 -> (
-             match args.(cb.(k)) with
-             | Float v ->
-                 let ba = ca.(k) * nl in
-                 for ai = 0 to n - 1 do
-                   let l = Array.unsafe_get act ai in
-                   Array.unsafe_set sf (ba + l) v
-                 done
-             | Ptr _ | Int _ -> fault "ld.param float on non-float parameter")
-         | 40 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and off0 = cc.(k) in
-             for ai = 0 to n - 1 do
-               let l = if !dense then ai else Array.unsafe_get act ai in
-               try
-                 let addr = Array.unsafe_get si (bb + l) + off0 in
-                 let off = addr land Buffer.offset_mask in
-                 match lookup (addr lsr Buffer.offset_bits) with
-                 | Buffer.F32 a ->
-                     if off land 3 <> 0 then fault "misaligned f32 load";
-                     Array.unsafe_set sf (ba + l) (Bigarray.Array1.get a (off lsr 2))
-                 | _ -> fault "typed load does not match buffer kind"
-               with e ->
-                 record l e;
-                 act.(ai) <- -1
-             done
-         | 41 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and off0 = cc.(k) in
-             if !dense then
-               for l = 0 to n - 1 do
-                 try
-                   let addr = Array.unsafe_get si (bb + l) + off0 in
-                   let off = addr land Buffer.offset_mask in
-                   match lookup (addr lsr Buffer.offset_bits) with
-                   | Buffer.F64 a ->
-                       if off land 7 <> 0 then fault "misaligned f64 load";
-                       Array.unsafe_set sf (ba + l) (Bigarray.Array1.get a (off lsr 3))
-                   | _ -> fault "typed load does not match buffer kind"
-                 with e ->
-                   record l e;
-                   act.(l) <- -1
-               done
-             else
-               for ai = 0 to n - 1 do
-                 let l = Array.unsafe_get act ai in
-                 try
-                   let addr = Array.unsafe_get si (bb + l) + off0 in
-                   let off = addr land Buffer.offset_mask in
-                   match lookup (addr lsr Buffer.offset_bits) with
-                   | Buffer.F64 a ->
-                       if off land 7 <> 0 then fault "misaligned f64 load";
-                       Array.unsafe_set sf (ba + l) (Bigarray.Array1.get a (off lsr 3))
-                   | _ -> fault "typed load does not match buffer kind"
-                 with e ->
-                   record l e;
-                   act.(ai) <- -1
-               done
-         | 42 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and off0 = cc.(k) in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               try
-                 let addr = Array.unsafe_get si (bb + l) + off0 in
-                 let off = addr land Buffer.offset_mask in
-                 match lookup (addr lsr Buffer.offset_bits) with
-                 | Buffer.I32 a ->
-                     if off land 3 <> 0 then fault "misaligned i32 load";
-                     Array.unsafe_set si (ba + l)
-                       (Int32.to_int (Bigarray.Array1.get a (off lsr 2)))
-                 | _ -> fault "typed integer load does not match buffer kind"
-               with e ->
-                 record l e;
-                 act.(ai) <- -1
-             done
-         | 43 ->
-             let ba = ca.(k) * nl and off0 = cb.(k) and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = if !dense then ai else Array.unsafe_get act ai in
-               try
-                 let addr = Array.unsafe_get si (ba + l) + off0 in
-                 let off = addr land Buffer.offset_mask in
-                 match lookup (addr lsr Buffer.offset_bits) with
-                 | Buffer.F32 a -> Bigarray.Array1.set a (off lsr 2) (Array.unsafe_get sf (bc + l))
-                 | _ -> fault "typed store does not match buffer kind"
-               with e ->
-                 record l e;
-                 act.(ai) <- -1
-             done
-         | 44 ->
-             let ba = ca.(k) * nl and off0 = cb.(k) and bc = cc.(k) * nl in
-             if !dense then
-               for l = 0 to n - 1 do
-                 try
-                   let addr = Array.unsafe_get si (ba + l) + off0 in
-                   let off = addr land Buffer.offset_mask in
-                   match lookup (addr lsr Buffer.offset_bits) with
-                   | Buffer.F64 a ->
-                       Bigarray.Array1.set a (off lsr 3) (Array.unsafe_get sf (bc + l))
-                   | _ -> fault "typed store does not match buffer kind"
-                 with e ->
-                   record l e;
-                   act.(l) <- -1
-               done
-             else
-               for ai = 0 to n - 1 do
-                 let l = Array.unsafe_get act ai in
-                 try
-                   let addr = Array.unsafe_get si (ba + l) + off0 in
-                   let off = addr land Buffer.offset_mask in
-                   match lookup (addr lsr Buffer.offset_bits) with
-                   | Buffer.F64 a ->
-                       Bigarray.Array1.set a (off lsr 3) (Array.unsafe_get sf (bc + l))
-                   | _ -> fault "typed store does not match buffer kind"
-                 with e ->
-                   record l e;
-                   act.(ai) <- -1
-               done
-         | 45 ->
-             let ba = ca.(k) * nl and off0 = cb.(k) and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               try
-                 let addr = Array.unsafe_get si (ba + l) + off0 in
-                 let off = addr land Buffer.offset_mask in
-                 match lookup (addr lsr Buffer.offset_bits) with
-                 | Buffer.I32 a ->
-                     Bigarray.Array1.set a (off lsr 2)
-                       (Int32.of_int (Array.unsafe_get si (bc + l)))
-                 | _ -> fault "typed integer store does not match buffer kind"
-               with e ->
-                 record l e;
-                 act.(ai) <- -1
-             done
-         | 46 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl in
-             let fn = fns.(cc.(k)) in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sf (ba + l) (fn (Array.unsafe_get sf (bb + l)))
-             done
-         | 47 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl in
-             let fn = fns.(cc.(k)) in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               Array.unsafe_set sf (ba + l) (round32 (fn (Array.unsafe_get sf (bb + l))))
-             done
-         | 48 ->
-             let ba = ca.(k) * nl and bb = cb.(k) * nl and off0 = cc.(k) in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               try
-                 let addr = Array.unsafe_get si (bb + l) + off0 in
-                 let off = addr land Buffer.offset_mask in
-                 match lookup (addr lsr Buffer.offset_bits) with
-                 | Buffer.F16 a ->
-                     if off land 1 <> 0 then fault "misaligned f16 load";
-                     Array.unsafe_set sf (ba + l)
-                       (Half.float_of_bits (Bigarray.Array1.get a (off lsr 1)))
-                 | _ -> fault "typed load does not match buffer kind"
-               with e ->
-                 record l e;
-                 act.(ai) <- -1
-             done
-         | 49 ->
-             let ba = ca.(k) * nl and off0 = cb.(k) and bc = cc.(k) * nl in
-             for ai = 0 to n - 1 do
-               let l = Array.unsafe_get act ai in
-               try
-                 let addr = Array.unsafe_get si (ba + l) + off0 in
-                 let off = addr land Buffer.offset_mask in
-                 match lookup (addr lsr Buffer.offset_bits) with
-                 | Buffer.F16 a ->
-                     if off land 1 <> 0 then fault "misaligned f16 store";
-                     Bigarray.Array1.set a (off lsr 1)
-                       (Half.bits_of_float (Array.unsafe_get sf (bc + l)))
-                 | _ -> fault "typed store does not match buffer kind"
-               with e ->
-                 record l e;
-                 act.(ai) <- -1
-             done
-         | _ -> fault "corrupt opcode"
-       with e ->
-         (* Lane-uniform fault: the scalar sweep would hit it on the
-            lowest active lane first. *)
-         record act.(0) e;
-         nact := 0);
-      if !faulted then compact ()
+    let u = ref k0 in
+    while !u < k1 && !nact > 0 do
+      let s0 = !u in
+      let ue = Array.unsafe_get plan.u_end s0 in
+      (match Array.unsafe_get plan.u_kind s0 with
+      | 0 -> (
+          try exec_chain s0 ue
+          with e ->
+            (* Lane-uniform fault: the scalar sweep would hit it on the
+               lowest active lane first. *)
+            record act.(0) e;
+            nact := 0)
+      | 1 -> (
+          try
+            exec_chain s0 (ue - 1);
+            exec_mem (ue - 1)
+          with e ->
+            record act.(0) e;
+            nact := 0)
+      | _ -> exec_div s0);
+      if !faulted then compact ();
+      u := ue
     done
   in
   let pc = ref 0 in

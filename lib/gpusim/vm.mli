@@ -11,15 +11,19 @@
     back-end".
 
     Straight-line pointwise programs additionally decode to a
-    *superinstruction plan*: maximal non-control spans execute
-    structure-of-arrays, one dispatch per instruction per cta applied
-    across the cta's lanes in inner loops over unboxed register rows,
-    with homogeneous add/sub/mul/fma ladders fused into single
-    dispatch units.  Launches admitted by the same parallel-safety
-    analysis run lock-step bit-identically to the scalar interpreter
-    at every worker count; everything else (reduction tails, gathers
-    that force sequential sweeps) stays on the scalar path.  See
-    DESIGN.md "Superinstruction dispatch". *)
+    *superinstruction plan*: maximal non-control spans are partitioned
+    into fused dispatch units — mixed ALU chains (float and integer
+    arithmetic, address mad/shl/add chains, cvt, setp, parameter and
+    sreg reads), memory-terminated chains whose global load/store runs
+    column-resident (lane addresses snapshotted, the buffer resolved
+    once per cta), and per-lane-faultable islands (integer division).
+    The SoA executor walks a unit's lanes in fixed-width blocks over
+    flat unboxed register rows on the dense fast path.  Launches
+    admitted by the same parallel-safety analysis run lock-step
+    bit-identically to the scalar interpreter at every worker count;
+    everything else (reduction tails, gathers that force sequential
+    sweeps) stays on the scalar path.  See DESIGN.md "SIMD-blocked
+    superinstructions". *)
 
 type param_value = Ptr of Buffer.t | Int of int | Float of float
 
@@ -98,17 +102,25 @@ val decoded_instructions : program -> int
 
 val set_superinstructions : bool -> unit
 (** Toggle superinstruction (SoA) execution process-wide.  The initial
-    value honours [REPRO_VM_SUPERINSN] (off/0/none/disabled turn it
-    off); results are bit-identical either way, so this is a perf
-    escape hatch and an A/B lever for benches. *)
+    value honours [REPRO_VM_SUPERINSN] via {!superinsn_of_env}; results
+    are bit-identical either way, so this is a perf escape hatch and an
+    A/B lever for benches. *)
 
 val superinstructions_enabled : unit -> bool
+
+val superinsn_of_env : string option -> bool
+(** Pure parser behind the [REPRO_VM_SUPERINSN] initial value: [false]
+    (executor off) exactly for the off/0/none/disabled spellings,
+    case-insensitive and whitespace-trimmed — the same set the
+    [REPRO_JIT_CACHE] override accepts.  Anything else, including
+    [None] (unset) and the empty string, leaves the executor on. *)
 
 type soa_stats = { spans : int; units : int; covered : int; total : int }
 (** Superinstruction plan summary: [spans] fused regions covering
     [covered] of the [total] decoded instructions, executed as [units]
-    dispatch units per cta (homogeneous add/sub/mul/fma ladders count
-    once).  All zeros except [total] when the program is ineligible. *)
+    dispatch units per cta (a mixed ALU chain, a memory-terminated
+    chain, or a division island each count once).  All zeros except
+    [total] when the program is ineligible. *)
 
 val superinsn_stats : program -> soa_stats
 

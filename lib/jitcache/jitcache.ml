@@ -40,9 +40,13 @@ let create ?(max_bytes = 256 * 1024 * 1024) cache_dir =
 
 let from_env ?default () =
   match Sys.getenv_opt env_var with
-  | None | Some "" -> default
+  | None -> default
   | Some v -> (
-      match String.lowercase_ascii v with
+      (* Off-spellings are matched case-insensitively on the trimmed
+         value — the same normalization REPRO_VM_SUPERINSN uses — but a
+         directory override keeps the raw string. *)
+      match String.lowercase_ascii (String.trim v) with
+      | "" -> default
       | "off" | "0" | "none" | "disabled" -> None
       | _ -> Some (create v))
 

@@ -493,6 +493,116 @@ let test_divk_parallelizable () =
   Alcotest.(check bool) "decoded" true
     (Gpusim.Vm.decoded_instructions compiled.Jit.program > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Planner edge cases.  One hand-written kernel hits the unit-partition
+   corners at once: single-instruction float ladder runs (a lone
+   add.f64 / mul.f64 between heterogeneous neighbours), a mixed
+   int/float chain truncated by a *data-dependent* exit branch (so
+   lanes retire in scattered, non-prefix patterns), address arithmetic
+   fused into memory-terminated units, and the chain straddling the
+   two spans the second branch creates.  Per lane i:
+     t = x[i]*c + i;  if t > thr then exit else y[i] = (t + x[i])^2 *)
+
+let mixk_text =
+  {|
+.version 3.1
+.target sm_35
+.address_size 64
+
+.visible .entry mixk(
+	.param .u64 mixk_param_0,
+	.param .u64 mixk_param_1,
+	.param .s32 mixk_param_2,
+	.param .f64 mixk_param_3,
+	.param .f64 mixk_param_4
+)
+{
+	ld.param.u64 	%rd1, [mixk_param_0];
+	ld.param.u64 	%rd2, [mixk_param_1];
+	ld.param.s32 	%r1, [mixk_param_2];
+	ld.param.f64 	%fd1, [mixk_param_3];
+	ld.param.f64 	%fd2, [mixk_param_4];
+	mov.u32 	%r2, %tid.x;
+	mov.u32 	%r3, %ntid.x;
+	mov.u32 	%r4, %ctaid.x;
+	mad.lo.s32 	%r5, %r4, %r3, %r2;
+	setp.ge.s32 	%p1, %r5, %r1;
+	@%p1 bra 	EXIT;
+	mul.lo.s32 	%r6, %r5, 8;
+	cvt.s64.s32 	%rs1, %r6;
+	cvt.u64.s64 	%rd3, %rs1;
+	add.u64 	%rd4, %rd1, %rd3;
+	ld.global.f64 	%fd3, [%rd4+0];
+	cvt.rn.f64.s32 	%fd4, %r5;
+	fma.rn.f64 	%fd5, %fd3, %fd1, %fd4;
+	setp.gt.f64 	%p2, %fd5, %fd2;
+	@%p2 bra 	EXIT;
+	add.f64 	%fd6, %fd5, %fd3;
+	mul.f64 	%fd7, %fd6, %fd6;
+	add.u64 	%rd5, %rd2, %rd3;
+	st.global.f64 	[%rd5+0], %fd7;
+EXIT:
+	ret;
+}
+|}
+
+let mixk_compiled = lazy (Jit.compile mixk_text)
+
+let run_mixk ~vm_domains ~superinsn ~c ~thr =
+  with_superinsn superinsn (fun () ->
+      let dev = Device.create ~vm_domains Machine.k20x_ecc_off in
+      let x = Device.alloc_f64 dev n_threads and y = Device.alloc_f64 dev n_threads in
+      (match (x.Buffer_.data, y.Buffer_.data) with
+      | Buffer_.F64 xa, Buffer_.F64 ya ->
+          for i = 0 to n_threads - 1 do
+            xa.{i} <- float_of_int ((i * 7 mod 23) - 11) *. 0.5;
+            ya.{i} <- -1.0
+          done
+      | _ -> assert false);
+      ignore
+        (Device.launch dev (Lazy.force mixk_compiled) ~nthreads:n_threads ~block
+           ~params:
+             [|
+               Gpusim.Vm.Ptr x;
+               Gpusim.Vm.Ptr y;
+               Gpusim.Vm.Int n_threads;
+               Gpusim.Vm.Float c;
+               Gpusim.Vm.Float thr;
+             |]);
+      match y.Buffer_.data with
+      | Buffer_.F64 ya -> Array.init n_threads (fun i -> Int64.bits_of_float ya.{i})
+      | _ -> assert false)
+
+let arb_mixk =
+  QCheck.make
+    ~print:(fun (c, thr) -> Printf.sprintf "c=%g thr=%g" c thr)
+    QCheck.Gen.(
+      pair
+        (oneofl [ 2.0; -0.75; 0.0; 13.5 ])
+        (* neg_infinity retires every lane at the second branch,
+           infinity none; the mid values leave scattered survivors *)
+        (oneofl [ neg_infinity; 0.0; 64.0; 512.0; 1500.0; infinity ]))
+
+let qcheck_mixk_bit_identity =
+  QCheck.Test.make ~count:12
+    ~name:"mixed-chain kernel: 1/2/4/8 workers x executor on/off bit-identical" arb_mixk
+    (fun (c, thr) ->
+      let reference = run_mixk ~vm_domains:1 ~superinsn:false ~c ~thr in
+      List.for_all
+        (fun w ->
+          run_mixk ~vm_domains:w ~superinsn:false ~c ~thr = reference
+          && run_mixk ~vm_domains:w ~superinsn:true ~c ~thr = reference)
+        [ 1; 2; 4; 8 ])
+
+let test_mixk_plan_shape () =
+  let s = Gpusim.Vm.superinsn_stats (Lazy.force mixk_compiled).Jit.program in
+  Alcotest.(check int) "decoded" 25 s.Gpusim.Vm.total;
+  Alcotest.(check int) "spans" 3 s.Gpusim.Vm.spans;
+  Alcotest.(check int) "covered" 22 s.Gpusim.Vm.covered;
+  (* prologue chain | address chain + ld.g.f64 | cvt/fma/setp chain cut
+     by the data-dependent exit branch | add/mul/add chain + st.g.f64 *)
+  Alcotest.(check int) "units" 4 s.Gpusim.Vm.units
+
 let () =
   Alcotest.run "vm"
     [
@@ -511,6 +621,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest qcheck_superinsn_onoff;
           QCheck_alcotest.to_alcotest qcheck_superinsn_faults;
+          QCheck_alcotest.to_alcotest qcheck_mixk_bit_identity;
+          Alcotest.test_case "mixed-chain kernel: plan shape" `Quick test_mixk_plan_shape;
         ] );
       ( "faults",
         [
